@@ -1,0 +1,52 @@
+//! End-to-end engine throughput: simulated decode steps per wall-clock
+//! second for a small serving scenario under each scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_core::SchedulerConfig;
+use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
+use pf_workload::datasets;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for config in [
+        SchedulerConfig::past_future(),
+        SchedulerConfig::aggressive(0.95),
+        SchedulerConfig::conservative(),
+        SchedulerConfig::Oracle,
+    ] {
+        let requests = datasets::sharegpt(96, 17);
+        let warmup: Vec<u32> = datasets::sharegpt(500, 18)
+            .iter()
+            .map(|r| r.true_output_len)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("offline_96_reqs", config.to_string()),
+            &(config, requests, warmup),
+            |b, (config, requests, warmup)| {
+                b.iter(|| {
+                    let sim_config =
+                        SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+                            .scheduler(config.clone())
+                            .history_warmup(warmup.clone())
+                            .capacity_override(40_000)
+                            .record_series(false)
+                            .seed(19)
+                            .build();
+                    Simulation::offline(sim_config, requests.clone())
+                        .run()
+                        .unwrap()
+                        .decode_steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

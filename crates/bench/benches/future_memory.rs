@@ -1,0 +1,43 @@
+//! Cost of the future-required-memory computation (Eq. 2-4) at realistic
+//! batch sizes — invoked once per admission candidate per scheduling step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_core::{BatchEntry, FutureMemoryEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn entries(n: usize, seed: u64) -> Vec<BatchEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| BatchEntry {
+            committed: rng.gen_range(64..8192),
+            remaining: rng.gen_range(0..4096),
+        })
+        .collect()
+}
+
+fn bench_peak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("future_memory");
+    for &n in &[8usize, 32, 128, 512] {
+        let batch = entries(n, 1);
+        group.bench_with_input(BenchmarkId::new("peak_memory", n), &batch, |b, batch| {
+            b.iter(|| FutureMemoryEstimator::peak_memory(batch));
+        });
+        let mut sorted = batch.clone();
+        sorted.sort_unstable_by(|a, b| b.remaining.cmp(&a.remaining));
+        group.bench_with_input(BenchmarkId::new("peak_sorted", n), &sorted, |b, sorted| {
+            b.iter(|| FutureMemoryEstimator::peak_memory_sorted(sorted));
+        });
+        group.bench_with_input(BenchmarkId::new("profile", n), &batch, |b, batch| {
+            b.iter(|| FutureMemoryEstimator::memory_profile(batch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_peak
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Allocator hot-path costs: allocate/extend/release cycles for the three
+//! KV-cache managers (the engine extends every running request once per
+//! decode step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_kvcache::{ContiguousPool, KvCacheManager, PagedPool, TokenPool};
+
+fn cycle<M: KvCacheManager>(pool: &mut M, n: u64) {
+    for id in 0..n {
+        pool.allocate(id, 256, 512).unwrap();
+    }
+    for _ in 0..8 {
+        for id in 0..n {
+            pool.extend(id, 1).unwrap();
+        }
+    }
+    for id in 0..n {
+        pool.release(id);
+    }
+}
+
+fn bench_pools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache");
+    for &n in &[16u64, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("token_pool", n), &n, |b, &n| {
+            let mut pool = TokenPool::new(1_000_000);
+            b.iter(|| cycle(&mut pool, n));
+        });
+        group.bench_with_input(BenchmarkId::new("paged_16", n), &n, |b, &n| {
+            let mut pool = PagedPool::new(1_000_000, 16);
+            b.iter(|| cycle(&mut pool, n));
+        });
+        group.bench_with_input(BenchmarkId::new("contiguous", n), &n, |b, &n| {
+            let mut pool = ContiguousPool::new(1_000_000);
+            b.iter(|| cycle(&mut pool, n));
+        });
+    }
+    // The per-step shortfall probe the engine runs before every decode.
+    let mut pool = TokenPool::new(1_000_000);
+    let ids: Vec<u64> = (0..256).collect();
+    for &id in &ids {
+        pool.allocate(id, 256, 512).unwrap();
+    }
+    group.bench_function("extension_shortfall_256", |b| {
+        b.iter(|| pool.extension_shortfall(&ids));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pools
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Sampling cost of the output-length machinery: building P(l) from the
+//! history window and drawing unconditional/conditional samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_core::{OutputLengthDistribution, OutputLengthHistory};
+use pf_workload::LengthSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("length_distribution");
+    for &window in &[100usize, 1000, 5000] {
+        let mut history = OutputLengthHistory::new(window);
+        let sampler = LengthSampler::log_normal_median(1750.0, 0.65, 64, 8192);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..window {
+            history.record(sampler.sample(&mut rng));
+        }
+        group.bench_with_input(BenchmarkId::new("build", window), &history, |b, h| {
+            b.iter(|| h.distribution().unwrap());
+        });
+        let dist: OutputLengthDistribution = history.distribution().unwrap();
+        group.bench_with_input(BenchmarkId::new("sample", window), &dist, |b, d| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| d.sample(&mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("sample_conditional", window), &dist, |b, d| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| d.sample_greater_than(&mut rng, 1024));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_sampler");
+    let samplers = [
+        ("uniform", LengthSampler::uniform(32, 4096)),
+        ("log_normal", LengthSampler::log_normal_median(250.0, 0.9, 4, 2048)),
+        (
+            "mixture",
+            LengthSampler::mixture(vec![
+                (0.6, LengthSampler::uniform(1, 64)),
+                (0.4, LengthSampler::log_normal_median(800.0, 0.5, 64, 8192)),
+            ]),
+        ),
+    ];
+    for (name, sampler) in samplers {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| sampler.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_distribution, bench_workload_samplers
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Admission-decision latency of each scheduler at several batch/queue
+//! scales — the paper claims the Past-Future scheduler costs <1% of model
+//! inference time (a 7B decode step is ~10-50 ms, so admission must stay
+//! well under 100 us).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_core::{MemoryState, QueuedRequest, RunningRequest, SchedulerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_state(batch: usize, queue: usize, seed: u64) -> (Vec<RunningRequest>, Vec<QueuedRequest>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let running = (0..batch)
+        .map(|i| RunningRequest {
+            id: i as u64,
+            input_len: rng.gen_range(32..4096),
+            generated: rng.gen_range(0..2048),
+            max_new_tokens: 4096,
+            oracle_remaining: Some(rng.gen_range(1..2048)),
+        })
+        .collect();
+    let queued = (0..queue)
+        .map(|i| QueuedRequest {
+            id: (batch + i) as u64,
+            input_len: rng.gen_range(32..4096),
+            generated: 0,
+            max_new_tokens: 4096,
+            oracle_remaining: Some(rng.gen_range(1..4096)),
+        })
+        .collect();
+    (running, queued)
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission");
+    for &(batch, queue) in &[(16usize, 16usize), (64, 64), (256, 64)] {
+        let (running, queued) = make_state(batch, queue, 1);
+        let memory = MemoryState {
+            capacity_tokens: 125_000,
+            used_tokens: running.iter().map(|r| r.committed()).sum(),
+        };
+        for config in [
+            SchedulerConfig::past_future(),
+            SchedulerConfig::aggressive(0.99),
+            SchedulerConfig::conservative(),
+            SchedulerConfig::Oracle,
+        ] {
+            let mut scheduler = config.build(7);
+            // Warm the history so Past-Future pays its real sampling cost.
+            for len in 1..=1000u32 {
+                scheduler.on_request_finished(len * 4 % 4096 + 1);
+            }
+            group.bench_with_input(
+                BenchmarkId::new(config.to_string(), format!("b{batch}_q{queue}")),
+                &(running.clone(), queued.clone()),
+                |b, (running, queued)| {
+                    b.iter(|| scheduler.plan_admission(running, queued, &memory));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_admission
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Cost of the window-similarity machinery behind Figures 3/4: histogram
+//! construction and cosine similarity over windowed traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_metrics::{cosine_similarity, Binning, LengthHistogram, WindowedLengths};
+use pf_workload::trace::{generate_output_lengths, TraceArchetype};
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    let lengths = generate_output_lengths(TraceArchetype::ApiService, 20_000, 9);
+    group.bench_function("histogram_1000", |b| {
+        b.iter(|| LengthHistogram::from_lengths(Binning::Log2, lengths[..1000].iter().copied()));
+    });
+    let h1 = LengthHistogram::from_lengths(Binning::Log2, lengths[..1000].iter().copied())
+        .probabilities();
+    let h2 = LengthHistogram::from_lengths(Binning::Log2, lengths[1000..2000].iter().copied())
+        .probabilities();
+    group.bench_function("cosine", |b| {
+        b.iter(|| cosine_similarity(&h1, &h2));
+    });
+    for &n in &[5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("matrix", n), &lengths[..n], |b, lengths| {
+            b.iter(|| {
+                WindowedLengths::partition(lengths, 1000, Binning::Log2).similarity_matrix()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_similarity
+}
+criterion_main!(benches);

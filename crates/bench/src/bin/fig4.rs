@@ -1,0 +1,100 @@
+//! Figure 4: average cosine similarity of (historical window → running
+//! window) pairs, sweeping the historical window size (x-axis) and the
+//! running window size (line brightness), on the conversation and API
+//! traces.
+//!
+//! "Diagonal" pairs a historical window with the running window that
+//! immediately follows it; "global" pairs historical and running windows at
+//! arbitrary distinct positions.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin fig4 [-- --quick]
+//! ```
+
+use pf_bench::Cli;
+use pf_metrics::{cosine_similarity, Align, Binning, LengthHistogram, Table};
+use pf_workload::trace::{generate_output_lengths, TraceArchetype};
+
+fn histogram_probs(lengths: &[u32]) -> Vec<f64> {
+    LengthHistogram::from_lengths(Binning::Log2, lengths.iter().copied()).probabilities()
+}
+
+/// Mean similarity of adjacent (hist → following run) windows and of
+/// non-adjacent (hist, run) pairs.
+fn sweep(lengths: &[u32], hist: usize, run: usize) -> (f64, f64) {
+    // Positions where a full historical window is followed by a full
+    // running window; advance by the running window (the serving system's
+    // natural cadence).
+    let mut hist_windows = Vec::new();
+    let mut run_windows = Vec::new();
+    let mut pos = hist;
+    while pos + run <= lengths.len() {
+        hist_windows.push(histogram_probs(&lengths[pos - hist..pos]));
+        run_windows.push(histogram_probs(&lengths[pos..pos + run]));
+        pos += run;
+    }
+    let k = hist_windows.len();
+    if k < 2 {
+        return (0.0, 0.0);
+    }
+    let mut diagonal = 0.0;
+    for i in 0..k {
+        diagonal += cosine_similarity(&hist_windows[i], &run_windows[i]);
+    }
+    diagonal /= k as f64;
+    let mut global = 0.0;
+    let mut pairs = 0usize;
+    // Subsample the quadratic pair space for large k.
+    let stride = (k / 64).max(1);
+    for i in (0..k).step_by(stride) {
+        for j in (0..k).step_by(stride) {
+            if i != j {
+                global += cosine_similarity(&hist_windows[i], &run_windows[j]);
+                pairs += 1;
+            }
+        }
+    }
+    global /= pairs.max(1) as f64;
+    (diagonal, global)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.size(120_000, 30_000);
+    let hist_sizes = [100usize, 200, 500, 1000, 2000, 5000];
+    let run_sizes = [100usize, 200, 500, 1000];
+
+    let mut table = Table::new([
+        "trace",
+        "historical window",
+        "running window",
+        "diagonal sim",
+        "global sim",
+    ])
+    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    for archetype in [TraceArchetype::Conversation, TraceArchetype::ApiService] {
+        let lengths = generate_output_lengths(archetype, n, 4242);
+        for &hist in &hist_sizes {
+            for &run in &run_sizes {
+                let (diagonal, global) = sweep(&lengths, hist, run);
+                table.row([
+                    archetype.label().to_string(),
+                    hist.to_string(),
+                    run.to_string(),
+                    format!("{diagonal:.3}"),
+                    format!("{global:.3}"),
+                ]);
+            }
+        }
+    }
+    cli.emit(
+        "fig4",
+        "Figure 4: diagonal/global similarity vs. historical and running window sizes",
+        &table,
+    );
+    println!(
+        "The diagonal stays high across window-size combinations; a historical\n\
+         window of ~1000 balances the conversation and API services — the\n\
+         paper's justification for w = 1000."
+    );
+}

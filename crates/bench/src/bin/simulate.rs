@@ -1,0 +1,240 @@
+//! Ad-hoc simulation driver: compose any model × GPU × scheduler ×
+//! workload from the command line and print the full report.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin simulate -- \
+//!     --model 7b --gpu a100 --scheduler past-future --param 0.05 \
+//!     --dataset sharegpt-o1 --requests 300 --clients 48 --seed 7
+//! ```
+//!
+//! Run with `--help` for the full option list.
+
+use pf_core::SchedulerConfig;
+use pf_metrics::{SimDuration, SlaSpec};
+use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
+use pf_workload::{datasets, ClosedLoopClients, RequestSpec};
+
+const HELP: &str = "\
+simulate — run one serving simulation and print the report
+
+OPTIONS:
+  --model <7b|13b|70b|qwen-vl|llava-7b|llava-13b>   model preset      [7b]
+  --gpu <a100|h800|4090|a30>                        GPU preset        [a100]
+  --tp <N>                                          tensor parallel   [1]
+  --scheduler <past-future|aggressive|conservative|oracle>            [past-future]
+  --param <float>       reserved frac / watermark / overcommit for the
+                        chosen scheduler                              [policy default]
+  --dataset <d1|d2|d3|sharegpt|sharegpt-o1|textvqa-qwen|textvqa-llava|mixed>
+                                                                      [sharegpt-o1]
+  --requests <N>        workload size                                 [200]
+  --clients <N>         closed-loop clients; 0 = offline              [32]
+  --capacity <tokens>   override the computed KV capacity
+  --ttft <secs>         SLA: max time to first token                  [10]
+  --mtpot <secs>        SLA: max inter-token gap                      [1.5]
+  --warmup <N>          history warmup samples from the same dataset  [1000]
+  --seed <N>            RNG seed                                      [0]
+  --help                print this message
+";
+
+#[derive(Debug)]
+struct Options {
+    model: ModelSpec,
+    gpu: GpuSpec,
+    tp: u32,
+    scheduler: String,
+    param: Option<f64>,
+    dataset: String,
+    requests: usize,
+    clients: usize,
+    capacity: Option<u64>,
+    ttft: f64,
+    mtpot: f64,
+    warmup: usize,
+    seed: u64,
+}
+
+fn parse_model(name: &str) -> ModelSpec {
+    match name {
+        "7b" => ModelSpec::llama2_7b(),
+        "13b" => ModelSpec::llama2_13b(),
+        "70b" => ModelSpec::llama2_70b(),
+        "qwen-vl" => ModelSpec::qwen_vl_chat(),
+        "llava-7b" => ModelSpec::llava_15_7b(),
+        "llava-13b" => ModelSpec::llava_15_13b(),
+        other => die(&format!("unknown model '{other}'")),
+    }
+}
+
+fn parse_gpu(name: &str) -> GpuSpec {
+    match name {
+        "a100" => GpuSpec::a100_80g(),
+        "h800" => GpuSpec::h800(),
+        "4090" => GpuSpec::rtx_4090(),
+        "a30" => GpuSpec::a30(),
+        other => die(&format!("unknown gpu '{other}'")),
+    }
+}
+
+fn dataset_builder(name: &str) -> fn(usize, u64) -> Vec<RequestSpec> {
+    match name {
+        "d1" => datasets::distribution_1,
+        "d2" => datasets::distribution_2,
+        "d3" => datasets::distribution_3,
+        "sharegpt" => datasets::sharegpt,
+        "sharegpt-o1" => datasets::sharegpt_o1,
+        "textvqa-qwen" => datasets::textvqa_qwen_vl,
+        "textvqa-llava" => datasets::textvqa_llava,
+        "mixed" => |n, seed| datasets::mixed_phase(n / 4 + 1, seed),
+        other => die(&format!("unknown dataset '{other}'")),
+    }
+}
+
+fn scheduler_config(name: &str, param: Option<f64>) -> SchedulerConfig {
+    match name {
+        "past-future" => SchedulerConfig::past_future_reserved(param.unwrap_or(0.05)),
+        "aggressive" => SchedulerConfig::aggressive(param.unwrap_or(0.99)),
+        "conservative" => SchedulerConfig::conservative_overcommit(param.unwrap_or(1.0)),
+        "oracle" => SchedulerConfig::Oracle,
+        other => die(&format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{HELP}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        model: ModelSpec::llama2_7b(),
+        gpu: GpuSpec::a100_80g(),
+        tp: 1,
+        scheduler: "past-future".to_string(),
+        param: None,
+        dataset: "sharegpt-o1".to_string(),
+        requests: 200,
+        clients: 32,
+        capacity: None,
+        ttft: 10.0,
+        mtpot: 1.5,
+        warmup: 1000,
+        seed: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{HELP}");
+            std::process::exit(0);
+        }
+        let Some(value) = args.next() else {
+            die(&format!("flag {flag} requires a value"));
+        };
+        match flag.as_str() {
+            "--model" => options.model = parse_model(&value),
+            "--gpu" => options.gpu = parse_gpu(&value),
+            "--tp" => options.tp = value.parse().unwrap_or_else(|_| die("bad --tp")),
+            "--scheduler" => options.scheduler = value,
+            "--param" => {
+                options.param = Some(value.parse().unwrap_or_else(|_| die("bad --param")));
+            }
+            "--dataset" => options.dataset = value,
+            "--requests" => {
+                options.requests = value.parse().unwrap_or_else(|_| die("bad --requests"));
+            }
+            "--clients" => {
+                options.clients = value.parse().unwrap_or_else(|_| die("bad --clients"));
+            }
+            "--capacity" => {
+                options.capacity =
+                    Some(value.parse().unwrap_or_else(|_| die("bad --capacity")));
+            }
+            "--ttft" => options.ttft = value.parse().unwrap_or_else(|_| die("bad --ttft")),
+            "--mtpot" => options.mtpot = value.parse().unwrap_or_else(|_| die("bad --mtpot")),
+            "--warmup" => {
+                options.warmup = value.parse().unwrap_or_else(|_| die("bad --warmup"));
+            }
+            "--seed" => options.seed = value.parse().unwrap_or_else(|_| die("bad --seed")),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_args();
+    let builder = dataset_builder(&options.dataset);
+    let requests = builder(options.requests, options.seed.wrapping_add(1));
+    let warmup: Vec<u32> = builder(options.warmup.max(1), options.seed.wrapping_add(2))
+        .iter()
+        .map(|r| r.true_output_len)
+        .collect();
+
+    let mut config_builder = SimConfig::builder(options.model, options.gpu)
+        .tensor_parallel(options.tp)
+        .scheduler(scheduler_config(&options.scheduler, options.param))
+        .sla(SlaSpec::new(
+            SimDuration::from_secs_f64(options.ttft),
+            SimDuration::from_secs_f64(options.mtpot),
+        ))
+        .history_warmup(warmup)
+        .record_series(false)
+        .seed(options.seed);
+    if let Some(capacity) = options.capacity {
+        config_builder = config_builder.capacity_override(capacity);
+    }
+    let config = config_builder.build();
+
+    println!(
+        "deployment: {} on {} x{} — KV capacity {} tokens",
+        config.model.name,
+        config.gpu.name,
+        config.tensor_parallel,
+        config.capacity_tokens()
+    );
+    println!(
+        "workload:   {} x {} ({}), SLA: TTFT<{}s MTPOT<{}s",
+        options.requests,
+        options.dataset,
+        if options.clients == 0 {
+            "offline".to_string()
+        } else {
+            format!("{} closed-loop clients", options.clients)
+        },
+        options.ttft,
+        options.mtpot
+    );
+
+    let simulation = if options.clients == 0 {
+        Simulation::offline(config, requests)
+    } else {
+        Simulation::closed_loop(config, requests, ClosedLoopClients::new(options.clients))
+    };
+    match simulation.run() {
+        Ok(report) => {
+            println!("\n{}", report.summary_line());
+            println!(
+                "  makespan {:.1}s | prefill steps {} | peak mem {:.1}%",
+                report.makespan.as_secs_f64(),
+                report.prefill_steps,
+                report.peak_consumed_frac * 100.0
+            );
+            println!(
+                "  TTFT  p50 {:.2}s p99 {:.2}s | MTPOT p50 {:.2}s p99 {:.2}s",
+                report.goodput.ttft_secs.p50,
+                report.goodput.ttft_secs.p99,
+                report.goodput.mtpot_secs.p50,
+                report.goodput.mtpot_secs.p99
+            );
+            println!(
+                "  violations: ttft {} | mtpot {} | none {}",
+                report.goodput.violations.ttft,
+                report.goodput.violations.mtpot,
+                report.goodput.satisfied_requests
+            );
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

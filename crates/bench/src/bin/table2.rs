@@ -1,0 +1,65 @@
+//! Table 2: multimodal serving throughput — original (static-batching)
+//! implementations vs. LightLLM with the Past-Future scheduler, on a
+//! TextVQA-like workload.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin table2 [-- --quick]
+//! ```
+
+use pf_bench::{default_threads, run_parallel, Cli};
+use pf_frameworks::Framework;
+use pf_metrics::{Align, Table};
+use pf_sim::{GpuSpec, ModelSpec, SimReport, Simulation};
+use pf_workload::{datasets, RequestSpec};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.size(2000, 300);
+    let cases: [(&'static str, ModelSpec, fn(usize, u64) -> Vec<RequestSpec>); 3] = [
+        ("Qwen-VL-Chat", ModelSpec::qwen_vl_chat(), datasets::textvqa_qwen_vl),
+        ("Llava-1.5-7B", ModelSpec::llava_15_7b(), datasets::textvqa_llava),
+        ("Llava-1.5-13B", ModelSpec::llava_15_13b(), datasets::textvqa_llava),
+    ];
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, SimReport, SimReport) + Send>> =
+        Vec::new();
+    for (name, model, dataset) in cases {
+        jobs.push(Box::new(move || {
+            let requests = dataset(n, 42);
+            let origin = Framework::HfOriginal
+                .config(model, GpuSpec::a100_80g(), 1)
+                .record_series(false)
+                .seed(1)
+                .build();
+            let origin_report = Simulation::offline(origin, requests.clone())
+                .run()
+                .expect("origin run");
+            let lightllm = Framework::LightLlm
+                .config(model, GpuSpec::a100_80g(), 1)
+                .record_series(false)
+                .seed(1)
+                .build();
+            let lightllm_report = Simulation::offline(lightllm, requests)
+                .run()
+                .expect("lightllm run");
+            (name, origin_report, lightllm_report)
+        }));
+    }
+    let results = run_parallel(jobs, default_threads());
+
+    let mut table = Table::new(["Model", "Origin (tokens/s)", "LightLLM (tokens/s)", "speedup"])
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for (name, origin, lightllm) in &results {
+        table.row([
+            name.to_string(),
+            format!("{:.2}", origin.throughput()),
+            format!("{:.2}", lightllm.throughput()),
+            format!("{:.2}x", lightllm.throughput() / origin.throughput()),
+        ]);
+    }
+    cli.emit(
+        "table2",
+        "Table 2: multimodal throughput, original implementation vs. LightLLM",
+        &table,
+    );
+}

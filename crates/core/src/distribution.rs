@@ -1,0 +1,258 @@
+//! Empirical output-length distribution `P(l)` (paper Eq. 1).
+
+use rand::Rng;
+
+/// Empirical distribution over historical output lengths.
+///
+/// `P(l) = C(l, L_h) / w` where `C` counts occurrences of `l` in the window
+/// (Eq. 1). Stored as a sorted sample vector, which makes both the
+/// unconditional draw (uniform index) and the conditional draw from
+/// `P(l > threshold)` (uniform index over a suffix found by binary search)
+/// O(log n).
+///
+/// # Example
+///
+/// ```
+/// use pf_core::OutputLengthDistribution;
+/// use rand::SeedableRng;
+///
+/// let d = OutputLengthDistribution::from_lengths([40u32, 10, 20, 30]).unwrap();
+/// assert_eq!(d.min(), 10);
+/// assert_eq!(d.max(), 40);
+/// assert_eq!(d.fraction_greater_than(20), 0.5);
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let sample = d.sample_greater_than(&mut rng, 25).unwrap();
+/// assert!(sample > 25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputLengthDistribution {
+    sorted: Vec<u32>,
+}
+
+impl OutputLengthDistribution {
+    /// Builds a distribution from observed lengths; `None` when empty.
+    pub fn from_lengths<I: IntoIterator<Item = u32>>(lengths: I) -> Option<Self> {
+        let mut sorted: Vec<u32> = lengths.into_iter().collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_unstable();
+        Some(OutputLengthDistribution { sorted })
+    }
+
+    /// Number of observations backing the distribution (`w` in Eq. 1).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// An empirical distribution is never empty (see
+    /// [`OutputLengthDistribution::from_lengths`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest observed length.
+    pub fn min(&self) -> u32 {
+        self.sorted[0]
+    }
+
+    /// Largest observed length.
+    pub fn max(&self) -> u32 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Mean observed length.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().map(|&v| v as f64).sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Probability mass at exactly `l`: `C(l, L_h) / w` (Eq. 1).
+    pub fn prob_of(&self, l: u32) -> f64 {
+        let lo = self.sorted.partition_point(|&v| v < l);
+        let hi = self.sorted.partition_point(|&v| v <= l);
+        (hi - lo) as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations strictly greater than `threshold`
+    /// (the normalizer of `P(l > threshold)`).
+    pub fn fraction_greater_than(&self, threshold: u32) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= threshold);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile (`q` in `[0, 1]`), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Draws a length from `P(l)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.sorted[rng.gen_range(0..self.sorted.len())]
+    }
+
+    /// Draws a length from the conditional `P(l | l > threshold)`.
+    ///
+    /// Returns `None` when no observation exceeds `threshold` — the caller
+    /// must fall back to another bound (the Past-Future scheduler falls back
+    /// to the request's `max_new_tokens`).
+    pub fn sample_greater_than<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        threshold: u32,
+    ) -> Option<u32> {
+        let idx = self.sorted.partition_point(|&v| v <= threshold);
+        if idx == self.sorted.len() {
+            return None;
+        }
+        Some(self.sorted[rng.gen_range(idx..self.sorted.len())])
+    }
+
+    /// The sorted backing sample (primarily for tests and diagnostics).
+    pub fn as_sorted_slice(&self) -> &[u32] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn from_empty_is_none() {
+        assert!(OutputLengthDistribution::from_lengths(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn order_statistics() {
+        let d = OutputLengthDistribution::from_lengths([5u32, 1, 3, 3]).unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.max(), 5);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.as_sorted_slice(), &[1, 3, 3, 5]);
+    }
+
+    #[test]
+    fn prob_of_counts_duplicates() {
+        let d = OutputLengthDistribution::from_lengths([2u32, 2, 2, 8]).unwrap();
+        assert_eq!(d.prob_of(2), 0.75);
+        assert_eq!(d.prob_of(8), 0.25);
+        assert_eq!(d.prob_of(5), 0.0);
+    }
+
+    #[test]
+    fn fraction_greater_than_boundaries() {
+        let d = OutputLengthDistribution::from_lengths([10u32, 20, 30, 40]).unwrap();
+        assert_eq!(d.fraction_greater_than(0), 1.0);
+        assert_eq!(d.fraction_greater_than(10), 0.75);
+        assert_eq!(d.fraction_greater_than(39), 0.25);
+        assert_eq!(d.fraction_greater_than(40), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = OutputLengthDistribution::from_lengths(1..=100u32).unwrap();
+        assert_eq!(d.quantile(0.0), 1);
+        assert_eq!(d.quantile(1.0), 100);
+        assert_eq!(d.quantile(0.5), 51); // nearest rank of 49.5 → index 50
+    }
+
+    #[test]
+    fn sample_stays_in_support() {
+        let d = OutputLengthDistribution::from_lengths([4u32, 8, 15]).unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!([4, 8, 15].contains(&d.sample(&mut r)));
+        }
+    }
+
+    #[test]
+    fn conditional_sampling_respects_threshold() {
+        let d = OutputLengthDistribution::from_lengths([10u32, 20, 30]).unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = d.sample_greater_than(&mut r, 15).unwrap();
+            assert!(s == 20 || s == 30);
+        }
+        assert_eq!(d.sample_greater_than(&mut r, 30), None);
+        assert_eq!(d.sample_greater_than(&mut r, 100), None);
+    }
+
+    #[test]
+    fn conditional_sampling_matches_conditional_mass() {
+        // With [10, 20, 20, 40] and threshold 15, P(20)=2/3, P(40)=1/3.
+        let d = OutputLengthDistribution::from_lengths([10u32, 20, 20, 40]).unwrap();
+        let mut r = rng();
+        let n = 30_000;
+        let mut count_20 = 0;
+        for _ in 0..n {
+            if d.sample_greater_than(&mut r, 15).unwrap() == 20 {
+                count_20 += 1;
+            }
+        }
+        let frac = count_20 as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "P(20|>15) = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_range_checked() {
+        let d = OutputLengthDistribution::from_lengths([1u32]).unwrap();
+        let _ = d.quantile(1.5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn conditional_always_exceeds_threshold(
+                lengths in proptest::collection::vec(0u32..10_000, 1..200),
+                threshold in 0u32..10_000,
+                seed in 0u64..500,
+            ) {
+                let d = OutputLengthDistribution::from_lengths(lengths.iter().copied()).unwrap();
+                let mut r = StdRng::seed_from_u64(seed);
+                match d.sample_greater_than(&mut r, threshold) {
+                    Some(v) => prop_assert!(v > threshold),
+                    None => prop_assert!(d.max() <= threshold),
+                }
+            }
+
+            #[test]
+            fn prob_masses_sum_to_one(
+                lengths in proptest::collection::vec(0u32..100, 1..100),
+            ) {
+                let d = OutputLengthDistribution::from_lengths(lengths.iter().copied()).unwrap();
+                let distinct: std::collections::BTreeSet<u32> = lengths.iter().copied().collect();
+                let sum: f64 = distinct.iter().map(|&l| d.prob_of(l)).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn quantile_monotone(
+                lengths in proptest::collection::vec(0u32..10_000, 1..100),
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                let d = OutputLengthDistribution::from_lengths(lengths.iter().copied()).unwrap();
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(d.quantile(lo) <= d.quantile(hi));
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Future required memory (paper Eq. 2–4, the "Future").
+//!
+//! The memory a running batch will occupy peaks at a *request-completion
+//! moment*: between completions every surviving request grows by one token
+//! per decode step, so occupancy rises monotonically until something
+//! finishes and releases its cache. It is therefore sufficient to evaluate
+//! memory at each future completion point and take the maximum.
+//!
+//! With requests sorted by estimated remaining generation length in
+//! descending order (Eq. 2), the occupancy when request `i` finishes is
+//!
+//! ```text
+//! M_i = Σ_{j≤i} (l_p^j + l_t^j)  +  (l̂_i − l_i) · i        (Eq. 3)
+//! ```
+//!
+//! (requests `j > i` have shorter remaining lengths and have already
+//! released their memory), and the future required memory is
+//! `M* = max_i M_i` (Eq. 4).
+
+/// One request's contribution to the future-memory computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BatchEntry {
+    /// Tokens already committed to the KV cache: input length plus tokens
+    /// generated so far (`l_p + l_t`).
+    pub committed: u64,
+    /// Estimated remaining generation length (`l̂_t − l_t`).
+    pub remaining: u64,
+}
+
+impl BatchEntry {
+    /// Total footprint this request will have reached when it finishes.
+    pub fn total_at_completion(&self) -> u64 {
+        self.committed + self.remaining
+    }
+}
+
+/// Memory occupancy at one future request-completion point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CompletionPoint {
+    /// Decode steps from now until this completion (the finishing request's
+    /// remaining length).
+    pub steps_from_now: u64,
+    /// Batch memory occupancy at that moment (`M_i`, Eq. 3).
+    pub memory: u64,
+}
+
+/// Stateless implementation of Eq. 2–4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FutureMemoryEstimator;
+
+impl FutureMemoryEstimator {
+    /// Future required memory `M*` of a batch (Eq. 4). Zero for an empty
+    /// batch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pf_core::{BatchEntry, FutureMemoryEstimator};
+    ///
+    /// let batch = [
+    ///     BatchEntry { committed: 5, remaining: 2 },
+    ///     BatchEntry { committed: 5, remaining: 4 },
+    /// ];
+    /// assert_eq!(FutureMemoryEstimator::peak_memory(&batch), 14);
+    /// ```
+    pub fn peak_memory(entries: &[BatchEntry]) -> u64 {
+        let mut sorted: Vec<BatchEntry> = entries.to_vec();
+        Self::sort_by_remaining_desc(&mut sorted);
+        Self::peak_memory_sorted(&sorted)
+    }
+
+    /// `M*` for entries already sorted by `remaining` descending (Eq. 2
+    /// order). Useful for incremental admission loops that maintain the
+    /// sorted batch themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slice is not sorted descending.
+    pub fn peak_memory_sorted(sorted: &[BatchEntry]) -> u64 {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].remaining >= w[1].remaining),
+            "entries must be sorted by remaining length, descending"
+        );
+        let mut prefix_committed = 0u64;
+        let mut peak = 0u64;
+        for (i, entry) in sorted.iter().enumerate() {
+            prefix_committed += entry.committed;
+            let m_i = prefix_committed + entry.remaining * (i as u64 + 1);
+            peak = peak.max(m_i);
+        }
+        peak
+    }
+
+    /// The full occupancy profile: one [`CompletionPoint`] per request, in
+    /// completion order (soonest first). Exposes the intermediate `M_i`
+    /// values behind Eq. 4 for figures and diagnostics.
+    pub fn memory_profile(entries: &[BatchEntry]) -> Vec<CompletionPoint> {
+        let mut sorted: Vec<BatchEntry> = entries.to_vec();
+        Self::sort_by_remaining_desc(&mut sorted);
+        let mut prefix_committed = 0u64;
+        let mut profile: Vec<CompletionPoint> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                prefix_committed += entry.committed;
+                CompletionPoint {
+                    steps_from_now: entry.remaining,
+                    memory: prefix_committed + entry.remaining * (i as u64 + 1),
+                }
+            })
+            .collect();
+        profile.reverse(); // soonest completion first
+        profile
+    }
+
+    /// Whether the batch plus capacity constraint admits completion without
+    /// a future shortfall.
+    pub fn fits(entries: &[BatchEntry], capacity: u64) -> bool {
+        Self::peak_memory(entries) <= capacity
+    }
+
+    fn sort_by_remaining_desc(entries: &mut [BatchEntry]) {
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.remaining));
+    }
+
+    /// The running batch advanced by `steps` synchronized decode steps:
+    /// every entry grows by one token per step and leaves once its
+    /// remaining length is exhausted.
+    pub fn advance(entries: &[BatchEntry], steps: u64) -> Vec<BatchEntry> {
+        entries
+            .iter()
+            .filter(|e| e.remaining > steps)
+            .map(|e| BatchEntry {
+                committed: e.committed + steps,
+                remaining: e.remaining - steps,
+            })
+            .collect()
+    }
+
+    /// The paper's "optimal time point" (Figures 5 and 6): the smallest
+    /// number of future decode steps after which `candidate` can join
+    /// `running` without the batch's future required memory exceeding
+    /// `capacity`.
+    ///
+    /// Pass the candidate in whichever form matches the model in use: the
+    /// raw `(input, predicted_output)` entry for the paper's synchronized
+    /// decode model, or [`QueuedRequest::post_prefill_entry`] for
+    /// engine-accurate accounting (where the admission prefill emits the
+    /// first token while the batch is paused).
+    ///
+    /// Returns `None` when the candidate cannot fit even on an empty
+    /// system. Cost is O(max_remaining × k log k) — this is an analysis
+    /// helper, not a per-step scheduler primitive (the scheduler only
+    /// needs the δ = 0 test).
+    ///
+    /// [`QueuedRequest::post_prefill_entry`]: crate::QueuedRequest::post_prefill_entry
+    pub fn earliest_admission_step(
+        running: &[BatchEntry],
+        candidate: BatchEntry,
+        capacity: u64,
+    ) -> Option<u64> {
+        if candidate.total_at_completion() > capacity {
+            return None;
+        }
+        let horizon = running.iter().map(|e| e.remaining).max().unwrap_or(0);
+        for steps in 0..=horizon {
+            let mut batch = Self::advance(running, steps);
+            batch.push(candidate);
+            if Self::peak_memory(&batch) <= capacity {
+                return Some(steps);
+            }
+        }
+        // Past the horizon the batch has fully drained.
+        Some(horizon + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(committed: u64, remaining: u64) -> BatchEntry {
+        BatchEntry { committed, remaining }
+    }
+
+    #[test]
+    fn empty_batch_needs_nothing() {
+        assert_eq!(FutureMemoryEstimator::peak_memory(&[]), 0);
+        assert!(FutureMemoryEstimator::memory_profile(&[]).is_empty());
+        assert!(FutureMemoryEstimator::fits(&[], 0));
+    }
+
+    #[test]
+    fn single_request_peaks_at_completion() {
+        // One request: peak is its own total footprint.
+        assert_eq!(FutureMemoryEstimator::peak_memory(&[e(10, 5)]), 15);
+        let profile = FutureMemoryEstimator::memory_profile(&[e(10, 5)]);
+        assert_eq!(profile, vec![CompletionPoint { steps_from_now: 5, memory: 15 }]);
+    }
+
+    #[test]
+    fn paper_figure_5_scenario() {
+        // Scheduling the queued request (input 3, predicted output 5) into a
+        // batch of two running requests at time t peaks at 19 tokens; one
+        // step later the peak is 18 (Figure 5's "Max Memory Usage" 19 vs 18).
+        let at_t = [e(5, 2), e(5, 4), e(3, 5)];
+        assert_eq!(FutureMemoryEstimator::peak_memory(&at_t), 19);
+        // At t+1 both running requests have grown by one token and are one
+        // step closer to finishing.
+        let at_t1 = [e(6, 1), e(6, 3), e(3, 5)];
+        assert_eq!(FutureMemoryEstimator::peak_memory(&at_t1), 18);
+    }
+
+    #[test]
+    fn profile_matches_hand_computation() {
+        // Entries sorted desc by remaining: (3,5), (5,4), (5,2).
+        // M_1 = 3 + 5*1 = 8; M_2 = 3+5 + 4*2 = 16; M_3 = 13 + 2*3 = 19.
+        let profile = FutureMemoryEstimator::memory_profile(&[e(5, 2), e(5, 4), e(3, 5)]);
+        assert_eq!(
+            profile,
+            vec![
+                CompletionPoint { steps_from_now: 2, memory: 19 },
+                CompletionPoint { steps_from_now: 4, memory: 16 },
+                CompletionPoint { steps_from_now: 5, memory: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn peak_is_max_of_profile() {
+        let batch = [e(7, 3), e(2, 9), e(4, 4), e(1, 1)];
+        let peak = FutureMemoryEstimator::peak_memory(&batch);
+        let profile_max = FutureMemoryEstimator::memory_profile(&batch)
+            .iter()
+            .map(|p| p.memory)
+            .max()
+            .unwrap();
+        assert_eq!(peak, profile_max);
+    }
+
+    #[test]
+    fn zero_remaining_finishes_now() {
+        // A request finishing immediately still holds its memory at the
+        // moment it completes.
+        assert_eq!(FutureMemoryEstimator::peak_memory(&[e(10, 0)]), 10);
+        assert_eq!(
+            FutureMemoryEstimator::peak_memory(&[e(10, 0), e(5, 3)]),
+            // Sorted: (5,3),(10,0): M1 = 5+3 = 8, M2 = 15 + 0 = 15.
+            15
+        );
+    }
+
+    #[test]
+    fn sorted_variant_matches_unsorted() {
+        let mut batch = vec![e(7, 3), e(2, 9), e(4, 4), e(1, 1)];
+        let peak = FutureMemoryEstimator::peak_memory(&batch);
+        batch.sort_unstable_by(|a, b| b.remaining.cmp(&a.remaining));
+        assert_eq!(FutureMemoryEstimator::peak_memory_sorted(&batch), peak);
+    }
+
+    #[test]
+    fn fits_is_inclusive() {
+        let batch = [e(5, 2), e(5, 4), e(3, 5)];
+        assert!(FutureMemoryEstimator::fits(&batch, 19));
+        assert!(!FutureMemoryEstimator::fits(&batch, 18));
+    }
+
+    #[test]
+    fn conservative_bound_recovered_with_equal_remaining() {
+        // When all requests finish simultaneously no memory is ever
+        // released early, so M* equals the sum of total footprints — the
+        // conservative scheduler's estimate.
+        let batch = [e(4, 6), e(9, 6), e(2, 6)];
+        let sum_totals: u64 = batch.iter().map(|b| b.total_at_completion()).sum();
+        assert_eq!(FutureMemoryEstimator::peak_memory(&batch), sum_totals);
+    }
+
+    #[test]
+    fn advance_grows_and_retires() {
+        let batch = [e(5, 2), e(5, 4)];
+        assert_eq!(
+            FutureMemoryEstimator::advance(&batch, 1),
+            vec![e(6, 1), e(6, 3)]
+        );
+        // After 2 steps the first request has finished and released.
+        assert_eq!(FutureMemoryEstimator::advance(&batch, 2), vec![e(7, 2)]);
+        assert!(FutureMemoryEstimator::advance(&batch, 4).is_empty());
+    }
+
+    #[test]
+    fn earliest_admission_matches_figure_5() {
+        // Figure 5's batch (synchronized model, candidate = input 3 with
+        // predicted output 5): peak 19 if admitted now, 18 one step later.
+        let running = [e(5, 2), e(5, 4)];
+        let candidate = e(3, 5);
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&running, candidate, 19),
+            Some(0)
+        );
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&running, candidate, 18),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn earliest_admission_matches_figure_6() {
+        // Figure 6's capacity-21 scenario: the optimal admission step for
+        // the new request is t+1 (where the oracle admits it).
+        let running = [e(5, 2), e(4, 5)];
+        let candidate = e(7, 5);
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&running, candidate, 21),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn earliest_admission_impossible_candidate() {
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&[], e(10, 20), 29),
+            None
+        );
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&[], e(10, 20), 30),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn earliest_admission_waits_for_drain_when_tight() {
+        // Capacity only fits the candidate alone: it must wait until the
+        // last running request finishes.
+        let running = [e(10, 7)];
+        let candidate = e(10, 8);
+        let capacity = 18; // candidate total, exactly
+        // The running request emits its last token at step 7 and releases
+        // at that boundary, which is when the candidate can enter.
+        assert_eq!(
+            FutureMemoryEstimator::earliest_admission_step(&running, candidate, capacity),
+            Some(7)
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn entries_strategy() -> impl Strategy<Value = Vec<BatchEntry>> {
+            proptest::collection::vec(
+                (0u64..10_000, 0u64..5_000)
+                    .prop_map(|(committed, remaining)| BatchEntry { committed, remaining }),
+                0..64,
+            )
+        }
+
+        proptest! {
+            /// M* is at least the current occupancy (nothing is released
+            /// before the first completion) and at most the sum of total
+            /// footprints (the no-release worst case).
+            #[test]
+            fn peak_bounded_by_current_and_sum(entries in entries_strategy()) {
+                let peak = FutureMemoryEstimator::peak_memory(&entries);
+                let current: u64 = entries.iter().map(|e| e.committed).sum();
+                let sum_totals: u64 = entries.iter().map(|e| e.total_at_completion()).sum();
+                prop_assert!(peak >= current);
+                prop_assert!(peak <= sum_totals);
+                // Peak also dominates every individual request's own total.
+                for e in &entries {
+                    prop_assert!(peak >= e.total_at_completion());
+                }
+            }
+
+            /// Permuting the batch never changes M* (Eq. 2 sorts internally).
+            #[test]
+            fn permutation_invariant(entries in entries_strategy(), seed in 0u64..100) {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let peak = FutureMemoryEstimator::peak_memory(&entries);
+                let mut shuffled = entries.clone();
+                shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+                prop_assert_eq!(FutureMemoryEstimator::peak_memory(&shuffled), peak);
+            }
+
+            /// Adding a request can only increase M* (admission monotonicity
+            /// — this is what makes Algorithm 1's first-reject cutoff sound).
+            #[test]
+            fn monotone_in_batch_extension(
+                entries in entries_strategy(),
+                extra_committed in 0u64..10_000,
+                extra_remaining in 0u64..5_000,
+            ) {
+                let before = FutureMemoryEstimator::peak_memory(&entries);
+                let mut extended = entries.clone();
+                extended.push(BatchEntry {
+                    committed: extra_committed,
+                    remaining: extra_remaining,
+                });
+                let after = FutureMemoryEstimator::peak_memory(&extended);
+                prop_assert!(after >= before);
+            }
+
+            /// The earliest admission step is truly minimal: the batch fits
+            /// at the returned step and not one step earlier.
+            #[test]
+            fn earliest_admission_is_minimal(
+                entries in entries_strategy(),
+                committed in 0u64..2_000,
+                remaining in 0u64..1_000,
+                slack in 0u64..10_000,
+            ) {
+                let candidate = BatchEntry { committed, remaining };
+                // Capacity somewhere between "candidate alone" and "whole
+                // batch at once".
+                let capacity = candidate.total_at_completion() + slack;
+                let Some(step) =
+                    FutureMemoryEstimator::earliest_admission_step(&entries, candidate, capacity)
+                else {
+                    prop_assert!(candidate.total_at_completion() > capacity);
+                    return Ok(());
+                };
+                let mut at_step = FutureMemoryEstimator::advance(&entries, step);
+                at_step.push(candidate);
+                prop_assert!(FutureMemoryEstimator::peak_memory(&at_step) <= capacity);
+                if step > 0 {
+                    let mut earlier = FutureMemoryEstimator::advance(&entries, step - 1);
+                    earlier.push(candidate);
+                    prop_assert!(
+                        FutureMemoryEstimator::peak_memory(&earlier) > capacity,
+                        "step {step} is not minimal"
+                    );
+                }
+            }
+
+            /// M* exactly simulates the step-by-step token growth: replaying
+            /// the batch decode-by-decode and releasing each request as it
+            /// finishes never exceeds M*, and touches it at some step.
+            #[test]
+            fn matches_step_replay(entries in entries_strategy()) {
+                let peak = FutureMemoryEstimator::peak_memory(&entries);
+                // Brute-force replay. A request's memory counts up to and
+                // including the step at which it emits its final token, and
+                // is released before the next step.
+                let mut live: Vec<BatchEntry> = entries.clone();
+                let mut replay_peak: u64 = live.iter().map(|e| e.committed).sum();
+                live.retain(|e| e.remaining > 0);
+                while !live.is_empty() {
+                    // Every live request generates one token.
+                    for e in &mut live {
+                        e.committed += 1;
+                        e.remaining -= 1;
+                    }
+                    let occupancy: u64 = live.iter().map(|e| e.committed).sum();
+                    replay_peak = replay_peak.max(occupancy);
+                    live.retain(|e| e.remaining > 0);
+                }
+                prop_assert_eq!(replay_peak, peak);
+            }
+        }
+    }
+}

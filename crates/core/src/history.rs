@@ -1,0 +1,140 @@
+//! Sliding window of historical output lengths (the "Past").
+
+use std::collections::VecDeque;
+
+use crate::distribution::OutputLengthDistribution;
+
+/// Ring buffer of the output lengths of the `window` most recently finished
+/// requests, denoted `L_h` in the paper (Eq. 1 uses `w = 1000`).
+///
+/// # Example
+///
+/// ```
+/// use pf_core::OutputLengthHistory;
+///
+/// let mut history = OutputLengthHistory::new(3);
+/// for len in [10, 20, 30, 40] {
+///     history.record(len);
+/// }
+/// // Window of 3: the oldest observation (10) has been evicted.
+/// assert_eq!(history.len(), 3);
+/// assert_eq!(history.iter().min(), Some(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutputLengthHistory {
+    window: usize,
+    buf: VecDeque<u32>,
+}
+
+impl OutputLengthHistory {
+    /// The paper's default window size.
+    pub const DEFAULT_WINDOW: usize = 1000;
+
+    /// Creates an empty history with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "history window must be positive");
+        OutputLengthHistory {
+            window,
+            buf: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Records the actual output length of a finished request.
+    pub fn record(&mut self, output_len: u32) {
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(output_len);
+    }
+
+    /// Window size `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of observations currently held (≤ window).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before any request has finished.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates over the retained observations, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Builds the empirical distribution `P(l)` over the window (Eq. 1), or
+    /// `None` when no request has finished yet.
+    pub fn distribution(&self) -> Option<OutputLengthDistribution> {
+        OutputLengthDistribution::from_lengths(self.iter())
+    }
+}
+
+impl Default for OutputLengthHistory {
+    fn default() -> Self {
+        OutputLengthHistory::new(Self::DEFAULT_WINDOW)
+    }
+}
+
+impl Extend<u32> for OutputLengthHistory {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for len in iter {
+            self.record(len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_up_to_window() {
+        let mut h = OutputLengthHistory::new(2);
+        assert!(h.is_empty());
+        h.record(5);
+        h.record(6);
+        h.record(7);
+        assert_eq!(h.len(), 2);
+        let v: Vec<u32> = h.iter().collect();
+        assert_eq!(v, vec![6, 7]);
+    }
+
+    #[test]
+    fn default_window_is_1000() {
+        let h = OutputLengthHistory::default();
+        assert_eq!(h.window(), 1000);
+    }
+
+    #[test]
+    fn distribution_roundtrip() {
+        let mut h = OutputLengthHistory::new(10);
+        assert!(h.distribution().is_none());
+        h.extend([1, 2, 3]);
+        let d = h.distribution().unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.max(), 3);
+    }
+
+    #[test]
+    fn extend_honours_window() {
+        let mut h = OutputLengthHistory::new(5);
+        h.extend(0..100u32);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![95, 96, 97, 98, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = OutputLengthHistory::new(0);
+    }
+}

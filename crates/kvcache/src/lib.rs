@@ -1,0 +1,202 @@
+//! KV-cache memory managers for LLM serving simulation.
+//!
+//! Continuous batching lives or dies by KV-cache memory accounting (paper
+//! Section 2.2). This crate implements the three manager designs the paper
+//! discusses, behind one [`KvCacheManager`] trait:
+//!
+//! * [`TokenPool`] — token-granularity allocation, LightLLM's
+//!   *TokenAttention* design. Zero internal fragmentation.
+//! * [`PagedPool`] — fixed-size block allocation, vLLM's *PagedAttention*
+//!   design. Internal fragmentation limited to the last block per request.
+//! * [`ContiguousPool`] — contiguous max-length reservation,
+//!   FasterTransformer/ORCA style. Massive reservation waste, shown here as
+//!   the motivating baseline.
+//!
+//! All sizes are in **KV token slots**: one slot stores the key/value
+//! vectors of one token across all layers. Requests are identified by opaque
+//! `u64` keys chosen by the caller.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_kvcache::{KvCacheManager, TokenPool};
+//!
+//! let mut pool = TokenPool::new(1000);
+//! pool.allocate(1, 300, 300)?; // prefill: 300 prompt tokens
+//! pool.extend(1, 1)?;          // one decode step
+//! assert_eq!(pool.used_tokens(), 301);
+//! assert_eq!(pool.release(1), 301);
+//! assert_eq!(pool.used_tokens(), 0);
+//! # Ok::<(), pf_kvcache::AllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod contiguous;
+mod paged;
+mod token_pool;
+
+pub use contiguous::ContiguousPool;
+pub use paged::PagedPool;
+pub use token_pool::TokenPool;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Tokens requested by the failed call.
+    pub requested: u64,
+    /// Physical tokens that were available at the time.
+    pub available: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv-cache allocation of {} tokens failed ({} available)",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+/// Common interface of all KV-cache managers.
+///
+/// Implementations distinguish *logical* tokens (tokens whose KV entries are
+/// actually stored) from *physical* tokens (slots consumed, including any
+/// fragmentation or reservation overhead). For [`TokenPool`] the two are
+/// equal; for [`PagedPool`] physical ≥ logical because of partially filled
+/// blocks; for [`ContiguousPool`] physical is the full reservation.
+pub trait KvCacheManager: fmt::Debug {
+    /// Total capacity in physical token slots.
+    fn capacity_tokens(&self) -> u64;
+
+    /// Physical token slots currently consumed.
+    fn used_tokens(&self) -> u64;
+
+    /// Logical tokens currently stored.
+    fn logical_tokens(&self) -> u64;
+
+    /// Physical token slots still free.
+    fn available_tokens(&self) -> u64 {
+        self.capacity_tokens() - self.used_tokens()
+    }
+
+    /// Whether a *new* request with a `tokens`-token prompt (and
+    /// `reserve_total` maximum total length, honoured only by
+    /// reservation-based managers) could be admitted right now.
+    fn can_admit(&self, tokens: u64, reserve_total: u64) -> bool;
+
+    /// Allocates the initial (prefill) footprint of request `req`.
+    ///
+    /// `tokens` is the prompt length; `reserve_total` is the maximum total
+    /// length the request may reach (prompt + max_new_tokens), used only by
+    /// reservation-based managers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the manager cannot satisfy the allocation;
+    /// the manager state is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` is already allocated.
+    fn allocate(&mut self, req: u64, tokens: u64, reserve_total: u64) -> Result<(), AllocError>;
+
+    /// Grows request `req` by `tokens` logical tokens (decode step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on out-of-memory; the manager state is
+    /// unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` is unknown.
+    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), AllocError>;
+
+    /// Releases everything held by request `req`, returning the number of
+    /// physical slots freed (0 if the request is unknown).
+    fn release(&mut self, req: u64) -> u64;
+
+    /// Physical token slots *missing* to extend every listed request by one
+    /// logical token in the same step (0 means the combined extension is
+    /// guaranteed to succeed). Used by the engine to decide evictions
+    /// before a decode step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any listed request is unknown.
+    fn extension_shortfall(&self, requests: &[u64]) -> u64;
+
+    /// Highest physical usage ever observed.
+    fn peak_used_tokens(&self) -> u64;
+
+    /// Number of live requests.
+    fn n_requests(&self) -> usize;
+
+    /// Fraction of capacity physically used, in `[0, 1]`.
+    fn utilization(&self) -> f64 {
+        if self.capacity_tokens() == 0 {
+            0.0
+        } else {
+            self.used_tokens() as f64 / self.capacity_tokens() as f64
+        }
+    }
+
+    /// Physical-minus-logical overhead (fragmentation / reservation waste).
+    fn overhead_tokens(&self) -> u64 {
+        self.used_tokens() - self.logical_tokens()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn check_basic(manager: &mut dyn KvCacheManager) {
+        assert_eq!(manager.used_tokens(), 0);
+        manager.allocate(1, 10, 20).unwrap();
+        assert!(manager.used_tokens() >= 10);
+        assert_eq!(manager.logical_tokens(), 10);
+        manager.extend(1, 5).unwrap();
+        assert_eq!(manager.logical_tokens(), 15);
+        assert_eq!(manager.n_requests(), 1);
+        let freed = manager.release(1);
+        assert!(freed >= 15);
+        assert_eq!(manager.used_tokens(), 0);
+        assert_eq!(manager.n_requests(), 0);
+    }
+
+    #[test]
+    fn all_managers_satisfy_basic_contract() {
+        check_basic(&mut TokenPool::new(100));
+        check_basic(&mut PagedPool::new(100, 4));
+        check_basic(&mut ContiguousPool::new(100));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut pool = TokenPool::new(10);
+        assert_eq!(pool.utilization(), 0.0);
+        pool.allocate(1, 10, 10).unwrap();
+        assert_eq!(pool.utilization(), 1.0);
+    }
+
+    #[test]
+    fn alloc_error_displays() {
+        let e = AllocError {
+            requested: 10,
+            available: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "kv-cache allocation of 10 tokens failed (3 available)"
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Multi-instance serving with estimate-driven request forwarding.
+//!
+//! The paper's future-work section (§7) proposes using the Past-Future
+//! scheduler's accurate per-batch memory estimates to *forward requests to
+//! under-utilized service instances*. This module implements that idea as a
+//! co-simulation: several independent engines advance on one global
+//! clock, and a front-end [`RouterPolicy`] assigns each arriving request to
+//! an instance using the state visible at arrival time. (The engines
+//! themselves are internal; the public surface is [`ClusterSimulation`].)
+//!
+//! Routing signals, from least to most informed:
+//!
+//! * [`RouterPolicy::RoundRobin`] — no state;
+//! * [`RouterPolicy::LeastOutstanding`] — queue + batch length (classic
+//!   join-shortest-queue);
+//! * [`RouterPolicy::LeastUsedMemory`] — current KV occupancy (what an
+//!   aggressive scheduler can report);
+//! * [`RouterPolicy::LeastEstimatedLoad`] — the future-required-memory
+//!   estimate of the running batch plus the expected footprint of the
+//!   queue — the paper's proposal.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_core::SchedulerConfig;
+//! use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
+//! use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+//! use pf_workload::datasets;
+//! use pf_metrics::SimTime;
+//!
+//! let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+//!     .scheduler(SchedulerConfig::past_future())
+//!     .capacity_override(20_000)
+//!     .record_series(false)
+//!     .build();
+//! let requests = datasets::sharegpt(48, 1);
+//! let arrivals = (0..48).map(|i| SimTime::from_millis(100 * i)).collect();
+//! let report = ClusterSimulation::new(config, 3, RouterPolicy::LeastEstimatedLoad)
+//!     .run(requests, arrivals)?;
+//! assert_eq!(report.completed(), 48);
+//! # Ok::<(), pf_sim::SimError>(())
+//! ```
+
+use std::collections::VecDeque;
+
+use pf_metrics::{SimDuration, SimTime};
+use pf_workload::RequestSpec;
+
+use crate::config::SimConfig;
+use crate::engine::{Arrivals, Engine, Tick};
+use crate::error::SimError;
+use crate::report::SimReport;
+
+/// Request-forwarding policy of the cluster front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterPolicy {
+    /// Cycle through instances regardless of load.
+    RoundRobin,
+    /// Fewest in-flight plus queued requests.
+    LeastOutstanding,
+    /// Lowest current KV-cache occupancy.
+    LeastUsedMemory,
+    /// Lowest estimated total load: future required memory of the running
+    /// batch plus expected queue footprint (the paper's §7 proposal).
+    LeastEstimatedLoad,
+}
+
+impl RouterPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [RouterPolicy; 4] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::LeastUsedMemory,
+        RouterPolicy::LeastEstimatedLoad,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastOutstanding => "least-outstanding",
+            RouterPolicy::LeastUsedMemory => "least-used-memory",
+            RouterPolicy::LeastEstimatedLoad => "least-estimated-load",
+        }
+    }
+
+    fn pick(self, engines: &[Engine], rr_cursor: &mut usize) -> usize {
+        match self {
+            RouterPolicy::RoundRobin => {
+                let i = *rr_cursor % engines.len();
+                *rr_cursor += 1;
+                i
+            }
+            RouterPolicy::LeastOutstanding => argmin(engines, |e| e.outstanding() as f64),
+            RouterPolicy::LeastUsedMemory => argmin(engines, Engine::used_frac),
+            RouterPolicy::LeastEstimatedLoad => argmin(engines, Engine::load_estimate),
+        }
+    }
+}
+
+fn argmin(engines: &[Engine], key: impl Fn(&Engine) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_key = f64::INFINITY;
+    for (i, engine) in engines.iter().enumerate() {
+        let k = key(engine);
+        if k < best_key {
+            best_key = k;
+            best = i;
+        }
+    }
+    best
+}
+
+/// A cluster of identical serving instances behind one router.
+#[derive(Debug)]
+pub struct ClusterSimulation {
+    configs: Vec<SimConfig>,
+    policy: RouterPolicy,
+}
+
+impl ClusterSimulation {
+    /// Creates a cluster of `n_instances` copies of `config` routed by
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_instances` is zero.
+    pub fn new(config: SimConfig, n_instances: usize, policy: RouterPolicy) -> Self {
+        assert!(n_instances > 0, "cluster needs at least one instance");
+        let configs = (0..n_instances)
+            .map(|i| {
+                let mut config = config.clone();
+                // Independent sampling streams per instance.
+                config.seed = config.seed.wrapping_add(i as u64);
+                config
+            })
+            .collect();
+        ClusterSimulation { configs, policy }
+    }
+
+    /// Creates a cluster from per-instance configurations — a mixed fleet
+    /// (different GPUs, different co-tenant memory budgets) is exactly the
+    /// setting where load-aware forwarding matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn heterogeneous(configs: Vec<SimConfig>, policy: RouterPolicy) -> Self {
+        assert!(!configs.is_empty(), "cluster needs at least one instance");
+        ClusterSimulation { configs, policy }
+    }
+
+    /// Runs the cluster against a timed arrival stream (one timestamp per
+    /// request, non-decreasing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any request cannot fit an instance or an
+    /// instance stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+    ) -> Result<ClusterReport, SimError> {
+        assert_eq!(
+            requests.len(),
+            arrival_times.len(),
+            "one arrival time per request"
+        );
+        assert!(
+            arrival_times.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be sorted"
+        );
+        let n_instances = self.configs.len();
+        let mut engines: Vec<Engine> = self
+            .configs
+            .into_iter()
+            .map(|config| Engine::new(config, Arrivals::offline(Vec::new())))
+            .collect();
+        for engine in &engines {
+            engine.validate()?;
+            for spec in &requests {
+                engine.validate_spec(spec)?;
+            }
+        }
+        let mut stream: VecDeque<(SimTime, RequestSpec)> =
+            arrival_times.into_iter().zip(requests).collect();
+        let mut rr_cursor = 0usize;
+        let mut routed = vec![0usize; n_instances];
+
+        loop {
+            // Tick the engine with the smallest clock; route stream
+            // arrivals once the global front passes their timestamp.
+            let i_min = argmin(&engines, |e| e.now().as_secs_f64());
+            if let Some(&(at, _)) = stream.front() {
+                if engines[i_min].now() >= at {
+                    let (at, spec) = stream.pop_front().expect("peeked");
+                    let target = self.policy.pick(&engines, &mut rr_cursor);
+                    let arrival = at.max(engines[target].now());
+                    engines[target].inject(arrival, spec);
+                    routed[target] += 1;
+                    continue;
+                }
+            }
+            match engines[i_min].tick()? {
+                Tick::Worked => {}
+                Tick::Sleep(t) => engines[i_min].advance_to(t),
+                Tick::Blocked => unreachable!("engines only queue injected work"),
+                Tick::Drained | Tick::HorizonReached => {
+                    if let Some(&(at, _)) = stream.front() {
+                        // Idle instance: fast-forward to the next arrival so
+                        // it remains the routing-time reference.
+                        engines[i_min].advance_to(at);
+                        continue;
+                    }
+                    // No more arrivals: finish the remaining engines.
+                    let all_done = engines.iter_mut().all(|e| {
+                        matches!(
+                            e.tick(),
+                            Ok(Tick::Drained) | Ok(Tick::HorizonReached)
+                        )
+                    });
+                    if all_done {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let reports: Vec<SimReport> = engines.into_iter().map(Engine::into_report).collect();
+        Ok(ClusterReport {
+            policy: self.policy,
+            routed_per_instance: routed,
+            instances: reports,
+        })
+    }
+}
+
+/// Aggregated result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Routing policy used.
+    pub policy: RouterPolicy,
+    /// Requests routed to each instance.
+    pub routed_per_instance: Vec<usize>,
+    /// Per-instance simulation reports.
+    pub instances: Vec<SimReport>,
+}
+
+impl ClusterReport {
+    /// Total completed requests.
+    pub fn completed(&self) -> usize {
+        self.instances.iter().map(|r| r.completed).sum()
+    }
+
+    /// Total SLA-satisfying requests.
+    pub fn satisfied(&self) -> usize {
+        self.instances
+            .iter()
+            .map(|r| r.goodput.satisfied_requests)
+            .sum()
+    }
+
+    /// Cluster makespan: the latest instance finish time.
+    pub fn makespan(&self) -> SimDuration {
+        self.instances
+            .iter()
+            .map(|r| r.makespan)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Cluster goodput: SLA-satisfying output tokens per second over the
+    /// cluster makespan.
+    pub fn goodput_tok_per_s(&self) -> f64 {
+        let tokens: u64 = self
+            .instances
+            .iter()
+            .map(|r| r.goodput.satisfied_output_tokens)
+            .sum();
+        let secs = self.makespan().as_secs_f64();
+        if secs > 0.0 {
+            tokens as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total evictions across instances.
+    pub fn evictions(&self) -> u64 {
+        self.instances.iter().map(|r| r.evictions).sum()
+    }
+
+    /// Imbalance of routed requests: max/min across instances (1.0 =
+    /// perfectly balanced by count).
+    pub fn routing_imbalance(&self) -> f64 {
+        let max = self.routed_per_instance.iter().copied().max().unwrap_or(0);
+        let min = self.routed_per_instance.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_core::SchedulerConfig;
+    use pf_workload::{datasets, LengthSampler};
+    use crate::{GpuSpec, ModelSpec};
+
+    fn base_config(capacity: u64) -> SimConfig {
+        SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .scheduler(SchedulerConfig::past_future())
+            .capacity_override(capacity)
+            .record_series(false)
+            .seed(5)
+            .build()
+    }
+
+    /// Highly skewed request sizes make load-aware routing matter.
+    fn skewed_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
+        let input = LengthSampler::uniform(16, 64);
+        let output = LengthSampler::mixture(vec![
+            (0.7, LengthSampler::uniform(16, 64)),
+            (0.3, LengthSampler::uniform(512, 1024)),
+        ]);
+        datasets::from_samplers(n, seed, &input, &output, 1024)
+    }
+
+    fn burst_arrivals(n: usize, gap_ms: u64) -> Vec<SimTime> {
+        (0..n).map(|i| SimTime::from_millis(gap_ms * i as u64)).collect()
+    }
+
+    #[test]
+    fn cluster_completes_everything_under_every_policy() {
+        for policy in RouterPolicy::ALL {
+            let report = ClusterSimulation::new(base_config(8_000), 3, policy)
+                .run(skewed_requests(90, 1), burst_arrivals(90, 50))
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.label()));
+            assert_eq!(report.completed(), 90, "{}", policy.label());
+            assert_eq!(report.instances.len(), 3);
+            assert_eq!(report.routed_per_instance.iter().sum::<usize>(), 90);
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_by_count() {
+        let report = ClusterSimulation::new(base_config(8_000), 3, RouterPolicy::RoundRobin)
+            .run(skewed_requests(90, 2), burst_arrivals(90, 50))
+            .unwrap();
+        assert_eq!(report.routed_per_instance, vec![30, 30, 30]);
+        assert!((report.routing_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_aware_routing_beats_round_robin_on_makespan() {
+        let requests = skewed_requests(120, 3);
+        let arrivals = burst_arrivals(120, 20);
+        let run = |policy| {
+            ClusterSimulation::new(base_config(4_000), 4, policy)
+                .run(requests.clone(), arrivals.clone())
+                .unwrap()
+        };
+        let rr = run(RouterPolicy::RoundRobin);
+        let load = run(RouterPolicy::LeastEstimatedLoad);
+        assert!(
+            load.makespan() <= rr.makespan(),
+            "estimated-load routing ({}) should not lose to round-robin ({})",
+            load.makespan(),
+            rr.makespan()
+        );
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let run = || {
+            ClusterSimulation::new(base_config(6_000), 2, RouterPolicy::LeastEstimatedLoad)
+                .run(skewed_requests(60, 4), burst_arrivals(60, 100))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.routed_per_instance, b.routed_per_instance);
+        assert_eq!(a.evictions(), b.evictions());
+    }
+
+    #[test]
+    fn single_instance_cluster_matches_plain_simulation() {
+        let requests = skewed_requests(40, 6);
+        let arrivals = burst_arrivals(40, 100);
+        let cluster = ClusterSimulation::new(base_config(6_000), 1, RouterPolicy::RoundRobin)
+            .run(requests.clone(), arrivals.clone())
+            .unwrap();
+        let plain = crate::Simulation::with_arrivals(base_config(6_000), requests, arrivals)
+            .run()
+            .unwrap();
+        assert_eq!(cluster.completed(), plain.completed);
+        assert_eq!(cluster.instances[0].decode_steps, plain.decode_steps);
+        assert_eq!(cluster.makespan(), plain.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_instances_panics() {
+        let _ = ClusterSimulation::new(base_config(1_000), 0, RouterPolicy::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn unsorted_arrivals_panic() {
+        let _ = ClusterSimulation::new(base_config(1_000), 1, RouterPolicy::RoundRobin).run(
+            skewed_requests(2, 7),
+            vec![SimTime::from_secs(1), SimTime::ZERO],
+        );
+    }
+}

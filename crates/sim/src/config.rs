@@ -1,0 +1,310 @@
+//! Simulation configuration.
+
+use pf_core::SchedulerConfig;
+use pf_kvcache::{ContiguousPool, KvCacheManager, PagedPool, TokenPool};
+use pf_metrics::{SimDuration, SlaSpec};
+
+use crate::hardware::GpuSpec;
+use crate::model::ModelSpec;
+use crate::perf::{PerfModel, PerfTuning};
+
+/// KV-cache memory-manager choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum KvLayout {
+    /// Token-granularity pool (LightLLM TokenAttention).
+    TokenPool,
+    /// Fixed-size block pool (vLLM PagedAttention).
+    Paged {
+        /// Block size in tokens (vLLM default: 16).
+        block_size: u64,
+    },
+    /// Contiguous max-length reservation (FasterTransformer-era systems).
+    Contiguous,
+}
+
+/// Batching discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BatchingMode {
+    /// Continuous batching (iteration-level scheduling).
+    Continuous,
+    /// Static batching: form a batch, pad, run it to full completion
+    /// (pre-ORCA systems; the "original implementation" multimodal
+    /// baselines in Table 2).
+    Static {
+        /// Maximum requests per static batch.
+        max_batch: usize,
+    },
+}
+
+/// What happens to a request evicted under memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EvictionMode {
+    /// Recompute preemption (vLLM/LightLLM default): the victim's KV cache
+    /// is dropped; on readmission the prompt plus generated tokens are
+    /// re-prefilled.
+    Recompute,
+    /// Swap preemption: the victim's KV cache is copied to host memory over
+    /// PCIe and copied back on resume — no recompute, but the transfers
+    /// stall the engine in both directions. (The swap-in cost is modelled
+    /// in whole-prompt prefill steps; under [`PrefillMode::Chunked`] the
+    /// restore is treated as free, a small optimism acceptable because the
+    /// chunked baseline never evicts in the paper's experiments.)
+    Swap {
+        /// Effective host-device bandwidth in GB/s (PCIe 4.0 x16 ≈ 25).
+        pcie_gbps: f64,
+    },
+}
+
+impl EvictionMode {
+    /// Swap preemption over PCIe 4.0 x16 (≈25 GB/s effective).
+    pub const fn swap_pcie4() -> Self {
+        EvictionMode::Swap { pcie_gbps: 25.0 }
+    }
+}
+
+/// Prompt-processing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PrefillMode {
+    /// Admitted prompts are processed in one dedicated prefill step
+    /// (LightLLM / vLLM default; decode pauses during prefill).
+    WholePrompt,
+    /// Chunked prefill fused with decode steps (DeepSpeed-MII "splitfuse").
+    Chunked {
+        /// Prompt tokens processed per step.
+        chunk_tokens: u64,
+    },
+}
+
+/// Full description of one simulated serving deployment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Model being served.
+    pub model: ModelSpec,
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// Tensor-parallel degree (number of GPUs).
+    pub tensor_parallel: u32,
+    /// Admission policy.
+    pub scheduler: SchedulerConfig,
+    /// SLA thresholds used for goodput accounting.
+    pub sla: SlaSpec,
+    /// KV-cache manager.
+    pub kv_layout: KvLayout,
+    /// Batching discipline.
+    pub batching: BatchingMode,
+    /// Prompt-processing discipline.
+    pub prefill: PrefillMode,
+    /// Preemption mechanism for evicted requests.
+    pub eviction: EvictionMode,
+    /// Performance-model tuning.
+    pub tuning: PerfTuning,
+    /// Seed for all stochastic components (scheduler sampling).
+    pub seed: u64,
+    /// Overrides the computed KV capacity (tokens). Used by toy scenarios
+    /// such as the paper's Figure 6 (capacity 21) and by tests.
+    pub capacity_override: Option<u64>,
+    /// Hard stop for the simulated clock; unfinished requests are dropped
+    /// from the report.
+    pub max_sim_time: Option<SimDuration>,
+    /// Output lengths fed to the scheduler before the run starts, modelling
+    /// a service whose history window is already warm.
+    pub history_warmup: Vec<u32>,
+    /// Record utilization/future-memory time series (small cost; on by
+    /// default).
+    pub record_series: bool,
+}
+
+impl SimConfig {
+    /// Starts a builder for the given model/GPU pair.
+    pub fn builder(model: ModelSpec, gpu: GpuSpec) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                model,
+                gpu,
+                tensor_parallel: 1,
+                scheduler: SchedulerConfig::past_future(),
+                sla: SlaSpec::chat_7b(),
+                kv_layout: KvLayout::TokenPool,
+                batching: BatchingMode::Continuous,
+                prefill: PrefillMode::WholePrompt,
+                eviction: EvictionMode::Recompute,
+                tuning: PerfTuning::default(),
+                seed: 0,
+                capacity_override: None,
+                max_sim_time: None,
+                history_warmup: Vec::new(),
+                record_series: true,
+            },
+        }
+    }
+
+    /// The performance model implied by this configuration.
+    pub fn perf_model(&self) -> PerfModel {
+        PerfModel::new(self.model, self.gpu, self.tensor_parallel, self.tuning)
+    }
+
+    /// KV-cache capacity in tokens (respecting any override).
+    pub fn capacity_tokens(&self) -> u64 {
+        self.capacity_override
+            .unwrap_or_else(|| self.perf_model().kv_capacity_tokens())
+    }
+
+    /// Instantiates the configured KV-cache manager.
+    pub fn build_kv_manager(&self) -> Box<dyn KvCacheManager> {
+        let capacity = self.capacity_tokens();
+        match self.kv_layout {
+            KvLayout::TokenPool => Box::new(TokenPool::new(capacity)),
+            KvLayout::Paged { block_size } => Box::new(PagedPool::new(capacity, block_size)),
+            KvLayout::Contiguous => Box::new(ContiguousPool::new(capacity)),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the admission policy.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the SLA thresholds.
+    pub fn sla(mut self, sla: SlaSpec) -> Self {
+        self.config.sla = sla;
+        self
+    }
+
+    /// Sets the tensor-parallel degree.
+    pub fn tensor_parallel(mut self, tp: u32) -> Self {
+        self.config.tensor_parallel = tp;
+        self
+    }
+
+    /// Sets the KV-cache layout.
+    pub fn kv_layout(mut self, layout: KvLayout) -> Self {
+        self.config.kv_layout = layout;
+        self
+    }
+
+    /// Sets the batching discipline.
+    pub fn batching(mut self, batching: BatchingMode) -> Self {
+        self.config.batching = batching;
+        self
+    }
+
+    /// Sets the prompt-processing discipline.
+    pub fn prefill(mut self, prefill: PrefillMode) -> Self {
+        self.config.prefill = prefill;
+        self
+    }
+
+    /// Sets the preemption mechanism.
+    pub fn eviction(mut self, eviction: EvictionMode) -> Self {
+        self.config.eviction = eviction;
+        self
+    }
+
+    /// Sets performance tuning parameters.
+    pub fn tuning(mut self, tuning: PerfTuning) -> Self {
+        self.config.tuning = tuning;
+        self
+    }
+
+    /// Scales the whole stack's kernel speed (1.0 = LightLLM baseline).
+    pub fn kernel_speedup(mut self, speedup: f64) -> Self {
+        self.config.tuning.kernel_speedup = speedup;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the KV capacity in tokens (toy scenarios / tests).
+    pub fn capacity_override(mut self, tokens: u64) -> Self {
+        self.config.capacity_override = Some(tokens);
+        self
+    }
+
+    /// Stops the simulated clock after `limit`.
+    pub fn max_sim_time(mut self, limit: SimDuration) -> Self {
+        self.config.max_sim_time = Some(limit);
+        self
+    }
+
+    /// Pre-warms the scheduler's output-length history.
+    pub fn history_warmup(mut self, lengths: Vec<u32>) -> Self {
+        self.config.history_warmup = lengths;
+        self
+    }
+
+    /// Enables or disables time-series recording.
+    pub fn record_series(mut self, record: bool) -> Self {
+        self.config.record_series = record;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g()).build();
+        assert_eq!(c.tensor_parallel, 1);
+        assert_eq!(c.kv_layout, KvLayout::TokenPool);
+        assert_eq!(c.batching, BatchingMode::Continuous);
+        assert_eq!(c.prefill, PrefillMode::WholePrompt);
+        assert!(c.record_series);
+        assert!(c.capacity_tokens() > 100_000);
+    }
+
+    #[test]
+    fn capacity_override_wins() {
+        let c = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .capacity_override(21)
+            .build();
+        assert_eq!(c.capacity_tokens(), 21);
+    }
+
+    #[test]
+    fn kv_manager_matches_layout() {
+        let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .capacity_override(1000);
+        let token = base.clone().kv_layout(KvLayout::TokenPool).build();
+        assert_eq!(token.build_kv_manager().capacity_tokens(), 1000);
+        let paged = base
+            .clone()
+            .kv_layout(KvLayout::Paged { block_size: 16 })
+            .build();
+        // Paged rounds down to whole blocks.
+        assert_eq!(paged.build_kv_manager().capacity_tokens(), 992);
+        let contiguous = base.kv_layout(KvLayout::Contiguous).build();
+        assert_eq!(contiguous.build_kv_manager().capacity_tokens(), 1000);
+    }
+
+    #[test]
+    fn kernel_speedup_flows_into_tuning() {
+        let c = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .kernel_speedup(1.5)
+            .build();
+        assert_eq!(c.tuning.kernel_speedup, 1.5);
+    }
+}

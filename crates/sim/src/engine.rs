@@ -1,0 +1,883 @@
+//! The continuous-batching serving engine.
+//!
+//! A discrete-event reimplementation of the LightLLM/vLLM serving loop:
+//!
+//! 1. ingest arrivals;
+//! 2. ask the [`Scheduler`] how many queued requests to admit, allocate
+//!    their prompts and run a prefill step (or start chunked prefill);
+//! 3. otherwise run one decode step: every running request grows by one
+//!    token; if the KV pool cannot hold the growth, evict the most recently
+//!    admitted request (recompute preemption: it re-queues at the *front*
+//!    keeping its generated tokens, and pays a full re-prefill on
+//!    readmission);
+//! 4. requests reaching their true output length finish, release memory and
+//!    feed the scheduler's output-length history.
+//!
+//! Time advances by the roofline [`PerfModel`] step latencies; every token
+//! emission is timestamped for SLA accounting. The engine also instruments
+//! the *true* future required memory (Eq. 2–4 evaluated with ground-truth
+//! lengths) at every step — the quantity reported in the paper's Figure 1
+//! and Table 1, which exceeds 100% exactly when the current batch is
+//! destined to run out of memory.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pf_core::{
+    BatchEntry, FutureMemoryEstimator, MemoryState, QueuedRequest, RunningRequest, Scheduler,
+};
+use pf_kvcache::KvCacheManager;
+use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, StepSeries};
+use pf_workload::{ClosedLoopClients, RequestSpec};
+
+use crate::config::{BatchingMode, EvictionMode, PrefillMode, SimConfig};
+use crate::error::SimError;
+use crate::perf::PerfModel;
+use crate::report::{RequestOutcome, SimReport};
+
+/// How many queued requests are exposed to the scheduler per planning call.
+/// The plan loop repeats while the scheduler admits the whole visible
+/// window, so this is not an admission cap — only a cost bound.
+const PLAN_WINDOW: usize = 256;
+
+#[derive(Debug)]
+struct Pending {
+    spec: RequestSpec,
+    generated: u32,
+    timing: RequestTiming,
+    evictions: u32,
+    /// KV state parked in host memory (swap preemption): readmission pays
+    /// a PCIe transfer instead of a recompute prefill.
+    swapped: bool,
+}
+
+#[derive(Debug)]
+struct Live {
+    spec: RequestSpec,
+    generated: u32,
+    timing: RequestTiming,
+    evictions: u32,
+    /// Prompt tokens still to process (chunked prefill only).
+    prefill_remaining: u64,
+    /// The first post-(re)admission token is pre-paid by the admission
+    /// allocation and consumes no extra KV slot.
+    first_token_pending: bool,
+    /// This admission restores a swapped-out victim: the "prefill" is a
+    /// PCIe swap-in transfer, not a recompute pass.
+    swapped_in: bool,
+}
+
+/// Outcome of one engine tick (co-simulation protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tick {
+    /// The engine performed a prefill or decode step (clock advanced).
+    Worked,
+    /// Nothing to do until the contained arrival time.
+    Sleep(SimTime),
+    /// Requests are queued but nothing can ever run without external input
+    /// (standalone runs treat this as [`SimError::Stalled`]; a cluster may
+    /// still inject work).
+    Blocked,
+    /// All work drained.
+    Drained,
+    /// `max_sim_time` reached.
+    HorizonReached,
+}
+
+/// Request arrival schedule.
+#[derive(Debug)]
+pub(crate) struct Arrivals {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    specs: Vec<Option<RequestSpec>>,
+    /// Closed-loop state: requests not yet bound to a client, plus the
+    /// per-client think time.
+    closed_loop: Option<(VecDeque<RequestSpec>, SimDuration)>,
+}
+
+impl Arrivals {
+    pub(crate) fn offline(requests: Vec<RequestSpec>) -> Self {
+        let heap = (0..requests.len()).map(|i| Reverse((0, i))).collect();
+        Arrivals {
+            heap,
+            specs: requests.into_iter().map(Some).collect(),
+            closed_loop: None,
+        }
+    }
+
+    pub(crate) fn timed(requests: Vec<RequestSpec>, times: Vec<SimTime>) -> Self {
+        assert_eq!(requests.len(), times.len(), "one arrival time per request");
+        let heap = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Reverse((t.as_micros(), i)))
+            .collect();
+        Arrivals {
+            heap,
+            specs: requests.into_iter().map(Some).collect(),
+            closed_loop: None,
+        }
+    }
+
+    pub(crate) fn closed_loop(requests: Vec<RequestSpec>, clients: ClosedLoopClients) -> Self {
+        let mut pending: VecDeque<RequestSpec> = requests.into();
+        let first_wave: Vec<RequestSpec> = (0..clients.n_clients)
+            .filter_map(|_| pending.pop_front())
+            .collect();
+        let mut arrivals = Arrivals {
+            heap: BinaryHeap::new(),
+            specs: Vec::new(),
+            closed_loop: Some((pending, clients.think_time)),
+        };
+        for spec in first_wave {
+            arrivals.push(SimTime::ZERO, spec);
+        }
+        arrivals
+    }
+
+    fn push(&mut self, at: SimTime, spec: RequestSpec) {
+        let idx = self.specs.len();
+        self.specs.push(Some(spec));
+        self.heap.push(Reverse((at.as_micros(), idx)));
+    }
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.heap
+            .peek()
+            .map(|Reverse((t, _))| SimTime::from_micros(*t))
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, RequestSpec)> {
+        match self.heap.peek() {
+            Some(Reverse((t, _))) if *t <= now.as_micros() => {
+                let Reverse((t, idx)) = self.heap.pop().expect("peeked");
+                let spec = self.specs[idx].take().expect("arrival consumed twice");
+                Some((SimTime::from_micros(t), spec))
+            }
+            _ => None,
+        }
+    }
+
+    /// Closed-loop hook: a finished request frees its client, which submits
+    /// the next pending request after the think time.
+    fn on_finish(&mut self, now: SimTime) {
+        if let Some((pending, think)) = &mut self.closed_loop {
+            let think = *think;
+            if let Some(spec) = pending.pop_front() {
+                self.push(now + think, spec);
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.heap.len()
+            + self
+                .closed_loop
+                .as_ref()
+                .map_or(0, |(pending, _)| pending.len())
+    }
+
+    /// Ids and sizes of every request this schedule will ever deliver
+    /// (used for upfront validation).
+    fn iter_specs(&self) -> impl Iterator<Item = &RequestSpec> {
+        self.specs
+            .iter()
+            .flatten()
+            .chain(self.closed_loop.iter().flat_map(|(p, _)| p.iter()))
+    }
+}
+
+/// The serving engine. Construct via [`crate::Simulation`].
+pub(crate) struct Engine {
+    perf: PerfModel,
+    capacity: u64,
+    kv: Box<dyn KvCacheManager>,
+    scheduler: Box<dyn Scheduler>,
+    needs_oracle: bool,
+    config: SimConfig,
+
+    now: SimTime,
+    arrivals: Arrivals,
+    queue: VecDeque<Pending>,
+    running: Vec<Live>,
+
+    decode_steps: u64,
+    prefill_steps: u64,
+    evictions: u64,
+    outcomes: Vec<RequestOutcome>,
+
+    output_len_sum: u64,
+    output_len_count: u64,
+    consumed_weighted_sum: f64,
+    weighted_time: f64,
+    future_required_sum: f64,
+    future_required_samples: u64,
+    peak_consumed_frac: f64,
+    consumed_series: StepSeries,
+    future_required_series: StepSeries,
+    queue_series: StepSeries,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("running", &self.running.len())
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    pub(crate) fn new(config: SimConfig, arrivals: Arrivals) -> Self {
+        let perf = config.perf_model();
+        let capacity = config.capacity_tokens();
+        let kv = config.build_kv_manager();
+        let mut scheduler = config.scheduler.build(config.seed);
+        for &len in &config.history_warmup {
+            scheduler.on_request_finished(len);
+        }
+        let needs_oracle = config.scheduler.needs_oracle();
+        // Seed the router-facing mean-output estimate from the warmup
+        // history, mirroring a service whose statistics are already warm.
+        let output_len_sum: u64 = config.history_warmup.iter().map(|&l| u64::from(l)).sum();
+        let output_len_count = config.history_warmup.len() as u64;
+        Engine {
+            perf,
+            capacity,
+            kv,
+            scheduler,
+            needs_oracle,
+            config,
+            now: SimTime::ZERO,
+            arrivals,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            output_len_sum,
+            output_len_count,
+            decode_steps: 0,
+            prefill_steps: 0,
+            evictions: 0,
+            outcomes: Vec::new(),
+            consumed_weighted_sum: 0.0,
+            weighted_time: 0.0,
+            future_required_sum: 0.0,
+            future_required_samples: 0,
+            peak_consumed_frac: 0.0,
+            consumed_series: StepSeries::new(),
+            future_required_series: StepSeries::new(),
+            queue_series: StepSeries::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+        self.validate()?;
+        if let BatchingMode::Static { max_batch } = self.config.batching {
+            return self.run_static(max_batch);
+        }
+        loop {
+            match self.tick()? {
+                Tick::Worked => {}
+                Tick::Sleep(t) => self.now = t,
+                Tick::Blocked => {
+                    return Err(SimError::Stalled {
+                        queued: self.queue.len(),
+                        at: self.now,
+                    });
+                }
+                Tick::Drained | Tick::HorizonReached => break,
+            }
+        }
+        Ok(self.finish_report())
+    }
+
+    /// Executes at most one engine action (admission-plus-prefill or one
+    /// decode step). This is the co-simulation entry point used by
+    /// [`crate::cluster`] to interleave several engines on one global
+    /// clock.
+    pub(crate) fn tick(&mut self) -> Result<Tick, SimError> {
+        self.ingest_arrivals();
+        if self.time_exceeded() {
+            return Ok(Tick::HorizonReached);
+        }
+        if self.try_admission() {
+            return Ok(Tick::Worked);
+        }
+        if !self.running.is_empty() {
+            self.step()?;
+            return Ok(Tick::Worked);
+        }
+        // Idle: nothing running, nothing admissible.
+        match self.arrivals.next_time() {
+            Some(t) if t > self.now => Ok(Tick::Sleep(t)),
+            Some(_) => unreachable!("due arrival not ingested"),
+            None if !self.queue.is_empty() => Ok(Tick::Blocked),
+            None => Ok(Tick::Drained),
+        }
+    }
+
+    /// Current simulated time of this engine.
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the idle engine's clock (cluster co-simulation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `to` precedes the current time.
+    pub(crate) fn advance_to(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now, "engine time went backwards");
+        self.now = self.now.max(to);
+    }
+
+    /// Injects an externally routed request arriving at `at`.
+    pub(crate) fn inject(&mut self, at: SimTime, spec: RequestSpec) {
+        self.arrivals.push(at, spec);
+    }
+
+    /// Requests in flight, waiting, or already routed to this engine but
+    /// not yet ingested (the router must see its own recent decisions, or
+    /// a burst of arrivals herds onto one instance).
+    pub(crate) fn outstanding(&self) -> usize {
+        self.running.len() + self.queue.len() + self.arrivals.remaining()
+    }
+
+    /// Fraction of KV capacity physically in use right now.
+    pub(crate) fn used_frac(&self) -> f64 {
+        self.kv.used_tokens() as f64 / self.capacity as f64
+    }
+
+    /// Load estimate for routing: the running batch's future required
+    /// memory (Eq. 2–4 on ground truth) plus the expected footprint of the
+    /// queue (prompt + mean historical output), as a fraction of capacity.
+    /// This is the signal the paper's future-work section proposes for
+    /// forwarding requests to under-utilized instances.
+    pub(crate) fn load_estimate(&self) -> f64 {
+        let mean_output = if self.output_len_count == 0 {
+            256.0
+        } else {
+            self.output_len_sum as f64 / self.output_len_count as f64
+        };
+        let queued_tokens: f64 = self
+            .queue
+            .iter()
+            .map(|p| f64::from(p.spec.input_len) + f64::from(p.generated) + mean_output)
+            .chain(
+                // Routed but not yet ingested arrivals count too.
+                self.arrivals
+                    .iter_specs()
+                    .map(|spec| f64::from(spec.input_len) + mean_output),
+            )
+            .sum();
+        self.true_future_required_frac() + queued_tokens / self.capacity as f64
+    }
+
+    /// Runs upfront validation (also used by the cluster driver, which
+    /// validates against each member engine's capacity).
+    pub(crate) fn validate_spec(&self, spec: &RequestSpec) -> Result<(), SimError> {
+        let contiguous = matches!(self.config.kv_layout, crate::config::KvLayout::Contiguous);
+        let static_mode = matches!(self.config.batching, BatchingMode::Static { .. });
+        let needed = if contiguous || static_mode {
+            u64::from(spec.input_len) + u64::from(spec.max_new_tokens)
+        } else {
+            u64::from(spec.true_total_len())
+        };
+        if needed > self.capacity {
+            return Err(SimError::RequestTooLarge {
+                id: spec.id.raw(),
+                needed,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes the engine and produces its report (cluster co-simulation).
+    pub(crate) fn into_report(self) -> SimReport {
+        self.finish_report()
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
+        if self.capacity == 0 {
+            return Err(SimError::NoKvCapacity { capacity: 0 });
+        }
+        let specs: Vec<RequestSpec> = self.arrivals.iter_specs().copied().collect();
+        for spec in &specs {
+            self.validate_spec(spec)?;
+        }
+        Ok(())
+    }
+
+    fn time_exceeded(&self) -> bool {
+        match self.config.max_sim_time {
+            Some(limit) => self.now.saturating_since(SimTime::ZERO) >= limit,
+            None => false,
+        }
+    }
+
+    fn ingest_arrivals(&mut self) {
+        while let Some((at, spec)) = self.arrivals.pop_due(self.now) {
+            self.queue.push_back(Pending {
+                spec,
+                generated: 0,
+                timing: RequestTiming::new(at),
+                evictions: 0,
+                swapped: false,
+            });
+        }
+    }
+
+    fn memory_state(&self) -> MemoryState {
+        MemoryState {
+            capacity_tokens: self.capacity,
+            used_tokens: self.kv.used_tokens(),
+        }
+    }
+
+    fn running_views(&self) -> Vec<RunningRequest> {
+        self.running
+            .iter()
+            .map(|l| RunningRequest {
+                id: l.spec.id.raw(),
+                input_len: l.spec.input_len,
+                generated: l.generated,
+                max_new_tokens: l.spec.max_new_tokens,
+                oracle_remaining: self
+                    .needs_oracle
+                    .then(|| l.spec.true_output_len - l.generated),
+            })
+            .collect()
+    }
+
+    /// Admits queue-front requests per the scheduler's plan. In
+    /// [`PrefillMode::WholePrompt`] an admission runs the prefill step
+    /// immediately (advancing the clock); in chunked mode prompts are
+    /// processed incrementally by subsequent steps. Returns whether any
+    /// request was admitted.
+    fn try_admission(&mut self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let mut admitted_total = 0usize;
+        loop {
+            let window = PLAN_WINDOW.min(self.queue.len());
+            if window == 0 {
+                break;
+            }
+            let queue_views: Vec<QueuedRequest> = self
+                .queue
+                .iter()
+                .take(window)
+                .map(|p| QueuedRequest {
+                    id: p.spec.id.raw(),
+                    input_len: p.spec.input_len,
+                    generated: p.generated,
+                    max_new_tokens: p.spec.max_new_tokens,
+                    oracle_remaining: self
+                        .needs_oracle
+                        .then(|| p.spec.true_output_len - p.generated),
+                })
+                .collect();
+            let running_views = self.running_views();
+            let plan = self
+                .scheduler
+                .plan_admission(&running_views, &queue_views, &self.memory_state())
+                .min(window);
+            if plan == 0 {
+                break;
+            }
+            let mut admitted_now = 0usize;
+            for _ in 0..plan {
+                let pending = self.queue.front().expect("plan within queue bounds");
+                // Pre-pay the prompt plus the first output token's slot.
+                let needed =
+                    u64::from(pending.spec.input_len) + u64::from(pending.generated) + 1;
+                let reserve_total =
+                    u64::from(pending.spec.input_len) + u64::from(pending.spec.max_new_tokens);
+                if self
+                    .kv
+                    .allocate(pending.spec.id.raw(), needed, reserve_total)
+                    .is_err()
+                {
+                    break;
+                }
+                let pending = self.queue.pop_front().expect("front exists");
+                let prefill_tokens =
+                    u64::from(pending.spec.input_len) + u64::from(pending.generated);
+                self.running.push(Live {
+                    spec: pending.spec,
+                    generated: pending.generated,
+                    timing: pending.timing,
+                    evictions: pending.evictions,
+                    prefill_remaining: match self.config.prefill {
+                        PrefillMode::WholePrompt => 0,
+                        // Swap-in restores the KV state wholesale; it never
+                        // goes through chunked prompt processing.
+                        PrefillMode::Chunked { .. } if pending.swapped => 0,
+                        PrefillMode::Chunked { .. } => prefill_tokens,
+                    },
+                    first_token_pending: true,
+                    swapped_in: pending.swapped,
+                });
+                admitted_now += 1;
+            }
+            admitted_total += admitted_now;
+            // Whole-prompt mode prefills each admission round immediately,
+            // so the next planning round sees the post-prefill state (the
+            // state the schedulers' future-memory entries model).
+            if admitted_now > 0 && matches!(self.config.prefill, PrefillMode::WholePrompt) {
+                self.prefill_step(admitted_now);
+            }
+            if admitted_now < plan || plan < window {
+                break;
+            }
+        }
+        admitted_total > 0
+    }
+
+    /// Dedicated prefill step over the `admitted` most recent batch entries
+    /// (whole-prompt mode). Every admitted request emits its first token at
+    /// the end of the step.
+    fn prefill_step(&mut self, admitted: usize) {
+        let start = self.running.len() - admitted;
+        let mut prompt_tokens = 0u64;
+        let mut swapped_tokens = 0u64;
+        for live in &self.running[start..] {
+            let tokens = u64::from(live.spec.input_len) + u64::from(live.generated);
+            if live.swapped_in {
+                swapped_tokens += tokens;
+            } else {
+                prompt_tokens += tokens;
+            }
+        }
+        let mut duration = self.perf.prefill_step(prompt_tokens);
+        if let EvictionMode::Swap { pcie_gbps } = self.config.eviction {
+            duration += self.perf.swap_transfer(swapped_tokens, pcie_gbps);
+        }
+        self.now += duration;
+        self.prefill_steps += 1;
+        self.record_step_metrics(duration);
+        let mut i = start;
+        while i < self.running.len() {
+            let live = &mut self.running[i];
+            live.first_token_pending = false;
+            live.generated += 1;
+            live.timing.record_token(self.now);
+            if live.generated >= live.spec.true_output_len {
+                let live = self.running.remove(i);
+                self.finish(live);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// One decode (or mixed chunked-prefill) step.
+    fn step(&mut self) -> Result<(), SimError> {
+        // Chunked prefill progress for this step.
+        let mut chunk_tokens = 0u64;
+        if let PrefillMode::Chunked {
+            chunk_tokens: budget,
+        } = self.config.prefill
+        {
+            let mut left = budget;
+            for live in &mut self.running {
+                if left == 0 {
+                    break;
+                }
+                if live.prefill_remaining > 0 {
+                    let take = live.prefill_remaining.min(left);
+                    live.prefill_remaining -= take;
+                    left -= take;
+                    chunk_tokens += take;
+                }
+            }
+        }
+        // Make room for one new token per decoding request, evicting the
+        // most recently admitted request while short (recompute preemption).
+        loop {
+            let decoding_ids: Vec<u64> = self
+                .running
+                .iter()
+                .filter(|l| l.prefill_remaining == 0 && !l.first_token_pending)
+                .map(|l| l.spec.id.raw())
+                .collect();
+            if decoding_ids.is_empty() || self.kv.extension_shortfall(&decoding_ids) == 0 {
+                break;
+            }
+            if self.running.len() <= 1 {
+                // Cannot happen for validated workloads: a lone request
+                // always fits its own growth.
+                return Err(SimError::Stalled {
+                    queued: self.queue.len(),
+                    at: self.now,
+                });
+            }
+            self.evict_most_recent();
+        }
+        // Grow every decoding request by one token.
+        let mut emitters = 0u64;
+        for live in &self.running {
+            if live.prefill_remaining == 0 {
+                emitters += 1;
+                if !live.first_token_pending {
+                    self.kv
+                        .extend(live.spec.id.raw(), 1)
+                        .expect("shortfall checked above");
+                }
+            }
+        }
+        let kv_tokens = self.kv.logical_tokens();
+        let duration = if chunk_tokens > 0 {
+            self.perf.mixed_step(chunk_tokens, emitters, kv_tokens)
+        } else {
+            self.perf.decode_step(emitters, kv_tokens)
+        };
+        self.now += duration;
+        if emitters > 0 {
+            self.decode_steps += 1;
+        }
+        self.record_step_metrics(duration);
+        // Emit tokens; finish completed requests.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].prefill_remaining == 0 {
+                let live = &mut self.running[i];
+                live.first_token_pending = false;
+                live.generated += 1;
+                live.timing.record_token(self.now);
+                if live.generated >= live.spec.true_output_len {
+                    let live = self.running.remove(i);
+                    self.finish(live);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn evict_most_recent(&mut self) {
+        let live = self.running.pop().expect("eviction from non-empty batch");
+        let held = u64::from(live.spec.input_len) + u64::from(live.generated);
+        self.kv.release(live.spec.id.raw());
+        self.scheduler.on_eviction(live.spec.id.raw());
+        self.evictions += 1;
+        let swapped = match self.config.eviction {
+            EvictionMode::Recompute => false,
+            EvictionMode::Swap { pcie_gbps } => {
+                // The swap-out transfer stalls the engine before the step.
+                self.now += self.perf.swap_transfer(held, pcie_gbps);
+                true
+            }
+        };
+        self.queue.push_front(Pending {
+            spec: live.spec,
+            generated: live.generated,
+            timing: live.timing,
+            evictions: live.evictions + 1,
+            swapped,
+        });
+    }
+
+    fn finish(&mut self, live: Live) {
+        self.kv.release(live.spec.id.raw());
+        self.scheduler.on_request_finished(live.generated);
+        self.output_len_sum += u64::from(live.generated);
+        self.output_len_count += 1;
+        self.arrivals.on_finish(self.now);
+        self.outcomes.push(RequestOutcome {
+            id: live.spec.id.raw(),
+            input_len: live.spec.input_len,
+            output_len: live.generated,
+            timing: live.timing,
+            evictions: live.evictions,
+        });
+    }
+
+    /// True future required memory of the current batch: Eq. 2–4 evaluated
+    /// with ground-truth remaining lengths. Reporting-only — schedulers
+    /// never see this.
+    fn true_future_required_frac(&self) -> f64 {
+        let entries: Vec<BatchEntry> = self
+            .running
+            .iter()
+            .map(|l| {
+                // Requests whose admission prefill is in flight already hold
+                // the pre-paid slot for their first token.
+                let prepaid = u64::from(l.first_token_pending);
+                BatchEntry {
+                    committed: u64::from(l.spec.input_len) + u64::from(l.generated) + prepaid,
+                    remaining: u64::from(l.spec.true_output_len - l.generated) - prepaid,
+                }
+            })
+            .collect();
+        FutureMemoryEstimator::peak_memory(&entries) as f64 / self.capacity as f64
+    }
+
+    fn record_step_metrics(&mut self, duration: SimDuration) {
+        let used_frac = self.kv.used_tokens() as f64 / self.capacity as f64;
+        let secs = duration.as_secs_f64();
+        self.consumed_weighted_sum += used_frac * secs;
+        self.weighted_time += secs;
+        self.peak_consumed_frac = self.peak_consumed_frac.max(used_frac);
+        let future_frac = self.true_future_required_frac();
+        self.future_required_sum += future_frac;
+        self.future_required_samples += 1;
+        if self.config.record_series {
+            self.consumed_series.record(self.now, used_frac);
+            self.future_required_series.record(self.now, future_frac);
+            self.queue_series.record(self.now, self.queue.len() as f64);
+        }
+    }
+
+    fn finish_report(self) -> SimReport {
+        let makespan = self.now - SimTime::ZERO;
+        let requests: Vec<(RequestTiming, u64)> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.timing, u64::from(o.output_len)))
+            .collect();
+        let goodput = GoodputReport::compute(&self.config.sla, &requests, makespan);
+        let unfinished = self.running.len() + self.queue.len() + self.arrivals.remaining();
+        SimReport {
+            scheduler_name: self.scheduler.name().to_string(),
+            goodput,
+            decode_steps: self.decode_steps,
+            prefill_steps: self.prefill_steps,
+            evictions: self.evictions,
+            completed: self.outcomes.len(),
+            unfinished,
+            makespan,
+            capacity_tokens: self.capacity,
+            avg_consumed_frac: if self.weighted_time > 0.0 {
+                self.consumed_weighted_sum / self.weighted_time
+            } else {
+                0.0
+            },
+            avg_future_required_frac: if self.future_required_samples > 0 {
+                self.future_required_sum / self.future_required_samples as f64
+            } else {
+                0.0
+            },
+            peak_consumed_frac: self.peak_consumed_frac,
+            consumed_series: self.consumed_series,
+            future_required_series: self.future_required_series,
+            queue_series: self.queue_series,
+            outcomes: self.outcomes,
+        }
+    }
+
+    /// Static batching (pre-ORCA "original implementation" baseline): form
+    /// a batch, pad every sequence to the batch maximum, run the whole
+    /// batch to completion, repeat.
+    fn run_static(mut self, max_batch: usize) -> Result<SimReport, SimError> {
+        assert!(max_batch > 0, "static batch size must be positive");
+        loop {
+            self.ingest_arrivals();
+            if self.time_exceeded() {
+                break;
+            }
+            if self.queue.is_empty() {
+                match self.arrivals.next_time() {
+                    Some(t) if t > self.now => {
+                        self.now = t;
+                        continue;
+                    }
+                    Some(_) => unreachable!("due arrival not ingested"),
+                    None => break,
+                }
+            }
+            // Form a batch under padded worst-case reservation.
+            let mut batch: Vec<Pending> = Vec::new();
+            let mut max_in = 0u64;
+            let mut max_cap = 0u64;
+            while batch.len() < max_batch {
+                let Some(front) = self.queue.front() else { break };
+                let cand_in = max_in.max(u64::from(front.spec.input_len));
+                let cand_cap = max_cap.max(u64::from(front.spec.max_new_tokens));
+                let worst = (batch.len() as u64 + 1) * (cand_in + cand_cap);
+                if worst <= self.capacity {
+                    max_in = cand_in;
+                    max_cap = cand_cap;
+                    batch.push(self.queue.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
+            }
+            if batch.is_empty() {
+                return Err(SimError::Stalled {
+                    queued: self.queue.len(),
+                    at: self.now,
+                });
+            }
+            let b = batch.len() as u64;
+            // Prefill over padded prompts.
+            let duration = self.perf.prefill_step(b * max_in);
+            self.now += duration;
+            self.prefill_steps += 1;
+            self.accumulate_static_metrics(b, max_in, max_cap, duration);
+            for pending in &mut batch {
+                pending.generated += 1;
+                pending.timing.record_token(self.now);
+            }
+            // Decode until the whole batch finishes (early finishers idle
+            // inside the batch — padding waste).
+            let mut step_idx = 1u64;
+            while batch
+                .iter()
+                .any(|p| p.generated < p.spec.true_output_len)
+            {
+                if self.time_exceeded() {
+                    break;
+                }
+                step_idx += 1;
+                let kv_tokens = b * (max_in + step_idx);
+                let duration = self.perf.decode_step(b, kv_tokens);
+                self.now += duration;
+                self.decode_steps += 1;
+                self.accumulate_static_metrics(b, max_in, max_cap, duration);
+                for pending in &mut batch {
+                    if pending.generated < pending.spec.true_output_len {
+                        pending.generated += 1;
+                        pending.timing.record_token(self.now);
+                    }
+                }
+            }
+            for pending in batch {
+                self.scheduler.on_request_finished(pending.generated);
+                self.arrivals.on_finish(self.now);
+                self.outcomes.push(RequestOutcome {
+                    id: pending.spec.id.raw(),
+                    input_len: pending.spec.input_len,
+                    output_len: pending.generated,
+                    timing: pending.timing,
+                    evictions: 0,
+                });
+            }
+        }
+        Ok(self.finish_report())
+    }
+
+    fn accumulate_static_metrics(
+        &mut self,
+        batch: u64,
+        max_in: u64,
+        max_cap: u64,
+        duration: SimDuration,
+    ) {
+        // Static systems reserve the padded worst case for the whole batch.
+        let used_frac = (batch * (max_in + max_cap)) as f64 / self.capacity as f64;
+        let secs = duration.as_secs_f64();
+        self.consumed_weighted_sum += used_frac * secs;
+        self.weighted_time += secs;
+        self.peak_consumed_frac = self.peak_consumed_frac.max(used_frac);
+        self.future_required_sum += used_frac;
+        self.future_required_samples += 1;
+        if self.config.record_series {
+            self.consumed_series.record(self.now, used_frac);
+            self.future_required_series.record(self.now, used_frac);
+            self.queue_series.record(self.now, self.queue.len() as f64);
+        }
+    }
+}

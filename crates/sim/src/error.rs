@@ -1,0 +1,73 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use pf_metrics::SimTime;
+
+/// Errors reported by [`Simulation::run`](crate::Simulation::run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The model does not fit on the configured hardware at all.
+    NoKvCapacity {
+        /// Computed KV capacity in tokens.
+        capacity: u64,
+    },
+    /// A request can never run: its final footprint exceeds total capacity.
+    RequestTooLarge {
+        /// Offending request id.
+        id: u64,
+        /// Tokens the request needs at completion.
+        needed: u64,
+        /// Total capacity in tokens.
+        capacity: u64,
+    },
+    /// The engine made no progress: nothing is running, requests are queued,
+    /// no arrivals are pending, and the scheduler refuses to admit anything
+    /// (e.g. a conservative scheduler facing a request whose worst case
+    /// exceeds its budget).
+    Stalled {
+        /// Requests stuck in the queue.
+        queued: usize,
+        /// Simulated time at the stall.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoKvCapacity { capacity } => {
+                write!(f, "model leaves no kv-cache capacity ({capacity} tokens)")
+            }
+            SimError::RequestTooLarge { id, needed, capacity } => write!(
+                f,
+                "request {id} needs {needed} tokens but capacity is {capacity}"
+            ),
+            SimError::Stalled { queued, at } => write!(
+                f,
+                "scheduler stalled at {at} with {queued} queued requests and an empty batch"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::NoKvCapacity { capacity: 0 }
+            .to_string()
+            .contains("no kv-cache capacity"));
+        assert!(SimError::RequestTooLarge { id: 3, needed: 10, capacity: 5 }
+            .to_string()
+            .contains("request 3"));
+        assert!(SimError::Stalled { queued: 2, at: SimTime::ZERO }
+            .to_string()
+            .contains("stalled"));
+    }
+}

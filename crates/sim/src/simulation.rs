@@ -1,0 +1,91 @@
+//! Simulation entry point.
+
+use pf_metrics::SimTime;
+use pf_workload::{ClosedLoopClients, RequestSpec};
+
+use crate::config::SimConfig;
+use crate::engine::{Arrivals, Engine};
+use crate::error::SimError;
+use crate::report::SimReport;
+
+/// A configured simulation: a deployment ([`SimConfig`]) plus a workload
+/// and an arrival discipline.
+///
+/// # Example
+///
+/// ```
+/// use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
+/// use pf_core::SchedulerConfig;
+/// use pf_workload::datasets;
+///
+/// let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+///     .scheduler(SchedulerConfig::past_future())
+///     .seed(1)
+///     .build();
+/// let requests = datasets::distribution_3(32, 1);
+/// let report = Simulation::offline(config, requests).run()?;
+/// assert_eq!(report.completed, 32);
+/// # Ok::<(), pf_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    arrivals: Arrivals,
+}
+
+impl Simulation {
+    /// All requests available at time zero (the paper's ablation setting:
+    /// Table 1, Figure 8).
+    pub fn offline(config: SimConfig, requests: Vec<RequestSpec>) -> Self {
+        Simulation {
+            config,
+            arrivals: Arrivals::offline(requests),
+        }
+    }
+
+    /// Closed-loop clients: `clients.n_clients` requests in flight at all
+    /// times until the workload drains (the paper's goodput setting:
+    /// Figures 7 and 9).
+    pub fn closed_loop(
+        config: SimConfig,
+        requests: Vec<RequestSpec>,
+        clients: ClosedLoopClients,
+    ) -> Self {
+        Simulation {
+            config,
+            arrivals: Arrivals::closed_loop(requests, clients),
+        }
+    }
+
+    /// Explicit arrival timestamps (one per request), e.g. a Poisson open
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times.len() != requests.len()`.
+    pub fn with_arrivals(
+        config: SimConfig,
+        requests: Vec<RequestSpec>,
+        times: Vec<SimTime>,
+    ) -> Self {
+        Simulation {
+            config,
+            arrivals: Arrivals::timed(requests, times),
+        }
+    }
+
+    /// The configuration this simulation will run with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion (or to `max_sim_time`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the deployment cannot serve the workload:
+    /// no KV capacity, a request that can never fit, or a scheduler stall.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        Engine::new(self.config, self.arrivals).run()
+    }
+}

@@ -1,0 +1,373 @@
+//! Engine-level behaviour tests: scheduler dynamics, eviction semantics,
+//! SLA accounting and run-mode coverage.
+
+use pf_core::SchedulerConfig;
+use pf_metrics::{SimDuration, SlaSpec};
+use pf_sim::{BatchingMode, GpuSpec, KvLayout, ModelSpec, PrefillMode, SimConfig, SimError, Simulation};
+use pf_workload::{datasets, ClosedLoopClients, RequestSpec};
+
+fn small_config(scheduler: SchedulerConfig, capacity: u64) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(scheduler)
+        .capacity_override(capacity)
+        .seed(42)
+        .build()
+}
+
+/// A decode-heavy workload that stresses output-memory estimation: tiny
+/// prompts, outputs far below the generation cap but variable.
+fn decode_heavy(n: usize, seed: u64) -> Vec<RequestSpec> {
+    let input = pf_workload::LengthSampler::uniform(8, 32);
+    let output = pf_workload::LengthSampler::uniform(64, 256);
+    datasets::from_samplers(n, seed, &input, &output, 512)
+}
+
+#[test]
+fn oracle_completes_everything_without_evictions() {
+    let report = Simulation::offline(
+        small_config(SchedulerConfig::Oracle, 2_000),
+        decode_heavy(64, 1),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.completed, 64);
+    assert_eq!(report.unfinished, 0);
+    assert_eq!(report.evictions, 0, "the oracle must never evict");
+    // Every request produced exactly its true output length.
+    assert!(report.outcomes.iter().all(|o| o.evictions == 0));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        Simulation::offline(
+            small_config(SchedulerConfig::past_future(), 3_000),
+            decode_heavy(48, 2),
+        )
+        .run()
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.decode_steps, b.decode_steps);
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.goodput.goodput_tok_per_s, b.goodput.goodput_tok_per_s);
+}
+
+#[test]
+fn aggressive_evicts_under_decode_heavy_load_where_past_future_does_not() {
+    // Capacity fits ~45 finished requests; the aggressive scheduler admits
+    // by prompt size only (~20 tokens each) and must discover the shortage
+    // mid-decode. (At paper scale — tens of concurrent requests — the
+    // sampling noise of individual predictions averages out.)
+    let requests = decode_heavy(256, 3);
+    let aggressive = Simulation::offline(
+        small_config(SchedulerConfig::aggressive(0.99), 8_000),
+        requests.clone(),
+    )
+    .run()
+    .unwrap();
+    let mut warm = small_config(SchedulerConfig::past_future_reserved(0.05), 8_000);
+    warm.history_warmup = decode_heavy(500, 99)
+        .iter()
+        .map(|r| r.true_output_len)
+        .collect();
+    let past_future = Simulation::offline(warm, requests).run().unwrap();
+    assert!(
+        aggressive.evictions > 50,
+        "aggressive should evict heavily, got {}",
+        aggressive.evictions
+    );
+    assert!(
+        past_future.evictions * 10 < aggressive.evictions.max(1),
+        "past-future ({}) must evict at least 10x less than aggressive ({})",
+        past_future.evictions,
+        aggressive.evictions
+    );
+    assert_eq!(past_future.completed, 256);
+    assert_eq!(aggressive.completed, 256);
+}
+
+#[test]
+fn evictions_inflate_decode_work_and_mtpot() {
+    let requests = decode_heavy(48, 4);
+    let report = Simulation::offline(
+        small_config(SchedulerConfig::aggressive(0.99), 1_200),
+        requests,
+    )
+    .run()
+    .unwrap();
+    assert!(report.evictions > 0);
+    // Evicted requests stall; with a permissive SLA nothing violates, with
+    // a 0-tolerance MTPOT the evicted ones do.
+    let strict_sla_violations = report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            o.evictions > 0
+                && o.timing.mtpot() > SimDuration::from_millis(500)
+        })
+        .count();
+    assert!(
+        strict_sla_violations > 0,
+        "evicted requests should show output stalls"
+    );
+}
+
+#[test]
+fn conservative_queues_longer_than_oracle() {
+    let requests = decode_heavy(48, 5);
+    let conservative = Simulation::offline(
+        small_config(SchedulerConfig::conservative(), 2_000),
+        requests.clone(),
+    )
+    .run()
+    .unwrap();
+    let oracle = Simulation::offline(small_config(SchedulerConfig::Oracle, 2_000), requests)
+        .run()
+        .unwrap();
+    assert_eq!(conservative.evictions, 0, "no overcommit → no evictions");
+    assert!(
+        conservative.decode_steps > oracle.decode_steps,
+        "worst-case budgeting must shrink batches: {} vs {}",
+        conservative.decode_steps,
+        oracle.decode_steps
+    );
+    assert!(conservative.avg_consumed_frac < oracle.avg_consumed_frac);
+    assert!(conservative.makespan > oracle.makespan);
+}
+
+#[test]
+fn past_future_outperforms_conservative_on_memory_utilization() {
+    let requests = decode_heavy(64, 6);
+    let warmup: Vec<u32> = decode_heavy(500, 77).iter().map(|r| r.true_output_len).collect();
+    let mut pf_config = small_config(SchedulerConfig::past_future_reserved(0.05), 2_000);
+    pf_config.history_warmup = warmup;
+    let pf = Simulation::offline(pf_config, requests.clone()).run().unwrap();
+    let conservative = Simulation::offline(
+        small_config(SchedulerConfig::conservative(), 2_000),
+        requests,
+    )
+    .run()
+    .unwrap();
+    assert!(
+        pf.avg_consumed_frac > conservative.avg_consumed_frac + 0.1,
+        "past-future {:.2} should clearly beat conservative {:.2}",
+        pf.avg_consumed_frac,
+        conservative.avg_consumed_frac
+    );
+    assert!(pf.decode_steps < conservative.decode_steps);
+}
+
+#[test]
+fn closed_loop_limits_concurrency() {
+    let requests = decode_heavy(30, 7);
+    let report = Simulation::closed_loop(
+        small_config(SchedulerConfig::Oracle, 1_000_000),
+        requests,
+        ClosedLoopClients::new(4),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.completed, 30);
+    // With 4 clients and effectively infinite memory, peak usage stays far
+    // below what 30 concurrent requests would need.
+    assert!(report.peak_consumed_frac < 0.01);
+}
+
+#[test]
+fn max_sim_time_truncates() {
+    let requests = decode_heavy(200, 8);
+    let report = Simulation::offline(
+        small_config(SchedulerConfig::Oracle, 2_000).clone(),
+        requests.clone(),
+    )
+    .run()
+    .unwrap();
+    let full_time = report.makespan;
+    let mut truncated_config = small_config(SchedulerConfig::Oracle, 2_000);
+    truncated_config.max_sim_time = Some(full_time / 4);
+    let truncated = Simulation::offline(truncated_config, requests).run().unwrap();
+    assert!(truncated.completed < 200);
+    assert!(truncated.unfinished > 0);
+    assert!(truncated.makespan <= full_time / 3);
+}
+
+#[test]
+fn oversized_request_is_rejected_upfront() {
+    let requests = vec![RequestSpec::new(0u64, 5_000, 100, 100)];
+    let err = Simulation::offline(small_config(SchedulerConfig::Oracle, 1_000), requests)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimError::RequestTooLarge { id: 0, .. }));
+}
+
+#[test]
+fn conservative_stalls_on_uncappable_request() {
+    // True output fits, but the worst case (input + max_new) exceeds
+    // capacity, so a no-overcommit conservative scheduler can never admit.
+    let requests = vec![RequestSpec::new(0u64, 100, 50, 2_000)];
+    let err = Simulation::offline(
+        small_config(SchedulerConfig::conservative(), 1_000),
+        requests,
+    )
+    .run()
+    .unwrap_err();
+    assert!(matches!(err, SimError::Stalled { queued: 1, .. }));
+}
+
+#[test]
+fn paged_layout_completes_with_fragmentation_accounted() {
+    let mut config = small_config(SchedulerConfig::past_future(), 3_000);
+    config.kv_layout = KvLayout::Paged { block_size: 16 };
+    let report = Simulation::offline(config, decode_heavy(32, 9)).run().unwrap();
+    assert_eq!(report.completed, 32);
+}
+
+#[test]
+fn contiguous_layout_behaves_like_reservation() {
+    let mut config = small_config(SchedulerConfig::conservative(), 5_000);
+    config.kv_layout = KvLayout::Contiguous;
+    let report = Simulation::offline(config, decode_heavy(16, 10)).run().unwrap();
+    assert_eq!(report.completed, 16);
+    assert_eq!(report.evictions, 0);
+}
+
+#[test]
+fn chunked_prefill_completes() {
+    let mut config = small_config(SchedulerConfig::conservative_overcommit(1.2), 3_000);
+    config.prefill = PrefillMode::Chunked { chunk_tokens: 64 };
+    let report = Simulation::offline(config, decode_heavy(24, 11)).run().unwrap();
+    assert_eq!(report.completed, 24);
+    assert!(report.goodput.throughput_tok_per_s > 0.0);
+}
+
+#[test]
+fn static_batching_is_slower_than_continuous() {
+    let requests = decode_heavy(32, 12);
+    let mut static_config = small_config(SchedulerConfig::conservative(), 20_000);
+    static_config.batching = BatchingMode::Static { max_batch: 8 };
+    let static_report = Simulation::offline(static_config, requests.clone()).run().unwrap();
+    let continuous = Simulation::offline(
+        small_config(SchedulerConfig::past_future(), 20_000),
+        requests,
+    )
+    .run()
+    .unwrap();
+    assert_eq!(static_report.completed, 32);
+    assert!(
+        continuous.throughput() > static_report.throughput(),
+        "continuous {:.1} tok/s must beat static {:.1} tok/s",
+        continuous.throughput(),
+        static_report.throughput()
+    );
+}
+
+#[test]
+fn outcomes_match_ground_truth_lengths() {
+    let requests = decode_heavy(40, 13);
+    let by_id: std::collections::HashMap<u64, u32> = requests
+        .iter()
+        .map(|r| (r.id.raw(), r.true_output_len))
+        .collect();
+    let report = Simulation::offline(
+        small_config(SchedulerConfig::aggressive(0.95), 1_500),
+        requests,
+    )
+    .run()
+    .unwrap();
+    for outcome in &report.outcomes {
+        assert_eq!(
+            outcome.output_len,
+            by_id[&outcome.id],
+            "request {} generated a wrong number of tokens",
+            outcome.id
+        );
+    }
+}
+
+#[test]
+fn future_required_memory_exceeds_capacity_exactly_when_evictions_loom() {
+    let requests = decode_heavy(64, 14);
+    let aggressive = Simulation::offline(
+        small_config(SchedulerConfig::aggressive(0.99), 1_500),
+        requests.clone(),
+    )
+    .run()
+    .unwrap();
+    let oracle = Simulation::offline(small_config(SchedulerConfig::Oracle, 1_500), requests)
+        .run()
+        .unwrap();
+    // The aggressive scheduler overcommits the future; the oracle never
+    // exceeds 100%.
+    let aggressive_peak_future = aggressive
+        .future_required_series
+        .max_value()
+        .unwrap_or(0.0);
+    let oracle_peak_future = oracle.future_required_series.max_value().unwrap_or(0.0);
+    assert!(
+        aggressive_peak_future > 1.0,
+        "aggressive future requirement should exceed capacity, got {aggressive_peak_future}"
+    );
+    assert!(
+        oracle_peak_future <= 1.0 + 1e-9,
+        "oracle future requirement must stay within capacity, got {oracle_peak_future}"
+    );
+}
+
+#[test]
+fn sla_spec_flows_into_goodput() {
+    let requests = decode_heavy(32, 15);
+    let mut impossible = small_config(SchedulerConfig::Oracle, 2_000);
+    impossible.sla = SlaSpec::new(SimDuration::from_micros(1), SimDuration::from_micros(1));
+    let report = Simulation::offline(impossible, requests).run().unwrap();
+    assert_eq!(report.goodput.satisfied_requests, 0);
+    assert_eq!(report.goodput.goodput_tok_per_s, 0.0);
+    assert!(report.goodput.throughput_tok_per_s > 0.0);
+}
+
+#[test]
+fn swap_preemption_completes_and_is_cheaper_than_recompute_for_long_victims() {
+    use pf_sim::EvictionMode;
+    // Long prompts make the recompute penalty large relative to a PCIe
+    // transfer, so swap preemption should finish sooner under the same
+    // aggressive eviction storm.
+    let input = pf_workload::LengthSampler::uniform(512, 1024);
+    let output = pf_workload::LengthSampler::uniform(256, 512);
+    let requests = datasets::from_samplers(48, 21, &input, &output, 1024);
+    let run = |eviction: EvictionMode| {
+        let mut config = small_config(SchedulerConfig::aggressive(0.99), 20_000);
+        config.eviction = eviction;
+        Simulation::offline(config, requests.clone()).run().unwrap()
+    };
+    let recompute = run(EvictionMode::Recompute);
+    let swap = run(EvictionMode::swap_pcie4());
+    assert_eq!(recompute.completed, 48);
+    assert_eq!(swap.completed, 48);
+    assert!(recompute.evictions > 0, "scenario must actually evict");
+    assert!(swap.evictions > 0);
+    assert!(
+        swap.makespan < recompute.makespan,
+        "swap {} should beat recompute {} for long-context victims",
+        swap.makespan,
+        recompute.makespan
+    );
+}
+
+#[test]
+fn swap_mode_with_zero_evictions_matches_recompute() {
+    use pf_sim::EvictionMode;
+    let requests = decode_heavy(24, 22);
+    let run = |eviction: EvictionMode| {
+        let mut config = small_config(SchedulerConfig::Oracle, 50_000);
+        config.eviction = eviction;
+        Simulation::offline(config, requests.clone()).run().unwrap()
+    };
+    let recompute = run(EvictionMode::Recompute);
+    let swap = run(EvictionMode::swap_pcie4());
+    assert_eq!(recompute.evictions, 0);
+    assert_eq!(swap.evictions, 0);
+    assert_eq!(recompute.makespan, swap.makespan);
+    assert_eq!(recompute.decode_steps, swap.decode_steps);
+}

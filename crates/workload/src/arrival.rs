@@ -1,0 +1,116 @@
+//! Arrival processes.
+//!
+//! The paper's goodput experiments (Figure 7/9) simulate *closed-loop*
+//! clients: each client keeps exactly one request in flight and submits the
+//! next one as soon as the previous finishes, so offered load scales with
+//! the number of clients. The ablations (Table 1, Figure 8) use *offline*
+//! runs where all requests are available up front. An open-loop Poisson
+//! process is also provided for rate-controlled studies.
+
+use rand::Rng;
+
+use pf_metrics::{SimDuration, SimTime};
+
+/// Closed-loop client pool configuration.
+///
+/// This is a plain description consumed by the simulation driver in
+/// `pf-sim`: `n_clients` requests are in flight at any time (until the
+/// workload is exhausted), and a client waits `think_time` between receiving
+/// the last token of one request and submitting the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClosedLoopClients {
+    /// Number of concurrent clients.
+    pub n_clients: usize,
+    /// Pause between a client's consecutive requests.
+    pub think_time: SimDuration,
+}
+
+impl ClosedLoopClients {
+    /// `n` clients with zero think time (the paper's setting).
+    pub fn new(n_clients: usize) -> Self {
+        ClosedLoopClients {
+            n_clients,
+            think_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets a think time between consecutive requests of one client.
+    pub fn with_think_time(mut self, think_time: SimDuration) -> Self {
+        self.think_time = think_time;
+        self
+    }
+}
+
+/// Open-loop Poisson arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PoissonArrivals {
+    /// Mean arrival rate in requests per second.
+    pub rate_per_s: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given mean rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn new(rate_per_s: f64) -> Self {
+        assert!(
+            rate_per_s.is_finite() && rate_per_s > 0.0,
+            "invalid arrival rate {rate_per_s}"
+        );
+        PoissonArrivals { rate_per_s }
+    }
+
+    /// Draws `n` arrival timestamps starting at time zero (sorted,
+    /// exponential inter-arrival gaps).
+    pub fn assign<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<SimTime> {
+        let mut now = 0.0f64;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                now += -(1.0 - u).ln() / self.rate_per_s;
+                SimTime::from_secs_f64(now)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn closed_loop_builder() {
+        let c = ClosedLoopClients::new(40).with_think_time(SimDuration::from_secs(1));
+        assert_eq!(c.n_clients, 40);
+        assert_eq!(c.think_time, SimDuration::from_secs(1));
+        assert_eq!(ClosedLoopClients::new(3).think_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let mut rng = seeded(1);
+        let arrivals = PoissonArrivals::new(50.0).assign(&mut rng, 20_000);
+        let span = arrivals.last().unwrap().as_secs_f64();
+        let rate = 20_000.0 / span;
+        assert!((rate - 50.0).abs() < 2.0, "observed rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_deterministic() {
+        let a = PoissonArrivals::new(10.0).assign(&mut seeded(2), 100);
+        let b = PoissonArrivals::new(10.0).assign(&mut seeded(2), 100);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival rate")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

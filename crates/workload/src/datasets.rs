@@ -1,0 +1,281 @@
+//! The paper's evaluation datasets, as synthetic builders.
+//!
+//! Section 5.1 of the paper evaluates on:
+//!
+//! * **Distribution-1/2/3** — uniform input/output ranges
+//!   32–4k / 2k–4k (decode-heavy), 3k–5k / 3k–5k (balanced) and
+//!   2k–4k / 32–4k (prefill-heavy). These are specified exactly and need no
+//!   approximation.
+//! * **ShareGPT** — human chat; short-to-medium prompts and answers. We use
+//!   the well-known log-normal shape, capped at 2048 new tokens as in the
+//!   paper's end-to-end experiment.
+//! * **ShareGPT-o1** — ShareGPT questions answered by a chain-of-thought
+//!   model (avg input ≈ 381, avg output ≈ 2160 per Figure 7). Log-normal
+//!   with a long-output mode.
+//! * **TextVQA** — multimodal VQA: a fixed vision-token prefix per image
+//!   (256 for Qwen-VL-Chat, 576 for LLaVA-1.5) plus a short question and a
+//!   short answer.
+//! * **Mixed-phase** — ShareGPT-o1 ∥ D1 ∥ D2 ∥ D3 concatenated, the
+//!   varying-load workload of Figure 8.
+
+use rand::Rng;
+
+use crate::rng::{derive_seed, seeded};
+use crate::sampler::LengthSampler;
+use crate::request::RequestSpec;
+
+/// Builds `n` requests by drawing input/output lengths from two samplers.
+///
+/// Output draws are clamped to `[1, max_new_tokens]` (a real engine stops at
+/// the generation cap).
+pub fn from_samplers(
+    n: usize,
+    seed: u64,
+    input: &LengthSampler,
+    output: &LengthSampler,
+    max_new_tokens: u32,
+) -> Vec<RequestSpec> {
+    let mut in_rng = seeded(derive_seed(seed, 0));
+    let mut out_rng = seeded(derive_seed(seed, 1));
+    (0..n)
+        .map(|i| {
+            let input_len = input.sample(&mut in_rng);
+            let output_len = output.sample(&mut out_rng).clamp(1, max_new_tokens);
+            RequestSpec::new(i as u64, input_len, output_len, max_new_tokens)
+        })
+        .collect()
+}
+
+/// Distribution-1 (decode-heavy): input U\[32, 4096\], output U\[2048, 4096\].
+pub fn distribution_1(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 101),
+        &LengthSampler::uniform(32, 4096),
+        &LengthSampler::uniform(2048, 4096),
+        4096,
+    )
+}
+
+/// Distribution-2 (balanced): input U\[3072, 5120\], output U\[3072, 5120\].
+pub fn distribution_2(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 102),
+        &LengthSampler::uniform(3072, 5120),
+        &LengthSampler::uniform(3072, 5120),
+        5120,
+    )
+}
+
+/// Distribution-3 (prefill-heavy): input U\[2048, 4096\], output U\[32, 4096\].
+pub fn distribution_3(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 103),
+        &LengthSampler::uniform(2048, 4096),
+        &LengthSampler::uniform(32, 4096),
+        4096,
+    )
+}
+
+/// ShareGPT-like chat workload (used by the Figure 9 end-to-end comparison
+/// with `max_new_tokens = 2048`).
+pub fn sharegpt(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 104),
+        &LengthSampler::log_normal_median(230.0, 0.9, 4, 2048),
+        &LengthSampler::log_normal_median(200.0, 1.0, 4, 2048),
+        2048,
+    )
+}
+
+/// ShareGPT-o1-like chain-of-thought workload (decode-heavy; Figure 7 top
+/// row reports avg input 381, avg output 2160).
+pub fn sharegpt_o1(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 105),
+        &LengthSampler::log_normal_median(300.0, 0.75, 16, 2048),
+        &LengthSampler::log_normal_median(1750.0, 0.65, 64, 8192),
+        8192,
+    )
+}
+
+/// TextVQA-like multimodal workload for Qwen-VL-Chat (256 vision tokens per
+/// image).
+pub fn textvqa_qwen_vl(n: usize, seed: u64) -> Vec<RequestSpec> {
+    multimodal(n, derive_seed(seed, 106), 256)
+}
+
+/// TextVQA-like multimodal workload for LLaVA-1.5 (576 vision tokens per
+/// image).
+pub fn textvqa_llava(n: usize, seed: u64) -> Vec<RequestSpec> {
+    multimodal(n, derive_seed(seed, 107), 576)
+}
+
+fn multimodal(n: usize, seed: u64, image_tokens: u32) -> Vec<RequestSpec> {
+    let question = LengthSampler::uniform(8, 60);
+    let answer = LengthSampler::mixture(vec![
+        // Most VQA answers are a few tokens; a minority explain at length.
+        (0.8, LengthSampler::uniform(2, 20)),
+        (0.2, LengthSampler::uniform(20, 160)),
+    ]);
+    let max_new_tokens = 256;
+    let mut q_rng = seeded(derive_seed(seed, 0));
+    let mut a_rng = seeded(derive_seed(seed, 1));
+    (0..n)
+        .map(|i| {
+            let text = question.sample(&mut q_rng);
+            let output = answer.sample(&mut a_rng).clamp(1, max_new_tokens);
+            RequestSpec::new_multimodal(
+                i as u64,
+                image_tokens + text,
+                image_tokens,
+                output,
+                max_new_tokens,
+            )
+        })
+        .collect()
+}
+
+/// The Figure 8 varying-load workload: ShareGPT-o1 followed by
+/// Distribution-1, -2 and -3, re-identified sequentially.
+pub fn mixed_phase(n_per_phase: usize, seed: u64) -> Vec<RequestSpec> {
+    let phases = [
+        sharegpt_o1(n_per_phase, derive_seed(seed, 1)),
+        distribution_1(n_per_phase, derive_seed(seed, 2)),
+        distribution_2(n_per_phase, derive_seed(seed, 3)),
+        distribution_3(n_per_phase, derive_seed(seed, 4)),
+    ];
+    let mut out = Vec::with_capacity(n_per_phase * 4);
+    for phase in phases {
+        for mut request in phase {
+            request.id = (out.len() as u64).into();
+            out.push(request);
+        }
+    }
+    out
+}
+
+/// Draws a random subset used for quick smoke runs (keeps order, thins
+/// uniformly).
+pub fn thin<R: Rng + ?Sized>(requests: &[RequestSpec], keep: usize, rng: &mut R) -> Vec<RequestSpec> {
+    if keep >= requests.len() {
+        return requests.to_vec();
+    }
+    let mut picked: Vec<usize> = rand::seq::index::sample(rng, requests.len(), keep).into_vec();
+    picked.sort_unstable();
+    picked
+        .into_iter()
+        .enumerate()
+        .map(|(new_id, idx)| {
+            let mut r = requests[idx];
+            r.id = (new_id as u64).into();
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(values: impl Iterator<Item = u32>) -> f64 {
+        let v: Vec<f64> = values.map(f64::from).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn distribution_bounds_match_paper() {
+        let d1 = distribution_1(500, 1);
+        assert!(d1.iter().all(|r| (32..=4096).contains(&r.input_len)));
+        assert!(d1.iter().all(|r| (2048..=4096).contains(&r.true_output_len)));
+        let d2 = distribution_2(500, 1);
+        assert!(d2.iter().all(|r| (3072..=5120).contains(&r.input_len)));
+        assert!(d2.iter().all(|r| (3072..=5120).contains(&r.true_output_len)));
+        let d3 = distribution_3(500, 1);
+        assert!(d3.iter().all(|r| (2048..=4096).contains(&r.input_len)));
+        assert!(d3.iter().all(|r| (32..=4096).contains(&r.true_output_len)));
+    }
+
+    #[test]
+    fn d1_is_decode_heavy_d3_is_prefill_heavy() {
+        let d1 = distribution_1(2000, 2);
+        let d3 = distribution_3(2000, 2);
+        let d1_in = mean_of(d1.iter().map(|r| r.input_len));
+        let d1_out = mean_of(d1.iter().map(|r| r.true_output_len));
+        let d3_in = mean_of(d3.iter().map(|r| r.input_len));
+        let d3_out = mean_of(d3.iter().map(|r| r.true_output_len));
+        assert!(d1_out > d1_in, "D1 must be decode-heavy");
+        assert!(d3_in > d3_out, "D3 must be prefill-heavy");
+    }
+
+    #[test]
+    fn sharegpt_o1_matches_reported_averages() {
+        // Figure 7: avg input 381, avg output 2160. Allow 15% tolerance for
+        // the synthetic stand-in.
+        let reqs = sharegpt_o1(20_000, 3);
+        let avg_in = mean_of(reqs.iter().map(|r| r.input_len));
+        let avg_out = mean_of(reqs.iter().map(|r| r.true_output_len));
+        assert!(
+            (avg_in - 381.0).abs() / 381.0 < 0.15,
+            "avg input {avg_in} too far from 381"
+        );
+        assert!(
+            (avg_out - 2160.0).abs() / 2160.0 < 0.15,
+            "avg output {avg_out} too far from 2160"
+        );
+    }
+
+    #[test]
+    fn sharegpt_respects_cap() {
+        let reqs = sharegpt(2000, 4);
+        assert!(reqs.iter().all(|r| r.true_output_len <= 2048));
+        assert!(reqs.iter().all(|r| r.max_new_tokens == 2048));
+    }
+
+    #[test]
+    fn multimodal_has_image_prefix() {
+        let qwen = textvqa_qwen_vl(100, 5);
+        assert!(qwen.iter().all(|r| r.image_tokens == 256));
+        assert!(qwen.iter().all(|r| r.input_len > 256));
+        let llava = textvqa_llava(100, 5);
+        assert!(llava.iter().all(|r| r.image_tokens == 576));
+    }
+
+    #[test]
+    fn mixed_phase_concatenates_and_reids() {
+        let m = mixed_phase(50, 6);
+        assert_eq!(m.len(), 200);
+        for (i, r) in m.iter().enumerate() {
+            assert_eq!(r.id.raw(), i as u64);
+        }
+        // First phase decode-heavy (o1), last phase prefill-heavy (D3).
+        let first = mean_of(m[..50].iter().map(|r| r.true_output_len));
+        let last_in = mean_of(m[150..].iter().map(|r| r.input_len));
+        let last_out = mean_of(m[150..].iter().map(|r| r.true_output_len));
+        assert!(first > 1000.0);
+        assert!(last_in > last_out);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(distribution_1(50, 9), distribution_1(50, 9));
+        assert_ne!(distribution_1(50, 9), distribution_1(50, 10));
+    }
+
+    #[test]
+    fn thin_preserves_order_and_reids() {
+        let reqs = distribution_1(100, 1);
+        let mut rng = crate::rng::seeded(1);
+        let thinned = thin(&reqs, 10, &mut rng);
+        assert_eq!(thinned.len(), 10);
+        for (i, r) in thinned.iter().enumerate() {
+            assert_eq!(r.id.raw(), i as u64);
+        }
+        let full = thin(&reqs, 200, &mut rng);
+        assert_eq!(full.len(), 100);
+    }
+}

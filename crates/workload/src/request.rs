@@ -1,0 +1,156 @@
+//! Request specifications.
+
+use std::fmt;
+
+/// Opaque request identifier, unique within one workload/simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Raw numeric value (used as the KV-cache key).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+impl From<u64> for RequestId {
+    fn from(v: u64) -> Self {
+        RequestId(v)
+    }
+}
+
+/// Static description of one inference request.
+///
+/// `true_output_len` is simulation ground truth: the number of tokens the
+/// model *will* generate before emitting EOS. Schedulers never see it (only
+/// the [`OracleScheduler`] baseline does, via a dedicated oracle channel);
+/// they see `max_new_tokens`, the user-configured generation cap.
+///
+/// [`OracleScheduler`]: https://docs.rs/pf-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestSpec {
+    /// Unique id.
+    pub id: RequestId,
+    /// Prompt length in tokens, *including* any image tokens.
+    pub input_len: u32,
+    /// Ground-truth output length in tokens (EOS position).
+    pub true_output_len: u32,
+    /// User-configured generation cap (`max_new_tokens`).
+    pub max_new_tokens: u32,
+    /// Vision-encoder tokens contained in `input_len` (0 for text-only).
+    pub image_tokens: u32,
+}
+
+impl RequestSpec {
+    /// Creates a text-only request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_output_len` is zero or exceeds `max_new_tokens`.
+    pub fn new(
+        id: impl Into<RequestId>,
+        input_len: u32,
+        true_output_len: u32,
+        max_new_tokens: u32,
+    ) -> Self {
+        assert!(true_output_len > 0, "a request must produce at least one token");
+        assert!(
+            true_output_len <= max_new_tokens,
+            "true output {true_output_len} exceeds max_new_tokens {max_new_tokens}"
+        );
+        RequestSpec {
+            id: id.into(),
+            input_len,
+            true_output_len,
+            max_new_tokens,
+            image_tokens: 0,
+        }
+    }
+
+    /// Creates a multimodal request whose prompt embeds `image_tokens`
+    /// vision tokens (already counted in `input_len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_tokens > input_len` or the output constraints of
+    /// [`RequestSpec::new`] are violated.
+    pub fn new_multimodal(
+        id: impl Into<RequestId>,
+        input_len: u32,
+        image_tokens: u32,
+        true_output_len: u32,
+        max_new_tokens: u32,
+    ) -> Self {
+        assert!(
+            image_tokens <= input_len,
+            "image tokens {image_tokens} exceed input length {input_len}"
+        );
+        let mut spec = RequestSpec::new(id, input_len, true_output_len, max_new_tokens);
+        spec.image_tokens = image_tokens;
+        spec
+    }
+
+    /// Ground-truth total KV footprint at completion (input + true output).
+    pub fn true_total_len(&self) -> u32 {
+        self.input_len + self.true_output_len
+    }
+
+    /// Worst-case total KV footprint (input + max_new_tokens) — what a
+    /// conservative scheduler budgets for.
+    pub fn max_total_len(&self) -> u32 {
+        self.input_len + self.max_new_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let r = RequestSpec::new(3u64, 100, 50, 512);
+        assert_eq!(r.id, RequestId(3));
+        assert_eq!(r.true_total_len(), 150);
+        assert_eq!(r.max_total_len(), 612);
+        assert_eq!(r.image_tokens, 0);
+    }
+
+    #[test]
+    fn multimodal_counts_image_tokens() {
+        let r = RequestSpec::new_multimodal(1u64, 600, 576, 30, 256);
+        assert_eq!(r.image_tokens, 576);
+        assert_eq!(r.input_len, 600);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(RequestId(9).to_string(), "req#9");
+        assert_eq!(RequestId(9).raw(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_output_rejected() {
+        let _ = RequestSpec::new(1u64, 10, 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_new_tokens")]
+    fn output_beyond_cap_rejected() {
+        let _ = RequestSpec::new(1u64, 10, 200, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed input length")]
+    fn image_tokens_beyond_input_rejected() {
+        let _ = RequestSpec::new_multimodal(1u64, 100, 101, 10, 100);
+    }
+}

@@ -1,0 +1,249 @@
+//! Reading and writing request traces as CSV.
+//!
+//! The similarity study (Figures 3/4) and the Past-Future history window
+//! only need `(arrival_order, input_len, output_len)` per request — the
+//! schema below is a minimal common denominator of public traces such as
+//! BurstGPT (`Timestamp, Model, Request tokens, Response tokens, ...`).
+//! Users with access to real traces can export them to this schema and run
+//! every experiment in this workspace on them; the synthetic generators in
+//! [`crate::trace`] exist only because the real traces cannot be shipped.
+//!
+//! Format: a header line `input_len,output_len` followed by one record per
+//! request in arrival order. Extra columns are ignored on import.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::request::RequestSpec;
+
+/// A minimal trace record: one request's input and output lengths, in
+/// arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceRecord {
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Output length in tokens.
+    pub output_len: u32,
+}
+
+/// Error raised while parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses a trace from CSV with an `input_len,output_len` header.
+///
+/// Column order is taken from the header (case-insensitive names
+/// `input_len`/`output_len`; additional columns are ignored), so BurstGPT
+/// exports with extra metadata columns work unchanged.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for a missing/invalid header, non-numeric
+/// fields, or rows with too few columns. I/O errors are reported on the
+/// offending line.
+///
+/// # Example
+///
+/// ```
+/// use pf_workload::trace_io::read_trace_csv;
+///
+/// let csv = "input_len,output_len\n120,480\n88,32\n";
+/// let records = read_trace_csv(csv.as_bytes())?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].output_len, 480);
+/// # Ok::<(), pf_workload::trace_io::ParseTraceError>(())
+/// ```
+pub fn read_trace_csv<R: Read>(reader: R) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(line))) => line,
+        Some((_, Err(e))) => {
+            return Err(ParseTraceError {
+                line: 1,
+                message: format!("io error: {e}"),
+            })
+        }
+        None => {
+            return Err(ParseTraceError {
+                line: 1,
+                message: "empty file".to_string(),
+            })
+        }
+    };
+    let columns: Vec<String> = header
+        .split(',')
+        .map(|c| c.trim().to_ascii_lowercase())
+        .collect();
+    let input_col = columns.iter().position(|c| c == "input_len");
+    let output_col = columns.iter().position(|c| c == "output_len");
+    let (Some(input_col), Some(output_col)) = (input_col, output_col) else {
+        return Err(ParseTraceError {
+            line: 1,
+            message: format!("header must name input_len and output_len, got '{header}'"),
+        });
+    };
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| ParseTraceError {
+            line: line_no,
+            message: format!("io error: {e}"),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let field = |col: usize, name: &str| -> Result<u32, ParseTraceError> {
+            let raw = fields.get(col).ok_or_else(|| ParseTraceError {
+                line: line_no,
+                message: format!("missing {name} column"),
+            })?;
+            raw.trim().parse().map_err(|_| ParseTraceError {
+                line: line_no,
+                message: format!("invalid {name} value '{raw}'"),
+            })
+        };
+        records.push(TraceRecord {
+            input_len: field(input_col, "input_len")?,
+            output_len: field(output_col, "output_len")?,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes a trace in the canonical `input_len,output_len` schema.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace_csv<W: Write>(mut writer: W, records: &[TraceRecord]) -> std::io::Result<()> {
+    writeln!(writer, "input_len,output_len")?;
+    for record in records {
+        writeln!(writer, "{},{}", record.input_len, record.output_len)?;
+    }
+    Ok(())
+}
+
+/// Converts trace records into simulator requests.
+///
+/// `max_new_tokens` caps the generation exactly as the serving system
+/// would; records whose output exceeds the cap are clamped (the real
+/// system would have cut them off too). Records with zero output are
+/// dropped (log-style traces occasionally contain aborted requests).
+pub fn requests_from_records(records: &[TraceRecord], max_new_tokens: u32) -> Vec<RequestSpec> {
+    records
+        .iter()
+        .filter(|r| r.output_len > 0)
+        .enumerate()
+        .map(|(i, r)| {
+            RequestSpec::new(
+                i as u64,
+                r.input_len,
+                r.output_len.min(max_new_tokens),
+                max_new_tokens,
+            )
+        })
+        .collect()
+}
+
+/// Extracts records from generated requests (round-trip with
+/// [`requests_from_records`]).
+pub fn records_from_requests(requests: &[RequestSpec]) -> Vec<TraceRecord> {
+    requests
+        .iter()
+        .map(|r| TraceRecord {
+            input_len: r.input_len,
+            output_len: r.true_output_len,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn parse_minimal_csv() {
+        let csv = "input_len,output_len\n10,20\n30,40\n";
+        let records = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                TraceRecord { input_len: 10, output_len: 20 },
+                TraceRecord { input_len: 30, output_len: 40 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_reordered_and_extra_columns() {
+        let csv = "timestamp,output_len,model,input_len\n1.5,99,gpt,7\n";
+        let records = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(records, vec![TraceRecord { input_len: 7, output_len: 99 }]);
+    }
+
+    #[test]
+    fn parse_skips_blank_lines_and_trims() {
+        let csv = "input_len , output_len\n 10 , 20 \n\n30,40\n";
+        let records = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let bad_header = read_trace_csv("foo,bar\n1,2\n".as_bytes()).unwrap_err();
+        assert_eq!(bad_header.line, 1);
+        let bad_value = read_trace_csv("input_len,output_len\n1,x\n".as_bytes()).unwrap_err();
+        assert_eq!(bad_value.line, 2);
+        assert!(bad_value.to_string().contains("invalid output_len"));
+        let short_row = read_trace_csv("input_len,output_len\n5\n".as_bytes()).unwrap_err();
+        assert!(short_row.message.contains("missing output_len"));
+        let empty = read_trace_csv("".as_bytes()).unwrap_err();
+        assert!(empty.message.contains("empty"));
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let requests = datasets::sharegpt(50, 1);
+        let records = records_from_requests(&requests);
+        let mut buffer = Vec::new();
+        write_trace_csv(&mut buffer, &records).unwrap();
+        let parsed = read_trace_csv(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+        let rebuilt = requests_from_records(&parsed, 2048);
+        assert_eq!(rebuilt.len(), requests.len());
+        for (a, b) in rebuilt.iter().zip(&requests) {
+            assert_eq!(a.input_len, b.input_len);
+            assert_eq!(a.true_output_len, b.true_output_len);
+        }
+    }
+
+    #[test]
+    fn conversion_clamps_and_drops() {
+        let records = [
+            TraceRecord { input_len: 10, output_len: 5000 },
+            TraceRecord { input_len: 10, output_len: 0 },
+            TraceRecord { input_len: 10, output_len: 7 },
+        ];
+        let requests = requests_from_records(&records, 2048);
+        assert_eq!(requests.len(), 2, "zero-output record dropped");
+        assert_eq!(requests[0].true_output_len, 2048, "over-cap output clamped");
+        assert_eq!(requests[1].true_output_len, 7);
+        // Ids are re-assigned densely.
+        assert_eq!(requests[1].id.raw(), 1);
+    }
+}

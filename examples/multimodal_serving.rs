@@ -1,0 +1,52 @@
+//! The Table 2 scenario: multimodal VQA serving, original static-batching
+//! implementation vs. LightLLM with the Past-Future scheduler.
+//!
+//! ```text
+//! cargo run --release --example multimodal_serving
+//! ```
+
+use pastfuture::frameworks::Framework;
+use pastfuture::metrics::Table;
+use pastfuture::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400;
+    let cases: [(&str, ModelSpec, fn(usize, u64) -> Vec<RequestSpec>); 3] = [
+        ("Qwen-VL-Chat", ModelSpec::qwen_vl_chat(), datasets::textvqa_qwen_vl),
+        ("LLaVA-1.5-7B", ModelSpec::llava_15_7b(), datasets::textvqa_llava),
+        ("LLaVA-1.5-13B", ModelSpec::llava_15_13b(), datasets::textvqa_llava),
+    ];
+
+    let mut table = Table::new(["model", "origin tok/s", "LightLLM tok/s", "speedup"]);
+    for (name, model, dataset) in cases {
+        let requests = dataset(n, 42);
+        let origin = Framework::HfOriginal
+            .config(model, GpuSpec::a100_80g(), 1)
+            .record_series(false)
+            .seed(1)
+            .build();
+        let origin_report = Simulation::offline(origin, requests.clone()).run()?;
+
+        let lightllm = Framework::LightLlm
+            .config(model, GpuSpec::a100_80g(), 1)
+            .record_series(false)
+            .seed(1)
+            .build();
+        let lightllm_report = Simulation::offline(lightllm, requests).run()?;
+
+        table.row([
+            name.to_string(),
+            format!("{:.0}", origin_report.throughput()),
+            format!("{:.0}", lightllm_report.throughput()),
+            format!("{:.2}x", lightllm_report.throughput() / origin_report.throughput()),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "Image tokens (256 per image for Qwen-VL, 576 for LLaVA) occupy KV cache\n\
+         like prompt text; continuous batching plus Past-Future admission keeps\n\
+         the pool full while static batching pads and waits (paper Table 2\n\
+         reports 1.5-1.9x)."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: serve a decode-heavy workload with the Past-Future scheduler
+//! and print the goodput report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pastfuture::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deployment: Llama2-7B on one A100-80G, Past-Future scheduler
+    //    with the paper's defaults (history window 1000, 5% reserved).
+    let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .sla(SlaSpec::chat_7b()) // TTFT < 10 s, MTPOT < 1.5 s
+        .seed(7)
+        .build();
+    println!(
+        "deployment: {} on {} — KV capacity {} tokens",
+        config.model.name,
+        config.gpu.name,
+        config.capacity_tokens()
+    );
+
+    // 2. A workload: 200 ShareGPT-o1-style requests (chain-of-thought
+    //    outputs, the paper's hardest decode-heavy case) from 32 closed-loop
+    //    clients.
+    let requests = datasets::sharegpt_o1(200, 7);
+    let clients = ClosedLoopClients::new(32);
+
+    // 3. Run and report.
+    let report = Simulation::closed_loop(config, requests, clients).run()?;
+    println!("{}", report.summary_line());
+    println!(
+        "  TTFT  p50 {:.2}s  p99 {:.2}s",
+        report.goodput.ttft_secs.p50, report.goodput.ttft_secs.p99
+    );
+    println!(
+        "  MTPOT p50 {:.2}s  p99 {:.2}s",
+        report.goodput.mtpot_secs.p50, report.goodput.mtpot_secs.p99
+    );
+    println!(
+        "  memory: avg {:.1}% / peak {:.1}% of capacity, {} evictions",
+        report.avg_consumed_frac * 100.0,
+        report.peak_consumed_frac * 100.0,
+        report.evictions
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Reproduces the paper's Figure 3 observation: the output-length
+//! distributions of adjacent request windows are similar even when the
+//! global distribution drifts (API services).
+//!
+//! ```text
+//! cargo run --release --example trace_similarity
+//! ```
+
+use pastfuture::metrics::{Binning, Table, WindowedLengths};
+use pastfuture::workload::trace::{generate_output_lengths, TraceArchetype};
+
+fn main() {
+    let mut table = Table::new(["trace", "windows", "adjacent sim", "global sim", "stationary?"]);
+    for archetype in TraceArchetype::ALL {
+        let lengths = generate_output_lengths(archetype, 40_000, 2024);
+        let windows = WindowedLengths::partition(&lengths, 1000, Binning::Log2);
+        let matrix = windows.similarity_matrix();
+        let diag = matrix.diagonal_mean().unwrap_or(0.0);
+        let global = matrix.off_diagonal_mean().unwrap_or(0.0);
+        table.row([
+            archetype.label().to_string(),
+            windows.n_windows().to_string(),
+            format!("{diag:.3}"),
+            format!("{global:.3}"),
+            if archetype.is_globally_stable() { "yes" } else { "no (task mix drifts)" }.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "Adjacent windows stay similar for every service — the property the\n\
+         Past-Future scheduler's history window (w = 1000) relies on. Only the\n\
+         API trace drifts globally, mirroring BurstGPT panel (b)."
+    );
+}

@@ -1,0 +1,55 @@
+//! # pastfuture
+//!
+//! Umbrella crate for the Rust reproduction of **"Past-Future Scheduler for
+//! LLM Serving under SLA Guarantees"** (ASPLOS 2025). It re-exports the whole
+//! workspace:
+//!
+//! * [`core`] — the paper's contribution: output-length distribution
+//!   prediction and future-required-memory estimation, plus the
+//!   aggressive/conservative/oracle baselines;
+//! * [`sim`] — a discrete-event continuous-batching serving engine with a
+//!   roofline GPU performance model (the LightLLM stand-in);
+//! * [`workload`] — length distributions, datasets and trace synthesis;
+//! * [`kvcache`] — KV-cache memory managers;
+//! * [`metrics`] — SLA/goodput accounting and similarity metrics;
+//! * [`frameworks`] — serving-framework presets used as baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pastfuture::prelude::*;
+//!
+//! // A decode-heavy workload served by the Past-Future scheduler.
+//! let requests = datasets::distribution_1(64, 7);
+//! let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+//!     .scheduler(SchedulerConfig::past_future())
+//!     .seed(7)
+//!     .build();
+//! let report = Simulation::offline(config, requests).run().unwrap();
+//! assert!(report.goodput.total_requests > 0);
+//! ```
+
+pub use pf_core as core;
+pub use pf_frameworks as frameworks;
+pub use pf_kvcache as kvcache;
+pub use pf_metrics as metrics;
+pub use pf_sim as sim;
+pub use pf_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use pf_core::{
+        AggressiveScheduler, ConservativeScheduler, FutureMemoryEstimator, OracleScheduler,
+        OutputLengthHistory, OutputLengthPredictor, PastFutureScheduler, Scheduler,
+        SchedulerConfig,
+    };
+    pub use pf_frameworks::{Framework, FrameworkPreset};
+    pub use pf_kvcache::{KvCacheManager, PagedPool, TokenPool};
+    pub use pf_metrics::{
+        GoodputReport, RequestTiming, SimDuration, SimTime, SlaSpec, Summary,
+    };
+    pub use pf_sim::{
+        GpuSpec, ModelSpec, PerfModel, SimConfig, SimReport, Simulation,
+    };
+    pub use pf_workload::{datasets, ClosedLoopClients, LengthSampler, RequestSpec};
+}
