@@ -1,0 +1,332 @@
+//! Performance interpolation: predicted load → expected TTFT/TPOT.
+//!
+//! The interpolator answers the planner's central question: *if the next
+//! interval's load looks like `L` and we run `n` replicas, what TTFT and
+//! TPOT should we expect?* It combines:
+//!
+//! 1. an analytic queueing sketch on top of a [`StepLatency`] model (the
+//!    roofline `PerfModel` in `pf-sim` implements this trait) — decode
+//!    concurrency from Little's law solved by fixed-point iteration,
+//!    utilization from the token-throughput ceiling, M/M/1-shaped queueing
+//!    delay for TTFT;
+//! 2. multiplicative **correction factors** updated from observed-versus-
+//!    predicted error each interval, so systematic model bias (the sketch
+//!    ignores prefill interference, admission batching, eviction storms)
+//!    is absorbed instead of propagated into scaling decisions.
+
+use crate::load::LoadSample;
+
+/// Step-latency oracle of one serving replica.
+///
+/// `pf-sim`'s elastic cluster wraps its roofline `PerfModel` (together
+/// with the deployment's effective KV capacity, which a config override
+/// may shrink below the hardware-derived value) to implement this; the
+/// indirection keeps this crate free of a dependency cycle (the simulator
+/// depends on the autoscaler).
+pub trait StepLatency {
+    /// Latency in seconds of a prefill pass over `prompt_tokens`.
+    fn prefill_secs(&self, prompt_tokens: u64) -> f64;
+
+    /// Latency in seconds of one decode step for `batch_size` sequences
+    /// over `kv_tokens` live KV tokens.
+    fn decode_secs(&self, batch_size: u64, kv_tokens: u64) -> f64;
+
+    /// KV-cache capacity of one replica, in tokens.
+    fn kv_capacity_tokens(&self) -> u64;
+}
+
+/// Expected per-request service quality at a given load and fleet size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerfEstimate {
+    /// Expected time to first token, in seconds.
+    pub ttft_secs: f64,
+    /// Expected time per output token (decode-step latency), in seconds.
+    pub tpot_secs: f64,
+    /// Expected steady-state decode concurrency per replica.
+    pub concurrency: f64,
+    /// Fraction of the per-replica token-throughput ceiling in use.
+    pub utilization: f64,
+    /// False when the offered load exceeds what the fleet can serve at
+    /// all (utilization ≥ 1): the queue grows without bound.
+    pub feasible: bool,
+}
+
+/// TTFT sentinel for infeasible (unboundedly queued) operating points.
+const INFEASIBLE_TTFT_SECS: f64 = 1e6;
+
+/// Maps predicted load to expected TTFT/TPOT for candidate fleet sizes.
+#[derive(Debug, Clone)]
+pub struct PerfInterpolator<M> {
+    model: M,
+    ttft_correction: f64,
+    tpot_correction: f64,
+    correction_alpha: f64,
+}
+
+/// Correction factors stay within this band so a few wild observations
+/// cannot wedge the planner into permanent over- or under-scaling.
+const CORRECTION_BOUNDS: (f64, f64) = (0.2, 5.0);
+
+impl<M: StepLatency> PerfInterpolator<M> {
+    /// Wraps a step-latency model with neutral corrections.
+    pub fn new(model: M) -> Self {
+        PerfInterpolator {
+            model,
+            ttft_correction: 1.0,
+            tpot_correction: 1.0,
+            correction_alpha: 0.3,
+        }
+    }
+
+    /// Current TTFT correction factor (observed/modelled, smoothed).
+    pub fn ttft_correction(&self) -> f64 {
+        self.ttft_correction
+    }
+
+    /// Current TPOT correction factor (observed/modelled, smoothed).
+    pub fn tpot_correction(&self) -> f64 {
+        self.tpot_correction
+    }
+
+    /// The underlying step-latency model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Expected service quality for `load` spread over `replicas`
+    /// replicas, with corrections applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn predict(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+        let mut e = self.raw_predict(load, replicas);
+        e.ttft_secs = (e.ttft_secs * self.ttft_correction).min(INFEASIBLE_TTFT_SECS);
+        e.tpot_secs *= self.tpot_correction;
+        e
+    }
+
+    /// Folds one interval's observed TTFT/TPOT (means over finished
+    /// requests) into the correction factors, comparing against what the
+    /// uncorrected model predicts for the same operating point.
+    pub fn observe(
+        &mut self,
+        load: &LoadSample,
+        replicas: usize,
+        observed_ttft_secs: f64,
+        observed_tpot_secs: f64,
+    ) {
+        let raw = self.raw_predict(load, replicas);
+        if !raw.feasible {
+            // The sketch already says "overloaded"; observed latencies from
+            // a saturated system would teach the corrections nothing but
+            // queue length.
+            return;
+        }
+        let fold = |correction: &mut f64, observed: f64, modelled: f64, alpha: f64| {
+            if observed.is_finite() && observed > 0.0 && modelled > 0.0 {
+                let ratio = (observed / modelled).clamp(CORRECTION_BOUNDS.0, CORRECTION_BOUNDS.1);
+                *correction = (alpha * ratio + (1.0 - alpha) * *correction)
+                    .clamp(CORRECTION_BOUNDS.0, CORRECTION_BOUNDS.1);
+            }
+        };
+        fold(
+            &mut self.ttft_correction,
+            observed_ttft_secs,
+            raw.ttft_secs,
+            self.correction_alpha,
+        );
+        fold(
+            &mut self.tpot_correction,
+            observed_tpot_secs,
+            raw.tpot_secs,
+            self.correction_alpha,
+        );
+    }
+
+    /// The analytic sketch without corrections.
+    fn raw_predict(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+        assert!(replicas > 0, "cannot predict for zero replicas");
+        let load = load.sanitized();
+        let lambda = load.request_rate / replicas as f64;
+        let l_in = load.mean_input_tokens;
+        let l_out = load.mean_output_tokens;
+        let prefill = self.model.prefill_secs(l_in.ceil().max(1.0) as u64);
+        if lambda <= 0.0 || l_out <= 0.0 {
+            return PerfEstimate {
+                ttft_secs: prefill,
+                tpot_secs: self.model.decode_secs(1, l_in.ceil() as u64),
+                concurrency: 0.0,
+                utilization: 0.0,
+                feasible: true,
+            };
+        }
+        let capacity = self.model.kv_capacity_tokens() as f64;
+        // A request's mean resident KV footprint while decoding is its
+        // prompt plus half its output; its admission-safe footprint (what
+        // the Past-Future scheduler budgets for) is the full total.
+        let mean_resident = l_in + l_out / 2.0;
+        let n_max = (capacity / load.mean_total_tokens().max(1.0))
+            .max(1.0)
+            .floor();
+        // Little's law fixed point: concurrency -> step time -> service
+        // time -> concurrency. Damped; converges in a handful of rounds
+        // because decode_secs is monotone and near-affine in both args.
+        let mut n = 1.0f64;
+        for _ in 0..32 {
+            let batch = n.ceil().max(1.0) as u64;
+            let kv = (n * mean_resident).ceil() as u64;
+            let t_step = self.model.decode_secs(batch, kv);
+            let service = l_out * t_step;
+            let target = (lambda * service).max(1e-9).min(4.0 * n_max);
+            n = 0.5 * n + 0.5 * target;
+        }
+        let required = n;
+        let n_eff = required.min(n_max);
+        let batch_eff = n_eff.ceil().max(1.0) as u64;
+        let tpot = self
+            .model
+            .decode_secs(batch_eff, (n_eff * mean_resident).ceil() as u64);
+        // Throughput ceiling at the memory-bound batch size.
+        let t_step_full = self
+            .model
+            .decode_secs(n_max.ceil() as u64, (n_max * mean_resident).ceil() as u64);
+        let max_tokens_per_s = n_max / t_step_full;
+        let utilization = (lambda * l_out) / max_tokens_per_s;
+        let feasible = utilization < 1.0;
+        let ttft_secs = if feasible {
+            // Machine-seconds a request occupies of the replica's decode
+            // pipeline; M/M/1-shaped wait on top of the prefill pass.
+            let machine_secs = l_out * t_step_full / n_max;
+            let wait = utilization / (1.0 - utilization).max(1e-3) * machine_secs;
+            prefill + wait
+        } else {
+            INFEASIBLE_TTFT_SECS
+        };
+        PerfEstimate {
+            ttft_secs,
+            tpot_secs: tpot,
+            concurrency: n_eff,
+            utilization,
+            feasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear toy latency model: decode grows with batch and KV, prefill
+    /// with tokens; capacity 40k tokens.
+    #[derive(Debug, Clone, Copy)]
+    struct ToyModel;
+
+    impl StepLatency for ToyModel {
+        fn prefill_secs(&self, prompt_tokens: u64) -> f64 {
+            0.01 + prompt_tokens as f64 * 1e-5
+        }
+
+        fn decode_secs(&self, batch_size: u64, kv_tokens: u64) -> f64 {
+            0.01 + batch_size as f64 * 1e-4 + kv_tokens as f64 * 1e-7
+        }
+
+        fn kv_capacity_tokens(&self) -> u64 {
+            40_000
+        }
+    }
+
+    fn chat_load(rate: f64) -> LoadSample {
+        LoadSample {
+            request_rate: rate,
+            mean_input_tokens: 200.0,
+            mean_output_tokens: 400.0,
+        }
+    }
+
+    #[test]
+    fn idle_load_costs_one_prefill() {
+        let interp = PerfInterpolator::new(ToyModel);
+        let e = interp.predict(&LoadSample::ZERO, 2);
+        assert!(e.feasible);
+        assert_eq!(e.utilization, 0.0);
+        assert!(e.ttft_secs < 0.02);
+    }
+
+    #[test]
+    fn latency_improves_with_more_replicas() {
+        let interp = PerfInterpolator::new(ToyModel);
+        let load = chat_load(20.0);
+        let one = interp.predict(&load, 1);
+        let four = interp.predict(&load, 4);
+        assert!(four.ttft_secs < one.ttft_secs);
+        assert!(four.tpot_secs <= one.tpot_secs);
+        assert!(four.utilization < one.utilization);
+    }
+
+    #[test]
+    fn overload_is_flagged_infeasible() {
+        let interp = PerfInterpolator::new(ToyModel);
+        // Max decode throughput/replica ≈ n_max/t_step ≈ 66/0.0206 ≈ 3.2k
+        // tok/s; 40 req/s × 400 tok = 16k tok/s ≫ that on one replica.
+        let e = interp.predict(&chat_load(40.0), 1);
+        assert!(!e.feasible);
+        assert!(e.utilization >= 1.0);
+        assert!(e.ttft_secs >= 1e5);
+        // Spread over enough replicas it becomes feasible again.
+        let e = interp.predict(&chat_load(40.0), 8);
+        assert!(e.feasible, "utilization {}", e.utilization);
+    }
+
+    #[test]
+    fn utilization_scales_linearly_with_rate() {
+        let interp = PerfInterpolator::new(ToyModel);
+        let lo = interp.predict(&chat_load(2.0), 2);
+        let hi = interp.predict(&chat_load(4.0), 2);
+        assert!((hi.utilization / lo.utilization - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corrections_track_observed_bias() {
+        let mut interp = PerfInterpolator::new(ToyModel);
+        let load = chat_load(5.0);
+        let raw = interp.predict(&load, 2);
+        // The "real system" is consistently 2× slower than the sketch.
+        for _ in 0..30 {
+            interp.observe(&load, 2, raw.ttft_secs * 2.0, raw.tpot_secs * 2.0);
+        }
+        assert!((interp.ttft_correction() - 2.0).abs() < 0.05);
+        assert!((interp.tpot_correction() - 2.0).abs() < 0.05);
+        let corrected = interp.predict(&load, 2);
+        assert!((corrected.ttft_secs / raw.ttft_secs - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn corrections_stay_bounded() {
+        let mut interp = PerfInterpolator::new(ToyModel);
+        let load = chat_load(5.0);
+        for _ in 0..100 {
+            interp.observe(&load, 2, 1e9, 1e9);
+        }
+        assert!(interp.ttft_correction() <= 5.0);
+        for _ in 0..100 {
+            interp.observe(&load, 2, 1e-12, 1e-12);
+        }
+        assert!(interp.ttft_correction() >= 0.2);
+    }
+
+    #[test]
+    fn saturated_observations_are_ignored() {
+        let mut interp = PerfInterpolator::new(ToyModel);
+        interp.observe(&chat_load(40.0), 1, 500.0, 50.0);
+        assert_eq!(interp.ttft_correction(), 1.0);
+        assert_eq!(interp.tpot_correction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn zero_replicas_panics() {
+        let _ = PerfInterpolator::new(ToyModel).predict(&LoadSample::ZERO, 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Load predictors: forecast the next adjustment interval from history.
+//!
+//! Three predictors, in increasing sophistication (mirroring the planner
+//! families of NVIDIA Dynamo's SLA-based planner):
+//!
+//! * **Constant** — the next interval looks like the last one. Optimal for
+//!   genuinely stationary traffic, lags every ramp by one interval.
+//! * **EWMA** — exponentially weighted moving average. Smooths noise;
+//!   still lags trends.
+//! * **Holt–Winters** — double exponential smoothing (level + trend) with
+//!   optional additive seasonality. Extrapolates ramps and anticipates
+//!   periodic load (diurnal cycles) once it has seen a full season.
+//!
+//! Every predictor is pure arithmetic over its inputs — deterministic,
+//! allocation-light, and independent per forecast component (request rate,
+//! input length, output length are forecast as three scalar series).
+
+use crate::load::LoadSample;
+
+/// Which scalar predictor to instantiate (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PredictorKind {
+    /// Repeat the last observation.
+    Constant,
+    /// Exponentially weighted moving average with smoothing factor
+    /// `alpha` in `(0, 1]` (1.0 degenerates to Constant).
+    Ewma {
+        /// Weight of the newest observation.
+        alpha: f64,
+    },
+    /// Holt–Winters: level smoothing `alpha`, trend smoothing `beta`,
+    /// seasonal smoothing `gamma` over an additive season of
+    /// `season_len` intervals (`season_len == 0` disables seasonality,
+    /// leaving Holt's linear trend method).
+    HoltWinters {
+        /// Level smoothing factor in `(0, 1]`.
+        alpha: f64,
+        /// Trend smoothing factor in `[0, 1]`.
+        beta: f64,
+        /// Seasonal smoothing factor in `[0, 1]`.
+        gamma: f64,
+        /// Intervals per season (0 = no seasonality).
+        season_len: usize,
+    },
+}
+
+impl PredictorKind {
+    /// Default EWMA (`alpha = 0.5`).
+    pub const fn ewma() -> Self {
+        PredictorKind::Ewma { alpha: 0.5 }
+    }
+
+    /// Default Holt–Winters with trend only (no seasonality).
+    pub const fn holt() -> Self {
+        PredictorKind::HoltWinters {
+            alpha: 0.5,
+            beta: 0.3,
+            gamma: 0.0,
+            season_len: 0,
+        }
+    }
+
+    /// Default seasonal Holt–Winters over `season_len` intervals.
+    pub const fn holt_winters(season_len: usize) -> Self {
+        PredictorKind::HoltWinters {
+            alpha: 0.5,
+            beta: 0.2,
+            gamma: 0.5,
+            season_len,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PredictorKind::Constant => "constant",
+            PredictorKind::Ewma { .. } => "ewma",
+            PredictorKind::HoltWinters { season_len: 0, .. } => "holt",
+            PredictorKind::HoltWinters { .. } => "holt-winters",
+        }
+    }
+
+    fn build(&self) -> SeriesPredictor {
+        match *self {
+            PredictorKind::Constant => SeriesPredictor::Constant { last: None },
+            PredictorKind::Ewma { alpha } => {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "ewma alpha {alpha} outside (0, 1]"
+                );
+                SeriesPredictor::Ewma { alpha, level: None }
+            }
+            PredictorKind::HoltWinters {
+                alpha,
+                beta,
+                gamma,
+                season_len,
+            } => {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "holt-winters alpha {alpha} outside (0, 1]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&beta),
+                    "holt-winters beta {beta} outside [0, 1]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&gamma),
+                    "holt-winters gamma {gamma} outside [0, 1]"
+                );
+                SeriesPredictor::HoltWinters {
+                    alpha,
+                    beta,
+                    gamma,
+                    season_len,
+                    level: None,
+                    trend: 0.0,
+                    seasonal: vec![0.0; season_len],
+                    observed: 0,
+                }
+            }
+        }
+    }
+}
+
+/// One-step-ahead forecaster for a scalar series.
+#[derive(Debug, Clone)]
+enum SeriesPredictor {
+    Constant {
+        last: Option<f64>,
+    },
+    Ewma {
+        alpha: f64,
+        level: Option<f64>,
+    },
+    HoltWinters {
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        season_len: usize,
+        level: Option<f64>,
+        trend: f64,
+        seasonal: Vec<f64>,
+        observed: usize,
+    },
+}
+
+impl SeriesPredictor {
+    fn observe(&mut self, value: f64) {
+        match self {
+            SeriesPredictor::Constant { last } => *last = Some(value),
+            SeriesPredictor::Ewma { alpha, level } => {
+                *level = Some(match *level {
+                    None => value,
+                    Some(l) => *alpha * value + (1.0 - *alpha) * l,
+                });
+            }
+            SeriesPredictor::HoltWinters {
+                alpha,
+                beta,
+                gamma,
+                season_len,
+                level,
+                trend,
+                seasonal,
+                observed,
+            } => {
+                let season_idx = if *season_len > 0 {
+                    *observed % *season_len
+                } else {
+                    0
+                };
+                match *level {
+                    None => {
+                        *level = Some(value);
+                        *trend = 0.0;
+                    }
+                    Some(l) => {
+                        let s = if *season_len > 0 && *observed >= *season_len {
+                            seasonal[season_idx]
+                        } else {
+                            0.0
+                        };
+                        let new_level = *alpha * (value - s) + (1.0 - *alpha) * (l + *trend);
+                        *trend = *beta * (new_level - l) + (1.0 - *beta) * *trend;
+                        *level = Some(new_level);
+                    }
+                }
+                if *season_len > 0 {
+                    let l = level.expect("set above");
+                    let deviation = value - l;
+                    seasonal[season_idx] = if *observed < *season_len {
+                        // First pass through the season: take the raw
+                        // deviation as the initial seasonal index.
+                        deviation
+                    } else {
+                        *gamma * deviation + (1.0 - *gamma) * seasonal[season_idx]
+                    };
+                }
+                *observed += 1;
+            }
+        }
+    }
+
+    /// Forecast for the next interval; `None` before any observation.
+    fn forecast(&self) -> Option<f64> {
+        match self {
+            SeriesPredictor::Constant { last } => *last,
+            SeriesPredictor::Ewma { level, .. } => *level,
+            SeriesPredictor::HoltWinters {
+                season_len,
+                level,
+                trend,
+                seasonal,
+                observed,
+                ..
+            } => {
+                let level = (*level)?;
+                let s = if *season_len > 0 && *observed >= *season_len {
+                    seasonal[*observed % *season_len]
+                } else {
+                    0.0
+                };
+                Some((level + *trend + s).max(0.0))
+            }
+        }
+    }
+}
+
+/// Forecasts the three components of a [`LoadSample`] independently.
+#[derive(Debug, Clone)]
+pub struct LoadPredictor {
+    kind: PredictorKind,
+    rate: SeriesPredictor,
+    input: SeriesPredictor,
+    output: SeriesPredictor,
+}
+
+impl LoadPredictor {
+    /// Creates a predictor of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind's smoothing parameters are out of range.
+    pub fn new(kind: PredictorKind) -> Self {
+        LoadPredictor {
+            kind,
+            rate: kind.build(),
+            input: kind.build(),
+            output: kind.build(),
+        }
+    }
+
+    /// The configured predictor kind.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Feeds one interval's observed load.
+    pub fn observe(&mut self, sample: LoadSample) {
+        let sample = sample.sanitized();
+        self.rate.observe(sample.request_rate);
+        self.input.observe(sample.mean_input_tokens);
+        self.output.observe(sample.mean_output_tokens);
+    }
+
+    /// Forecast for the next interval ([`LoadSample::ZERO`] before any
+    /// observation).
+    pub fn forecast(&self) -> LoadSample {
+        LoadSample {
+            request_rate: self.rate.forecast().unwrap_or(0.0),
+            mean_input_tokens: self.input.forecast().unwrap_or(0.0),
+            mean_output_tokens: self.output.forecast().unwrap_or(0.0),
+        }
+        .sanitized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(kind: PredictorKind, values: &[f64]) -> f64 {
+        let mut p = kind.build();
+        for &v in values {
+            p.observe(v);
+        }
+        p.forecast().expect("observed at least once")
+    }
+
+    #[test]
+    fn constant_repeats_last() {
+        assert_eq!(feed(PredictorKind::Constant, &[3.0, 9.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_stationary_level() {
+        let values = vec![10.0; 50];
+        let f = feed(PredictorKind::ewma(), &values);
+        assert!((f - 10.0).abs() < 1e-9);
+        // Smooths an outlier instead of chasing it.
+        let mut with_spike = vec![10.0; 50];
+        with_spike.push(100.0);
+        let f = feed(PredictorKind::ewma(), &with_spike);
+        assert!(f > 10.0 && f < 60.0, "spiked forecast {f}");
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_ramp() {
+        // y_t = 2t: after enough observations the trend term predicts
+        // ahead of the last value, while EWMA lags behind it.
+        let ramp: Vec<f64> = (0..60).map(|t| 2.0 * t as f64).collect();
+        let last = *ramp.last().unwrap();
+        let holt = feed(PredictorKind::holt(), &ramp);
+        let ewma = feed(PredictorKind::ewma(), &ramp);
+        assert!(holt > last, "holt {holt} should lead the ramp past {last}");
+        assert!((holt - (last + 2.0)).abs() < 1.0, "holt forecast {holt}");
+        assert!(ewma < last, "ewma {ewma} should lag the ramp");
+    }
+
+    #[test]
+    fn holt_winters_learns_seasonality() {
+        // Period-8 square wave: 4 low intervals (10), 4 high (50).
+        let season: Vec<f64> = (0..8).map(|i| if i < 4 { 10.0 } else { 50.0 }).collect();
+        let mut p = PredictorKind::holt_winters(8).build();
+        for _ in 0..6 {
+            for &v in &season {
+                p.observe(v);
+            }
+        }
+        // Next interval is the start of the low phase; a seasonal model
+        // must predict low even though the last observation was high.
+        let f = p.forecast().unwrap();
+        assert!(f < 25.0, "seasonal forecast {f} should anticipate the dip");
+        // Step through the low phase; at the boundary it must predict the
+        // coming high phase.
+        for _ in 0..4 {
+            p.observe(10.0);
+        }
+        let f = p.forecast().unwrap();
+        assert!(f > 35.0, "seasonal forecast {f} should anticipate the peak");
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        // A steep downward ramp would extrapolate below zero without the
+        // clamp.
+        let ramp: Vec<f64> = (0..30).map(|t| 100.0 - 10.0 * t as f64).collect();
+        let f = feed(PredictorKind::holt(), &ramp);
+        assert!(f >= 0.0, "forecast {f}");
+    }
+
+    #[test]
+    fn load_predictor_tracks_components_independently() {
+        let mut p = LoadPredictor::new(PredictorKind::Constant);
+        assert_eq!(p.forecast(), LoadSample::ZERO);
+        p.observe(LoadSample {
+            request_rate: 5.0,
+            mean_input_tokens: 120.0,
+            mean_output_tokens: 340.0,
+        });
+        let f = p.forecast();
+        assert_eq!(f.request_rate, 5.0);
+        assert_eq!(f.mean_input_tokens, 120.0);
+        assert_eq!(f.mean_output_tokens, 340.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn bad_alpha_panics() {
+        let _ = LoadPredictor::new(PredictorKind::Ewma { alpha: 0.0 });
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Predictors converge on stationary series: forecast within
+            /// 1% of the level after 100 identical observations.
+            #[test]
+            fn stationary_convergence(
+                level in 0.1f64..1e6,
+                kind_idx in 0usize..4,
+            ) {
+                let kind = [
+                    PredictorKind::Constant,
+                    PredictorKind::ewma(),
+                    PredictorKind::holt(),
+                    PredictorKind::holt_winters(6),
+                ][kind_idx];
+                let f = feed(kind, &vec![level; 100]);
+                prop_assert!(
+                    (f - level).abs() / level < 0.01,
+                    "{} forecast {f} vs level {level}",
+                    kind.label()
+                );
+            }
+
+            /// Forecasts are always finite and non-negative for arbitrary
+            /// non-negative inputs.
+            #[test]
+            fn forecasts_stay_finite(
+                values in proptest::collection::vec(0.0f64..1e9, 1..100),
+                kind_idx in 0usize..4,
+            ) {
+                let kind = [
+                    PredictorKind::Constant,
+                    PredictorKind::ewma(),
+                    PredictorKind::holt(),
+                    PredictorKind::holt_winters(5),
+                ][kind_idx];
+                let f = feed(kind, &values);
+                prop_assert!(f.is_finite() && f >= 0.0, "forecast {f}");
+            }
+        }
+    }
+}

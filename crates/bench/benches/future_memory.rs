@@ -24,7 +24,7 @@ fn bench_peak(c: &mut Criterion) {
             b.iter(|| FutureMemoryEstimator::peak_memory(batch));
         });
         let mut sorted = batch.clone();
-        sorted.sort_unstable_by(|a, b| b.remaining.cmp(&a.remaining));
+        sorted.sort_unstable_by_key(|e| std::cmp::Reverse(e.remaining));
         group.bench_with_input(BenchmarkId::new("peak_sorted", n), &sorted, |b, sorted| {
             b.iter(|| FutureMemoryEstimator::peak_memory_sorted(sorted));
         });

@@ -24,10 +24,14 @@ fn bench_distribution(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(4);
             b.iter(|| d.sample(&mut rng));
         });
-        group.bench_with_input(BenchmarkId::new("sample_conditional", window), &dist, |b, d| {
-            let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| d.sample_greater_than(&mut rng, 1024));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sample_conditional", window),
+            &dist,
+            |b, d| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| d.sample_greater_than(&mut rng, 1024));
+            },
+        );
     }
     group.finish();
 }
@@ -36,7 +40,10 @@ fn bench_workload_samplers(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_sampler");
     let samplers = [
         ("uniform", LengthSampler::uniform(32, 4096)),
-        ("log_normal", LengthSampler::log_normal_median(250.0, 0.9, 4, 2048)),
+        (
+            "log_normal",
+            LengthSampler::log_normal_median(250.0, 0.9, 4, 2048),
+        ),
         (
             "mixture",
             LengthSampler::mixture(vec![

@@ -19,11 +19,15 @@ fn bench_similarity(c: &mut Criterion) {
         b.iter(|| cosine_similarity(&h1, &h2));
     });
     for &n in &[5_000usize, 20_000] {
-        group.bench_with_input(BenchmarkId::new("matrix", n), &lengths[..n], |b, lengths| {
-            b.iter(|| {
-                WindowedLengths::partition(lengths, 1000, Binning::Log2).similarity_matrix()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("matrix", n),
+            &lengths[..n],
+            |b, lengths| {
+                b.iter(|| {
+                    WindowedLengths::partition(lengths, 1000, Binning::Log2).similarity_matrix()
+                });
+            },
+        );
     }
     group.finish();
 }

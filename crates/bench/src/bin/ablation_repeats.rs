@@ -22,9 +22,13 @@ fn main() {
     let repeats = [1usize, 2, 4, 8, 16];
     // Small capacity: ~8 concurrent requests (high sampling variance).
     // Large capacity: ~50 concurrent requests (errors average out).
-    let capacities = [("small batch (15k tokens)", 15_000u64), ("large batch (90k tokens)", 90_000)];
+    let capacities = [
+        ("small batch (15k tokens)", 15_000u64),
+        ("large batch (90k tokens)", 90_000),
+    ];
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, usize, SimReport) + Send>> = Vec::new();
+    type Job = Box<dyn FnOnce() -> (&'static str, usize, SimReport) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
     for (cap_label, capacity) in capacities {
         for &sample_repeats in &repeats {
             let requests = datasets::sharegpt_o1(n, 9);

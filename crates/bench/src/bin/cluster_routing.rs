@@ -25,12 +25,14 @@ fn main() {
     let input = LengthSampler::uniform(32, 512);
     let output = LengthSampler::mixture(vec![
         (0.7, LengthSampler::uniform(32, 256)),
-        (0.3, LengthSampler::log_normal_median(1500.0, 0.5, 512, 4096)),
+        (
+            0.3,
+            LengthSampler::log_normal_median(1500.0, 0.5, 512, 4096),
+        ),
     ]);
     let requests = datasets::from_samplers(n, 10, &input, &output, 4096);
     let warmup = output_lengths(&datasets::from_samplers(1000, 11, &input, &output, 4096));
-    let mut arrivals: Vec<SimTime> =
-        PoissonArrivals::new(14.0).assign(&mut seeded(12), n);
+    let mut arrivals: Vec<SimTime> = PoissonArrivals::new(14.0).assign(&mut seeded(12), n);
     arrivals.sort_unstable();
 
     let jobs: Vec<Box<dyn FnOnce() -> ClusterReport + Send>> = RouterPolicy::ALL

@@ -18,7 +18,8 @@ use pf_workload::{datasets, RequestSpec};
 fn main() {
     let cli = Cli::parse();
     let n = cli.size(1200, 200);
-    let cases: [(&'static str, fn(usize, u64) -> Vec<RequestSpec>); 2] = [
+    type DatasetFn = fn(usize, u64) -> Vec<RequestSpec>;
+    let cases: [(&'static str, DatasetFn); 2] = [
         ("decode-heavy (Distribution-1)", datasets::distribution_1),
         ("prefill-heavy (Distribution-3)", datasets::distribution_3),
     ];
@@ -66,7 +67,13 @@ fn main() {
         Align::Right,
         Align::Right,
     ]);
-    let mut series = Table::new(["dataset", "scheduler", "t_secs", "consumed", "future_required"]);
+    let mut series = Table::new([
+        "dataset",
+        "scheduler",
+        "t_secs",
+        "consumed",
+        "future_required",
+    ]);
     for (dataset, report) in &results {
         summary.row([
             dataset.to_string(),

@@ -22,7 +22,13 @@ fn main() {
         "global sim",
         "globally stable (paper)",
     ])
-    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Left]);
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
 
     for archetype in TraceArchetype::ALL {
         let lengths = generate_output_lengths(archetype, n, 2024);
@@ -33,7 +39,12 @@ fn main() {
             windows.n_windows().to_string(),
             format!("{:.3}", matrix.diagonal_mean().unwrap_or(0.0)),
             format!("{:.3}", matrix.off_diagonal_mean().unwrap_or(0.0)),
-            if archetype.is_globally_stable() { "yes" } else { "no" }.to_string(),
+            if archetype.is_globally_stable() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
 
         // Full matrix for heatmap plotting.

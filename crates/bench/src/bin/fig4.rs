@@ -71,7 +71,13 @@ fn main() {
         "diagonal sim",
         "global sim",
     ])
-    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for archetype in [TraceArchetype::Conversation, TraceArchetype::ApiService] {
         let lengths = generate_output_lengths(archetype, n, 4242);
         for &hist in &hist_sizes {

@@ -32,14 +32,32 @@ fn main() {
     //   scheduled at t+1: running have each grown one token and are one
     //                     step closer to completion.
     let at_t = [
-        BatchEntry { committed: 5, remaining: 2 },
-        BatchEntry { committed: 5, remaining: 4 },
-        BatchEntry { committed: 3, remaining: 5 },
+        BatchEntry {
+            committed: 5,
+            remaining: 2,
+        },
+        BatchEntry {
+            committed: 5,
+            remaining: 4,
+        },
+        BatchEntry {
+            committed: 3,
+            remaining: 5,
+        },
     ];
     let at_t1 = [
-        BatchEntry { committed: 6, remaining: 1 },
-        BatchEntry { committed: 6, remaining: 3 },
-        BatchEntry { committed: 3, remaining: 5 },
+        BatchEntry {
+            committed: 6,
+            remaining: 1,
+        },
+        BatchEntry {
+            committed: 6,
+            remaining: 3,
+        },
+        BatchEntry {
+            committed: 3,
+            remaining: 5,
+        },
     ];
 
     let mut table = Table::new(["schedule at", "completion point", "memory (tokens)", ""])

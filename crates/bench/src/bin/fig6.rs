@@ -48,10 +48,25 @@ struct Outcome {
 /// admission modelled at the post-prefill state (like the engine).
 fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
     let mut running = vec![
-        ToyRequest { id: 0, input: 3, output: 4, generated: 2 }, // A
-        ToyRequest { id: 1, input: 3, output: 6, generated: 1 }, // B
+        ToyRequest {
+            id: 0,
+            input: 3,
+            output: 4,
+            generated: 2,
+        }, // A
+        ToyRequest {
+            id: 1,
+            input: 3,
+            output: 6,
+            generated: 1,
+        }, // B
     ];
-    let mut queued = Some(ToyRequest { id: 2, input: 6, output: 6, generated: 0 }); // N
+    let mut queued = Some(ToyRequest {
+        id: 2,
+        input: 6,
+        output: 6,
+        generated: 0,
+    }); // N
     let mut outcome = Outcome::default();
     for step in 0u32..32 {
         // Admission attempt.
@@ -74,7 +89,10 @@ fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
                 oracle_remaining: Some(n.output - n.generated),
             }];
             let used: u64 = running.iter().map(ToyRequest::committed).sum();
-            let memory = MemoryState { capacity_tokens: CAPACITY, used_tokens: used };
+            let memory = MemoryState {
+                capacity_tokens: CAPACITY,
+                used_tokens: used,
+            };
             if scheduler.plan_admission(&running_views, &queue_views, &memory) > 0 {
                 let mut admitted = n;
                 admitted.generated += 1; // prefill emits the first token
@@ -87,7 +105,11 @@ fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
                     scheduler.name().to_string(),
                     format!("t+{step}"),
                     "admit N".to_string(),
-                    running.iter().map(ToyRequest::committed).sum::<u64>().to_string(),
+                    running
+                        .iter()
+                        .map(ToyRequest::committed)
+                        .sum::<u64>()
+                        .to_string(),
                 ]);
             }
         }
@@ -109,7 +131,11 @@ fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
                 scheduler.name().to_string(),
                 format!("t+{step}"),
                 format!("evict req#{}", victim.id),
-                running.iter().map(ToyRequest::committed).sum::<u64>().to_string(),
+                running
+                    .iter()
+                    .map(ToyRequest::committed)
+                    .sum::<u64>()
+                    .to_string(),
             ]);
         }
         for r in &mut running {
@@ -127,7 +153,11 @@ fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
                 scheduler.name().to_string(),
                 format!("t+{}", step + 1),
                 format!("req#{} finishes", f.id),
-                running.iter().map(ToyRequest::committed).sum::<u64>().to_string(),
+                running
+                    .iter()
+                    .map(ToyRequest::committed)
+                    .sum::<u64>()
+                    .to_string(),
             ]);
         }
     }
@@ -136,8 +166,12 @@ fn replay(scheduler: &mut dyn Scheduler, log: &mut Table) -> Outcome {
 
 fn main() {
     let cli = Cli::parse();
-    let mut log = Table::new(["scheduler", "step", "event", "used tokens after"])
-        .with_aligns(&[Align::Left, Align::Left, Align::Left, Align::Right]);
+    let mut log = Table::new(["scheduler", "step", "event", "used tokens after"]).with_aligns(&[
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+    ]);
     let mut summary = Table::new(["scheduler", "admits N at", "evictions", "all done at"])
         .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
 

@@ -45,7 +45,8 @@ fn main() {
             &[100, 200, 300, 400, 500],
         ),
     ];
-    let workloads: [(&'static str, fn(usize, u64) -> Vec<RequestSpec>); 4] = [
+    type DatasetFn = fn(usize, u64) -> Vec<RequestSpec>;
+    let workloads: [(&'static str, DatasetFn); 4] = [
         ("ShareGPT-o1", datasets::sharegpt_o1),
         ("Distribution-1", datasets::distribution_1),
         ("Distribution-2", datasets::distribution_2),
@@ -88,10 +89,13 @@ fn main() {
                             .record_series(false)
                             .seed(40)
                             .build();
-                        let report =
-                            Simulation::closed_loop(config, requests, ClosedLoopClients::new(clients))
-                                .run()
-                                .expect("fig7 simulation");
+                        let report = Simulation::closed_loop(
+                            config,
+                            requests,
+                            ClosedLoopClients::new(clients),
+                        )
+                        .run()
+                        .expect("fig7 simulation");
                         Case {
                             model: model_name,
                             dataset: dataset_name,

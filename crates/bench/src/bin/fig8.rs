@@ -56,8 +56,11 @@ fn main() {
         .collect();
     let reports = run_parallel(jobs, default_threads());
 
-    let mut table = Table::new(["scheduler", "decoding steps", "evicted reqs %"])
-        .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    let mut table = Table::new(["scheduler", "decoding steps", "evicted reqs %"]).with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
     for report in &reports {
         table.row([
             report.scheduler_name.clone(),

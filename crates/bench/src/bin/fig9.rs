@@ -21,7 +21,8 @@ struct Case {
 
 fn main() {
     let cli = Cli::parse();
-    let deployments: [(&'static str, ModelSpec, SlaSpec, Vec<(GpuSpec, u32)>); 3] = [
+    type Fleet = Vec<(GpuSpec, u32)>;
+    let deployments: [(&'static str, ModelSpec, SlaSpec, Fleet); 3] = [
         (
             "Llama2-7B",
             ModelSpec::llama2_7b(),

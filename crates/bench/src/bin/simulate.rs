@@ -145,8 +145,7 @@ fn parse_args() -> Options {
                 options.clients = value.parse().unwrap_or_else(|_| die("bad --clients"));
             }
             "--capacity" => {
-                options.capacity =
-                    Some(value.parse().unwrap_or_else(|_| die("bad --capacity")));
+                options.capacity = Some(value.parse().unwrap_or_else(|_| die("bad --capacity")));
             }
             "--ttft" => options.ttft = value.parse().unwrap_or_else(|_| die("bad --ttft")),
             "--mtpot" => options.mtpot = value.parse().unwrap_or_else(|_| die("bad --mtpot")),

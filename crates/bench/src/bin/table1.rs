@@ -42,7 +42,8 @@ fn configs_for(dataset: &str) -> Vec<SchedulerConfig> {
 fn main() {
     let cli = Cli::parse();
     let n = cli.size(2000, 250);
-    let datasets_list: [(&'static str, fn(usize, u64) -> Vec<RequestSpec>); 3] = [
+    type DatasetFn = fn(usize, u64) -> Vec<RequestSpec>;
+    let datasets_list: [(&'static str, DatasetFn); 3] = [
         ("Distribution-1", datasets::distribution_1),
         ("Distribution-2", datasets::distribution_2),
         ("Distribution-3", datasets::distribution_3),

@@ -15,14 +15,27 @@ use pf_workload::{datasets, RequestSpec};
 fn main() {
     let cli = Cli::parse();
     let n = cli.size(2000, 300);
-    let cases: [(&'static str, ModelSpec, fn(usize, u64) -> Vec<RequestSpec>); 3] = [
-        ("Qwen-VL-Chat", ModelSpec::qwen_vl_chat(), datasets::textvqa_qwen_vl),
-        ("Llava-1.5-7B", ModelSpec::llava_15_7b(), datasets::textvqa_llava),
-        ("Llava-1.5-13B", ModelSpec::llava_15_13b(), datasets::textvqa_llava),
+    type DatasetFn = fn(usize, u64) -> Vec<RequestSpec>;
+    let cases: [(&'static str, ModelSpec, DatasetFn); 3] = [
+        (
+            "Qwen-VL-Chat",
+            ModelSpec::qwen_vl_chat(),
+            datasets::textvqa_qwen_vl,
+        ),
+        (
+            "Llava-1.5-7B",
+            ModelSpec::llava_15_7b(),
+            datasets::textvqa_llava,
+        ),
+        (
+            "Llava-1.5-13B",
+            ModelSpec::llava_15_13b(),
+            datasets::textvqa_llava,
+        ),
     ];
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, SimReport, SimReport) + Send>> =
-        Vec::new();
+    type Job = Box<dyn FnOnce() -> (&'static str, SimReport, SimReport) + Send>;
+    let mut jobs: Vec<Job> = Vec::new();
     for (name, model, dataset) in cases {
         jobs.push(Box::new(move || {
             let requests = dataset(n, 42);
@@ -47,8 +60,13 @@ fn main() {
     }
     let results = run_parallel(jobs, default_threads());
 
-    let mut table = Table::new(["Model", "Origin (tokens/s)", "LightLLM (tokens/s)", "speedup"])
-        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = Table::new([
+        "Model",
+        "Origin (tokens/s)",
+        "LightLLM (tokens/s)",
+        "speedup",
+    ])
+    .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
     for (name, origin, lightllm) in &results {
         table.row([
             name.to_string(),

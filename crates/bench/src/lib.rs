@@ -37,9 +37,8 @@ impl Cli {
             match arg.as_str() {
                 "--quick" => quick = true,
                 "--out" => {
-                    out_dir = PathBuf::from(
-                        args.next().expect("--out requires a directory argument"),
-                    );
+                    out_dir =
+                        PathBuf::from(args.next().expect("--out requires a directory argument"));
                 }
                 other => panic!("unknown argument: {other} (expected --quick / --out <dir>)"),
             }
@@ -153,8 +152,7 @@ mod tests {
     fn parallel_handles_empty_and_single_thread() {
         let empty: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
         assert!(run_parallel(empty, 8).is_empty());
-        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> =
-            vec![Box::new(|| 7), Box::new(|| 9)];
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 7), Box::new(|| 9)];
         assert_eq!(run_parallel(jobs, 1), vec![7, 9]);
     }
 

@@ -124,9 +124,15 @@ mod tests {
             max_new_tokens: 100,
             oracle_remaining: None,
         }];
-        let tight = MemoryState { capacity_tokens: 69, used_tokens: 0 };
+        let tight = MemoryState {
+            capacity_tokens: 69,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &tight), 0);
-        let enough = MemoryState { capacity_tokens: 70, used_tokens: 0 };
+        let enough = MemoryState {
+            capacity_tokens: 70,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &enough), 1);
     }
 
@@ -134,14 +140,20 @@ mod tests {
     fn stops_at_first_reject() {
         let mut s = AggressiveScheduler::new(1.0);
         let queue = [queued(0, 80), queued(1, 10)];
-        let memory = MemoryState { capacity_tokens: 50, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 50,
+            used_tokens: 0,
+        };
         // First doesn't fit → FCFS stops even though the second would fit.
         assert_eq!(s.plan_admission(&[], &queue, &memory), 0);
     }
 
     #[test]
     fn name_and_default() {
-        assert_eq!(AggressiveScheduler::new(0.95).name(), "aggressive(watermark=95%)");
+        assert_eq!(
+            AggressiveScheduler::new(0.95).name(),
+            "aggressive(watermark=95%)"
+        );
         assert_eq!(AggressiveScheduler::default().watermark(), 0.99);
     }
 

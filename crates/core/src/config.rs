@@ -153,7 +153,11 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         match SchedulerConfig::past_future() {
-            SchedulerConfig::PastFuture { window, reserved_frac, sample_repeats } => {
+            SchedulerConfig::PastFuture {
+                window,
+                reserved_frac,
+                sample_repeats,
+            } => {
                 assert_eq!(window, 1000);
                 assert!((reserved_frac - 0.05).abs() < 1e-12);
                 assert_eq!(sample_repeats, 4);

@@ -96,14 +96,20 @@ mod tests {
         let mut s = ConservativeScheduler::new(1.0);
         // Each request: 10 input + 90 cap = 100 worst case.
         let queue: Vec<QueuedRequest> = (0..5).map(|i| queued(i, 10, 90)).collect();
-        let memory = MemoryState { capacity_tokens: 250, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 250,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &memory), 2);
     }
 
     #[test]
     fn overcommit_admits_more() {
         let queue: Vec<QueuedRequest> = (0..5).map(|i| queued(i, 10, 90)).collect();
-        let memory = MemoryState { capacity_tokens: 250, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 250,
+            used_tokens: 0,
+        };
         let mut plain = ConservativeScheduler::new(1.0);
         let mut over = ConservativeScheduler::new(1.5);
         assert_eq!(plain.plan_admission(&[], &queue, &memory), 2);
@@ -122,9 +128,15 @@ mod tests {
         }];
         // Running worst case: 100 + 100 = 200 (generated counts toward cap).
         let queue = [queued(1, 10, 40)];
-        let tight = MemoryState { capacity_tokens: 249, used_tokens: 110 };
+        let tight = MemoryState {
+            capacity_tokens: 249,
+            used_tokens: 110,
+        };
         assert_eq!(s.plan_admission(&running, &queue, &tight), 0);
-        let enough = MemoryState { capacity_tokens: 250, used_tokens: 110 };
+        let enough = MemoryState {
+            capacity_tokens: 250,
+            used_tokens: 110,
+        };
         assert_eq!(s.plan_admission(&running, &queue, &enough), 1);
     }
 
@@ -135,13 +147,19 @@ mod tests {
         // the cap.
         let mut s = ConservativeScheduler::new(1.0);
         let queue = [queued(0, 10, 4096)];
-        let memory = MemoryState { capacity_tokens: 4000, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 4000,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &memory), 0);
     }
 
     #[test]
     fn names() {
-        assert_eq!(ConservativeScheduler::new(1.0).name(), "conservative(no overcommit)");
+        assert_eq!(
+            ConservativeScheduler::new(1.0).name(),
+            "conservative(no overcommit)"
+        );
         assert_eq!(
             ConservativeScheduler::new(1.25).name(),
             "conservative(overcommit=125%)"

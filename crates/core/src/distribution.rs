@@ -102,11 +102,7 @@ impl OutputLengthDistribution {
     /// Returns `None` when no observation exceeds `threshold` — the caller
     /// must fall back to another bound (the Past-Future scheduler falls back
     /// to the request's `max_new_tokens`).
-    pub fn sample_greater_than<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        threshold: u32,
-    ) -> Option<u32> {
+    pub fn sample_greater_than<R: Rng + ?Sized>(&self, rng: &mut R, threshold: u32) -> Option<u32> {
         let idx = self.sorted.partition_point(|&v| v <= threshold);
         if idx == self.sorted.len() {
             return None;

@@ -182,7 +182,10 @@ mod tests {
     use super::*;
 
     fn e(committed: u64, remaining: u64) -> BatchEntry {
-        BatchEntry { committed, remaining }
+        BatchEntry {
+            committed,
+            remaining,
+        }
     }
 
     #[test]
@@ -197,7 +200,13 @@ mod tests {
         // One request: peak is its own total footprint.
         assert_eq!(FutureMemoryEstimator::peak_memory(&[e(10, 5)]), 15);
         let profile = FutureMemoryEstimator::memory_profile(&[e(10, 5)]);
-        assert_eq!(profile, vec![CompletionPoint { steps_from_now: 5, memory: 15 }]);
+        assert_eq!(
+            profile,
+            vec![CompletionPoint {
+                steps_from_now: 5,
+                memory: 15
+            }]
+        );
     }
 
     #[test]
@@ -221,9 +230,18 @@ mod tests {
         assert_eq!(
             profile,
             vec![
-                CompletionPoint { steps_from_now: 2, memory: 19 },
-                CompletionPoint { steps_from_now: 4, memory: 16 },
-                CompletionPoint { steps_from_now: 5, memory: 8 },
+                CompletionPoint {
+                    steps_from_now: 2,
+                    memory: 19
+                },
+                CompletionPoint {
+                    steps_from_now: 4,
+                    memory: 16
+                },
+                CompletionPoint {
+                    steps_from_now: 5,
+                    memory: 8
+                },
             ]
         );
     }
@@ -256,7 +274,7 @@ mod tests {
     fn sorted_variant_matches_unsorted() {
         let mut batch = vec![e(7, 3), e(2, 9), e(4, 4), e(1, 1)];
         let peak = FutureMemoryEstimator::peak_memory(&batch);
-        batch.sort_unstable_by(|a, b| b.remaining.cmp(&a.remaining));
+        batch.sort_unstable_by_key(|e| std::cmp::Reverse(e.remaining));
         assert_eq!(FutureMemoryEstimator::peak_memory_sorted(&batch), peak);
     }
 
@@ -336,8 +354,8 @@ mod tests {
         let running = [e(10, 7)];
         let candidate = e(10, 8);
         let capacity = 18; // candidate total, exactly
-        // The running request emits its last token at step 7 and releases
-        // at that boundary, which is when the candidate can enter.
+                           // The running request emits its last token at step 7 and releases
+                           // at that boundary, which is when the candidate can enter.
         assert_eq!(
             FutureMemoryEstimator::earliest_admission_step(&running, candidate, capacity),
             Some(7)
@@ -350,8 +368,10 @@ mod tests {
 
         fn entries_strategy() -> impl Strategy<Value = Vec<BatchEntry>> {
             proptest::collection::vec(
-                (0u64..10_000, 0u64..5_000)
-                    .prop_map(|(committed, remaining)| BatchEntry { committed, remaining }),
+                (0u64..10_000, 0u64..5_000).prop_map(|(committed, remaining)| BatchEntry {
+                    committed,
+                    remaining,
+                }),
                 0..64,
             )
         }

@@ -42,7 +42,10 @@ impl OracleScheduler {
             .map(|r| request.generated + r)
             .unwrap_or(request.max_new_tokens);
         let (committed, remaining) = request.post_prefill_entry(predicted_total);
-        BatchEntry { committed, remaining }
+        BatchEntry {
+            committed,
+            remaining,
+        }
     }
 }
 
@@ -57,8 +60,7 @@ impl Scheduler for OracleScheduler {
         queue: &[QueuedRequest],
         memory: &MemoryState,
     ) -> usize {
-        let mut entries: Vec<BatchEntry> =
-            running.iter().map(Self::entry_for_running).collect();
+        let mut entries: Vec<BatchEntry> = running.iter().map(Self::entry_for_running).collect();
         let mut admitted = 0;
         for candidate in queue {
             entries.push(Self::entry_for_queued(candidate));
@@ -92,9 +94,15 @@ mod tests {
         // Two requests, each peaking at input 10 + output 40 = 50; they
         // finish simultaneously, so M* = 100 exactly.
         let queue = [queued(0, 10, 40), queued(1, 10, 40)];
-        let exact = MemoryState { capacity_tokens: 100, used_tokens: 0 };
+        let exact = MemoryState {
+            capacity_tokens: 100,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &exact), 2);
-        let short = MemoryState { capacity_tokens: 99, used_tokens: 0 };
+        let short = MemoryState {
+            capacity_tokens: 99,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &short), 1);
     }
 
@@ -105,11 +113,17 @@ mod tests {
         // releases memory early: entries (10,2) and (10,50).
         // Sorted desc: (10,50),(10,2): M1 = 60, M2 = 20 + 2*2 = 24 → M* = 60.
         let queue = [queued(0, 10, 50), queued(1, 10, 2)];
-        let memory = MemoryState { capacity_tokens: 72, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 72,
+            used_tokens: 0,
+        };
         // Sum of totals would be 72 — conservative admits both only at 72.
         // The oracle needs just M* = max(60, 24+?) …
         assert_eq!(s.plan_admission(&[], &queue, &memory), 2);
-        let tight = MemoryState { capacity_tokens: 60, used_tokens: 0 };
+        let tight = MemoryState {
+            capacity_tokens: 60,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &tight), 2, "M* is only 60");
     }
 
@@ -128,9 +142,15 @@ mod tests {
         // while the running request is paused. Batch peak: sorted
         // (21,19),(60,5): M1 = 21 + 19 = 40, M2 = 81 + 5·2 = 91.
         let queue = [queued(1, 20, 20)];
-        let fits = MemoryState { capacity_tokens: 91, used_tokens: 60 };
+        let fits = MemoryState {
+            capacity_tokens: 91,
+            used_tokens: 60,
+        };
         assert_eq!(s.plan_admission(&running, &queue, &fits), 1);
-        let no = MemoryState { capacity_tokens: 90, used_tokens: 60 };
+        let no = MemoryState {
+            capacity_tokens: 90,
+            used_tokens: 60,
+        };
         assert_eq!(s.plan_admission(&running, &queue, &no), 0);
     }
 
@@ -144,9 +164,15 @@ mod tests {
             max_new_tokens: 100,
             oracle_remaining: None,
         }];
-        let memory = MemoryState { capacity_tokens: 109, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 109,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &memory), 0);
-        let memory = MemoryState { capacity_tokens: 110, used_tokens: 0 };
+        let memory = MemoryState {
+            capacity_tokens: 110,
+            used_tokens: 0,
+        };
         assert_eq!(s.plan_admission(&[], &queue, &memory), 1);
     }
 

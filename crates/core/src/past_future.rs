@@ -179,7 +179,10 @@ impl PastFutureScheduler {
                 candidate.max_new_tokens,
             );
             let (committed, remaining) = candidate.post_prefill_entry(predicted);
-            entries.push(BatchEntry { committed, remaining });
+            entries.push(BatchEntry {
+                committed,
+                remaining,
+            });
             if FutureMemoryEstimator::peak_memory(&entries) <= budget {
                 admitted += 1;
             } else {

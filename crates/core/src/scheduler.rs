@@ -71,8 +71,7 @@ impl QueuedRequest {
     /// `(l_p + l_t + 1, remaining − 1)` to stay exact.
     pub fn post_prefill_entry(&self, predicted_total: u32) -> (u64, u64) {
         let committed = self.committed_on_admission() + 1;
-        let remaining =
-            u64::from(predicted_total.saturating_sub(self.generated).max(1)) - 1;
+        let remaining = u64::from(predicted_total.saturating_sub(self.generated).max(1)) - 1;
         (committed, remaining)
     }
 }
@@ -174,9 +173,15 @@ mod tests {
 
     #[test]
     fn memory_state_available() {
-        let m = MemoryState { capacity_tokens: 100, used_tokens: 30 };
+        let m = MemoryState {
+            capacity_tokens: 100,
+            used_tokens: 30,
+        };
         assert_eq!(m.available_tokens(), 70);
-        let over = MemoryState { capacity_tokens: 100, used_tokens: 130 };
+        let over = MemoryState {
+            capacity_tokens: 100,
+            used_tokens: 130,
+        };
         assert_eq!(over.available_tokens(), 0);
     }
 }

@@ -41,7 +41,9 @@
 #![warn(missing_debug_implementations)]
 
 use pf_core::SchedulerConfig;
-use pf_sim::{BatchingMode, GpuSpec, KvLayout, ModelSpec, PrefillMode, SimConfigBuilder, SimConfig};
+use pf_sim::{
+    BatchingMode, GpuSpec, KvLayout, ModelSpec, PrefillMode, SimConfig, SimConfigBuilder,
+};
 
 /// The serving frameworks compared in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,8 +170,8 @@ impl Framework {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_workload::{datasets, ClosedLoopClients};
     use pf_sim::Simulation;
+    use pf_workload::{datasets, ClosedLoopClients};
 
     #[test]
     fn presets_are_distinct_and_named() {
@@ -247,8 +249,7 @@ mod tests {
     #[test]
     fn trt_kernels_faster_than_tgi() {
         assert!(
-            Framework::TensorRtLlm.preset().kernel_speedup
-                > Framework::Tgi.preset().kernel_speedup
+            Framework::TensorRtLlm.preset().kernel_speedup > Framework::Tgi.preset().kernel_speedup
         );
     }
 }

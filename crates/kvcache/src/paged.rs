@@ -106,7 +106,13 @@ impl KvCacheManager for PagedPool {
                 available: self.free_blocks() * self.block_size,
             });
         }
-        self.requests.insert(req, PagedEntry { logical: tokens, blocks });
+        self.requests.insert(
+            req,
+            PagedEntry {
+                logical: tokens,
+                blocks,
+            },
+        );
         self.used_blocks += blocks;
         self.logical += tokens;
         self.bump_peak();

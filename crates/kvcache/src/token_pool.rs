@@ -148,7 +148,13 @@ mod tests {
     fn rejects_over_capacity() {
         let mut p = TokenPool::new(10);
         let err = p.allocate(1, 11, 11).unwrap_err();
-        assert_eq!(err, AllocError { requested: 11, available: 10 });
+        assert_eq!(
+            err,
+            AllocError {
+                requested: 11,
+                available: 10
+            }
+        );
         assert_eq!(p.used_tokens(), 0); // unchanged on failure
         assert_eq!(p.n_requests(), 0);
     }

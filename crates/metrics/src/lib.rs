@@ -15,6 +15,8 @@
 //!   (Figures 3 and 4);
 //! * [`StepSeries`] — step-weighted time series used for memory-utilization
 //!   statistics (Figure 1, Table 1);
+//! * [`ObservationWindow`] — sliding rate/length windows feeding the
+//!   elastic-scaling planner's load observations;
 //! * [`Summary`] and percentile helpers.
 //!
 //! # Example
@@ -40,6 +42,7 @@ mod sla;
 mod stats;
 mod table;
 mod time;
+mod window;
 
 pub use hist::{Binning, LengthHistogram};
 pub use series::StepSeries;
@@ -50,3 +53,4 @@ pub use sla::{GoodputReport, RequestTiming, SlaOutcome, SlaSpec, SlaViolation};
 pub use stats::{mean, percentile, std_dev, Summary};
 pub use table::{Align, Table};
 pub use time::{SimDuration, SimTime};
+pub use window::ObservationWindow;

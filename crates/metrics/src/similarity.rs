@@ -243,7 +243,10 @@ mod tests {
         let m = w.similarity_matrix();
         let diag = m.diagonal_mean().unwrap();
         let glob = m.off_diagonal_mean().unwrap();
-        assert!(diag > glob, "adjacent windows must beat global: {diag} vs {glob}");
+        assert!(
+            diag > glob,
+            "adjacent windows must beat global: {diag} vs {glob}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct SlaSpec {
 impl SlaSpec {
     /// Creates an SLA spec from explicit thresholds.
     pub const fn new(max_ttft: SimDuration, max_mtpot: SimDuration) -> Self {
-        SlaSpec { max_ttft, max_mtpot }
+        SlaSpec {
+            max_ttft,
+            max_mtpot,
+        }
     }
 
     /// The paper's SLA for 7B/13B models: TTFT < 10 s, MTPOT < 1.5 s.
@@ -270,7 +273,13 @@ impl GoodputReport {
             }
         }
         let secs = duration.as_secs_f64();
-        let rate = |tokens: u64| if secs > 0.0 { tokens as f64 / secs } else { 0.0 };
+        let rate = |tokens: u64| {
+            if secs > 0.0 {
+                tokens as f64 / secs
+            } else {
+                0.0
+            }
+        };
         GoodputReport {
             total_requests: requests.len(),
             satisfied_requests,
@@ -357,10 +366,7 @@ mod tests {
         let mut t = RequestTiming::new(SimTime::ZERO);
         t.record_token(secs(11.0));
         let outcome = sla.evaluate(&t);
-        assert!(matches!(
-            outcome.violation,
-            Some(SlaViolation::Ttft { .. })
-        ));
+        assert!(matches!(outcome.violation, Some(SlaViolation::Ttft { .. })));
     }
 
     #[test]
@@ -400,11 +406,8 @@ mod tests {
         ok.record_token(secs(0.6));
         let mut bad = RequestTiming::new(SimTime::ZERO);
         bad.record_token(secs(20.0));
-        let report = GoodputReport::compute(
-            &sla,
-            &[(ok, 100), (bad, 300)],
-            SimDuration::from_secs(10),
-        );
+        let report =
+            GoodputReport::compute(&sla, &[(ok, 100), (bad, 300)], SimDuration::from_secs(10));
         assert_eq!(report.total_requests, 2);
         assert_eq!(report.satisfied_requests, 1);
         assert_eq!(report.total_output_tokens, 400);
@@ -436,7 +439,10 @@ mod tests {
             .collect();
         let report = GoodputReport::compute(&sla, &fast, SimDuration::from_secs(10));
         assert!(report.is_p99_compliant(&sla));
-        assert_eq!(report.p99_goodput_tok_per_s(&sla), report.throughput_tok_per_s);
+        assert_eq!(
+            report.p99_goodput_tok_per_s(&sla),
+            report.throughput_tok_per_s
+        );
         // Two slow requests out of 100 push the P99 over the limit: the
         // whole system scores zero under this interpretation.
         let mut mixed = fast;

@@ -30,7 +30,10 @@ pub fn std_dev(values: &[f64]) -> f64 {
 ///
 /// Panics if `p` is outside `[0, 100]` or not finite.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p) && p.is_finite(), "bad percentile {p}");
+    assert!(
+        (0.0..=100.0).contains(&p) && p.is_finite(),
+        "bad percentile {p}"
+    );
     if values.is_empty() {
         return None;
     }

@@ -246,10 +246,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_secs)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

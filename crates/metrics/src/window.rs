@@ -1,0 +1,185 @@
+//! Sliding time windows over timestamped observations.
+//!
+//! The elastic-scaling planner (`pf-autoscale`) measures offered load as
+//! *rates and means over a recent window*: request arrivals per second,
+//! mean prompt length, mean output length, observed TTFT/TPOT. This module
+//! provides the shared windowing primitive: an [`ObservationWindow`] keeps
+//! `(time, value)` samples no older than a configured span and answers
+//! count/rate/mean queries in O(1) amortized time.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A sliding window of timestamped scalar observations.
+///
+/// Samples are pushed in non-decreasing time order; samples older than
+/// `span` before the most recent [`ObservationWindow::prune`] time are
+/// discarded. The running sum is maintained incrementally so rate and mean
+/// queries are O(1).
+#[derive(Debug, Clone)]
+pub struct ObservationWindow {
+    span: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+}
+
+impl ObservationWindow {
+    /// Creates a window keeping samples for `span` of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn new(span: SimDuration) -> Self {
+        assert!(!span.is_zero(), "observation window span must be positive");
+        ObservationWindow {
+            span,
+            samples: VecDeque::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// The configured window span.
+    pub fn span(&self) -> SimDuration {
+        self.span
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the newest recorded sample.
+    pub fn observe(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.samples.back().is_none_or(|&(t, _)| t <= at),
+            "observations must arrive in time order"
+        );
+        self.samples.push_back((at, value));
+        self.sum += value;
+    }
+
+    /// Discards samples older than `now - span`.
+    pub fn prune(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(SimTime::ZERO) - self.span;
+        while let Some(&(t, v)) = self.samples.front() {
+            if t.saturating_since(SimTime::ZERO) < cutoff {
+                self.samples.pop_front();
+                self.sum -= v;
+            } else {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            // Reset accumulated floating-point drift at natural boundaries.
+            self.sum = 0.0;
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of the sample values in the window.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the sample values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Observations per second over the window span (events whose values
+    /// are irrelevant still count; prune first for an up-to-date answer).
+    pub fn rate_per_s(&self) -> f64 {
+        self.samples.len() as f64 / self.span.as_secs_f64()
+    }
+
+    /// Removes every sample.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn mean_and_sum_track_contents() {
+        let mut w = ObservationWindow::new(SimDuration::from_secs(10));
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        w.observe(secs(1), 2.0);
+        w.observe(secs(2), 4.0);
+        w.observe(secs(3), 6.0);
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.sum(), 12.0);
+        assert_eq!(w.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn prune_discards_old_samples() {
+        let mut w = ObservationWindow::new(SimDuration::from_secs(5));
+        for t in 0..10 {
+            w.observe(secs(t), t as f64);
+        }
+        w.prune(secs(9));
+        // Cutoff at t=4: samples 4..=9 remain.
+        assert_eq!(w.count(), 6);
+        assert_eq!(w.sum(), (4..10).sum::<u64>() as f64);
+        w.prune(secs(100));
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    fn rate_counts_events_over_span() {
+        let mut w = ObservationWindow::new(SimDuration::from_secs(4));
+        for t in 0..8 {
+            w.observe(SimTime::from_millis(500 * t), 1.0);
+        }
+        w.prune(SimTime::from_millis(3500));
+        // All 8 samples are within the last 4 s: 2 events/s.
+        assert!((w.rate_per_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_prune_is_safe() {
+        let mut w = ObservationWindow::new(SimDuration::from_secs(60));
+        w.observe(secs(1), 1.0);
+        // now < span: cutoff saturates to zero, nothing discarded.
+        w.prune(secs(2));
+        assert_eq!(w.count(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = ObservationWindow::new(SimDuration::from_secs(1));
+        w.observe(secs(0), 5.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn zero_span_panics() {
+        let _ = ObservationWindow::new(SimDuration::ZERO);
+    }
+}

@@ -219,12 +219,9 @@ impl ClusterSimulation {
                         continue;
                     }
                     // No more arrivals: finish the remaining engines.
-                    let all_done = engines.iter_mut().all(|e| {
-                        matches!(
-                            e.tick(),
-                            Ok(Tick::Drained) | Ok(Tick::HorizonReached)
-                        )
-                    });
+                    let all_done = engines
+                        .iter_mut()
+                        .all(|e| matches!(e.tick(), Ok(Tick::Drained) | Ok(Tick::HorizonReached)));
                     if all_done {
                         break;
                     }
@@ -312,9 +309,9 @@ impl ClusterReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{GpuSpec, ModelSpec};
     use pf_core::SchedulerConfig;
     use pf_workload::{datasets, LengthSampler};
-    use crate::{GpuSpec, ModelSpec};
 
     fn base_config(capacity: u64) -> SimConfig {
         SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
@@ -336,7 +333,9 @@ mod tests {
     }
 
     fn burst_arrivals(n: usize, gap_ms: u64) -> Vec<SimTime> {
-        (0..n).map(|i| SimTime::from_millis(gap_ms * i as u64)).collect()
+        (0..n)
+            .map(|i| SimTime::from_millis(gap_ms * i as u64))
+            .collect()
     }
 
     #[test]

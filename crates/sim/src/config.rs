@@ -286,8 +286,8 @@ mod tests {
 
     #[test]
     fn kv_manager_matches_layout() {
-        let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
-            .capacity_override(1000);
+        let base =
+            SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g()).capacity_override(1000);
         let token = base.clone().kv_layout(KvLayout::TokenPool).build();
         assert_eq!(token.build_kv_manager().capacity_tokens(), 1000);
         let paged = base

@@ -1,0 +1,663 @@
+//! Elastic multi-instance serving: the cluster grows and shrinks mid-run.
+//!
+//! [`crate::cluster::ClusterSimulation`] serves a workload with a *fixed*
+//! fleet. This module adds the control loop on top: an
+//! [`AutoscalePlanner`] (from `pf-autoscale`) watches arrivals and
+//! completions through sliding windows, forecasts the next adjustment
+//! interval, and resizes the fleet —
+//!
+//! * **scale-up** provisions fresh instances that accept traffic only
+//!   after a configurable *warm-up delay* (boot + weight load);
+//! * **scale-down** puts instances into a *draining* state: they finish
+//!   their queued and running work but receive nothing new, and stop (and
+//!   stop costing GPU-seconds) once empty.
+//!
+//! The front end routes every arriving request to the **live** instance
+//! with the lowest future-required-memory estimate
+//! ([`crate::cluster::RouterPolicy::LeastEstimatedLoad`] — the paper's §7
+//! signal); warming, draining and stopped instances are never routed to.
+//!
+//! The run is fully deterministic: one global clock orders engine steps,
+//! arrivals and planning rounds, and all randomness is seeded.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_autoscale::AutoscaleConfig;
+//! use pf_core::SchedulerConfig;
+//! use pf_metrics::SimDuration;
+//! use pf_sim::elastic::ElasticCluster;
+//! use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+//! use pf_workload::{datasets, rng::seeded, RateProfile};
+//!
+//! let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+//!     .scheduler(SchedulerConfig::past_future())
+//!     .capacity_override(12_000)
+//!     .record_series(false)
+//!     .build();
+//! let autoscale = AutoscaleConfig::bounded(1, 4)
+//!     .interval(SimDuration::from_secs(10))
+//!     .warmup(SimDuration::from_secs(15));
+//! let requests = datasets::sharegpt(120, 1);
+//! let arrivals = RateProfile::diurnal(1.0, 6.0, SimDuration::from_secs(120))
+//!     .assign(&mut seeded(2), 120);
+//! let report = ElasticCluster::new(base, autoscale, 1)
+//!     .run(requests, arrivals)?;
+//! assert_eq!(report.completed(), 120);
+//! assert!(report.gpu_seconds() > 0.0);
+//! # Ok::<(), pf_sim::SimError>(())
+//! ```
+
+use std::collections::VecDeque;
+
+use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, ScalingDecision, StepLatency};
+use pf_metrics::{GoodputReport, SimDuration, SimTime, StepSeries};
+use pf_workload::RequestSpec;
+
+use crate::config::SimConfig;
+use crate::engine::{Arrivals, Engine, Tick};
+use crate::error::SimError;
+use crate::perf::PerfModel;
+use crate::report::SimReport;
+
+/// Step-latency oracle for one replica of the elastic fleet: the roofline
+/// [`PerfModel`] with the *deployment's* KV capacity (which an override in
+/// [`SimConfig`] may shrink below the hardware-derived value).
+#[derive(Debug, Clone, Copy)]
+struct ReplicaModel {
+    perf: PerfModel,
+    capacity_tokens: u64,
+}
+
+impl StepLatency for ReplicaModel {
+    fn prefill_secs(&self, prompt_tokens: u64) -> f64 {
+        self.perf.prefill_step(prompt_tokens).as_secs_f64()
+    }
+
+    fn decode_secs(&self, batch_size: u64, kv_tokens: u64) -> f64 {
+        self.perf.decode_step(batch_size, kv_tokens).as_secs_f64()
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.capacity_tokens
+    }
+}
+
+/// Lifecycle of one fleet member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberState {
+    /// Provisioned but not yet accepting traffic.
+    Warming {
+        /// When the instance becomes live.
+        ready_at: SimTime,
+    },
+    /// Serving and routable.
+    Live,
+    /// Finishing in-flight work; receives nothing new.
+    Draining,
+    /// Released; costs nothing from `stopped_at` on.
+    Stopped,
+}
+
+#[derive(Debug)]
+struct Member {
+    engine: Engine,
+    state: MemberState,
+    spawned_at: SimTime,
+    stopped_at: Option<SimTime>,
+    routed: usize,
+    seen_outcomes: usize,
+}
+
+impl Member {
+    fn is_active(&self) -> bool {
+        matches!(self.state, MemberState::Live | MemberState::Draining)
+    }
+
+    fn is_live(&self) -> bool {
+        self.state == MemberState::Live
+    }
+}
+
+/// One fleet-size change, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingEvent {
+    /// When the planner decided.
+    pub at: SimTime,
+    /// Provisioned replicas (live + warming) before the decision.
+    pub from: usize,
+    /// Provisioned replicas after the decision.
+    pub to: usize,
+}
+
+/// An elastic fleet of identical serving instances driven by an
+/// SLA-targeted autoscaling planner.
+#[derive(Debug)]
+pub struct ElasticCluster {
+    base: SimConfig,
+    autoscale: AutoscaleConfig,
+    initial_replicas: usize,
+}
+
+impl ElasticCluster {
+    /// Creates an elastic cluster starting with `initial_replicas` live
+    /// copies of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_replicas` is zero or outside the autoscale
+    /// policy's `[min, max]` bounds.
+    pub fn new(base: SimConfig, autoscale: AutoscaleConfig, initial_replicas: usize) -> Self {
+        assert!(initial_replicas > 0, "cluster needs at least one instance");
+        assert!(
+            (autoscale.policy.min_replicas..=autoscale.policy.max_replicas)
+                .contains(&initial_replicas),
+            "initial_replicas {} outside policy bounds [{}, {}]",
+            initial_replicas,
+            autoscale.policy.min_replicas,
+            autoscale.policy.max_replicas
+        );
+        ElasticCluster {
+            base,
+            autoscale,
+            initial_replicas,
+        }
+    }
+
+    /// Runs the elastic fleet against a timed arrival stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a request can never fit an instance or an
+    /// instance stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+    ) -> Result<ElasticReport, SimError> {
+        assert_eq!(
+            requests.len(),
+            arrival_times.len(),
+            "one arrival time per request"
+        );
+        assert!(
+            arrival_times.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be sorted"
+        );
+        Run::start(self.base, self.autoscale, self.initial_replicas, &requests)?
+            .drive(arrival_times.into_iter().zip(requests).collect())
+    }
+}
+
+/// Mutable state of one elastic run.
+struct Run {
+    base: SimConfig,
+    planner: AutoscalePlanner<ReplicaModel>,
+    members: Vec<Member>,
+    spawned_total: usize,
+    next_adjust: SimTime,
+    interval: SimDuration,
+    warmup: SimDuration,
+    events: Vec<ScalingEvent>,
+    live_series: StepSeries,
+    provisioned_series: StepSeries,
+    /// Series must be recorded in time order; planning rounds are stamped
+    /// at the interval boundary, which can trail the global front.
+    last_record: SimTime,
+}
+
+impl Run {
+    fn start(
+        base: SimConfig,
+        autoscale: AutoscaleConfig,
+        initial_replicas: usize,
+        requests: &[RequestSpec],
+    ) -> Result<Run, SimError> {
+        let model = ReplicaModel {
+            perf: base.perf_model(),
+            capacity_tokens: base.capacity_tokens(),
+        };
+        let planner = AutoscalePlanner::new(autoscale, base.sla, model);
+        let interval = planner.interval();
+        let warmup = planner.warmup();
+        let mut run = Run {
+            base,
+            planner,
+            members: Vec::new(),
+            spawned_total: 0,
+            next_adjust: SimTime::ZERO + interval,
+            interval,
+            warmup,
+            events: Vec::new(),
+            live_series: StepSeries::new(),
+            provisioned_series: StepSeries::new(),
+            last_record: SimTime::ZERO,
+        };
+        for _ in 0..initial_replicas {
+            run.spawn(SimTime::ZERO, SimDuration::ZERO);
+        }
+        // Upfront validation against one (any) member: the fleet is
+        // homogeneous.
+        run.members[0].engine.validate()?;
+        for spec in requests {
+            run.members[0].engine.validate_spec(spec)?;
+        }
+        run.record_fleet(SimTime::ZERO);
+        Ok(run)
+    }
+
+    fn spawn(&mut self, now: SimTime, warmup: SimDuration) {
+        let mut config = self.base.clone();
+        // Independent sampling streams per instance, as in the static
+        // cluster.
+        config.seed = config.seed.wrapping_add(self.spawned_total as u64);
+        self.spawned_total += 1;
+        let mut engine = Engine::new(config, Arrivals::offline(Vec::new()));
+        engine.advance_to(now);
+        let ready_at = now + warmup;
+        let state = if warmup.is_zero() {
+            MemberState::Live
+        } else {
+            MemberState::Warming { ready_at }
+        };
+        self.members.push(Member {
+            engine,
+            state,
+            spawned_at: now,
+            stopped_at: None,
+            routed: 0,
+            seen_outcomes: 0,
+        });
+    }
+
+    fn live_count(&self) -> usize {
+        self.members.iter().filter(|m| m.is_live()).count()
+    }
+
+    fn warming_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m.state, MemberState::Warming { .. }))
+            .count()
+    }
+
+    fn provisioned_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.stopped_at.is_none())
+            .count()
+    }
+
+    fn record_fleet(&mut self, at: SimTime) {
+        let at = at.max(self.last_record);
+        self.last_record = at;
+        self.live_series.record(at, self.live_count() as f64);
+        self.provisioned_series
+            .record(at, self.provisioned_count() as f64);
+    }
+
+    /// Index of the active member with the smallest clock (the global
+    /// front), or `None` when no member is active.
+    fn lagging_active(&self) -> Option<usize> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_active())
+            .min_by_key(|(_, m)| m.engine.now())
+            .map(|(i, _)| i)
+    }
+
+    /// Routes to the live member with the lowest estimated load (the
+    /// paper's §7 signal).
+    fn route_target(&self) -> Option<usize> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_live())
+            .min_by(|(_, a), (_, b)| {
+                a.engine
+                    .load_estimate()
+                    .total_cmp(&b.engine.load_estimate())
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Feeds newly finished requests of member `i` to the planner.
+    fn harvest_outcomes(&mut self, i: usize) {
+        let member = &mut self.members[i];
+        let now = member.engine.now();
+        let outcomes = member.engine.outcomes();
+        let fresh: Vec<(u32, Option<SimDuration>, SimDuration)> = outcomes[member.seen_outcomes..]
+            .iter()
+            .map(|o| (o.output_len, o.timing.ttft(), o.timing.avg_tpot()))
+            .collect();
+        member.seen_outcomes = outcomes.len();
+        for (output_len, ttft, avg_tpot) in fresh {
+            if let Some(ttft) = ttft {
+                self.planner
+                    .on_request_finished(now, output_len, ttft, avg_tpot);
+            }
+        }
+    }
+
+    /// Runs one planning round at `self.next_adjust` and applies the
+    /// decision.
+    fn adjust(&mut self) {
+        let at = self.next_adjust;
+        self.next_adjust = at + self.interval;
+        let live = self.live_count();
+        let warming = self.warming_count();
+        let effective = live + warming;
+        if effective == 0 {
+            // Horizon pressure stopped the whole fleet; nothing to steer.
+            return;
+        }
+        let outcome = self.planner.plan(at, live, warming);
+        let target = outcome.decision.target_or(effective);
+        match outcome.decision {
+            ScalingDecision::ScaleUp { target } if target > effective => {
+                for _ in effective..target {
+                    self.spawn(at, self.warmup);
+                }
+            }
+            ScalingDecision::ScaleDown { target } if target < effective => {
+                let mut excess = effective - target;
+                // Cancel the newest warming instances first: they have
+                // served nothing yet.
+                for i in (0..self.members.len()).rev() {
+                    if excess == 0 {
+                        break;
+                    }
+                    if matches!(self.members[i].state, MemberState::Warming { .. }) {
+                        self.members[i].state = MemberState::Stopped;
+                        self.members[i].stopped_at = Some(at);
+                        excess -= 1;
+                    }
+                }
+                // Then drain the least-loaded live instances (they finish
+                // their work and stop; live never falls below `target`).
+                while excess > 0 {
+                    let Some(victim) = self
+                        .members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.is_live())
+                        .min_by_key(|(i, m)| (m.engine.outstanding(), *i))
+                        .map(|(i, _)| i)
+                    else {
+                        break;
+                    };
+                    if self.live_count() <= 1 {
+                        break; // never leave the router without a target
+                    }
+                    self.members[victim].state = MemberState::Draining;
+                    excess -= 1;
+                }
+            }
+            _ => {}
+        }
+        if target != effective {
+            self.events.push(ScalingEvent {
+                at,
+                from: effective,
+                to: target,
+            });
+        }
+        self.record_fleet(at);
+    }
+
+    /// Promotes warming members whose delay elapsed before `front`.
+    fn promote_ready(&mut self, front: SimTime) -> bool {
+        let mut promoted = false;
+        for member in &mut self.members {
+            if let MemberState::Warming { ready_at } = member.state {
+                if ready_at <= front {
+                    member.engine.advance_to(ready_at);
+                    member.state = MemberState::Live;
+                    promoted = true;
+                }
+            }
+        }
+        if promoted {
+            self.record_fleet(front);
+        }
+        promoted
+    }
+
+    /// Earliest pending ready-at among warming members.
+    fn next_ready(&self) -> Option<SimTime> {
+        self.members
+            .iter()
+            .filter_map(|m| match m.state {
+                MemberState::Warming { ready_at } => Some(ready_at),
+                _ => None,
+            })
+            .min()
+    }
+
+    fn drive(
+        mut self,
+        mut stream: VecDeque<(SimTime, RequestSpec)>,
+    ) -> Result<ElasticReport, SimError> {
+        // Requests popped from the stream while no live instance exists
+        // (possible only under horizon pressure) are unserved too and
+        // must count alongside the un-popped remainder.
+        let mut dropped = 0usize;
+        // The loop ends when no member is active (every instance stopped,
+        // possible only via max_sim_time — remaining stream goes unserved)
+        // or via the explicit all-idle break below.
+        while let Some(i_min) = self.lagging_active() {
+            let front = self.members[i_min].engine.now();
+            if self.promote_ready(front) {
+                continue;
+            }
+            if front >= self.next_adjust {
+                self.adjust();
+                continue;
+            }
+            if let Some(&(at, _)) = stream.front() {
+                if front >= at {
+                    let (at, spec) = stream.pop_front().expect("peeked");
+                    let Some(target) = self.route_target() else {
+                        // No live instance (all draining under horizon
+                        // pressure): the request goes unserved.
+                        dropped += 1;
+                        continue;
+                    };
+                    self.planner.on_request_arrival(at, spec.input_len);
+                    let arrival = at.max(self.members[target].engine.now());
+                    self.members[target].engine.inject(arrival, spec);
+                    self.members[target].routed += 1;
+                    continue;
+                }
+            }
+            match self.members[i_min].engine.tick()? {
+                Tick::Worked => self.harvest_outcomes(i_min),
+                Tick::Sleep(t) => {
+                    // Do not overshoot the next global event: the planner
+                    // round and stream arrivals need the front to pause at
+                    // their timestamps.
+                    let mut bound = t.min(self.next_adjust);
+                    if let Some(&(at, _)) = stream.front() {
+                        bound = bound.min(at);
+                    }
+                    self.members[i_min].engine.advance_to(bound.max(front));
+                }
+                Tick::Blocked => {
+                    return Err(SimError::Stalled {
+                        queued: self.members[i_min].engine.outstanding(),
+                        at: front,
+                    });
+                }
+                Tick::HorizonReached => {
+                    // The member will never work again; release it so the
+                    // run can terminate.
+                    self.members[i_min].state = MemberState::Stopped;
+                    self.members[i_min].stopped_at = Some(front);
+                    self.record_fleet(front);
+                }
+                Tick::Drained => {
+                    if self.members[i_min].state == MemberState::Draining {
+                        self.members[i_min].state = MemberState::Stopped;
+                        self.members[i_min].stopped_at = Some(front);
+                        self.record_fleet(front);
+                        continue;
+                    }
+                    // Idle live instance: fast-forward to the next global
+                    // event so it stays a valid routing-time reference.
+                    let all_idle = self
+                        .members
+                        .iter()
+                        .filter(|m| m.is_active())
+                        .all(|m| m.engine.outstanding() == 0);
+                    if stream.is_empty() && all_idle && self.warming_count() == 0 {
+                        break;
+                    }
+                    let mut next = self.next_adjust;
+                    if let Some(&(at, _)) = stream.front() {
+                        next = next.min(at);
+                    }
+                    if let Some(ready) = self.next_ready() {
+                        next = next.min(ready);
+                    }
+                    self.members[i_min].engine.advance_to(next.max(front));
+                }
+            }
+        }
+        Ok(self.finish(dropped + stream.len()))
+    }
+
+    fn finish(mut self, unrouted: usize) -> ElasticReport {
+        // Collect any completions the final ticks produced.
+        for i in 0..self.members.len() {
+            self.harvest_outcomes(i);
+        }
+        let end = self
+            .members
+            .iter()
+            .map(|m| m.stopped_at.unwrap_or(m.engine.now()))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.live_series.record(end, self.live_count() as f64);
+        self.provisioned_series
+            .record(end, self.provisioned_count() as f64);
+        let sla = self.base.sla;
+        let instances: Vec<ElasticInstanceReport> = self
+            .members
+            .into_iter()
+            .map(|m| {
+                let stopped_at = m.stopped_at.unwrap_or(end);
+                ElasticInstanceReport {
+                    spawned_at: m.spawned_at,
+                    stopped_at,
+                    routed: m.routed,
+                    report: m.engine.into_report(),
+                }
+            })
+            .collect();
+        // Cluster-level goodput over every completed request, measured on
+        // the cluster makespan.
+        let all_requests: Vec<(pf_metrics::RequestTiming, u64)> = instances
+            .iter()
+            .flat_map(|i| i.report.outcomes.iter())
+            .map(|o| (o.timing, u64::from(o.output_len)))
+            .collect();
+        let makespan = end.saturating_since(SimTime::ZERO);
+        let goodput = GoodputReport::compute(&sla, &all_requests, makespan);
+        ElasticReport {
+            goodput,
+            makespan,
+            unrouted,
+            instances,
+            events: self.events,
+            live_series: self.live_series,
+            provisioned_series: self.provisioned_series,
+        }
+    }
+}
+
+/// Per-instance result of an elastic run.
+#[derive(Debug)]
+pub struct ElasticInstanceReport {
+    /// When the instance was provisioned.
+    pub spawned_at: SimTime,
+    /// When it stopped costing GPU time (run end for instances still up).
+    pub stopped_at: SimTime,
+    /// Requests routed to it.
+    pub routed: usize,
+    /// Its engine report.
+    pub report: SimReport,
+}
+
+impl ElasticInstanceReport {
+    /// GPU time this instance was provisioned for, in seconds (warm-up
+    /// time counts: the GPU is busy loading weights, not serving).
+    pub fn active_secs(&self) -> f64 {
+        self.stopped_at
+            .saturating_since(self.spawned_at)
+            .as_secs_f64()
+    }
+}
+
+/// Aggregate result of an elastic cluster run.
+#[derive(Debug)]
+pub struct ElasticReport {
+    /// Cluster-level goodput over all completed requests.
+    pub goodput: GoodputReport,
+    /// Run end time (latest instance activity).
+    pub makespan: SimDuration,
+    /// Requests dropped because no live instance existed (only possible
+    /// when `max_sim_time` stops the fleet early).
+    pub unrouted: usize,
+    /// Per-instance reports, in spawn order.
+    pub instances: Vec<ElasticInstanceReport>,
+    /// Fleet-size changes the planner made.
+    pub events: Vec<ScalingEvent>,
+    /// Live-replica count over time.
+    pub live_series: StepSeries,
+    /// Provisioned-replica count (live + warming + draining) over time.
+    pub provisioned_series: StepSeries,
+}
+
+impl ElasticReport {
+    /// Total completed requests.
+    pub fn completed(&self) -> usize {
+        self.instances.iter().map(|i| i.report.completed).sum()
+    }
+
+    /// Requests that satisfied the SLA.
+    pub fn satisfied(&self) -> usize {
+        self.goodput.satisfied_requests
+    }
+
+    /// Fraction of completed requests that satisfied the SLA.
+    pub fn sla_attainment(&self) -> f64 {
+        self.goodput.satisfied_fraction()
+    }
+
+    /// SLA-satisfying output tokens per second over the makespan.
+    pub fn goodput_tok_per_s(&self) -> f64 {
+        self.goodput.goodput_tok_per_s
+    }
+
+    /// Total GPU-seconds provisioned across the fleet (the cost metric
+    /// the elastic planner competes on against static fleets).
+    pub fn gpu_seconds(&self) -> f64 {
+        self.instances.iter().map(|i| i.active_secs()).sum()
+    }
+
+    /// Largest number of simultaneously provisioned replicas.
+    pub fn peak_replicas(&self) -> usize {
+        self.provisioned_series.max_value().unwrap_or(0.0) as usize
+    }
+
+    /// Total evictions across instances.
+    pub fn evictions(&self) -> u64 {
+        self.instances.iter().map(|i| i.report.evictions).sum()
+    }
+}

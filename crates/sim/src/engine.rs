@@ -392,6 +392,13 @@ impl Engine {
         Ok(())
     }
 
+    /// Completed-request outcomes so far. The elastic cluster reads these
+    /// incrementally (by index) to feed observed output lengths and
+    /// TTFT/TPOT into the autoscaling planner as requests finish.
+    pub(crate) fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
     /// Consumes the engine and produces its report (cluster co-simulation).
     pub(crate) fn into_report(self) -> SimReport {
         self.finish_report()
@@ -490,8 +497,7 @@ impl Engine {
             for _ in 0..plan {
                 let pending = self.queue.front().expect("plan within queue bounds");
                 // Pre-pay the prompt plus the first output token's slot.
-                let needed =
-                    u64::from(pending.spec.input_len) + u64::from(pending.generated) + 1;
+                let needed = u64::from(pending.spec.input_len) + u64::from(pending.generated) + 1;
                 let reserve_total =
                     u64::from(pending.spec.input_len) + u64::from(pending.spec.max_new_tokens);
                 if self
@@ -793,7 +799,9 @@ impl Engine {
             let mut max_in = 0u64;
             let mut max_cap = 0u64;
             while batch.len() < max_batch {
-                let Some(front) = self.queue.front() else { break };
+                let Some(front) = self.queue.front() else {
+                    break;
+                };
                 let cand_in = max_in.max(u64::from(front.spec.input_len));
                 let cand_cap = max_cap.max(u64::from(front.spec.max_new_tokens));
                 let worst = (batch.len() as u64 + 1) * (cand_in + cand_cap);
@@ -824,10 +832,7 @@ impl Engine {
             // Decode until the whole batch finishes (early finishers idle
             // inside the batch — padding waste).
             let mut step_idx = 1u64;
-            while batch
-                .iter()
-                .any(|p| p.generated < p.spec.true_output_len)
-            {
+            while batch.iter().any(|p| p.generated < p.spec.true_output_len) {
                 if self.time_exceeded() {
                     break;
                 }

@@ -40,7 +40,11 @@ impl fmt::Display for SimError {
             SimError::NoKvCapacity { capacity } => {
                 write!(f, "model leaves no kv-cache capacity ({capacity} tokens)")
             }
-            SimError::RequestTooLarge { id, needed, capacity } => write!(
+            SimError::RequestTooLarge {
+                id,
+                needed,
+                capacity,
+            } => write!(
                 f,
                 "request {id} needs {needed} tokens but capacity is {capacity}"
             ),
@@ -63,11 +67,18 @@ mod tests {
         assert!(SimError::NoKvCapacity { capacity: 0 }
             .to_string()
             .contains("no kv-cache capacity"));
-        assert!(SimError::RequestTooLarge { id: 3, needed: 10, capacity: 5 }
-            .to_string()
-            .contains("request 3"));
-        assert!(SimError::Stalled { queued: 2, at: SimTime::ZERO }
-            .to_string()
-            .contains("stalled"));
+        assert!(SimError::RequestTooLarge {
+            id: 3,
+            needed: 10,
+            capacity: 5
+        }
+        .to_string()
+        .contains("request 3"));
+        assert!(SimError::Stalled {
+            queued: 2,
+            at: SimTime::ZERO
+        }
+        .to_string()
+        .contains("stalled"));
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod cluster;
 mod config;
+pub mod elastic;
 mod engine;
 mod error;
 mod hardware;

@@ -131,9 +131,8 @@ impl PerfModel {
         if prompt_tokens == 0 {
             return SimDuration::ZERO;
         }
-        let compute =
-            self.model.flops_per_token() * prompt_tokens as f64
-                / self.effective_flops(self.tuning.prefill_flops_eff);
+        let compute = self.model.flops_per_token() * prompt_tokens as f64
+            / self.effective_flops(self.tuning.prefill_flops_eff);
         let memory = self.model.weight_bytes() as f64 / self.effective_bw();
         self.finish(compute.max(memory))
     }
@@ -146,8 +145,8 @@ impl PerfModel {
         }
         let compute = self.model.flops_per_token() * batch_size as f64
             / self.effective_flops(self.tuning.decode_flops_eff);
-        let bytes = self.model.weight_bytes() as f64
-            + (kv_tokens * self.model.kv_bytes_per_token()) as f64;
+        let bytes =
+            self.model.weight_bytes() as f64 + (kv_tokens * self.model.kv_bytes_per_token()) as f64;
         let memory = bytes / self.effective_bw();
         self.finish(compute.max(memory))
     }
@@ -160,8 +159,8 @@ impl PerfModel {
         }
         let compute = self.model.flops_per_token() * (chunk_tokens + batch_size) as f64
             / self.effective_flops(self.tuning.prefill_flops_eff);
-        let bytes = self.model.weight_bytes() as f64
-            + (kv_tokens * self.model.kv_bytes_per_token()) as f64;
+        let bytes =
+            self.model.weight_bytes() as f64 + (kv_tokens * self.model.kv_bytes_per_token()) as f64;
         let memory = bytes / self.effective_bw();
         self.finish(compute.max(memory))
     }

@@ -1,0 +1,199 @@
+//! Behavioral tests for the elastic cluster: scale-up under load, drain
+//! correctness, policy bounds, warm-up delays and full-run determinism.
+
+use pf_autoscale::{AutoscaleConfig, PredictorKind};
+use pf_core::SchedulerConfig;
+use pf_metrics::{SimDuration, SimTime};
+use pf_sim::elastic::{ElasticCluster, ElasticReport};
+use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
+
+fn base_config(capacity: u64) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(capacity)
+        .record_series(false)
+        .seed(3)
+        .build()
+}
+
+fn chat_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
+    let input = LengthSampler::uniform(64, 256);
+    let output = LengthSampler::uniform(64, 384);
+    datasets::from_samplers(n, seed, &input, &output, 512)
+}
+
+fn autoscale(min: usize, max: usize) -> AutoscaleConfig {
+    AutoscaleConfig::bounded(min, max)
+        .interval(SimDuration::from_secs(10))
+        .warmup(SimDuration::from_secs(15))
+        .predictor(PredictorKind::holt())
+        .initial_lengths(160.0, 220.0)
+}
+
+/// A run against a diurnal profile ramping well past one instance's
+/// capacity.
+fn diurnal_run(seed: u64) -> ElasticReport {
+    let n = 900;
+    let requests = chat_requests(n, seed);
+    let arrivals = RateProfile::diurnal(1.0, 12.0, SimDuration::from_secs(180))
+        .assign(&mut seeded(seed + 1), n);
+    ElasticCluster::new(base_config(6_000), autoscale(1, 4), 1)
+        .run(requests, arrivals)
+        .expect("elastic run")
+}
+
+#[test]
+fn ramp_forces_scale_up_and_completes_everything() {
+    let report = diurnal_run(10);
+    assert_eq!(report.completed(), 900);
+    assert_eq!(report.unrouted, 0);
+    assert!(
+        report.peak_replicas() > 1,
+        "fleet never grew: events {:?}",
+        report.events
+    );
+    assert!(!report.events.is_empty(), "planner never acted");
+    let total_routed: usize = report.instances.iter().map(|i| i.routed).sum();
+    assert_eq!(total_routed, 900);
+}
+
+#[test]
+fn drained_instances_finish_their_work_and_receive_nothing_new() {
+    // A heavy burst grows the fleet, then a long quiet tail forces the
+    // planner to drain the surplus well before the run ends.
+    let burst = 600usize;
+    let tail = 120usize;
+    let requests = chat_requests(burst + tail, 11);
+    let mut arrivals: Vec<SimTime> = (0..burst)
+        .map(|i| SimTime::from_millis(100 * i as u64)) // 10 req/s for 60 s
+        .collect();
+    arrivals.extend(
+        (0..tail).map(|i| SimTime::from_millis(60_000 + 2_000 * i as u64)), // 0.5 req/s
+    );
+    let report = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 1)
+        .run(requests, arrivals)
+        .expect("elastic run");
+    assert_eq!(report.completed(), burst + tail);
+    let makespan_end = SimTime::ZERO + report.makespan;
+    let mut saw_early_stop = false;
+    for (idx, instance) in report.instances.iter().enumerate() {
+        // Every instance, drained or not, completed all routed work.
+        assert_eq!(
+            instance.report.unfinished, 0,
+            "instance {idx} stopped with work in flight"
+        );
+        assert_eq!(instance.routed, instance.report.completed);
+        if instance.stopped_at < makespan_end {
+            saw_early_stop = true;
+            // Nothing was routed to it after it began draining: every
+            // request it served arrived (and finished) before it stopped.
+            for outcome in &instance.report.outcomes {
+                assert!(
+                    outcome.timing.last_token_at() <= instance.stopped_at,
+                    "instance {idx} emitted tokens after stopping"
+                );
+            }
+        }
+    }
+    assert!(
+        saw_early_stop,
+        "diurnal trough never drained an instance; events {:?}",
+        report.events
+    );
+}
+
+#[test]
+fn fleet_respects_policy_bounds() {
+    let report = diurnal_run(12);
+    assert!(report.peak_replicas() <= 4);
+    let min_live = report
+        .live_series
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_live >= 1.0, "live replicas dropped to {min_live}");
+}
+
+#[test]
+fn scaled_up_instances_serve_only_after_warmup() {
+    let report = diurnal_run(13);
+    for (idx, instance) in report.instances.iter().enumerate() {
+        if instance.spawned_at == SimTime::ZERO {
+            continue; // initial replica
+        }
+        let ready_at = instance.spawned_at + SimDuration::from_secs(15);
+        for outcome in &instance.report.outcomes {
+            assert!(
+                outcome.timing.arrival() >= ready_at,
+                "instance {idx} (spawned {}) served a request arriving {} before ready {}",
+                instance.spawned_at,
+                outcome.timing.arrival(),
+                ready_at
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_seconds_are_below_peak_fleet_cost() {
+    let report = diurnal_run(14);
+    let peak_cost = report.peak_replicas() as f64 * report.makespan.as_secs_f64();
+    assert!(report.gpu_seconds() > 0.0);
+    assert!(
+        report.gpu_seconds() < peak_cost,
+        "elastic cost {} should undercut peak-static cost {}",
+        report.gpu_seconds(),
+        peak_cost
+    );
+}
+
+#[test]
+fn elastic_run_is_deterministic() {
+    let a = diurnal_run(15);
+    let b = diurnal_run(15);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.gpu_seconds(), b.gpu_seconds());
+    assert_eq!(
+        a.instances.iter().map(|i| i.routed).collect::<Vec<_>>(),
+        b.instances.iter().map(|i| i.routed).collect::<Vec<_>>()
+    );
+    assert_eq!(a.goodput.satisfied_requests, b.goodput.satisfied_requests);
+    assert_eq!(a.evictions(), b.evictions());
+}
+
+#[test]
+fn static_min_and_max_bracket_the_elastic_fleet() {
+    // With scaling disabled (min == max), the elastic runner degenerates
+    // to a static fleet; the adaptive fleet's provisioned cost must land
+    // between the static extremes.
+    let n = 600;
+    let requests = chat_requests(n, 16);
+    let arrivals =
+        RateProfile::diurnal(1.0, 10.0, SimDuration::from_secs(150)).assign(&mut seeded(17), n);
+    let run = |min: usize, max: usize, start: usize| {
+        ElasticCluster::new(base_config(6_000), autoscale(min, max), start)
+            .run(requests.clone(), arrivals.clone())
+            .expect("run")
+    };
+    let static_one = run(1, 1, 1);
+    let static_four = run(4, 4, 4);
+    let elastic = run(1, 4, 1);
+    assert_eq!(static_one.peak_replicas(), 1);
+    assert_eq!(static_four.peak_replicas(), 4);
+    assert!(elastic.gpu_seconds() < static_four.gpu_seconds());
+    assert!(
+        elastic.sla_attainment() >= static_one.sla_attainment(),
+        "elastic {} vs single-instance {}",
+        elastic.sla_attainment(),
+        static_one.sla_attainment()
+    );
+}
+
+#[test]
+#[should_panic(expected = "outside policy bounds")]
+fn initial_replicas_outside_bounds_panics() {
+    let _ = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 6);
+}

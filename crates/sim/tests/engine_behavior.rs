@@ -3,7 +3,9 @@
 
 use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SlaSpec};
-use pf_sim::{BatchingMode, GpuSpec, KvLayout, ModelSpec, PrefillMode, SimConfig, SimError, Simulation};
+use pf_sim::{
+    BatchingMode, GpuSpec, KvLayout, ModelSpec, PrefillMode, SimConfig, SimError, Simulation,
+};
 use pf_workload::{datasets, ClosedLoopClients, RequestSpec};
 
 fn small_config(scheduler: SchedulerConfig, capacity: u64) -> SimConfig {
@@ -104,10 +106,7 @@ fn evictions_inflate_decode_work_and_mtpot() {
     let strict_sla_violations = report
         .outcomes
         .iter()
-        .filter(|o| {
-            o.evictions > 0
-                && o.timing.mtpot() > SimDuration::from_millis(500)
-        })
+        .filter(|o| o.evictions > 0 && o.timing.mtpot() > SimDuration::from_millis(500))
         .count();
     assert!(
         strict_sla_violations > 0,
@@ -141,10 +140,15 @@ fn conservative_queues_longer_than_oracle() {
 #[test]
 fn past_future_outperforms_conservative_on_memory_utilization() {
     let requests = decode_heavy(64, 6);
-    let warmup: Vec<u32> = decode_heavy(500, 77).iter().map(|r| r.true_output_len).collect();
+    let warmup: Vec<u32> = decode_heavy(500, 77)
+        .iter()
+        .map(|r| r.true_output_len)
+        .collect();
     let mut pf_config = small_config(SchedulerConfig::past_future_reserved(0.05), 2_000);
     pf_config.history_warmup = warmup;
-    let pf = Simulation::offline(pf_config, requests.clone()).run().unwrap();
+    let pf = Simulation::offline(pf_config, requests.clone())
+        .run()
+        .unwrap();
     let conservative = Simulation::offline(
         small_config(SchedulerConfig::conservative(), 2_000),
         requests,
@@ -188,7 +192,9 @@ fn max_sim_time_truncates() {
     let full_time = report.makespan;
     let mut truncated_config = small_config(SchedulerConfig::Oracle, 2_000);
     truncated_config.max_sim_time = Some(full_time / 4);
-    let truncated = Simulation::offline(truncated_config, requests).run().unwrap();
+    let truncated = Simulation::offline(truncated_config, requests)
+        .run()
+        .unwrap();
     assert!(truncated.completed < 200);
     assert!(truncated.unfinished > 0);
     assert!(truncated.makespan <= full_time / 3);
@@ -221,7 +227,9 @@ fn conservative_stalls_on_uncappable_request() {
 fn paged_layout_completes_with_fragmentation_accounted() {
     let mut config = small_config(SchedulerConfig::past_future(), 3_000);
     config.kv_layout = KvLayout::Paged { block_size: 16 };
-    let report = Simulation::offline(config, decode_heavy(32, 9)).run().unwrap();
+    let report = Simulation::offline(config, decode_heavy(32, 9))
+        .run()
+        .unwrap();
     assert_eq!(report.completed, 32);
 }
 
@@ -229,7 +237,9 @@ fn paged_layout_completes_with_fragmentation_accounted() {
 fn contiguous_layout_behaves_like_reservation() {
     let mut config = small_config(SchedulerConfig::conservative(), 5_000);
     config.kv_layout = KvLayout::Contiguous;
-    let report = Simulation::offline(config, decode_heavy(16, 10)).run().unwrap();
+    let report = Simulation::offline(config, decode_heavy(16, 10))
+        .run()
+        .unwrap();
     assert_eq!(report.completed, 16);
     assert_eq!(report.evictions, 0);
 }
@@ -238,7 +248,9 @@ fn contiguous_layout_behaves_like_reservation() {
 fn chunked_prefill_completes() {
     let mut config = small_config(SchedulerConfig::conservative_overcommit(1.2), 3_000);
     config.prefill = PrefillMode::Chunked { chunk_tokens: 64 };
-    let report = Simulation::offline(config, decode_heavy(24, 11)).run().unwrap();
+    let report = Simulation::offline(config, decode_heavy(24, 11))
+        .run()
+        .unwrap();
     assert_eq!(report.completed, 24);
     assert!(report.goodput.throughput_tok_per_s > 0.0);
 }
@@ -248,7 +260,9 @@ fn static_batching_is_slower_than_continuous() {
     let requests = decode_heavy(32, 12);
     let mut static_config = small_config(SchedulerConfig::conservative(), 20_000);
     static_config.batching = BatchingMode::Static { max_batch: 8 };
-    let static_report = Simulation::offline(static_config, requests.clone()).run().unwrap();
+    let static_report = Simulation::offline(static_config, requests.clone())
+        .run()
+        .unwrap();
     let continuous = Simulation::offline(
         small_config(SchedulerConfig::past_future(), 20_000),
         requests,
@@ -279,8 +293,7 @@ fn outcomes_match_ground_truth_lengths() {
     .unwrap();
     for outcome in &report.outcomes {
         assert_eq!(
-            outcome.output_len,
-            by_id[&outcome.id],
+            outcome.output_len, by_id[&outcome.id],
             "request {} generated a wrong number of tokens",
             outcome.id
         );
@@ -301,10 +314,7 @@ fn future_required_memory_exceeds_capacity_exactly_when_evictions_loom() {
         .unwrap();
     // The aggressive scheduler overcommits the future; the oracle never
     // exceeds 100%.
-    let aggressive_peak_future = aggressive
-        .future_required_series
-        .max_value()
-        .unwrap_or(0.0);
+    let aggressive_peak_future = aggressive.future_required_series.max_value().unwrap_or(0.0);
     let oracle_peak_future = oracle.future_required_series.max_value().unwrap_or(0.0);
     assert!(
         aggressive_peak_future > 1.0,

@@ -20,9 +20,9 @@
 
 use rand::Rng;
 
+use crate::request::RequestSpec;
 use crate::rng::{derive_seed, seeded};
 use crate::sampler::LengthSampler;
-use crate::request::RequestSpec;
 
 /// Builds `n` requests by drawing input/output lengths from two samplers.
 ///
@@ -161,7 +161,11 @@ pub fn mixed_phase(n_per_phase: usize, seed: u64) -> Vec<RequestSpec> {
 
 /// Draws a random subset used for quick smoke runs (keeps order, thins
 /// uniformly).
-pub fn thin<R: Rng + ?Sized>(requests: &[RequestSpec], keep: usize, rng: &mut R) -> Vec<RequestSpec> {
+pub fn thin<R: Rng + ?Sized>(
+    requests: &[RequestSpec],
+    keep: usize,
+    rng: &mut R,
+) -> Vec<RequestSpec> {
     if keep >= requests.len() {
         return requests.to_vec();
     }
@@ -191,10 +195,14 @@ mod tests {
     fn distribution_bounds_match_paper() {
         let d1 = distribution_1(500, 1);
         assert!(d1.iter().all(|r| (32..=4096).contains(&r.input_len)));
-        assert!(d1.iter().all(|r| (2048..=4096).contains(&r.true_output_len)));
+        assert!(d1
+            .iter()
+            .all(|r| (2048..=4096).contains(&r.true_output_len)));
         let d2 = distribution_2(500, 1);
         assert!(d2.iter().all(|r| (3072..=5120).contains(&r.input_len)));
-        assert!(d2.iter().all(|r| (3072..=5120).contains(&r.true_output_len)));
+        assert!(d2
+            .iter()
+            .all(|r| (3072..=5120).contains(&r.true_output_len)));
         let d3 = distribution_3(500, 1);
         assert!(d3.iter().all(|r| (2048..=4096).contains(&r.input_len)));
         assert!(d3.iter().all(|r| (32..=4096).contains(&r.true_output_len)));

@@ -48,6 +48,6 @@ mod sampler;
 pub mod trace;
 pub mod trace_io;
 
-pub use arrival::{ClosedLoopClients, PoissonArrivals};
+pub use arrival::{ClosedLoopClients, PoissonArrivals, RateProfile};
 pub use request::{RequestId, RequestSpec};
 pub use sampler::LengthSampler;

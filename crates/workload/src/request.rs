@@ -61,7 +61,10 @@ impl RequestSpec {
         true_output_len: u32,
         max_new_tokens: u32,
     ) -> Self {
-        assert!(true_output_len > 0, "a request must produce at least one token");
+        assert!(
+            true_output_len > 0,
+            "a request must produce at least one token"
+        );
         assert!(
             true_output_len <= max_new_tokens,
             "true output {true_output_len} exceeds max_new_tokens {max_new_tokens}"

@@ -68,7 +68,12 @@ impl LengthSampler {
     pub fn log_normal(mu: f64, sigma: f64, min: u32, max: u32) -> Self {
         assert!(sigma >= 0.0, "negative sigma");
         assert!(min <= max, "log-normal clamp inverted: [{min}, {max}]");
-        LengthSampler::LogNormal { mu, sigma, min, max }
+        LengthSampler::LogNormal {
+            mu,
+            sigma,
+            min,
+            max,
+        }
     }
 
     /// Log-normal parameterized by its median (`exp(mu)`) instead of `mu`.
@@ -118,7 +123,12 @@ impl LengthSampler {
         match self {
             LengthSampler::Fixed(v) => *v,
             LengthSampler::UniformRange { lo, hi } => rng.gen_range(*lo..=*hi),
-            LengthSampler::LogNormal { mu, sigma, min, max } => {
+            LengthSampler::LogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
                 let z = standard_normal(rng);
                 let v = (mu + sigma * z).exp();
                 clamp_round(v, *min, *max)
@@ -340,14 +350,12 @@ mod tests {
         fn sampler_strategy() -> impl Strategy<Value = LengthSampler> {
             prop_oneof![
                 (1u32..10_000).prop_map(LengthSampler::Fixed),
-                (1u32..5_000, 0u32..5_000)
-                    .prop_map(|(lo, d)| LengthSampler::uniform(lo, lo + d)),
+                (1u32..5_000, 0u32..5_000).prop_map(|(lo, d)| LengthSampler::uniform(lo, lo + d)),
                 (0.0f64..10.0, 0.0f64..2.0, 1u32..100, 0u32..10_000)
                     .prop_map(|(mu, s, min, d)| LengthSampler::log_normal(mu, s, min, min + d)),
                 (1.0f64..5_000.0, 0u32..100, 1u32..10_000)
                     .prop_map(|(mean, min, d)| LengthSampler::exponential(mean, min, min + d)),
-                proptest::collection::vec(1u32..10_000, 1..20)
-                    .prop_map(LengthSampler::empirical),
+                proptest::collection::vec(1u32..10_000, 1..20).prop_map(LengthSampler::empirical),
             ]
         }
 

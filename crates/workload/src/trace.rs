@@ -162,7 +162,10 @@ fn sample_one(
                 (w[0], LengthSampler::uniform(1, 24)),
                 (w[1], LengthSampler::uniform(1, 4)),
                 (w[2], LengthSampler::log_normal_median(280.0, 0.7, 8, 2048)),
-                (w[3], LengthSampler::log_normal_median(1200.0, 0.5, 256, 8192)),
+                (
+                    w[3],
+                    LengthSampler::log_normal_median(1200.0, 0.5, 256, 8192),
+                ),
             ]);
             mixture.sample(rng)
         }
@@ -178,8 +181,14 @@ fn sample_one(
             // Mostly short completions with a stable minority of long ones.
             let long_w = 0.12 + 0.05 * drift.weight(0);
             LengthSampler::mixture(vec![
-                (1.0 - long_w, LengthSampler::log_normal_median(28.0, 0.6, 1, 256)),
-                (long_w, LengthSampler::log_normal_median(220.0, 0.5, 64, 1024)),
+                (
+                    1.0 - long_w,
+                    LengthSampler::log_normal_median(28.0, 0.6, 1, 256),
+                ),
+                (
+                    long_w,
+                    LengthSampler::log_normal_median(220.0, 0.5, 64, 1024),
+                ),
             ])
             .sample(rng)
         }
@@ -249,7 +258,10 @@ mod tests {
         let windows = WindowedLengths::partition(&lengths, 1000, Binning::Log2);
         let m = windows.similarity_matrix();
         let global = m.off_diagonal_mean().unwrap();
-        assert!(global > 0.90, "conversation global similarity {global} too low");
+        assert!(
+            global > 0.90,
+            "conversation global similarity {global} too low"
+        );
     }
 
     #[test]

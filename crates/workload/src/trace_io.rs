@@ -183,8 +183,14 @@ mod tests {
         assert_eq!(
             records,
             vec![
-                TraceRecord { input_len: 10, output_len: 20 },
-                TraceRecord { input_len: 30, output_len: 40 },
+                TraceRecord {
+                    input_len: 10,
+                    output_len: 20
+                },
+                TraceRecord {
+                    input_len: 30,
+                    output_len: 40
+                },
             ]
         );
     }
@@ -193,7 +199,13 @@ mod tests {
     fn parse_reordered_and_extra_columns() {
         let csv = "timestamp,output_len,model,input_len\n1.5,99,gpt,7\n";
         let records = read_trace_csv(csv.as_bytes()).unwrap();
-        assert_eq!(records, vec![TraceRecord { input_len: 7, output_len: 99 }]);
+        assert_eq!(
+            records,
+            vec![TraceRecord {
+                input_len: 7,
+                output_len: 99
+            }]
+        );
     }
 
     #[test]
@@ -235,9 +247,18 @@ mod tests {
     #[test]
     fn conversion_clamps_and_drops() {
         let records = [
-            TraceRecord { input_len: 10, output_len: 5000 },
-            TraceRecord { input_len: 10, output_len: 0 },
-            TraceRecord { input_len: 10, output_len: 7 },
+            TraceRecord {
+                input_len: 10,
+                output_len: 5000,
+            },
+            TraceRecord {
+                input_len: 10,
+                output_len: 0,
+            },
+            TraceRecord {
+                input_len: 10,
+                output_len: 7,
+            },
         ];
         let requests = requests_from_records(&records, 2048);
         assert_eq!(requests.len(), 2, "zero-output record dropped");

@@ -69,7 +69,10 @@ impl Scheduler for QuantileScheduler {
         for candidate in queue {
             let predicted = self.predicted_total(candidate.generated, candidate.max_new_tokens);
             let (committed, remaining) = candidate.post_prefill_entry(predicted);
-            entries.push(BatchEntry { committed, remaining });
+            entries.push(BatchEntry {
+                committed,
+                remaining,
+            });
             if FutureMemoryEstimator::peak_memory(&entries) <= memory.capacity_tokens {
                 admitted += 1;
             } else {
@@ -89,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // for a fully custom policy we drive the trait directly on a synthetic
     // admission timeline, then compare built-ins end-to-end.
     let mut custom = QuantileScheduler::new(0.9);
-    for len in datasets::sharegpt_o1(1000, 3).iter().map(|r| r.true_output_len) {
+    for len in datasets::sharegpt_o1(1000, 3)
+        .iter()
+        .map(|r| r.true_output_len)
+    {
         custom.on_request_finished(len);
     }
     let queue: Vec<QueuedRequest> = datasets::sharegpt_o1(64, 4)

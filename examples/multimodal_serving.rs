@@ -11,10 +11,23 @@ use pastfuture::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 400;
-    let cases: [(&str, ModelSpec, fn(usize, u64) -> Vec<RequestSpec>); 3] = [
-        ("Qwen-VL-Chat", ModelSpec::qwen_vl_chat(), datasets::textvqa_qwen_vl),
-        ("LLaVA-1.5-7B", ModelSpec::llava_15_7b(), datasets::textvqa_llava),
-        ("LLaVA-1.5-13B", ModelSpec::llava_15_13b(), datasets::textvqa_llava),
+    type DatasetFn = fn(usize, u64) -> Vec<RequestSpec>;
+    let cases: [(&str, ModelSpec, DatasetFn); 3] = [
+        (
+            "Qwen-VL-Chat",
+            ModelSpec::qwen_vl_chat(),
+            datasets::textvqa_qwen_vl,
+        ),
+        (
+            "LLaVA-1.5-7B",
+            ModelSpec::llava_15_7b(),
+            datasets::textvqa_llava,
+        ),
+        (
+            "LLaVA-1.5-13B",
+            ModelSpec::llava_15_13b(),
+            datasets::textvqa_llava,
+        ),
     ];
 
     let mut table = Table::new(["model", "origin tok/s", "LightLLM tok/s", "speedup"]);
@@ -38,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name.to_string(),
             format!("{:.0}", origin_report.throughput()),
             format!("{:.0}", lightllm_report.throughput()),
-            format!("{:.2}x", lightllm_report.throughput() / origin_report.throughput()),
+            format!(
+                "{:.2}x",
+                lightllm_report.throughput() / origin_report.throughput()
+            ),
         ]);
     }
     println!("{}", table.to_text());

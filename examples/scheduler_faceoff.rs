@@ -23,7 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| r.true_output_len)
         .collect();
 
-    let mut table = Table::new(["scheduler", "clients", "goodput tok/s", "throughput", "evicted %", "SLA-ok %"]);
+    let mut table = Table::new([
+        "scheduler",
+        "clients",
+        "goodput tok/s",
+        "throughput",
+        "evicted %",
+        "SLA-ok %",
+    ]);
     for scheduler in &schedulers {
         for &clients in &client_counts {
             let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
@@ -37,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .build();
             let requests = datasets::sharegpt_o1(160, 5);
             let report =
-                Simulation::closed_loop(config, requests, ClosedLoopClients::new(clients))
-                    .run()?;
+                Simulation::closed_loop(config, requests, ClosedLoopClients::new(clients)).run()?;
             table.row([
                 report.scheduler_name.clone(),
                 clients.to_string(),

@@ -10,7 +10,13 @@ use pastfuture::metrics::{Binning, Table, WindowedLengths};
 use pastfuture::workload::trace::{generate_output_lengths, TraceArchetype};
 
 fn main() {
-    let mut table = Table::new(["trace", "windows", "adjacent sim", "global sim", "stationary?"]);
+    let mut table = Table::new([
+        "trace",
+        "windows",
+        "adjacent sim",
+        "global sim",
+        "stationary?",
+    ]);
     for archetype in TraceArchetype::ALL {
         let lengths = generate_output_lengths(archetype, 40_000, 2024);
         let windows = WindowedLengths::partition(&lengths, 1000, Binning::Log2);
@@ -22,7 +28,12 @@ fn main() {
             windows.n_windows().to_string(),
             format!("{diag:.3}"),
             format!("{global:.3}"),
-            if archetype.is_globally_stable() { "yes" } else { "no (task mix drifts)" }.to_string(),
+            if archetype.is_globally_stable() {
+                "yes"
+            } else {
+                "no (task mix drifts)"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.to_text());

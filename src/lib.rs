@@ -8,8 +8,13 @@
 //!   prediction and future-required-memory estimation, plus the
 //!   aggressive/conservative/oracle baselines;
 //! * [`sim`] — a discrete-event continuous-batching serving engine with a
-//!   roofline GPU performance model (the LightLLM stand-in);
-//! * [`workload`] — length distributions, datasets and trace synthesis;
+//!   roofline GPU performance model (the LightLLM stand-in), including the
+//!   static [`sim::cluster`] and elastic [`sim::elastic`] multi-instance
+//!   co-simulations;
+//! * [`autoscale`] — SLA-driven elastic scaling: load predictors,
+//!   performance interpolation and the scaling policy;
+//! * [`workload`] — length distributions, datasets, trace synthesis and
+//!   arrival processes (Poisson, diurnal, bursty);
 //! * [`kvcache`] — KV-cache memory managers;
 //! * [`metrics`] — SLA/goodput accounting and similarity metrics;
 //! * [`frameworks`] — serving-framework presets used as baselines.
@@ -29,6 +34,7 @@
 //! assert!(report.goodput.total_requests > 0);
 //! ```
 
+pub use pf_autoscale as autoscale;
 pub use pf_core as core;
 pub use pf_frameworks as frameworks;
 pub use pf_kvcache as kvcache;
@@ -45,11 +51,7 @@ pub mod prelude {
     };
     pub use pf_frameworks::{Framework, FrameworkPreset};
     pub use pf_kvcache::{KvCacheManager, PagedPool, TokenPool};
-    pub use pf_metrics::{
-        GoodputReport, RequestTiming, SimDuration, SimTime, SlaSpec, Summary,
-    };
-    pub use pf_sim::{
-        GpuSpec, ModelSpec, PerfModel, SimConfig, SimReport, Simulation,
-    };
+    pub use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, SlaSpec, Summary};
+    pub use pf_sim::{GpuSpec, ModelSpec, PerfModel, SimConfig, SimReport, Simulation};
     pub use pf_workload::{datasets, ClosedLoopClients, LengthSampler, RequestSpec};
 }

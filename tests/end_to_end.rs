@@ -15,6 +15,14 @@ fn warmup(n: usize, seed: u64) -> Vec<u32> {
 
 /// The paper's headline: under heavy decode-heavy load the Past-Future
 /// scheduler delivers more goodput than both baselines.
+///
+/// 24 clients keep the deployment in the heavy-load regime the paper's
+/// claim is about: memory-pressured enough that aggressive admission pays
+/// ~90% evictions (MTPOT stalls), but not so oversaturated that queueing
+/// alone pushes median TTFT far past the SLA for every scheduler — past
+/// that point goodput collapses for all policies and the comparison is
+/// noise (40 clients, the previous setting, put median TTFT at 25–50 s
+/// against the 10 s limit and made the winner a coin flip per seed).
 #[test]
 fn past_future_wins_goodput_under_heavy_load() {
     let run = |scheduler: SchedulerConfig| {
@@ -28,7 +36,7 @@ fn past_future_wins_goodput_under_heavy_load() {
         Simulation::closed_loop(
             config,
             datasets::sharegpt_o1(160, 51),
-            ClosedLoopClients::new(40),
+            ClosedLoopClients::new(24),
         )
         .run()
         .unwrap()
@@ -118,8 +126,14 @@ fn hand_computed_scenario_matches() {
     // (input 20, output 8). Both admitted at t=0 by the oracle iff
     // capacity fits M*.
     let entries = [
-        BatchEntry { committed: 11, remaining: 3 }, // post-prefill state
-        BatchEntry { committed: 21, remaining: 7 },
+        BatchEntry {
+            committed: 11,
+            remaining: 3,
+        }, // post-prefill state
+        BatchEntry {
+            committed: 21,
+            remaining: 7,
+        },
     ];
     let m_star = FutureMemoryEstimator::peak_memory(&entries);
     // Sorted desc: (21,7),(11,3): M1 = 28, M2 = 32 + 6 = 38.
