@@ -13,8 +13,32 @@
 //!    predicted error each interval, so systematic model bias (the sketch
 //!    ignores prefill interference, admission batching, eviction storms)
 //!    is absorbed instead of propagated into scaling decisions.
+//!
+//! Disaggregated (prefill/decode-split) fleets size each pool against its
+//! own SLA term. A [`PoolRole`] selects which *column* of the sketch a
+//! pool's planner reads: [`PoolRole::Prefill`] replicas are an M/M/1 queue
+//! of prefill passes (TTFT-bound; TPOT is reported as zero so only the
+//! TTFT term of the SLA can bind), [`PoolRole::Decode`] replicas run the
+//! decode fixed point alone (TPOT-bound; TTFT is reported as zero — the
+//! first token is produced by the prefill pool).
 
 use crate::load::LoadSample;
+
+/// Which serving stage a pool's replicas execute.
+///
+/// Colocated replicas (the default) run both stages, so both SLA terms
+/// bind. In a disaggregated deployment each pool is sized against the term
+/// its stage controls: prefill against TTFT, decode against TPOT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PoolRole {
+    /// One replica runs prefill and decode (single-engine serving).
+    Colocated,
+    /// Prefill-only replicas: TTFT-bound, no steady-state decode batch.
+    Prefill,
+    /// Decode-only replicas: TPOT-bound, first tokens come from elsewhere.
+    Decode,
+}
 
 /// Step-latency oracle of one serving replica.
 ///
@@ -59,6 +83,7 @@ const INFEASIBLE_TTFT_SECS: f64 = 1e6;
 #[derive(Debug, Clone)]
 pub struct PerfInterpolator<M> {
     model: M,
+    role: PoolRole,
     ttft_correction: f64,
     tpot_correction: f64,
     correction_alpha: f64,
@@ -69,14 +94,26 @@ pub struct PerfInterpolator<M> {
 const CORRECTION_BOUNDS: (f64, f64) = (0.2, 5.0);
 
 impl<M: StepLatency> PerfInterpolator<M> {
-    /// Wraps a step-latency model with neutral corrections.
+    /// Wraps a step-latency model with neutral corrections (colocated
+    /// replicas).
     pub fn new(model: M) -> Self {
+        PerfInterpolator::with_role(model, PoolRole::Colocated)
+    }
+
+    /// Wraps a step-latency model for replicas of the given [`PoolRole`].
+    pub fn with_role(model: M, role: PoolRole) -> Self {
         PerfInterpolator {
             model,
+            role,
             ttft_correction: 1.0,
             tpot_correction: 1.0,
             correction_alpha: 0.3,
         }
+    }
+
+    /// The pool role this interpolator models.
+    pub fn role(&self) -> PoolRole {
+        self.role
     }
 
     /// Current TTFT correction factor (observed/modelled, smoothed).
@@ -109,7 +146,9 @@ impl<M: StepLatency> PerfInterpolator<M> {
 
     /// Folds one interval's observed TTFT/TPOT (means over finished
     /// requests) into the correction factors, comparing against what the
-    /// uncorrected model predicts for the same operating point.
+    /// uncorrected model predicts for the same operating point. Only the
+    /// latency term the pool's role controls is folded: a decode pool
+    /// teaches nothing about TTFT and a prefill pool nothing about TPOT.
     pub fn observe(
         &mut self,
         load: &LoadSample,
@@ -131,36 +170,129 @@ impl<M: StepLatency> PerfInterpolator<M> {
                     .clamp(CORRECTION_BOUNDS.0, CORRECTION_BOUNDS.1);
             }
         };
-        fold(
-            &mut self.ttft_correction,
-            observed_ttft_secs,
-            raw.ttft_secs,
-            self.correction_alpha,
-        );
-        fold(
-            &mut self.tpot_correction,
-            observed_tpot_secs,
-            raw.tpot_secs,
-            self.correction_alpha,
-        );
+        if self.role != PoolRole::Decode {
+            fold(
+                &mut self.ttft_correction,
+                observed_ttft_secs,
+                raw.ttft_secs,
+                self.correction_alpha,
+            );
+        }
+        if self.role != PoolRole::Prefill {
+            fold(
+                &mut self.tpot_correction,
+                observed_tpot_secs,
+                raw.tpot_secs,
+                self.correction_alpha,
+            );
+        }
     }
 
     /// The analytic sketch without corrections.
     fn raw_predict(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
         assert!(replicas > 0, "cannot predict for zero replicas");
         let load = load.sanitized();
-        let lambda = load.request_rate / replicas as f64;
-        let l_in = load.mean_input_tokens;
-        let l_out = load.mean_output_tokens;
-        let prefill = self.model.prefill_secs(l_in.ceil().max(1.0) as u64);
-        if lambda <= 0.0 || l_out <= 0.0 {
+        match self.role {
+            PoolRole::Colocated => self.raw_colocated(&load, replicas),
+            PoolRole::Prefill => self.raw_prefill(&load, replicas),
+            PoolRole::Decode => self.raw_decode(&load, replicas),
+        }
+    }
+
+    /// Colocated column: decode fixed point plus the prefill pass in TTFT.
+    fn raw_colocated(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+        let prefill = self
+            .model
+            .prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64);
+        let Some(point) = self.decode_point(load, replicas) else {
             return PerfEstimate {
                 ttft_secs: prefill,
-                tpot_secs: self.model.decode_secs(1, l_in.ceil() as u64),
+                tpot_secs: self
+                    .model
+                    .decode_secs(1, load.mean_input_tokens.ceil() as u64),
                 concurrency: 0.0,
                 utilization: 0.0,
                 feasible: true,
             };
+        };
+        PerfEstimate {
+            ttft_secs: if point.feasible {
+                prefill + point.wait_secs
+            } else {
+                INFEASIBLE_TTFT_SECS
+            },
+            tpot_secs: point.tpot_secs,
+            concurrency: point.concurrency,
+            utilization: point.utilization,
+            feasible: point.feasible,
+        }
+    }
+
+    /// Prefill-bound column: each replica is an M/M/1 queue of whole-prompt
+    /// prefill passes. TPOT is reported as zero — a prefill pool emits only
+    /// first tokens, so only the TTFT side of the SLA can bind on it.
+    fn raw_prefill(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+        let lambda = load.request_rate / replicas as f64;
+        let service = self
+            .model
+            .prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64);
+        if lambda <= 0.0 {
+            return PerfEstimate {
+                ttft_secs: service,
+                tpot_secs: 0.0,
+                concurrency: 0.0,
+                utilization: 0.0,
+                feasible: true,
+            };
+        }
+        let utilization = lambda * service;
+        let feasible = utilization < 1.0;
+        let ttft_secs = if feasible {
+            service + utilization / (1.0 - utilization).max(1e-3) * service
+        } else {
+            INFEASIBLE_TTFT_SECS
+        };
+        PerfEstimate {
+            ttft_secs,
+            tpot_secs: 0.0,
+            concurrency: utilization.min(1.0),
+            utilization,
+            feasible,
+        }
+    }
+
+    /// Decode-bound column: the decode fixed point alone. TTFT is reported
+    /// as zero — first tokens come from the prefill pool, so only the TPOT
+    /// side of the SLA (and raw feasibility) can bind on a decode pool.
+    fn raw_decode(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+        let Some(point) = self.decode_point(load, replicas) else {
+            return PerfEstimate {
+                ttft_secs: 0.0,
+                tpot_secs: self
+                    .model
+                    .decode_secs(1, load.mean_input_tokens.ceil() as u64),
+                concurrency: 0.0,
+                utilization: 0.0,
+                feasible: true,
+            };
+        };
+        PerfEstimate {
+            ttft_secs: 0.0,
+            tpot_secs: point.tpot_secs,
+            concurrency: point.concurrency,
+            utilization: point.utilization,
+            feasible: point.feasible,
+        }
+    }
+
+    /// Shared decode-side queueing sketch, or `None` when the load offers
+    /// no decode work at all.
+    fn decode_point(&self, load: &LoadSample, replicas: usize) -> Option<DecodePoint> {
+        let lambda = load.request_rate / replicas as f64;
+        let l_in = load.mean_input_tokens;
+        let l_out = load.mean_output_tokens;
+        if lambda <= 0.0 || l_out <= 0.0 {
+            return None;
         }
         let capacity = self.model.kv_capacity_tokens() as f64;
         // A request's mean resident KV footprint while decoding is its
@@ -185,7 +317,7 @@ impl<M: StepLatency> PerfInterpolator<M> {
         let required = n;
         let n_eff = required.min(n_max);
         let batch_eff = n_eff.ceil().max(1.0) as u64;
-        let tpot = self
+        let tpot_secs = self
             .model
             .decode_secs(batch_eff, (n_eff * mean_resident).ceil() as u64);
         // Throughput ceiling at the memory-bound batch size.
@@ -195,23 +327,31 @@ impl<M: StepLatency> PerfInterpolator<M> {
         let max_tokens_per_s = n_max / t_step_full;
         let utilization = (lambda * l_out) / max_tokens_per_s;
         let feasible = utilization < 1.0;
-        let ttft_secs = if feasible {
+        let wait_secs = if feasible {
             // Machine-seconds a request occupies of the replica's decode
-            // pipeline; M/M/1-shaped wait on top of the prefill pass.
+            // pipeline; M/M/1-shaped wait.
             let machine_secs = l_out * t_step_full / n_max;
-            let wait = utilization / (1.0 - utilization).max(1e-3) * machine_secs;
-            prefill + wait
+            utilization / (1.0 - utilization).max(1e-3) * machine_secs
         } else {
             INFEASIBLE_TTFT_SECS
         };
-        PerfEstimate {
-            ttft_secs,
-            tpot_secs: tpot,
+        Some(DecodePoint {
+            tpot_secs,
             concurrency: n_eff,
             utilization,
+            wait_secs,
             feasible,
-        }
+        })
     }
+}
+
+/// Decode-side operating point shared by the colocated and decode columns.
+struct DecodePoint {
+    tpot_secs: f64,
+    concurrency: f64,
+    utilization: f64,
+    wait_secs: f64,
+    feasible: bool,
 }
 
 #[cfg(test)]
@@ -328,5 +468,58 @@ mod tests {
     #[should_panic(expected = "zero replicas")]
     fn zero_replicas_panics() {
         let _ = PerfInterpolator::new(ToyModel).predict(&LoadSample::ZERO, 0);
+    }
+
+    #[test]
+    fn prefill_role_is_ttft_only() {
+        let interp = PerfInterpolator::with_role(ToyModel, PoolRole::Prefill);
+        let e = interp.predict(&chat_load(10.0), 1);
+        assert!(e.feasible);
+        assert_eq!(e.tpot_secs, 0.0, "prefill column must not bind on TPOT");
+        assert!(e.ttft_secs > 0.0);
+        // Saturate the prefill servers: service 0.012 s × 100 req/s > 1.
+        let e = interp.predict(&chat_load(100.0), 1);
+        assert!(!e.feasible);
+        // More replicas restore feasibility and shrink TTFT.
+        let few = interp.predict(&chat_load(40.0), 1);
+        let many = interp.predict(&chat_load(40.0), 4);
+        assert!(many.ttft_secs < few.ttft_secs);
+    }
+
+    #[test]
+    fn decode_role_is_tpot_only() {
+        let interp = PerfInterpolator::with_role(ToyModel, PoolRole::Decode);
+        let e = interp.predict(&chat_load(20.0), 2);
+        assert_eq!(e.ttft_secs, 0.0, "decode column must not bind on TTFT");
+        assert!(e.tpot_secs > 0.0);
+        // Same decode overload point as the colocated column.
+        let overloaded = interp.predict(&chat_load(40.0), 1);
+        assert!(!overloaded.feasible);
+        assert!(overloaded.utilization >= 1.0);
+    }
+
+    #[test]
+    fn role_corrections_only_touch_their_own_term() {
+        let mut prefill = PerfInterpolator::with_role(ToyModel, PoolRole::Prefill);
+        let load = chat_load(5.0);
+        for _ in 0..20 {
+            prefill.observe(&load, 2, 1.0, 1.0);
+        }
+        assert_eq!(
+            prefill.tpot_correction(),
+            1.0,
+            "prefill pool must not learn TPOT corrections"
+        );
+        assert_ne!(prefill.ttft_correction(), 1.0);
+        let mut decode = PerfInterpolator::with_role(ToyModel, PoolRole::Decode);
+        for _ in 0..20 {
+            decode.observe(&load, 2, 1.0, 1.0);
+        }
+        assert_eq!(
+            decode.ttft_correction(),
+            1.0,
+            "decode pool must not learn TTFT corrections"
+        );
+        assert_ne!(decode.tpot_correction(), 1.0);
     }
 }

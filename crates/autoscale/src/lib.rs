@@ -36,6 +36,18 @@
 //!    cost of under-provisioning is SLA burn plus a warm-up delay, the
 //!    cost of over-provisioning is only GPU-seconds).
 //!
+//! The planner forecasts `ceil(warmup / interval) + 1` steps ahead and
+//! provisions against the *horizon maximum*: capacity ordered now serves
+//! traffic only after the warm-up delay, so sizing for the one-step
+//! forecast alone would chronically lag step bursts.
+//!
+//! For disaggregated (DistServe/Dynamo-style) fleets, build one planner
+//! per pool with [`AutoscalePlanner::with_role`]: a [`PoolRole::Prefill`]
+//! planner reads the TTFT-bound column of the interpolator (M/M/1 queue of
+//! prefill passes) and a [`PoolRole::Decode`] planner the TPOT-bound
+//! column (the decode fixed point), so each pool is sized against exactly
+//! the SLA term its stage controls.
+//!
 //! The crate is deliberately simulator-agnostic: it depends only on
 //! `pf-metrics` and sees the serving system through the [`StepLatency`]
 //! trait and the planner's event stream. `pf-sim`'s `ElasticCluster` wires
@@ -85,7 +97,7 @@ mod policy;
 mod predictor;
 
 pub use config::AutoscaleConfig;
-pub use interp::{PerfEstimate, PerfInterpolator, StepLatency};
+pub use interp::{PerfEstimate, PerfInterpolator, PoolRole, StepLatency};
 pub use load::LoadSample;
 pub use planner::{AutoscalePlanner, PlanOutcome};
 pub use policy::{PolicyConfig, ScalingDecision, ScalingPolicy};

@@ -10,7 +10,7 @@
 use pf_metrics::{ObservationWindow, SimDuration, SimTime, SlaSpec};
 
 use crate::config::AutoscaleConfig;
-use crate::interp::{PerfEstimate, PerfInterpolator, StepLatency};
+use crate::interp::{PerfEstimate, PerfInterpolator, PoolRole, StepLatency};
 use crate::load::LoadSample;
 use crate::policy::{ScalingDecision, ScalingPolicy};
 use crate::predictor::LoadPredictor;
@@ -35,6 +35,9 @@ pub struct AutoscalePlanner<M> {
     predictor: LoadPredictor,
     interpolator: PerfInterpolator<M>,
     policy: ScalingPolicy,
+    /// Steps to forecast ahead: `ceil(warmup / interval) + 1`, so capacity
+    /// ordered now is sized for the load it will actually meet once warm.
+    horizon: usize,
     arrivals: ObservationWindow,
     completions: ObservationWindow,
     ttfts: ObservationWindow,
@@ -50,12 +53,23 @@ pub struct AutoscalePlanner<M> {
 }
 
 impl<M: StepLatency> AutoscalePlanner<M> {
-    /// Creates a planner for one replica type.
+    /// Creates a planner for one replica type serving both stages
+    /// (colocated prefill + decode).
     pub fn new(config: AutoscaleConfig, sla: SlaSpec, model: M) -> Self {
+        AutoscalePlanner::with_role(config, sla, model, PoolRole::Colocated)
+    }
+
+    /// Creates a planner for one pool of a disaggregated fleet: the
+    /// interpolator reads the column of the performance sketch the pool's
+    /// stage controls (prefill → TTFT, decode → TPOT).
+    pub fn with_role(config: AutoscaleConfig, sla: SlaSpec, model: M, role: PoolRole) -> Self {
+        let horizon =
+            (config.warmup.as_micros()).div_ceil(config.interval.as_micros()) as usize + 1;
         AutoscalePlanner {
             predictor: LoadPredictor::new(config.predictor),
-            interpolator: PerfInterpolator::new(model),
+            interpolator: PerfInterpolator::with_role(model, role),
             policy: ScalingPolicy::new(config.policy, sla),
+            horizon,
             arrivals: ObservationWindow::new(config.interval),
             completions: ObservationWindow::new(config.interval),
             ttfts: ObservationWindow::new(config.interval),
@@ -70,6 +84,14 @@ impl<M: StepLatency> AutoscalePlanner<M> {
     /// The adjustment interval.
     pub fn interval(&self) -> SimDuration {
         self.config.interval
+    }
+
+    /// Forecast horizon in adjustment intervals, computed as
+    /// `ceil(warmup / interval) + 1`: the planner provisions against the
+    /// maximum forecast load over this many steps, because capacity
+    /// ordered now serves traffic only after the warm-up delay.
+    pub fn horizon(&self) -> usize {
+        self.horizon
     }
 
     /// The instance warm-up delay.
@@ -153,9 +175,11 @@ impl<M: StepLatency> AutoscalePlanner<M> {
             self.interpolator.observe(&previous, served_by, ttft, tpot);
         }
         self.previous_interval = Some((observed, live_replicas.max(1)));
-        // 3. Forecast the interval ahead and score every candidate size.
+        // 3. Forecast the warm-up horizon ahead (provisioning against the
+        // horizon maximum, so bursts arriving while capacity warms are
+        // already paid for) and score every candidate size.
         self.predictor.observe(observed);
-        let forecast = self.predictor.forecast();
+        let forecast = self.predictor.forecast_horizon_max(self.horizon);
         let (min, max) = (
             self.policy.config().min_replicas,
             self.policy.config().max_replicas,
@@ -306,5 +330,54 @@ mod tests {
     fn zero_replicas_panics() {
         let mut p = planner(1, 2);
         let _ = p.plan(SimTime::ZERO, 0, 0);
+    }
+
+    #[test]
+    fn horizon_covers_the_warmup_delay() {
+        let case = |warmup_s: u64, interval_s: u64| {
+            let config = AutoscaleConfig::bounded(1, 4)
+                .interval(SimDuration::from_secs(interval_s))
+                .warmup(SimDuration::from_secs(warmup_s));
+            AutoscalePlanner::new(config, sla(), ToyModel).horizon()
+        };
+        assert_eq!(case(0, 10), 1, "zero warm-up degenerates to one step");
+        assert_eq!(case(10, 10), 2);
+        assert_eq!(case(15, 10), 3, "partial intervals round up");
+        assert_eq!(case(30, 10), 4);
+    }
+
+    #[test]
+    fn longer_warmup_provisions_against_a_ramp_earlier() {
+        // A linear ramp under Holt forecasting: the long-warm-up planner
+        // must order at least as many replicas as the short-warm-up one at
+        // every round, and strictly more at some round before the peak.
+        let run = |warmup_s: u64| {
+            let config = AutoscaleConfig::bounded(1, 6)
+                .interval(SimDuration::from_secs(10))
+                .warmup(SimDuration::from_secs(warmup_s))
+                .predictor(PredictorKind::holt())
+                .initial_lengths(100.0, 300.0);
+            let mut p = AutoscalePlanner::new(config, sla(), ToyModel);
+            let mut targets = Vec::new();
+            let mut current = 1usize;
+            for (i, rate) in [1usize, 2, 4, 6, 8, 10, 12].iter().enumerate() {
+                let end = (i as u64 + 1) * 10;
+                feed_interval(&mut p, end, *rate);
+                let outcome = p.plan(SimTime::from_secs(end), current, 0);
+                current = outcome.decision.target_or(current).clamp(1, 6);
+                targets.push(current);
+            }
+            targets
+        };
+        let short = run(0);
+        let long = run(40);
+        assert!(
+            short.iter().zip(&long).all(|(s, l)| l >= s),
+            "long-warm-up targets {long:?} fell below short-warm-up {short:?}"
+        );
+        assert!(
+            short.iter().zip(&long).any(|(s, l)| l > s),
+            "horizon forecasting never provisioned ahead: {long:?} vs {short:?}"
+        );
     }
 }

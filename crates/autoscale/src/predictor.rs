@@ -203,8 +203,13 @@ impl SeriesPredictor {
         }
     }
 
-    /// Forecast for the next interval; `None` before any observation.
-    fn forecast(&self) -> Option<f64> {
+    /// Forecast `steps ≥ 1` intervals ahead; `None` before any observation.
+    ///
+    /// Constant and EWMA are flat extrapolators (every step reads the same
+    /// value); Holt–Winters extends the trend linearly and reads the
+    /// seasonal index of the target step.
+    fn forecast_ahead(&self, steps: usize) -> Option<f64> {
+        debug_assert!(steps >= 1, "forecast horizon starts at one step");
         match self {
             SeriesPredictor::Constant { last } => *last,
             SeriesPredictor::Ewma { level, .. } => *level,
@@ -218,11 +223,11 @@ impl SeriesPredictor {
             } => {
                 let level = (*level)?;
                 let s = if *season_len > 0 && *observed >= *season_len {
-                    seasonal[*observed % *season_len]
+                    seasonal[(*observed + steps - 1) % *season_len]
                 } else {
                     0.0
                 };
-                Some((level + *trend + s).max(0.0))
+                Some((level + *trend * steps as f64 + s).max(0.0))
             }
         }
     }
@@ -268,12 +273,44 @@ impl LoadPredictor {
     /// Forecast for the next interval ([`LoadSample::ZERO`] before any
     /// observation).
     pub fn forecast(&self) -> LoadSample {
+        self.forecast_ahead(1)
+    }
+
+    /// Forecast `steps ≥ 1` intervals ahead ([`LoadSample::ZERO`] before
+    /// any observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn forecast_ahead(&self, steps: usize) -> LoadSample {
+        assert!(steps >= 1, "forecast horizon starts at one step");
         LoadSample {
-            request_rate: self.rate.forecast().unwrap_or(0.0),
-            mean_input_tokens: self.input.forecast().unwrap_or(0.0),
-            mean_output_tokens: self.output.forecast().unwrap_or(0.0),
+            request_rate: self.rate.forecast_ahead(steps).unwrap_or(0.0),
+            mean_input_tokens: self.input.forecast_ahead(steps).unwrap_or(0.0),
+            mean_output_tokens: self.output.forecast_ahead(steps).unwrap_or(0.0),
         }
         .sanitized()
+    }
+
+    /// Component-wise maximum of the forecasts for steps `1..=horizon` —
+    /// the conservative load to provision against when new capacity takes
+    /// `horizon - 1` extra intervals to come up (see ROADMAP: a warm-up
+    /// delay longer than one adjustment interval must not lag step
+    /// bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn forecast_horizon_max(&self, horizon: usize) -> LoadSample {
+        assert!(horizon >= 1, "forecast horizon starts at one step");
+        (1..=horizon)
+            .map(|k| self.forecast_ahead(k))
+            .fold(LoadSample::ZERO, |acc, f| LoadSample {
+                request_rate: acc.request_rate.max(f.request_rate),
+                mean_input_tokens: acc.mean_input_tokens.max(f.mean_input_tokens),
+                mean_output_tokens: acc.mean_output_tokens.max(f.mean_output_tokens),
+            })
+            .sanitized()
     }
 }
 
@@ -286,7 +323,7 @@ mod tests {
         for &v in values {
             p.observe(v);
         }
-        p.forecast().expect("observed at least once")
+        p.forecast_ahead(1).expect("observed at least once")
     }
 
     #[test]
@@ -331,14 +368,14 @@ mod tests {
         }
         // Next interval is the start of the low phase; a seasonal model
         // must predict low even though the last observation was high.
-        let f = p.forecast().unwrap();
+        let f = p.forecast_ahead(1).unwrap();
         assert!(f < 25.0, "seasonal forecast {f} should anticipate the dip");
         // Step through the low phase; at the boundary it must predict the
         // coming high phase.
         for _ in 0..4 {
             p.observe(10.0);
         }
-        let f = p.forecast().unwrap();
+        let f = p.forecast_ahead(1).unwrap();
         assert!(f > 35.0, "seasonal forecast {f} should anticipate the peak");
     }
 
@@ -370,6 +407,81 @@ mod tests {
     #[should_panic(expected = "outside (0, 1]")]
     fn bad_alpha_panics() {
         let _ = LoadPredictor::new(PredictorKind::Ewma { alpha: 0.0 });
+    }
+
+    #[test]
+    fn holt_horizon_extends_the_trend() {
+        // y_t = 2t: the k-step forecast must lead by about 2k.
+        let ramp: Vec<f64> = (0..60).map(|t| 2.0 * t as f64).collect();
+        let mut p = PredictorKind::holt().build();
+        for &v in &ramp {
+            p.observe(v);
+        }
+        let one = p.forecast_ahead(1).unwrap();
+        let three = p.forecast_ahead(3).unwrap();
+        assert!(
+            (three - one - 4.0).abs() < 0.5,
+            "3-step {three} vs 1-step {one}"
+        );
+    }
+
+    #[test]
+    fn flat_predictors_have_flat_horizons() {
+        for kind in [PredictorKind::Constant, PredictorKind::ewma()] {
+            let mut p = kind.build();
+            for v in [3.0, 7.0, 5.0] {
+                p.observe(v);
+            }
+            assert_eq!(p.forecast_ahead(1), p.forecast_ahead(5));
+        }
+    }
+
+    #[test]
+    fn horizon_max_dominates_single_step() {
+        let mut p = LoadPredictor::new(PredictorKind::holt());
+        for t in 0..30 {
+            p.observe(LoadSample {
+                request_rate: t as f64,
+                mean_input_tokens: 100.0,
+                mean_output_tokens: 200.0,
+            });
+        }
+        let one = p.forecast();
+        let horizon = p.forecast_horizon_max(4);
+        assert!(horizon.request_rate >= one.request_rate);
+        assert!(horizon.mean_input_tokens >= one.mean_input_tokens);
+    }
+
+    #[test]
+    fn seasonal_horizon_reads_future_season_indices() {
+        // Period-4 square wave: 2 low (10), 2 high (50). Right before the
+        // high phase, a 2-step horizon max must anticipate the peak even
+        // though the 1-step forecast may still read low.
+        let season = [10.0, 10.0, 50.0, 50.0];
+        let mut p = LoadPredictor::new(PredictorKind::holt_winters(4));
+        for _ in 0..8 {
+            for v in season {
+                p.observe(LoadSample {
+                    request_rate: v,
+                    mean_input_tokens: 100.0,
+                    mean_output_tokens: 100.0,
+                });
+            }
+        }
+        // Next index is the low phase start; two steps later is still low,
+        // three steps ahead is high.
+        let h3 = p.forecast_horizon_max(3);
+        assert!(
+            h3.request_rate > 35.0,
+            "horizon max {} should see the coming peak",
+            h3.request_rate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon starts at one")]
+    fn zero_horizon_panics() {
+        let _ = LoadPredictor::new(PredictorKind::ewma()).forecast_horizon_max(0);
     }
 
     mod props {

@@ -23,7 +23,7 @@ use pf_core::SchedulerConfig;
 use pf_metrics::{Align, SimDuration, SimTime, Table};
 use pf_sim::elastic::{ElasticCluster, ElasticReport};
 use pf_sim::{GpuSpec, ModelSpec, SimConfig};
-use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
+use pf_workload::{datasets, rng::seeded, RateProfile, RequestSpec};
 
 const MIN_REPLICAS: usize = 1;
 const MAX_REPLICAS: usize = 4;
@@ -53,12 +53,6 @@ fn base_config() -> SimConfig {
         .record_series(false)
         .seed(41)
         .build()
-}
-
-fn chat_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
-    let input = LengthSampler::uniform(64, 256);
-    let output = LengthSampler::uniform(64, 384);
-    datasets::from_samplers(n, seed, &input, &output, 512)
 }
 
 fn run_fleet(fleet: Fleet, requests: Vec<RequestSpec>, arrivals: Vec<SimTime>) -> ElasticReport {
@@ -154,7 +148,7 @@ fn main() {
     // Diurnal: three cycles from 2 to 12 req/s (one instance saturates
     // near 7 req/s of this workload).
     let n_diurnal = cli.size(3_600, 700);
-    let diurnal_requests = chat_requests(n_diurnal, 42);
+    let diurnal_requests = datasets::short_chat(n_diurnal, 42);
     let diurnal = RateProfile::diurnal(2.0, 12.0, SimDuration::from_secs(PERIOD_S));
     let diurnal_arrivals = diurnal.assign(&mut seeded(43), n_diurnal);
     let diurnal_reports = scenario_table(
@@ -167,7 +161,7 @@ fn main() {
 
     // Bursty: 12 req/s bursts of 40 s every 180 s over a 1 req/s floor.
     let n_bursty = cli.size(1_800, 400);
-    let bursty_requests = chat_requests(n_bursty, 44);
+    let bursty_requests = datasets::short_chat(n_bursty, 44);
     let bursty = RateProfile::bursty(
         1.0,
         12.0,
@@ -175,7 +169,7 @@ fn main() {
         SimDuration::from_secs(PERIOD_S),
     );
     let bursty_arrivals = bursty.assign(&mut seeded(45), n_bursty);
-    scenario_table(
+    let bursty_reports = scenario_table(
         &cli,
         "autoscale_bursty",
         "Elastic autoscaling: bursty load (1 req/s floor, 12 req/s bursts)",
@@ -207,6 +201,45 @@ fn main() {
         elastic.gpu_seconds(),
         static_max.gpu_seconds()
     );
+    // Bursty checks: the planner forecasts `warmup/interval + 1` steps
+    // ahead and provisions against the horizon maximum, so the
+    // trend-extrapolating predictor must beat the one-step-lagging EWMA on
+    // step bursts (a burst still ramping at planning time is extrapolated
+    // across the warm-up delay instead of chased one interval at a time) —
+    // while still provisioning strictly fewer GPU-seconds than static-max.
+    let bursty_by_label = |label: &str| {
+        &bursty_reports
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("missing fleet {label}"))
+            .1
+    };
+    let bursty_holt = bursty_by_label("elastic-holt");
+    let bursty_ewma = bursty_by_label("elastic-ewma");
+    let bursty_static_max = bursty_by_label(&format!("static-{MAX_REPLICAS}"));
+    if cli.quick {
+        // The quick run sees a single burst, which no predictor can
+        // anticipate cold: require parity only.
+        assert!(
+            bursty_holt.sla_attainment() >= bursty_ewma.sla_attainment(),
+            "horizon-forecasting holt ({:.3}) fell below one-step ewma ({:.3}) on step bursts",
+            bursty_holt.sla_attainment(),
+            bursty_ewma.sla_attainment()
+        );
+    } else {
+        assert!(
+            bursty_holt.sla_attainment() > bursty_ewma.sla_attainment(),
+            "horizon-forecasting holt ({:.3}) no longer beats one-step ewma ({:.3}) on step bursts",
+            bursty_holt.sla_attainment(),
+            bursty_ewma.sla_attainment()
+        );
+    }
+    assert!(
+        bursty_holt.gpu_seconds() < bursty_static_max.gpu_seconds(),
+        "elastic-holt provisioned {:.0} GPU-s on bursty, static-max {:.0}",
+        bursty_holt.gpu_seconds(),
+        bursty_static_max.gpu_seconds()
+    );
     let replay = run_fleet(
         Fleet::Elastic(PredictorKind::holt()),
         diurnal_requests.clone(),
@@ -222,6 +255,14 @@ fn main() {
         "non-deterministic GPU-seconds"
     );
     assert_eq!(replay.events, elastic.events, "non-deterministic scaling");
+    println!(
+        "[ok] bursty: horizon-forecasting holt {:.1}% vs ewma {:.1}% SLA at {:.0} GPU-s (static-{} {:.0})",
+        bursty_holt.sla_attainment() * 100.0,
+        bursty_ewma.sla_attainment() * 100.0,
+        bursty_holt.gpu_seconds(),
+        MAX_REPLICAS,
+        bursty_static_max.gpu_seconds(),
+    );
     println!(
         "[ok] elastic-holt: SLA {:.1}% (static-{} {:.1}%), {:.0} GPU-s vs {:.0} ({:.0}% saved), deterministic replay",
         elastic.sla_attainment() * 100.0,

@@ -1,0 +1,384 @@
+//! Extension: disaggregated prefill/decode pools versus colocated serving
+//! at matched GPU counts.
+//!
+//! Three load shapes — a steady prefill-heavy stream (summarization/RAG
+//! traffic), a diurnal chat cycle and a bursty chat square wave — are
+//! served by a colocated 4-instance fleet, by static disaggregated splits
+//! of the same four GPUs, and by an elastic disaggregated cluster whose
+//! prefill and decode pools autoscale independently (prefill against
+//! TTFT, decode against TPOT).
+//!
+//! The table reports TTFT-SLA attainment separately from full-SLA
+//! attainment: disaggregation's claim is about first-token latency — a
+//! dedicated prefill pool keeps prompt admission off the decode batch's
+//! memory and compute, at the price of a KV transfer charged between the
+//! first and second token.
+//!
+//! The run asserts the headline claims on the prefill-heavy scenario:
+//! the matched-GPU static split reaches at least the colocated fleet's
+//! TTFT-SLA attainment without spending more GPU-seconds, and the elastic
+//! run replays bit-identically.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin disagg [-- --quick]
+//! ```
+
+use pf_autoscale::{AutoscaleConfig, PredictorKind};
+use pf_bench::{default_threads, run_parallel, Cli};
+use pf_core::SchedulerConfig;
+use pf_metrics::{Align, SimDuration, SimTime, Table};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig, ElasticDisaggCluster};
+use pf_sim::elastic::ElasticCluster;
+use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_workload::{datasets, rng::seeded, PoissonArrivals, RateProfile, RequestSpec};
+
+const INTERVAL_S: u64 = 10;
+const WARMUP_S: u64 = 20;
+
+fn base_config(capacity: u64) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(capacity)
+        .record_series(false)
+        .seed(31)
+        .build()
+}
+
+#[derive(Clone, Copy)]
+enum Fleet {
+    /// Colocated fleet of `n` conventional engines.
+    Coloc(usize),
+    /// Static disaggregated split: `p` prefill + `d` decode instances.
+    Disagg(usize, usize),
+    /// Elastic disaggregated pools bounded to `[1, pmax]` / `[1, dmax]`,
+    /// starting from `p0` / `d0` instances with the given predictor.
+    DisaggElastic {
+        pmax: usize,
+        dmax: usize,
+        p0: usize,
+        d0: usize,
+        predictor: PredictorKind,
+    },
+}
+
+impl Fleet {
+    fn label(&self) -> String {
+        match *self {
+            Fleet::Coloc(n) => format!("coloc-static-{n}"),
+            Fleet::Disagg(p, d) => format!("disagg-{p}p{d}d"),
+            Fleet::DisaggElastic { pmax, dmax, .. } => format!("disagg-elastic-{pmax}p{dmax}d"),
+        }
+    }
+}
+
+/// Common row extracted from either report type.
+#[derive(Clone)]
+struct RowData {
+    label: String,
+    completed: usize,
+    ttft_attainment: f64,
+    ttft_p99_secs: f64,
+    sla_attainment: f64,
+    goodput_tok_per_s: f64,
+    gpu_seconds: f64,
+    peak: String,
+    makespan_s: f64,
+    scaling_events: usize,
+}
+
+fn run_fleet(
+    fleet: Fleet,
+    capacity: u64,
+    requests: Vec<RequestSpec>,
+    arrivals: Vec<SimTime>,
+) -> RowData {
+    let label = fleet.label();
+    match fleet {
+        Fleet::Coloc(n) => {
+            let autoscale = AutoscaleConfig::bounded(n, n)
+                .interval(SimDuration::from_secs(INTERVAL_S))
+                .warmup(SimDuration::from_secs(WARMUP_S));
+            let report = ElasticCluster::new(base_config(capacity), autoscale, n)
+                .run(requests, arrivals)
+                .expect("colocated run");
+            RowData {
+                label,
+                completed: report.completed(),
+                ttft_attainment: report.goodput.ttft_attainment(),
+                ttft_p99_secs: report.goodput.ttft_secs.p99,
+                sla_attainment: report.sla_attainment(),
+                goodput_tok_per_s: report.goodput_tok_per_s(),
+                gpu_seconds: report.gpu_seconds(),
+                peak: format!("{}", report.peak_replicas()),
+                makespan_s: report.makespan.as_secs_f64(),
+                scaling_events: report.events.len(),
+            }
+        }
+        Fleet::Disagg(p, d) => {
+            let report = DisaggCluster::new(DisaggConfig::new(base_config(capacity)), p, d)
+                .run(requests, arrivals)
+                .expect("disagg run");
+            RowData {
+                label,
+                completed: report.completed(),
+                ttft_attainment: report.ttft_attainment(),
+                ttft_p99_secs: report.goodput.ttft_secs.p99,
+                sla_attainment: report.sla_attainment(),
+                goodput_tok_per_s: report.goodput_tok_per_s(),
+                gpu_seconds: report.gpu_seconds(),
+                peak: format!("{p}+{d}"),
+                makespan_s: report.makespan.as_secs_f64(),
+                scaling_events: 0,
+            }
+        }
+        Fleet::DisaggElastic {
+            pmax,
+            dmax,
+            p0,
+            d0,
+            predictor,
+        } => {
+            let pool = |max: usize| {
+                AutoscaleConfig::bounded(1, max)
+                    .interval(SimDuration::from_secs(INTERVAL_S))
+                    .warmup(SimDuration::from_secs(WARMUP_S))
+                    .predictor(predictor)
+                    .initial_lengths(512.0, 128.0)
+            };
+            let report = ElasticDisaggCluster::new(
+                DisaggConfig::new(base_config(capacity)),
+                pool(pmax),
+                pool(dmax),
+                p0,
+                d0,
+            )
+            .run(requests, arrivals)
+            .expect("elastic disagg run");
+            RowData {
+                label,
+                completed: report.completed(),
+                ttft_attainment: report.ttft_attainment(),
+                ttft_p99_secs: report.goodput.ttft_secs.p99,
+                sla_attainment: report.sla_attainment(),
+                goodput_tok_per_s: report.goodput_tok_per_s(),
+                gpu_seconds: report.gpu_seconds(),
+                peak: format!(
+                    "{}+{}",
+                    report.peak_prefill_replicas(),
+                    report.peak_decode_replicas()
+                ),
+                makespan_s: report.makespan.as_secs_f64(),
+                scaling_events: report.prefill.events.len() + report.decode.events.len(),
+            }
+        }
+    }
+}
+
+fn scenario_table(
+    cli: &Cli,
+    name: &str,
+    title: &str,
+    fleets: &[Fleet],
+    capacity: u64,
+    requests: &[RequestSpec],
+    arrivals: &[SimTime],
+) -> Vec<RowData> {
+    let jobs: Vec<Box<dyn FnOnce() -> RowData + Send>> = fleets
+        .iter()
+        .map(|&fleet| {
+            let requests = requests.to_vec();
+            let arrivals = arrivals.to_vec();
+            Box::new(move || run_fleet(fleet, capacity, requests, arrivals))
+                as Box<dyn FnOnce() -> RowData + Send>
+        })
+        .collect();
+    let rows = run_parallel(jobs, default_threads());
+
+    let mut table = Table::new([
+        "fleet",
+        "completed",
+        "TTFT-ok %",
+        "TTFT p99 s",
+        "SLA-ok %",
+        "goodput tok/s",
+        "GPU-seconds",
+        "peak",
+        "makespan s",
+        "scaling events",
+    ])
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in &rows {
+        table.row([
+            row.label.clone(),
+            row.completed.to_string(),
+            format!("{:.1}", row.ttft_attainment * 100.0),
+            format!("{:.2}", row.ttft_p99_secs),
+            format!("{:.1}", row.sla_attainment * 100.0),
+            format!("{:.0}", row.goodput_tok_per_s),
+            format!("{:.0}", row.gpu_seconds),
+            row.peak.clone(),
+            format!("{:.0}", row.makespan_s),
+            row.scaling_events.to_string(),
+        ]);
+    }
+    cli.emit(name, title, &table);
+    rows
+}
+
+fn by_label<'a>(rows: &'a [RowData], label: &str) -> &'a RowData {
+    rows.iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("missing fleet {label}"))
+}
+
+fn main() {
+    let cli = Cli::parse();
+
+    // Scenario 1 — steady prefill-heavy (summarization/RAG): 12 req/s of
+    // 1-3k-token prompts with terse answers against four A100s. 12 req/s
+    // sits just past the colocated fleet's admission ceiling: its TTFT
+    // tail collapses (prompts queue behind decode-held KV), while a
+    // dedicated prefill pool keeps first tokens flowing and pushes the
+    // stress onto the decode side's MTPOT — the disaggregation trade.
+    let n_steady = cli.size(3_000, 900);
+    let steady_requests = datasets::prefill_heavy(n_steady, 51);
+    let steady_arrivals = PoissonArrivals::new(12.0).assign(&mut seeded(52), n_steady);
+    let steady_fleets = [
+        Fleet::Coloc(4),
+        Fleet::Disagg(2, 2),
+        Fleet::Disagg(3, 1),
+        Fleet::DisaggElastic {
+            pmax: 3,
+            dmax: 3,
+            p0: 2,
+            d0: 2,
+            predictor: PredictorKind::holt(),
+        },
+    ];
+    let steady_rows = scenario_table(
+        &cli,
+        "disagg_prefill_heavy",
+        "Disaggregation: steady prefill-heavy load (12 req/s, 1-3k prompts, 4 GPUs)",
+        &steady_fleets,
+        9_000,
+        &steady_requests,
+        &steady_arrivals,
+    );
+
+    // Scenario 2 — diurnal chat cycle.
+    let n_diurnal = cli.size(2_400, 500);
+    let diurnal_requests = datasets::short_chat(n_diurnal, 53);
+    let diurnal_arrivals = RateProfile::diurnal(2.0, 10.0, SimDuration::from_secs(180))
+        .assign(&mut seeded(54), n_diurnal);
+    let chat_fleets = [
+        Fleet::Coloc(4),
+        Fleet::Disagg(1, 3),
+        Fleet::DisaggElastic {
+            pmax: 2,
+            dmax: 3,
+            p0: 1,
+            d0: 2,
+            // One cycle is 18 adjustment intervals: a seasonal predictor
+            // pre-provisions for the recurring peak.
+            predictor: PredictorKind::holt_winters(18),
+        },
+    ];
+    scenario_table(
+        &cli,
+        "disagg_diurnal",
+        "Disaggregation: diurnal chat load (2 -> 10 req/s, 180 s period, 4 GPUs)",
+        &chat_fleets,
+        6_000,
+        &diurnal_requests,
+        &diurnal_arrivals,
+    );
+
+    // Scenario 3 — bursty chat square wave.
+    let n_bursty = cli.size(1_500, 350);
+    let bursty_requests = datasets::short_chat(n_bursty, 55);
+    let bursty_arrivals = RateProfile::bursty(
+        1.0,
+        10.0,
+        SimDuration::from_secs(40),
+        SimDuration::from_secs(180),
+    )
+    .assign(&mut seeded(56), n_bursty);
+    scenario_table(
+        &cli,
+        "disagg_bursty",
+        "Disaggregation: bursty chat load (1 req/s floor, 10 req/s bursts, 4 GPUs)",
+        &chat_fleets,
+        6_000,
+        &bursty_requests,
+        &bursty_arrivals,
+    );
+
+    // Headline checks (prefill-heavy): the matched-GPU disaggregated split
+    // protects TTFT — attainment at least the colocated fleet's, with a
+    // no-worse p99 — at no extra provisioned cost, and the elastic run
+    // replays bit-identically.
+    let coloc = by_label(&steady_rows, "coloc-static-4");
+    let split = by_label(&steady_rows, "disagg-2p2d");
+    assert!(
+        split.ttft_attainment >= coloc.ttft_attainment,
+        "disagg TTFT attainment {:.3} fell below colocated {:.3}",
+        split.ttft_attainment,
+        coloc.ttft_attainment
+    );
+    assert!(
+        split.ttft_p99_secs <= coloc.ttft_p99_secs,
+        "disagg TTFT p99 {:.2}s exceeds colocated {:.2}s",
+        split.ttft_p99_secs,
+        coloc.ttft_p99_secs
+    );
+    assert!(
+        split.gpu_seconds <= coloc.gpu_seconds * 1.02,
+        "disagg spent {:.0} GPU-s vs colocated {:.0} — not a matched comparison",
+        split.gpu_seconds,
+        coloc.gpu_seconds
+    );
+    let elastic = by_label(&steady_rows, "disagg-elastic-3p3d");
+    let replay = run_fleet(
+        Fleet::DisaggElastic {
+            pmax: 3,
+            dmax: 3,
+            p0: 2,
+            d0: 2,
+            predictor: PredictorKind::holt(),
+        },
+        9_000,
+        steady_requests.clone(),
+        steady_arrivals.clone(),
+    );
+    assert_eq!(
+        replay.makespan_s, elastic.makespan_s,
+        "non-deterministic makespan"
+    );
+    assert_eq!(
+        replay.gpu_seconds, elastic.gpu_seconds,
+        "non-deterministic GPU-seconds"
+    );
+    assert_eq!(
+        replay.scaling_events, elastic.scaling_events,
+        "non-deterministic scaling"
+    );
+    println!(
+        "[ok] disagg-2p2d: TTFT-SLA {:.1}% vs coloc-static-4 {:.1}% at {:.0} vs {:.0} GPU-s; \
+         elastic replay deterministic",
+        split.ttft_attainment * 100.0,
+        coloc.ttft_attainment * 100.0,
+        split.gpu_seconds,
+        coloc.gpu_seconds,
+    );
+}

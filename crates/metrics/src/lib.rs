@@ -45,7 +45,7 @@ mod time;
 mod window;
 
 pub use hist::{Binning, LengthHistogram};
-pub use series::StepSeries;
+pub use series::{SeriesGroup, StepSeries};
 pub use similarity::{
     cosine_similarity, diagonal_mean, off_diagonal_mean, SimilarityMatrix, WindowedLengths,
 };

@@ -120,6 +120,63 @@ impl StepSeries {
     }
 }
 
+/// A small named collection of [`StepSeries`], for reports that track the
+/// same quantity across several components (per-pool replica counts in a
+/// disaggregated cluster, per-shard queue depths, …).
+///
+/// Names are created on first [`SeriesGroup::record`]; iteration order is
+/// insertion order, so reports render deterministically.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SeriesGroup {
+    entries: Vec<(String, StepSeries)>,
+}
+
+impl SeriesGroup {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        SeriesGroup::default()
+    }
+
+    /// Records a value on the named series, creating the series on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the named series' last
+    /// recorded time (see [`StepSeries::record`]).
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, series)) => series.record(at, value),
+            None => {
+                let mut series = StepSeries::new();
+                series.record(at, value);
+                self.entries.push((name.to_string(), series));
+            }
+        }
+    }
+
+    /// The named series, if any value was recorded under that name.
+    pub fn get(&self, name: &str) -> Option<&StepSeries> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Number of named series in the group.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no series has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, series)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StepSeries)> {
+        self.entries.iter().map(|(n, s)| (n.as_str(), s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +249,22 @@ mod tests {
         assert_eq!(s.overall_mean(), None);
         assert_eq!(s.max_value(), None);
         assert!(s.downsample(10).is_empty());
+    }
+
+    #[test]
+    fn series_group_tracks_named_series_independently() {
+        let mut g = SeriesGroup::new();
+        assert!(g.is_empty());
+        g.record("prefill-live", t(0), 2.0);
+        g.record("decode-live", t(0), 1.0);
+        g.record("prefill-live", t(10), 3.0);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get("prefill-live").unwrap().len(), 2);
+        assert_eq!(g.get("decode-live").unwrap().max_value(), Some(1.0));
+        assert!(g.get("missing").is_none());
+        // Insertion order is preserved for deterministic rendering.
+        let names: Vec<&str> = g.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["prefill-live", "decode-live"]);
     }
 
     #[test]

@@ -303,6 +303,20 @@ impl GoodputReport {
         }
     }
 
+    /// Fraction of requests whose *TTFT* met the SLA, regardless of their
+    /// TPOT outcome (1.0 when empty).
+    ///
+    /// This is the term a disaggregated prefill pool is sized against:
+    /// requests violating only MTPOT still count as TTFT-attained, so the
+    /// metric isolates first-token latency from decode-side stalls.
+    pub fn ttft_attainment(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        let ttft_ok = self.total_requests - self.violations.ttft - self.violations.no_tokens;
+        ttft_ok as f64 / self.total_requests as f64
+    }
+
     /// System-level P99 compliance, the paper's Figure 9 framing
     /// ("P99 TTFT 10s, P99 MTPOT 1.5s"): true when the 99th percentiles of
     /// TTFT and MTPOT both stay within the SLA. Under this reading a
@@ -416,6 +430,32 @@ mod tests {
         assert!((report.goodput_tok_per_s - 10.0).abs() < 1e-9);
         assert_eq!(report.violations.ttft, 1);
         assert!((report.satisfied_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttft_attainment_ignores_mtpot_violations() {
+        let sla = SlaSpec::chat_7b();
+        // Fast first token, then a decode stall: MTPOT-violating but
+        // TTFT-attained.
+        let mut stalled = RequestTiming::new(SimTime::ZERO);
+        stalled.record_token(secs(0.5));
+        stalled.record_token(secs(8.0));
+        // Late first token: TTFT-violating.
+        let mut late = RequestTiming::new(SimTime::ZERO);
+        late.record_token(secs(20.0));
+        // Fully satisfied.
+        let mut ok = RequestTiming::new(SimTime::ZERO);
+        ok.record_token(secs(0.5));
+        ok.record_token(secs(0.6));
+        let report = GoodputReport::compute(
+            &sla,
+            &[(stalled, 10), (late, 10), (ok, 10)],
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(report.satisfied_requests, 1);
+        assert!((report.ttft_attainment() - 2.0 / 3.0).abs() < 1e-12);
+        let empty = GoodputReport::compute(&sla, &[], SimDuration::ZERO);
+        assert_eq!(empty.ttft_attainment(), 1.0);
     }
 
     #[test]

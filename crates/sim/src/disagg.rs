@@ -1,0 +1,1424 @@
+//! Disaggregated prefill/decode serving: separate instance pools joined by
+//! a KV-transfer link (DistServe / NVIDIA-Dynamo-style).
+//!
+//! A colocated engine runs prefill and decode on the same GPU, so the two
+//! stages interfere: prompt passes stall token emission (MTPOT), and the
+//! decode batch's KV residency starves prompt admission (TTFT). This module
+//! splits them. **Prefill instances** serve a FIFO queue of prompts in
+//! batched whole-prompt passes and emit each request's *first* token;
+//! **decode instances** run continuous-batching token generation for
+//! requests whose KV cache has been handed over, admitting handoffs by the
+//! paper's future-required-memory estimate (Eq. 2–4 on ground-truth
+//! lengths — an oracle, so the decode batch packs densely yet never
+//! evicts). The pools scale (and in the elastic variant autoscale)
+//! independently, each against the SLA term its stage controls: prefill
+//! against TTFT, decode against TPOT.
+//!
+//! # The KV-transfer cost model
+//!
+//! Moving a request between pools means moving its KV cache. The cost
+//! model ([`KvTransferSpec`]) charges, per handoff,
+//!
+//! ```text
+//! bytes   = (input_len + 1) × kv_bytes_per_token(model)
+//!         = (input_len + 1) × 2 · layers · kv_heads · head_dim · 2
+//! latency = bytes / (link_gbps × 1e9)  +  per_hop_overhead
+//! ```
+//!
+//! where `input_len + 1` counts the prompt plus the first generated token,
+//! `link_gbps` is the prefill→decode interconnect bandwidth (NVLink ≈ 200
+//! GB/s, PCIe 4.0 x16 ≈ 25 GB/s) and `per_hop_overhead` models connection
+//! setup, layer-wise descriptor exchange and scheduler hops. The latency
+//! is charged **between prefill completion and the first decode step**: it
+//! widens the gap between a request's first and second tokens (an MTPOT
+//! term), never its TTFT.
+//!
+//! Transfers share a handoff queue with at most
+//! [`KvTransferSpec::max_inflight`] transfers in flight; excess handoffs
+//! wait for a slot in FIFO order. A prefill instance keeps the request's
+//! KV resident (and charged against its capacity) until the transfer
+//! completes, so a saturated link backpressures prompt admission exactly
+//! as it would in a real deployment.
+//!
+//! # Elastic variant
+//!
+//! [`ElasticDisaggCluster`] reuses the warm-up/drain lifecycle of
+//! [`crate::elastic`]: scale-ups provision instances that serve only after
+//! a warm-up delay, scale-downs cancel warming instances first and then
+//! drain live ones (they finish their work, transfer everything out and
+//! stop costing GPU-seconds). One [`AutoscalePlanner`] per pool — built
+//! with [`pf_autoscale::PoolRole::Prefill`] / [`PoolRole::Decode`] — sizes
+//! the pools independently.
+//!
+//! The run is fully deterministic: one global event heap orders arrivals,
+//! step completions, transfers and planning rounds, with a monotone
+//! sequence number breaking timestamp ties.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_core::SchedulerConfig;
+//! use pf_metrics::SimTime;
+//! use pf_sim::disagg::{DisaggCluster, DisaggConfig};
+//! use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+//! use pf_workload::{datasets, LengthSampler};
+//!
+//! let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+//!     .capacity_override(12_000)
+//!     .build();
+//! let input = LengthSampler::uniform(256, 1024);
+//! let output = LengthSampler::uniform(8, 64);
+//! let requests = datasets::from_samplers(40, 1, &input, &output, 64);
+//! let arrivals = (0..40).map(|i| SimTime::from_millis(250 * i)).collect();
+//! let report = DisaggCluster::new(DisaggConfig::new(base), 1, 1)
+//!     .run(requests, arrivals)?;
+//! assert_eq!(report.completed(), 40);
+//! assert!(report.transfers.transfers > 0);
+//! # Ok::<(), pf_sim::SimError>(())
+//! ```
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+
+use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision, StepLatency};
+use pf_core::{BatchEntry, FutureMemoryEstimator};
+use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
+use pf_workload::RequestSpec;
+
+use crate::config::SimConfig;
+use crate::elastic::{MemberState, ScalingEvent};
+use crate::error::SimError;
+use crate::perf::PerfModel;
+use crate::report::RequestOutcome;
+
+/// The KV-transfer cost model between the prefill and decode pools (see
+/// the module docs for the formula).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KvTransferSpec {
+    /// Effective prefill→decode link bandwidth in GB/s.
+    pub link_gbps: f64,
+    /// Fixed per-transfer overhead (connection setup, descriptor hops).
+    pub per_hop_overhead: SimDuration,
+    /// Maximum simultaneously in-flight transfers; excess handoffs queue
+    /// FIFO for a slot.
+    pub max_inflight: usize,
+}
+
+impl KvTransferSpec {
+    /// Creates a transfer spec, validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not finite and positive or
+    /// `max_inflight` is zero.
+    pub fn new(link_gbps: f64, per_hop_overhead: SimDuration, max_inflight: usize) -> Self {
+        assert!(
+            link_gbps.is_finite() && link_gbps > 0.0,
+            "invalid link bandwidth {link_gbps}"
+        );
+        assert!(max_inflight > 0, "need at least one in-flight transfer");
+        KvTransferSpec {
+            link_gbps,
+            per_hop_overhead,
+            max_inflight,
+        }
+    }
+
+    /// NVLink-class interconnect (≈200 GB/s, 50 µs overhead, 8 slots).
+    pub fn nvlink() -> Self {
+        KvTransferSpec::new(200.0, SimDuration::from_micros(50), 8)
+    }
+
+    /// PCIe 4.0 x16 interconnect (≈25 GB/s, 200 µs overhead, 4 slots).
+    pub fn pcie4() -> Self {
+        KvTransferSpec::new(25.0, SimDuration::from_micros(200), 4)
+    }
+
+    /// Pure link latency for one transfer of `bytes` (excluding slot
+    /// queueing).
+    pub fn latency(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / (self.link_gbps * 1e9)) + self.per_hop_overhead
+    }
+}
+
+/// Configuration of a disaggregated deployment: one replica type (model,
+/// GPU, capacity, SLA — all from the embedded [`SimConfig`]) split into
+/// two pools joined by a [`KvTransferSpec`] link.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Replica description shared by both pools (scheduler settings are
+    /// unused — the pools run stage-specific loops).
+    pub base: SimConfig,
+    /// The prefill→decode KV-transfer link.
+    pub transfer: KvTransferSpec,
+    /// Prompt tokens batched into one prefill pass at most.
+    pub max_prefill_batch_tokens: u64,
+}
+
+impl DisaggConfig {
+    /// Wraps a replica configuration with NVLink transfer defaults and an
+    /// 8k-token prefill batch budget.
+    pub fn new(base: SimConfig) -> Self {
+        DisaggConfig {
+            base,
+            transfer: KvTransferSpec::nvlink(),
+            max_prefill_batch_tokens: 8_192,
+        }
+    }
+
+    /// Sets the KV-transfer link.
+    pub fn transfer(mut self, transfer: KvTransferSpec) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Sets the prefill batch budget in prompt tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn prefill_batch_tokens(mut self, tokens: u64) -> Self {
+        assert!(tokens > 0, "prefill batch budget must be positive");
+        self.max_prefill_batch_tokens = tokens;
+        self
+    }
+}
+
+/// A disaggregated cluster with *fixed* pool sizes.
+#[derive(Debug)]
+pub struct DisaggCluster {
+    config: DisaggConfig,
+    prefill_instances: usize,
+    decode_instances: usize,
+}
+
+impl DisaggCluster {
+    /// Creates a cluster with `prefill_instances` + `decode_instances`
+    /// fixed replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pool is empty.
+    pub fn new(config: DisaggConfig, prefill_instances: usize, decode_instances: usize) -> Self {
+        assert!(prefill_instances > 0, "prefill pool needs an instance");
+        assert!(decode_instances > 0, "decode pool needs an instance");
+        DisaggCluster {
+            config,
+            prefill_instances,
+            decode_instances,
+        }
+    }
+
+    /// Runs the cluster against a timed arrival stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a request cannot fit either pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+    ) -> Result<DisaggReport, SimError> {
+        Run::start(
+            self.config,
+            self.prefill_instances,
+            self.decode_instances,
+            None,
+            requests,
+            arrival_times,
+        )?
+        .drive()
+    }
+}
+
+/// A disaggregated cluster whose pools are independently autoscaled — the
+/// prefill pool against TTFT, the decode pool against TPOT (see module
+/// docs).
+#[derive(Debug)]
+pub struct ElasticDisaggCluster {
+    config: DisaggConfig,
+    prefill_autoscale: AutoscaleConfig,
+    decode_autoscale: AutoscaleConfig,
+    initial_prefill: usize,
+    initial_decode: usize,
+}
+
+impl ElasticDisaggCluster {
+    /// Creates an elastic disaggregated cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either initial count is zero or outside its pool's
+    /// `[min, max]` bounds, or if the two pools disagree on the adjustment
+    /// interval (planning rounds drive both pools on one cadence).
+    pub fn new(
+        config: DisaggConfig,
+        prefill_autoscale: AutoscaleConfig,
+        decode_autoscale: AutoscaleConfig,
+        initial_prefill: usize,
+        initial_decode: usize,
+    ) -> Self {
+        assert_eq!(
+            prefill_autoscale.interval, decode_autoscale.interval,
+            "pools must share one adjustment interval"
+        );
+        for (label, autoscale, initial) in [
+            ("prefill", &prefill_autoscale, initial_prefill),
+            ("decode", &decode_autoscale, initial_decode),
+        ] {
+            assert!(initial > 0, "{label} pool needs an instance");
+            assert!(
+                (autoscale.policy.min_replicas..=autoscale.policy.max_replicas).contains(&initial),
+                "initial {label} replicas {} outside policy bounds [{}, {}]",
+                initial,
+                autoscale.policy.min_replicas,
+                autoscale.policy.max_replicas
+            );
+        }
+        ElasticDisaggCluster {
+            config,
+            prefill_autoscale,
+            decode_autoscale,
+            initial_prefill,
+            initial_decode,
+        }
+    }
+
+    /// Runs the elastic cluster against a timed arrival stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a request cannot fit either pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+    ) -> Result<DisaggReport, SimError> {
+        let model = PoolModel {
+            perf: self.config.base.perf_model(),
+            capacity_tokens: self.config.base.capacity_tokens(),
+        };
+        let sla = self.config.base.sla;
+        let interval = self.prefill_autoscale.interval;
+        let planning = Planning {
+            prefill: PoolPlanner {
+                warmup: self.prefill_autoscale.warmup,
+                planner: AutoscalePlanner::with_role(
+                    self.prefill_autoscale,
+                    sla,
+                    model,
+                    PoolRole::Prefill,
+                ),
+            },
+            decode: PoolPlanner {
+                warmup: self.decode_autoscale.warmup,
+                planner: AutoscalePlanner::with_role(
+                    self.decode_autoscale,
+                    sla,
+                    model,
+                    PoolRole::Decode,
+                ),
+            },
+            interval,
+            next_plan: SimTime::ZERO + interval,
+        };
+        Run::start(
+            self.config,
+            self.initial_prefill,
+            self.initial_decode,
+            Some(planning),
+            requests,
+            arrival_times,
+        )?
+        .drive()
+    }
+}
+
+/// Step-latency oracle for one replica (either pool — the hardware is
+/// homogeneous): the roofline [`PerfModel`] with the deployment's KV
+/// capacity.
+#[derive(Debug, Clone, Copy)]
+struct PoolModel {
+    perf: PerfModel,
+    capacity_tokens: u64,
+}
+
+impl StepLatency for PoolModel {
+    fn prefill_secs(&self, prompt_tokens: u64) -> f64 {
+        self.perf.prefill_step(prompt_tokens).as_secs_f64()
+    }
+
+    fn decode_secs(&self, batch_size: u64, kv_tokens: u64) -> f64 {
+        self.perf.decode_step(batch_size, kv_tokens).as_secs_f64()
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.capacity_tokens
+    }
+}
+
+/// One request travelling through the pipeline.
+#[derive(Debug, Clone)]
+struct Job {
+    spec: RequestSpec,
+    timing: RequestTiming,
+    generated: u32,
+}
+
+impl Job {
+    fn new(spec: RequestSpec, arrived: SimTime) -> Self {
+        Job {
+            spec,
+            timing: RequestTiming::new(arrived),
+            generated: 0,
+        }
+    }
+
+    /// KV tokens a prefill instance holds for this job: the prompt plus
+    /// the first generated token.
+    fn prefill_tokens(&self) -> u64 {
+        u64::from(self.spec.input_len) + 1
+    }
+
+    /// Worst-case KV footprint at completion (routing signal for pending
+    /// handoffs whose admission point is not yet known).
+    fn final_footprint(&self) -> u64 {
+        u64::from(self.spec.input_len) + u64::from(self.spec.true_output_len)
+    }
+
+    /// KV tokens currently resident while decoding.
+    fn kv_tokens(&self) -> u64 {
+        u64::from(self.spec.input_len) + u64::from(self.generated)
+    }
+
+    /// Future-memory entry (Eq. 2–4 of the paper, on ground truth): what
+    /// this request holds now and how much it will still grow.
+    fn batch_entry(&self) -> BatchEntry {
+        BatchEntry {
+            committed: self.kv_tokens(),
+            remaining: u64::from(self.spec.true_output_len - self.generated),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PrefillMember {
+    state: MemberState,
+    spawned_at: SimTime,
+    stopped_at: Option<SimTime>,
+    /// Prompts routed here, waiting for a prefill pass.
+    queue: VecDeque<Job>,
+    /// Prompt tokens waiting in `queue` (routing signal).
+    queued_tokens: u64,
+    /// The batch currently in the prefill pass (empty when idle).
+    batch: Vec<Job>,
+    /// KV tokens resident: the in-flight batch plus completed prefills
+    /// whose transfer has not finished yet.
+    held_tokens: u64,
+    busy: bool,
+    routed: usize,
+    completed: usize,
+}
+
+#[derive(Debug)]
+struct DecodeMember {
+    state: MemberState,
+    spawned_at: SimTime,
+    stopped_at: Option<SimTime>,
+    /// Transferred requests waiting for admission into the decode batch.
+    pending: VecDeque<Job>,
+    /// Final footprints of `pending` (routing signal).
+    pending_reserved: u64,
+    running: Vec<Job>,
+    busy: bool,
+    routed: usize,
+    completed: usize,
+}
+
+impl PrefillMember {
+    fn is_live(&self) -> bool {
+        self.state == MemberState::Live
+    }
+
+    fn is_active(&self) -> bool {
+        matches!(self.state, MemberState::Live | MemberState::Draining)
+    }
+
+    fn load_signal(&self) -> u64 {
+        self.queued_tokens + self.held_tokens
+    }
+}
+
+impl DecodeMember {
+    fn is_live(&self) -> bool {
+        self.state == MemberState::Live
+    }
+
+    fn is_active(&self) -> bool {
+        matches!(self.state, MemberState::Live | MemberState::Draining)
+    }
+
+    fn load_signal(&self) -> u64 {
+        self.running.iter().map(Job::kv_tokens).sum::<u64>() + self.pending_reserved
+    }
+}
+
+/// The lifecycle surface both member types share, so the warm-up/drain
+/// machinery exists once (mirroring `elastic.rs`) instead of per pool.
+trait PoolMember {
+    fn state(&self) -> MemberState;
+    fn set_state(&mut self, state: MemberState);
+    fn stop(&mut self, at: SimTime);
+    /// Relative load for drain-victim selection (lower drains first).
+    fn load_signal(&self) -> u64;
+}
+
+impl PoolMember for PrefillMember {
+    fn state(&self) -> MemberState {
+        self.state
+    }
+
+    fn set_state(&mut self, state: MemberState) {
+        self.state = state;
+    }
+
+    fn stop(&mut self, at: SimTime) {
+        self.state = MemberState::Stopped;
+        self.stopped_at = Some(at);
+    }
+
+    fn load_signal(&self) -> u64 {
+        PrefillMember::load_signal(self)
+    }
+}
+
+impl PoolMember for DecodeMember {
+    fn state(&self) -> MemberState {
+        self.state
+    }
+
+    fn set_state(&mut self, state: MemberState) {
+        self.state = state;
+    }
+
+    fn stop(&mut self, at: SimTime) {
+        self.state = MemberState::Stopped;
+        self.stopped_at = Some(at);
+    }
+
+    fn load_signal(&self) -> u64 {
+        DecodeMember::load_signal(self)
+    }
+}
+
+/// `(live, warming)` counts of one pool.
+fn pool_counts<T: PoolMember>(members: &[T]) -> (usize, usize) {
+    let live = members
+        .iter()
+        .filter(|m| m.state() == MemberState::Live)
+        .count();
+    let warming = members
+        .iter()
+        .filter(|m| matches!(m.state(), MemberState::Warming { .. }))
+        .count();
+    (live, warming)
+}
+
+/// Shrinks one pool toward `target`: cancels the newest warming instances
+/// first (they have served nothing), then marks the least-loaded live
+/// instances as draining — never taking the pool below one live member,
+/// so the router always has a target. Returns the indices newly marked
+/// draining; the caller runs its pool-specific idle-stop check on them.
+fn scale_down_pool<T: PoolMember>(members: &mut [T], target: usize, now: SimTime) -> Vec<usize> {
+    let (live, warming) = pool_counts(members);
+    let mut excess = (live + warming).saturating_sub(target);
+    for i in (0..members.len()).rev() {
+        if excess == 0 {
+            break;
+        }
+        if matches!(members[i].state(), MemberState::Warming { .. }) {
+            members[i].stop(now);
+            excess -= 1;
+        }
+    }
+    let mut drained = Vec::new();
+    while excess > 0 {
+        let live_count = members
+            .iter()
+            .filter(|m| m.state() == MemberState::Live)
+            .count();
+        if live_count <= 1 {
+            break; // never leave the router without a target
+        }
+        let Some(victim) = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state() == MemberState::Live)
+            .min_by_key(|(i, m)| (m.load_signal(), *i))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        members[victim].set_state(MemberState::Draining);
+        drained.push(victim);
+        excess -= 1;
+    }
+    drained
+}
+
+/// Which pool an event addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolKind {
+    Prefill,
+    Decode,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A request reaches the cluster front end.
+    Arrival(RequestSpec),
+    /// A prefill instance finishes its current batch.
+    PrefillDone(usize),
+    /// A KV transfer lands on the decode side.
+    TransferDone { from: usize, tokens: u64, job: Job },
+    /// A decode instance finishes one decode step.
+    DecodeDone(usize),
+    /// A warming instance becomes live.
+    Ready { pool: PoolKind, member: usize },
+    /// An autoscale planning round (elastic runs only).
+    Plan,
+}
+
+/// Heap entry: earliest `(at, seq)` first; `seq` makes ties deterministic.
+#[derive(Debug)]
+struct Scheduled {
+    at_us: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the max-heap pops the earliest event.
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+
+struct PoolPlanner {
+    planner: AutoscalePlanner<PoolModel>,
+    warmup: SimDuration,
+}
+
+struct Planning {
+    prefill: PoolPlanner,
+    decode: PoolPlanner,
+    interval: SimDuration,
+    next_plan: SimTime,
+}
+
+/// Mutable state of one disaggregated run.
+struct Run {
+    perf: PerfModel,
+    capacity: u64,
+    sla: SlaSpec,
+    transfer: KvTransferSpec,
+    kv_bytes_per_token: u64,
+    max_prefill_batch_tokens: u64,
+    record: bool,
+
+    prefill: Vec<PrefillMember>,
+    decode: Vec<DecodeMember>,
+    prefill_scaling: Vec<ScalingEvent>,
+    decode_scaling: Vec<ScalingEvent>,
+    planning: Option<Planning>,
+
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    /// Free times of the `max_inflight` transfer slots, in microseconds.
+    link_free: BinaryHeap<Reverse<u64>>,
+
+    remaining: usize,
+    outcomes: Vec<RequestOutcome>,
+    clock: SimTime,
+    series: SeriesGroup,
+    last_series_at: SimTime,
+    stats: TransferStats,
+    /// `(start, done)` per transfer, recorded when the base config has
+    /// series recording on (tests use it to check the in-flight bound).
+    transfer_intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl Run {
+    #[allow(clippy::too_many_lines)]
+    fn start(
+        config: DisaggConfig,
+        initial_prefill: usize,
+        initial_decode: usize,
+        planning: Option<Planning>,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+    ) -> Result<Run, SimError> {
+        assert_eq!(
+            requests.len(),
+            arrival_times.len(),
+            "one arrival time per request"
+        );
+        assert!(
+            arrival_times.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be sorted"
+        );
+        let perf = config.base.perf_model();
+        let capacity = config.base.capacity_tokens();
+        if capacity == 0 {
+            return Err(SimError::NoKvCapacity { capacity });
+        }
+        let max_batch = config.max_prefill_batch_tokens;
+        for spec in &requests {
+            let prefill_need = u64::from(spec.input_len) + 1;
+            if prefill_need > capacity {
+                return Err(SimError::RequestTooLarge {
+                    id: spec.id.raw(),
+                    needed: prefill_need,
+                    capacity,
+                });
+            }
+            if u64::from(spec.input_len) > max_batch {
+                return Err(SimError::RequestTooLarge {
+                    id: spec.id.raw(),
+                    needed: u64::from(spec.input_len),
+                    capacity: max_batch,
+                });
+            }
+            let decode_need = u64::from(spec.input_len) + u64::from(spec.true_output_len);
+            if decode_need > capacity {
+                return Err(SimError::RequestTooLarge {
+                    id: spec.id.raw(),
+                    needed: decode_need,
+                    capacity,
+                });
+            }
+        }
+        let mut run = Run {
+            perf,
+            capacity,
+            sla: config.base.sla,
+            transfer: config.transfer,
+            kv_bytes_per_token: config.base.model.kv_bytes_per_token(),
+            max_prefill_batch_tokens: max_batch,
+            record: config.base.record_series,
+            prefill: Vec::new(),
+            decode: Vec::new(),
+            prefill_scaling: Vec::new(),
+            decode_scaling: Vec::new(),
+            planning,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            link_free: (0..config.transfer.max_inflight)
+                .map(|_| Reverse(0))
+                .collect(),
+            remaining: requests.len(),
+            outcomes: Vec::with_capacity(requests.len()),
+            clock: SimTime::ZERO,
+            series: SeriesGroup::new(),
+            last_series_at: SimTime::ZERO,
+            stats: TransferStats::default(),
+            transfer_intervals: Vec::new(),
+        };
+        for _ in 0..initial_prefill {
+            run.spawn_prefill(SimTime::ZERO, SimDuration::ZERO);
+        }
+        for _ in 0..initial_decode {
+            run.spawn_decode(SimTime::ZERO, SimDuration::ZERO);
+        }
+        for (at, spec) in arrival_times.into_iter().zip(requests) {
+            run.schedule(at, Ev::Arrival(spec));
+        }
+        let first_plan = run.planning.as_ref().map(|p| p.next_plan);
+        if let Some(at) = first_plan {
+            if run.remaining > 0 {
+                run.schedule(at, Ev::Plan);
+            }
+        }
+        run.record_fleet(SimTime::ZERO);
+        Ok(run)
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at_us: at.as_micros(),
+            seq,
+            ev,
+        });
+    }
+
+    fn spawn_prefill(&mut self, now: SimTime, warmup: SimDuration) {
+        let state = if warmup.is_zero() {
+            MemberState::Live
+        } else {
+            MemberState::Warming {
+                ready_at: now + warmup,
+            }
+        };
+        self.prefill.push(PrefillMember {
+            state,
+            spawned_at: now,
+            stopped_at: None,
+            queue: VecDeque::new(),
+            queued_tokens: 0,
+            batch: Vec::new(),
+            held_tokens: 0,
+            busy: false,
+            routed: 0,
+            completed: 0,
+        });
+        if !warmup.is_zero() {
+            let member = self.prefill.len() - 1;
+            self.schedule(
+                now + warmup,
+                Ev::Ready {
+                    pool: PoolKind::Prefill,
+                    member,
+                },
+            );
+        }
+    }
+
+    fn spawn_decode(&mut self, now: SimTime, warmup: SimDuration) {
+        let state = if warmup.is_zero() {
+            MemberState::Live
+        } else {
+            MemberState::Warming {
+                ready_at: now + warmup,
+            }
+        };
+        self.decode.push(DecodeMember {
+            state,
+            spawned_at: now,
+            stopped_at: None,
+            pending: VecDeque::new(),
+            pending_reserved: 0,
+            running: Vec::new(),
+            busy: false,
+            routed: 0,
+            completed: 0,
+        });
+        if !warmup.is_zero() {
+            let member = self.decode.len() - 1;
+            self.schedule(
+                now + warmup,
+                Ev::Ready {
+                    pool: PoolKind::Decode,
+                    member,
+                },
+            );
+        }
+    }
+
+    fn record_fleet(&mut self, at: SimTime) {
+        let at = at.max(self.last_series_at);
+        self.last_series_at = at;
+        let live = |m: &PrefillMember| m.is_live();
+        let up = |m: &PrefillMember| m.stopped_at.is_none();
+        let p_live = self.prefill.iter().filter(|m| live(m)).count() as f64;
+        let p_up = self.prefill.iter().filter(|m| up(m)).count() as f64;
+        let d_live = self.decode.iter().filter(|m| m.is_live()).count() as f64;
+        let d_up = self
+            .decode
+            .iter()
+            .filter(|m| m.stopped_at.is_none())
+            .count() as f64;
+        self.series.record("prefill-live", at, p_live);
+        self.series.record("prefill-provisioned", at, p_up);
+        self.series.record("decode-live", at, d_live);
+        self.series.record("decode-provisioned", at, d_up);
+    }
+
+    fn drive(mut self) -> Result<DisaggReport, SimError> {
+        while let Some(Scheduled { at_us, ev, .. }) = self.heap.pop() {
+            let now = SimTime::from_micros(at_us);
+            self.clock = self.clock.max(now);
+            match ev {
+                Ev::Arrival(spec) => self.on_arrival(now, spec),
+                Ev::PrefillDone(i) => self.on_prefill_done(now, i),
+                Ev::TransferDone { from, tokens, job } => {
+                    self.on_transfer_done(now, from, tokens, job);
+                }
+                Ev::DecodeDone(j) => self.on_decode_done(now, j),
+                Ev::Ready { pool, member } => self.on_ready(now, pool, member),
+                Ev::Plan => self.on_plan(now),
+            }
+        }
+        Ok(self.finish())
+    }
+
+    fn on_arrival(&mut self, now: SimTime, spec: RequestSpec) {
+        if let Some(planning) = self.planning.as_mut() {
+            planning
+                .prefill
+                .planner
+                .on_request_arrival(now, spec.input_len);
+        }
+        let target = self
+            .prefill
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_live())
+            .min_by_key(|(i, m)| (m.load_signal(), *i))
+            .map(|(i, _)| i)
+            .expect("at least one live prefill instance");
+        let member = &mut self.prefill[target];
+        member.routed += 1;
+        member.queued_tokens += u64::from(spec.input_len);
+        member.queue.push_back(Job::new(spec, now));
+        self.try_start_prefill(target, now);
+    }
+
+    /// Starts a prefill pass on member `i` if it is idle and a batch fits
+    /// the token budget and the instance's free KV.
+    fn try_start_prefill(&mut self, i: usize, now: SimTime) {
+        let capacity = self.capacity;
+        let max_batch = self.max_prefill_batch_tokens;
+        let perf = self.perf;
+        let member = &mut self.prefill[i];
+        if member.busy || !member.is_active() {
+            return;
+        }
+        let mut batch_prompt_tokens = 0u64;
+        while let Some(front) = member.queue.front() {
+            let prompt = u64::from(front.spec.input_len);
+            let tokens = front.prefill_tokens();
+            if !member.batch.is_empty() && batch_prompt_tokens + prompt > max_batch {
+                break;
+            }
+            if member.held_tokens + tokens > capacity {
+                break;
+            }
+            let job = member.queue.pop_front().expect("peeked");
+            member.queued_tokens -= prompt;
+            member.held_tokens += tokens;
+            batch_prompt_tokens += prompt;
+            member.batch.push(job);
+        }
+        if member.batch.is_empty() {
+            return;
+        }
+        member.busy = true;
+        let duration = perf.prefill_step(batch_prompt_tokens);
+        self.schedule(now + duration, Ev::PrefillDone(i));
+    }
+
+    fn on_prefill_done(&mut self, now: SimTime, i: usize) {
+        self.prefill[i].busy = false;
+        let batch = std::mem::take(&mut self.prefill[i].batch);
+        self.prefill[i].completed += batch.len();
+        for mut job in batch {
+            job.generated += 1;
+            job.timing.record_token(now);
+            if let Some(planning) = self.planning.as_mut() {
+                let ttft = job.timing.ttft().expect("first token just recorded");
+                planning
+                    .prefill
+                    .planner
+                    .on_request_finished(now, 1, ttft, SimDuration::ZERO);
+            }
+            if job.generated >= job.spec.true_output_len {
+                // Single-token requests finish at prefill; nothing to hand
+                // over.
+                self.prefill[i].held_tokens -= job.prefill_tokens();
+                self.finish_job(job);
+            } else {
+                self.push_transfer(now, i, job);
+            }
+        }
+        self.try_start_prefill(i, now);
+        self.maybe_stop_prefill(i, now);
+    }
+
+    /// Enqueues one KV handoff on the bounded transfer link.
+    fn push_transfer(&mut self, now: SimTime, from: usize, job: Job) {
+        let tokens = job.prefill_tokens();
+        let bytes = tokens * self.kv_bytes_per_token;
+        let latency = self.transfer.latency(bytes);
+        let Reverse(free_us) = self.link_free.pop().expect("fixed slot count");
+        let start_us = free_us.max(now.as_micros());
+        let done_us = start_us + latency.as_micros();
+        self.link_free.push(Reverse(done_us));
+        let wait_secs = (start_us - now.as_micros()) as f64 / 1e6;
+        self.stats.transfers += 1;
+        self.stats.total_bytes += bytes;
+        self.stats.total_link_secs += latency.as_secs_f64();
+        self.stats.total_wait_secs += wait_secs;
+        self.stats.max_wait_secs = self.stats.max_wait_secs.max(wait_secs);
+        if self.record {
+            self.transfer_intervals.push((
+                SimTime::from_micros(start_us),
+                SimTime::from_micros(done_us),
+            ));
+        }
+        self.schedule(
+            SimTime::from_micros(done_us),
+            Ev::TransferDone { from, tokens, job },
+        );
+    }
+
+    fn on_transfer_done(&mut self, now: SimTime, from: usize, tokens: u64, job: Job) {
+        self.prefill[from].held_tokens -= tokens;
+        self.try_start_prefill(from, now);
+        self.maybe_stop_prefill(from, now);
+        if let Some(planning) = self.planning.as_mut() {
+            planning
+                .decode
+                .planner
+                .on_request_arrival(now, job.spec.input_len);
+        }
+        let target = self
+            .decode
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_live())
+            .min_by_key(|(j, m)| (m.load_signal(), *j))
+            .map(|(j, _)| j)
+            .expect("at least one live decode instance");
+        let member = &mut self.decode[target];
+        member.routed += 1;
+        member.pending_reserved += job.final_footprint();
+        member.pending.push_back(job);
+        self.try_start_decode(target, now);
+    }
+
+    /// Admits pending handoffs and starts one decode step on member `j` if
+    /// it is idle with a non-empty batch.
+    ///
+    /// Admission uses the paper's future-required-memory estimate (Eq.
+    /// 2–4) on ground-truth remaining lengths: a handoff joins the batch
+    /// only when the batch's *peak* future footprint — not its worst-case
+    /// sum — stays within capacity. Exact lengths make the estimate an
+    /// oracle, so admitted requests are never evicted, while packing the
+    /// batch far denser than a conservative full-reservation rule.
+    fn try_start_decode(&mut self, j: usize, now: SimTime) {
+        let capacity = self.capacity;
+        let perf = self.perf;
+        let member = &mut self.decode[j];
+        if member.busy || !member.is_active() {
+            return;
+        }
+        while let Some(front) = member.pending.front() {
+            let mut entries: Vec<BatchEntry> =
+                member.running.iter().map(Job::batch_entry).collect();
+            entries.push(front.batch_entry());
+            if FutureMemoryEstimator::peak_memory(&entries) > capacity {
+                break;
+            }
+            let job = member.pending.pop_front().expect("peeked");
+            member.pending_reserved -= job.final_footprint();
+            member.running.push(job);
+        }
+        if member.running.is_empty() {
+            return;
+        }
+        let batch = member.running.len() as u64;
+        let kv_tokens: u64 = member.running.iter().map(Job::kv_tokens).sum();
+        member.busy = true;
+        let duration = perf.decode_step(batch, kv_tokens);
+        self.schedule(now + duration, Ev::DecodeDone(j));
+    }
+
+    fn on_decode_done(&mut self, now: SimTime, j: usize) {
+        self.decode[j].busy = false;
+        let mut finished = Vec::new();
+        {
+            let member = &mut self.decode[j];
+            let mut k = 0;
+            while k < member.running.len() {
+                let job = &mut member.running[k];
+                job.generated += 1;
+                job.timing.record_token(now);
+                if job.generated >= job.spec.true_output_len {
+                    finished.push(member.running.remove(k));
+                } else {
+                    k += 1;
+                }
+            }
+            member.completed += finished.len();
+        }
+        for job in finished {
+            if let Some(planning) = self.planning.as_mut() {
+                let ttft = job.timing.ttft().expect("completed with tokens");
+                planning.decode.planner.on_request_finished(
+                    now,
+                    job.generated,
+                    ttft,
+                    job.timing.avg_tpot(),
+                );
+            }
+            self.finish_job(job);
+        }
+        self.try_start_decode(j, now);
+        self.maybe_stop_decode(j, now);
+    }
+
+    fn on_ready(&mut self, now: SimTime, pool: PoolKind, member: usize) {
+        let promoted = match pool {
+            PoolKind::Prefill => {
+                let m = &mut self.prefill[member];
+                if matches!(m.state, MemberState::Warming { .. }) {
+                    m.state = MemberState::Live;
+                    true
+                } else {
+                    false
+                }
+            }
+            PoolKind::Decode => {
+                let m = &mut self.decode[member];
+                if matches!(m.state, MemberState::Warming { .. }) {
+                    m.state = MemberState::Live;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if promoted {
+            self.record_fleet(now);
+        }
+    }
+
+    fn maybe_stop_prefill(&mut self, i: usize, now: SimTime) {
+        let member = &mut self.prefill[i];
+        if member.state == MemberState::Draining
+            && !member.busy
+            && member.queue.is_empty()
+            && member.batch.is_empty()
+            && member.held_tokens == 0
+        {
+            member.state = MemberState::Stopped;
+            member.stopped_at = Some(now);
+            self.record_fleet(now);
+        }
+    }
+
+    fn maybe_stop_decode(&mut self, j: usize, now: SimTime) {
+        let member = &mut self.decode[j];
+        if member.state == MemberState::Draining
+            && !member.busy
+            && member.running.is_empty()
+            && member.pending.is_empty()
+        {
+            member.state = MemberState::Stopped;
+            member.stopped_at = Some(now);
+            self.record_fleet(now);
+        }
+    }
+
+    fn finish_job(&mut self, job: Job) {
+        self.remaining -= 1;
+        self.outcomes.push(RequestOutcome {
+            id: job.spec.id.raw(),
+            input_len: job.spec.input_len,
+            output_len: job.generated,
+            timing: job.timing,
+            evictions: 0,
+        });
+    }
+
+    /// One planning round: each pool's planner decides independently.
+    fn on_plan(&mut self, now: SimTime) {
+        let Some(mut planning) = self.planning.take() else {
+            return;
+        };
+        planning.next_plan = now + planning.interval;
+        for pool in [PoolKind::Prefill, PoolKind::Decode] {
+            let (live, warming) = match pool {
+                PoolKind::Prefill => pool_counts(&self.prefill),
+                PoolKind::Decode => pool_counts(&self.decode),
+            };
+            let effective = live + warming;
+            if effective == 0 {
+                continue;
+            }
+            let pool_planner = match pool {
+                PoolKind::Prefill => &mut planning.prefill,
+                PoolKind::Decode => &mut planning.decode,
+            };
+            let outcome = pool_planner.planner.plan(now, live, warming);
+            let warmup = pool_planner.warmup;
+            let target = outcome.decision.target_or(effective);
+            self.apply_decision(pool, now, outcome.decision, warmup);
+            if target != effective {
+                let events = match pool {
+                    PoolKind::Prefill => &mut self.prefill_scaling,
+                    PoolKind::Decode => &mut self.decode_scaling,
+                };
+                events.push(ScalingEvent {
+                    at: now,
+                    from: effective,
+                    to: target,
+                });
+            }
+        }
+        self.record_fleet(now);
+        if self.remaining > 0 {
+            let at = planning.next_plan;
+            self.planning = Some(planning);
+            self.schedule(at, Ev::Plan);
+        } else {
+            self.planning = Some(planning);
+        }
+    }
+
+    /// Applies one pool's scaling decision: scale-ups spawn warming
+    /// instances, scale-downs run the shared cancel-then-drain pass
+    /// ([`scale_down_pool`]) followed by the pool-specific idle-stop
+    /// check.
+    fn apply_decision(
+        &mut self,
+        pool: PoolKind,
+        now: SimTime,
+        decision: ScalingDecision,
+        warmup: SimDuration,
+    ) {
+        let (live, warming) = match pool {
+            PoolKind::Prefill => pool_counts(&self.prefill),
+            PoolKind::Decode => pool_counts(&self.decode),
+        };
+        let effective = live + warming;
+        match decision {
+            ScalingDecision::ScaleUp { target } if target > effective => {
+                for _ in effective..target {
+                    match pool {
+                        PoolKind::Prefill => self.spawn_prefill(now, warmup),
+                        PoolKind::Decode => self.spawn_decode(now, warmup),
+                    }
+                }
+            }
+            ScalingDecision::ScaleDown { target } if target < effective => {
+                let drained = match pool {
+                    PoolKind::Prefill => scale_down_pool(&mut self.prefill, target, now),
+                    PoolKind::Decode => scale_down_pool(&mut self.decode, target, now),
+                };
+                for victim in drained {
+                    match pool {
+                        PoolKind::Prefill => self.maybe_stop_prefill(victim, now),
+                        PoolKind::Decode => self.maybe_stop_decode(victim, now),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(mut self) -> DisaggReport {
+        let end = self.clock;
+        self.record_fleet(end);
+        let prefill = PoolReport {
+            instances: self
+                .prefill
+                .iter()
+                .map(|m| PoolInstanceReport {
+                    spawned_at: m.spawned_at,
+                    stopped_at: m.stopped_at.unwrap_or(end),
+                    routed: m.routed,
+                    completed: m.completed,
+                })
+                .collect(),
+            events: self.prefill_scaling,
+        };
+        let decode = PoolReport {
+            instances: self
+                .decode
+                .iter()
+                .map(|m| PoolInstanceReport {
+                    spawned_at: m.spawned_at,
+                    stopped_at: m.stopped_at.unwrap_or(end),
+                    routed: m.routed,
+                    completed: m.completed,
+                })
+                .collect(),
+            events: self.decode_scaling,
+        };
+        let makespan = end.saturating_since(SimTime::ZERO);
+        let requests: Vec<(RequestTiming, u64)> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.timing, u64::from(o.output_len)))
+            .collect();
+        let goodput = GoodputReport::compute(&self.sla, &requests, makespan);
+        DisaggReport {
+            goodput,
+            makespan,
+            unserved: self.remaining,
+            prefill,
+            decode,
+            transfers: self.stats,
+            pool_series: self.series,
+            transfer_intervals: self.transfer_intervals,
+            outcomes: self.outcomes,
+        }
+    }
+}
+
+/// Aggregate KV-transfer statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransferStats {
+    /// Completed handoffs.
+    pub transfers: usize,
+    /// Total KV bytes moved.
+    pub total_bytes: u64,
+    /// Total pure link time (bandwidth + overhead), in seconds.
+    pub total_link_secs: f64,
+    /// Total time handoffs waited for one of the bounded in-flight slots.
+    pub total_wait_secs: f64,
+    /// Longest single wait for a slot.
+    pub max_wait_secs: f64,
+}
+
+impl TransferStats {
+    /// Mean end-to-end handoff latency (slot wait + link), in seconds.
+    pub fn mean_handoff_secs(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            (self.total_wait_secs + self.total_link_secs) / self.transfers as f64
+        }
+    }
+}
+
+/// One pool instance's lifetime, for reports.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolInstanceReport {
+    /// When the instance was provisioned.
+    pub spawned_at: SimTime,
+    /// When it stopped costing GPU time (run end for instances still up).
+    pub stopped_at: SimTime,
+    /// Requests routed to it.
+    pub routed: usize,
+    /// Stage completions it performed (prefill passes finished / requests
+    /// fully decoded).
+    pub completed: usize,
+}
+
+impl PoolInstanceReport {
+    /// GPU time this instance was provisioned for, in seconds.
+    pub fn active_secs(&self) -> f64 {
+        self.stopped_at
+            .saturating_since(self.spawned_at)
+            .as_secs_f64()
+    }
+}
+
+/// Per-pool result of a disaggregated run.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Per-instance lifetimes, in spawn order.
+    pub instances: Vec<PoolInstanceReport>,
+    /// Pool-size changes the planner made (empty for fixed pools).
+    pub events: Vec<ScalingEvent>,
+}
+
+impl PoolReport {
+    /// Total GPU-seconds provisioned in this pool.
+    pub fn gpu_seconds(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(PoolInstanceReport::active_secs)
+            .sum()
+    }
+}
+
+/// Aggregate result of a disaggregated cluster run.
+#[derive(Debug)]
+pub struct DisaggReport {
+    /// Cluster-level goodput over all completed requests.
+    pub goodput: GoodputReport,
+    /// Run end time.
+    pub makespan: SimDuration,
+    /// Requests that never completed (zero unless the run was cut short).
+    pub unserved: usize,
+    /// The prefill pool.
+    pub prefill: PoolReport,
+    /// The decode pool.
+    pub decode: PoolReport,
+    /// KV-transfer statistics.
+    pub transfers: TransferStats,
+    /// Per-pool live/provisioned replica counts over time
+    /// (`prefill-live`, `prefill-provisioned`, `decode-live`,
+    /// `decode-provisioned`).
+    pub pool_series: SeriesGroup,
+    /// `(start, end)` of every transfer when the base config records
+    /// series (used to verify the in-flight bound).
+    pub transfer_intervals: Vec<(SimTime, SimTime)>,
+    /// Per-request outcomes in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl DisaggReport {
+    /// Total completed requests.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Fraction of completed requests satisfying the full SLA.
+    pub fn sla_attainment(&self) -> f64 {
+        self.goodput.satisfied_fraction()
+    }
+
+    /// Fraction of completed requests whose TTFT met the SLA (the prefill
+    /// pool's objective).
+    pub fn ttft_attainment(&self) -> f64 {
+        self.goodput.ttft_attainment()
+    }
+
+    /// SLA-satisfying output tokens per second over the makespan.
+    pub fn goodput_tok_per_s(&self) -> f64 {
+        self.goodput.goodput_tok_per_s
+    }
+
+    /// Total GPU-seconds provisioned across both pools.
+    pub fn gpu_seconds(&self) -> f64 {
+        self.prefill.gpu_seconds() + self.decode.gpu_seconds()
+    }
+
+    /// Largest number of simultaneously provisioned prefill replicas.
+    pub fn peak_prefill_replicas(&self) -> usize {
+        self.pool_series
+            .get("prefill-provisioned")
+            .and_then(|s| s.max_value())
+            .unwrap_or(0.0) as usize
+    }
+
+    /// Largest number of simultaneously provisioned decode replicas.
+    pub fn peak_decode_replicas(&self) -> usize {
+        self.pool_series
+            .get("decode-provisioned")
+            .and_then(|s| s.max_value())
+            .unwrap_or(0.0) as usize
+    }
+}

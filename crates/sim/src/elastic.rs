@@ -83,9 +83,10 @@ impl StepLatency for ReplicaModel {
     }
 }
 
-/// Lifecycle of one fleet member.
+/// Lifecycle of one fleet member (shared with [`crate::disagg`]'s pools:
+/// the disaggregated cluster reuses exactly this warm-up/drain machinery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MemberState {
+pub(crate) enum MemberState {
     /// Provisioned but not yet accepting traffic.
     Warming {
         /// When the instance becomes live.

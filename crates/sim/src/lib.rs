@@ -41,6 +41,7 @@
 
 pub mod cluster;
 mod config;
+pub mod disagg;
 pub mod elastic;
 mod engine;
 mod error;

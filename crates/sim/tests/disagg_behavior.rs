@@ -1,0 +1,328 @@
+//! Behavioral tests for the disaggregated prefill/decode cluster: request
+//! flow through both pools, the bounded transfer link, drain correctness,
+//! per-pool scaling independence and full-run determinism.
+
+use pf_autoscale::{AutoscaleConfig, PredictorKind};
+use pf_metrics::{SimDuration, SimTime};
+use pf_sim::disagg::{
+    DisaggCluster, DisaggConfig, DisaggReport, ElasticDisaggCluster, KvTransferSpec,
+};
+use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
+
+fn base_config(capacity: u64) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .capacity_override(capacity)
+        .record_series(false)
+        .seed(5)
+        .build()
+}
+
+/// Long prompts, terse answers: the regime disaggregation targets.
+/// Deliberately narrower outputs than `datasets::prefill_heavy` (U[8,48]
+/// cap 64 vs U[16,96] cap 128) so the behavior suite runs fast; the
+/// canonical profile is exercised by `bench --bin disagg` and the golden
+/// regression tests.
+fn prefill_heavy_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
+    let input = LengthSampler::uniform(1024, 3072);
+    let output = LengthSampler::uniform(8, 48);
+    datasets::from_samplers(n, seed, &input, &output, 64)
+}
+
+/// Short prompts, long answers: the decode pool carries the load.
+fn decode_heavy_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
+    let input = LengthSampler::uniform(32, 128);
+    let output = LengthSampler::uniform(256, 640);
+    datasets::from_samplers(n, seed, &input, &output, 768)
+}
+
+fn steady_arrivals(n: usize, gap_ms: u64) -> Vec<SimTime> {
+    (0..n)
+        .map(|i| SimTime::from_millis(gap_ms * i as u64))
+        .collect()
+}
+
+fn autoscale(min: usize, max: usize) -> AutoscaleConfig {
+    AutoscaleConfig::bounded(min, max)
+        .interval(SimDuration::from_secs(10))
+        .warmup(SimDuration::from_secs(15))
+        .predictor(PredictorKind::holt())
+        .initial_lengths(512.0, 64.0)
+}
+
+#[test]
+fn requests_flow_through_both_pools_and_all_complete() {
+    let n = 200;
+    let requests = prefill_heavy_requests(n, 1);
+    let report = DisaggCluster::new(DisaggConfig::new(base_config(12_000)), 2, 2)
+        .run(requests, steady_arrivals(n, 150))
+        .expect("disagg run");
+    assert_eq!(report.completed(), n);
+    assert_eq!(report.unserved, 0);
+    let prefill_routed: usize = report.prefill.instances.iter().map(|i| i.routed).sum();
+    let prefill_done: usize = report.prefill.instances.iter().map(|i| i.completed).sum();
+    assert_eq!(
+        prefill_routed, n,
+        "every request is routed to a prefill instance"
+    );
+    assert_eq!(prefill_done, n, "every request is prefilled");
+    let decode_routed: usize = report.decode.instances.iter().map(|i| i.routed).sum();
+    assert_eq!(
+        decode_routed, report.transfers.transfers,
+        "every transfer lands on a decode instance"
+    );
+    // Multi-token requests must all cross the link.
+    assert_eq!(report.transfers.transfers, n);
+    assert!(report.transfers.total_bytes > 0);
+    // Every outcome carries a first token (TTFT) and full output.
+    for outcome in &report.outcomes {
+        assert!(outcome.timing.ttft().is_some());
+        assert!(outcome.output_len >= 1);
+    }
+    // Fixed pools never scale.
+    assert!(report.prefill.events.is_empty());
+    assert!(report.decode.events.is_empty());
+}
+
+#[test]
+fn transfer_link_respects_the_inflight_bound() {
+    // A slow, narrow link (2 slots) under a tight burst: handoffs must
+    // queue rather than exceed the bound.
+    let n = 120;
+    let requests = prefill_heavy_requests(n, 2);
+    let config = DisaggConfig::new(base_config(12_000).clone()).transfer(KvTransferSpec::new(
+        2.0,
+        SimDuration::from_millis(1),
+        2,
+    ));
+    let mut base = config.base.clone();
+    base.record_series = true;
+    let config = DisaggConfig { base, ..config };
+    let report = DisaggCluster::new(config, 2, 2)
+        .run(requests, steady_arrivals(n, 40))
+        .expect("disagg run");
+    assert_eq!(report.completed(), n);
+    assert_eq!(report.transfer_intervals.len(), n);
+    // Sweep the recorded intervals: concurrent transfers never exceed 2.
+    let mut edges: Vec<(u64, i64)> = Vec::new();
+    for &(start, end) in &report.transfer_intervals {
+        edges.push((start.as_micros(), 1));
+        edges.push((end.as_micros(), -1));
+    }
+    // Ends sort before starts at the same instant: a slot freed at t is
+    // reusable at t.
+    edges.sort_by_key(|&(t, delta)| (t, delta));
+    let mut current = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in edges {
+        current += delta;
+        peak = peak.max(current);
+    }
+    assert!(
+        peak <= 2,
+        "observed {peak} concurrent transfers on a 2-slot link"
+    );
+    assert!(
+        report.transfers.total_wait_secs > 0.0,
+        "a 2-slot link under this burst must make some handoffs wait"
+    );
+}
+
+#[test]
+fn single_token_requests_never_cross_the_link() {
+    let n = 50;
+    let input = LengthSampler::uniform(64, 256);
+    let output = LengthSampler::uniform(1, 1);
+    let requests = datasets::from_samplers(n, 3, &input, &output, 1);
+    let report = DisaggCluster::new(DisaggConfig::new(base_config(12_000)), 1, 1)
+        .run(requests, steady_arrivals(n, 50))
+        .expect("disagg run");
+    assert_eq!(report.completed(), n);
+    assert_eq!(
+        report.transfers.transfers, 0,
+        "one-token requests finish at prefill"
+    );
+    let decode_routed: usize = report.decode.instances.iter().map(|i| i.routed).sum();
+    assert_eq!(decode_routed, 0);
+}
+
+#[test]
+fn transfer_latency_shows_up_between_first_and_second_token() {
+    // One request on an extremely slow link: the gap between token one
+    // (prefill) and token two (first decode step) must carry the transfer.
+    let requests = vec![RequestSpec::new(0, 1000, 8, 16)];
+    let slow = KvTransferSpec::new(0.1, SimDuration::from_millis(5), 1);
+    let report = DisaggCluster::new(DisaggConfig::new(base_config(12_000)).transfer(slow), 1, 1)
+        .run(requests.clone(), vec![SimTime::ZERO])
+        .expect("disagg run");
+    // ~1001 tokens × 512 KiB ≈ 0.5 GB at 0.1 GB/s ≈ 5 s of link time.
+    let outcome = &report.outcomes[0];
+    assert!(
+        outcome.timing.mtpot() >= SimDuration::from_secs(4),
+        "mtpot {} should include the ~5 s transfer",
+        outcome.timing.mtpot()
+    );
+    // The same request on a fast link has no such stall.
+    let fast_report = DisaggCluster::new(
+        DisaggConfig::new(base_config(12_000)).transfer(KvTransferSpec::nvlink()),
+        1,
+        1,
+    )
+    .run(requests, vec![SimTime::ZERO])
+    .expect("disagg run");
+    assert!(fast_report.outcomes[0].timing.mtpot() < SimDuration::from_secs(1));
+}
+
+fn elastic_run(requests: Vec<RequestSpec>, arrivals: Vec<SimTime>) -> DisaggReport {
+    ElasticDisaggCluster::new(
+        DisaggConfig::new(base_config(12_000)),
+        autoscale(1, 4),
+        autoscale(1, 4),
+        1,
+        1,
+    )
+    .run(requests, arrivals)
+    .expect("elastic disagg run")
+}
+
+#[test]
+fn elastic_disagg_run_is_deterministic() {
+    let n = 400;
+    let make = || {
+        let requests = prefill_heavy_requests(n, 7);
+        let arrivals =
+            RateProfile::diurnal(1.0, 8.0, SimDuration::from_secs(120)).assign(&mut seeded(8), n);
+        elastic_run(requests, arrivals)
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.gpu_seconds(), b.gpu_seconds());
+    assert_eq!(a.prefill.events, b.prefill.events);
+    assert_eq!(a.decode.events, b.decode.events);
+    assert_eq!(a.transfers, b.transfers);
+    assert_eq!(a.goodput.satisfied_requests, b.goodput.satisfied_requests);
+}
+
+#[test]
+fn prefill_heavy_load_scales_only_the_prefill_pool() {
+    // ~8 req/s of 1-3k-token prompts saturates one prefill instance
+    // (~0.2 s per prompt) while the tiny outputs barely load decode.
+    let n = 500;
+    let requests = prefill_heavy_requests(n, 9);
+    let report = elastic_run(requests, steady_arrivals(n, 125));
+    assert_eq!(report.completed(), n);
+    assert!(
+        report.peak_prefill_replicas() > 1,
+        "prefill pool never scaled: events {:?}",
+        report.prefill.events
+    );
+    assert_eq!(
+        report.peak_decode_replicas(),
+        1,
+        "decode pool should idle at minimum: events {:?}",
+        report.decode.events
+    );
+}
+
+#[test]
+fn decode_heavy_load_scales_only_the_decode_pool() {
+    // Short prompts keep prefill idle; 512+-token outputs at 6 req/s
+    // exceed one decode instance's token throughput.
+    let n = 400;
+    let requests = decode_heavy_requests(n, 10);
+    let report = elastic_run(requests, steady_arrivals(n, 160));
+    assert_eq!(report.completed(), n);
+    assert!(
+        report.peak_decode_replicas() > 1,
+        "decode pool never scaled: events {:?}",
+        report.decode.events
+    );
+    assert_eq!(
+        report.peak_prefill_replicas(),
+        1,
+        "prefill pool should idle at minimum: events {:?}",
+        report.prefill.events
+    );
+}
+
+#[test]
+fn drained_instances_finish_their_work_before_stopping() {
+    // A heavy burst grows the pools, then a long quiet tail drains them.
+    let burst = 350usize;
+    let tail = 80usize;
+    let mut requests = prefill_heavy_requests(burst, 11);
+    requests.extend(
+        prefill_heavy_requests(tail, 12)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.id = ((burst + i) as u64).into();
+                r
+            }),
+    );
+    let mut arrivals: Vec<SimTime> = (0..burst)
+        .map(|i| SimTime::from_millis(100 * i as u64)) // 10 req/s for 35 s
+        .collect();
+    arrivals.extend((0..tail).map(|i| SimTime::from_millis(35_000 + 3_000 * i as u64)));
+    let report = elastic_run(requests, arrivals);
+    assert_eq!(report.completed(), burst + tail);
+    let end = SimTime::ZERO + report.makespan;
+    let mut early_stops = 0;
+    for pool in [&report.prefill, &report.decode] {
+        for instance in &pool.instances {
+            if instance.stopped_at < end {
+                early_stops += 1;
+                assert_eq!(
+                    instance.routed, instance.completed,
+                    "an instance stopped with routed work unfinished"
+                );
+            }
+        }
+    }
+    assert!(
+        early_stops > 0,
+        "the quiet tail never drained any instance: prefill {:?}, decode {:?}",
+        report.prefill.events,
+        report.decode.events
+    );
+}
+
+#[test]
+fn gpu_seconds_stay_below_peak_static_cost() {
+    let n = 400;
+    let requests = prefill_heavy_requests(n, 13);
+    let arrivals =
+        RateProfile::diurnal(1.0, 8.0, SimDuration::from_secs(120)).assign(&mut seeded(14), n);
+    let report = elastic_run(requests, arrivals);
+    let peak_total = report.peak_prefill_replicas() + report.peak_decode_replicas();
+    let peak_cost = peak_total as f64 * report.makespan.as_secs_f64();
+    assert!(report.gpu_seconds() > 0.0);
+    assert!(
+        report.gpu_seconds() < peak_cost,
+        "elastic cost {} should undercut peak-static cost {}",
+        report.gpu_seconds(),
+        peak_cost
+    );
+}
+
+#[test]
+#[should_panic(expected = "outside policy bounds")]
+fn initial_replicas_outside_bounds_panics() {
+    let _ = ElasticDisaggCluster::new(
+        DisaggConfig::new(base_config(12_000)),
+        autoscale(1, 4),
+        autoscale(1, 4),
+        6,
+        1,
+    );
+}
+
+#[test]
+fn oversized_prompt_is_rejected_upfront() {
+    let requests = vec![RequestSpec::new(0, 4000, 8, 16)];
+    let err = DisaggCluster::new(DisaggConfig::new(base_config(3_000)), 1, 1)
+        .run(requests, vec![SimTime::ZERO])
+        .expect_err("a 4k prompt cannot fit a 3k-token pool");
+    assert!(err.to_string().contains("request 0"));
+}

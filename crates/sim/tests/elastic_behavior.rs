@@ -6,7 +6,7 @@ use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SimTime};
 use pf_sim::elastic::{ElasticCluster, ElasticReport};
 use pf_sim::{GpuSpec, ModelSpec, SimConfig};
-use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
+use pf_workload::{datasets, rng::seeded, RateProfile};
 
 fn base_config(capacity: u64) -> SimConfig {
     SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
@@ -15,12 +15,6 @@ fn base_config(capacity: u64) -> SimConfig {
         .record_series(false)
         .seed(3)
         .build()
-}
-
-fn chat_requests(n: usize, seed: u64) -> Vec<RequestSpec> {
-    let input = LengthSampler::uniform(64, 256);
-    let output = LengthSampler::uniform(64, 384);
-    datasets::from_samplers(n, seed, &input, &output, 512)
 }
 
 fn autoscale(min: usize, max: usize) -> AutoscaleConfig {
@@ -35,7 +29,7 @@ fn autoscale(min: usize, max: usize) -> AutoscaleConfig {
 /// capacity.
 fn diurnal_run(seed: u64) -> ElasticReport {
     let n = 900;
-    let requests = chat_requests(n, seed);
+    let requests = datasets::short_chat(n, seed);
     let arrivals = RateProfile::diurnal(1.0, 12.0, SimDuration::from_secs(180))
         .assign(&mut seeded(seed + 1), n);
     ElasticCluster::new(base_config(6_000), autoscale(1, 4), 1)
@@ -64,7 +58,7 @@ fn drained_instances_finish_their_work_and_receive_nothing_new() {
     // planner to drain the surplus well before the run ends.
     let burst = 600usize;
     let tail = 120usize;
-    let requests = chat_requests(burst + tail, 11);
+    let requests = datasets::short_chat(burst + tail, 11);
     let mut arrivals: Vec<SimTime> = (0..burst)
         .map(|i| SimTime::from_millis(100 * i as u64)) // 10 req/s for 60 s
         .collect();
@@ -170,7 +164,7 @@ fn static_min_and_max_bracket_the_elastic_fleet() {
     // to a static fleet; the adaptive fleet's provisioned cost must land
     // between the static extremes.
     let n = 600;
-    let requests = chat_requests(n, 16);
+    let requests = datasets::short_chat(n, 16);
     let arrivals =
         RateProfile::diurnal(1.0, 10.0, SimDuration::from_secs(150)).assign(&mut seeded(17), n);
     let run = |min: usize, max: usize, start: usize| {

@@ -103,6 +103,42 @@ pub fn sharegpt_o1(n: usize, seed: u64) -> Vec<RequestSpec> {
     )
 }
 
+/// Short-chat workload used by the elastic-autoscaling and
+/// disaggregation benches and their golden regression tests: input
+/// U\[64, 256\], output U\[64, 384\] capped at 512.
+///
+/// This is deliberately the *one* definition of that workload — the
+/// golden tolerance bands are pinned against these exact streams, so the
+/// benches and the regression tests must not drift apart. Unlike the
+/// other builders, the seed is passed straight through (no
+/// `derive_seed`), preserving the streams the bands were measured on.
+pub fn short_chat(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        seed,
+        &LengthSampler::uniform(64, 256),
+        &LengthSampler::uniform(64, 384),
+        512,
+    )
+}
+
+/// Prefill-heavy chat workload (summarization / RAG-style): long prompts
+/// drawn U\[1024, 3072\], terse answers U\[16, 96\] capped at 128.
+///
+/// This is the regime disaggregated prefill/decode serving targets — TTFT
+/// is bound by prompt processing while the decode side barely loads — and
+/// the load shape `bench --bin disagg` compares colocated and split pools
+/// on.
+pub fn prefill_heavy(n: usize, seed: u64) -> Vec<RequestSpec> {
+    from_samplers(
+        n,
+        derive_seed(seed, 108),
+        &LengthSampler::uniform(1024, 3072),
+        &LengthSampler::uniform(16, 96),
+        128,
+    )
+}
+
 /// TextVQA-like multimodal workload for Qwen-VL-Chat (256 vision tokens per
 /// image).
 pub fn textvqa_qwen_vl(n: usize, seed: u64) -> Vec<RequestSpec> {
@@ -235,6 +271,16 @@ mod tests {
             (avg_out - 2160.0).abs() / 2160.0 < 0.15,
             "avg output {avg_out} too far from 2160"
         );
+    }
+
+    #[test]
+    fn prefill_heavy_is_prefill_heavy() {
+        let reqs = prefill_heavy(1000, 7);
+        assert!(reqs.iter().all(|r| (1024..=3072).contains(&r.input_len)));
+        assert!(reqs.iter().all(|r| (16..=96).contains(&r.true_output_len)));
+        let mean_in = mean_of(reqs.iter().map(|r| r.input_len));
+        let mean_out = mean_of(reqs.iter().map(|r| r.true_output_len));
+        assert!(mean_in > 20.0 * mean_out, "prompts must dominate outputs");
     }
 
     #[test]

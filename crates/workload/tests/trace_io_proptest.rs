@@ -1,0 +1,111 @@
+//! Property tests for trace CSV I/O: `write_trace_csv ∘ read_trace_csv`
+//! is the identity over arbitrary traces, and malformed rows fail with
+//! correctly located errors.
+
+use pf_workload::trace_io::{
+    read_trace_csv, records_from_requests, requests_from_records, write_trace_csv, TraceRecord,
+};
+use proptest::prelude::*;
+
+fn records_strategy() -> impl Strategy<Value = Vec<TraceRecord>> {
+    proptest::collection::vec(
+        (0u32..100_000, 0u32..100_000).prop_map(|(input_len, output_len)| TraceRecord {
+            input_len,
+            output_len,
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing a trace and reading it back reproduces it exactly,
+    /// including the empty trace and extreme lengths.
+    #[test]
+    fn write_then_read_is_identity(records in records_strategy()) {
+        let mut buffer = Vec::new();
+        write_trace_csv(&mut buffer, &records).expect("in-memory write");
+        let parsed = read_trace_csv(buffer.as_slice()).expect("reparse own output");
+        prop_assert_eq!(parsed, records);
+    }
+
+    /// The request-conversion round trip preserves lengths for every
+    /// positive-output record (zero-output records are dropped by
+    /// contract, over-cap outputs clamped).
+    #[test]
+    fn request_roundtrip_preserves_lengths(records in records_strategy()) {
+        let cap = 1u32 << 20;
+        let requests = requests_from_records(&records, cap);
+        let survivors: Vec<&TraceRecord> =
+            records.iter().filter(|r| r.output_len > 0).collect();
+        prop_assert_eq!(requests.len(), survivors.len());
+        for (request, record) in requests.iter().zip(survivors) {
+            prop_assert_eq!(request.input_len, record.input_len);
+            prop_assert_eq!(request.true_output_len, record.output_len.min(cap));
+        }
+        // And back: extracting records from the requests matches the
+        // surviving records (cap chosen above any sampled output).
+        let back = records_from_requests(&requests);
+        let expected: Vec<TraceRecord> = records
+            .iter()
+            .filter(|r| r.output_len > 0)
+            .copied()
+            .collect();
+        prop_assert_eq!(back, expected);
+    }
+
+    /// A corrupted row fails parsing with the error located on exactly
+    /// that line (1-based, counting the header).
+    #[test]
+    fn malformed_row_errors_point_at_the_line(
+        records in proptest::collection::vec(
+            (0u32..10_000, 0u32..10_000).prop_map(|(i, o)| TraceRecord {
+                input_len: i,
+                output_len: o,
+            }),
+            1..40,
+        ),
+        corrupt_at in 0usize..40,
+        kind in 0usize..3,
+    ) {
+        let corrupt_at = corrupt_at % records.len();
+        let mut buffer = Vec::new();
+        write_trace_csv(&mut buffer, &records).expect("in-memory write");
+        let text = String::from_utf8(buffer).expect("ascii csv");
+        let mut lines: Vec<&str> = text.lines().collect();
+        let bad = match kind {
+            0 => "not-a-number,7",
+            1 => "12,minus-three",
+            _ => "42", // too few columns
+        };
+        lines[1 + corrupt_at] = bad;
+        let rejoined = lines.join("\n");
+        let err = read_trace_csv(rejoined.as_bytes())
+            .expect_err("corrupted row must fail");
+        prop_assert_eq!(
+            err.line,
+            corrupt_at + 2,
+            "error located at line {} for corruption on line {}: {}",
+            err.line,
+            corrupt_at + 2,
+            err
+        );
+    }
+
+    /// Column order and extra columns never change what is parsed: a
+    /// BurstGPT-style export with shuffled metadata columns reads the
+    /// same records.
+    #[test]
+    fn column_permutations_parse_identically(records in records_strategy()) {
+        let mut shuffled = String::from("timestamp,output_len,model,input_len\n");
+        for (i, r) in records.iter().enumerate() {
+            shuffled.push_str(&format!(
+                "{}.5,{},m{},{}\n",
+                i, r.output_len, i, r.input_len
+            ));
+        }
+        let parsed = read_trace_csv(shuffled.as_bytes()).expect("permuted header");
+        prop_assert_eq!(parsed, records);
+    }
+}

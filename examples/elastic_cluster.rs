@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .initial_lengths(160.0, 224.0);
 
     let n = 2_400;
-    let input = LengthSampler::uniform(64, 256);
-    let output = LengthSampler::uniform(64, 384);
-    let requests = pastfuture::workload::datasets::from_samplers(n, 1, &input, &output, 512);
+    let requests = pastfuture::workload::datasets::short_chat(n, 1);
     let profile = RateProfile::diurnal(2.0, 12.0, SimDuration::from_secs(180));
     let arrivals = profile.assign(&mut seeded(2), n);
 
