@@ -5,7 +5,10 @@
 //! identical instances. The paper argues the Past-Future scheduler's
 //! accurate per-batch memory estimates make a better routing signal than
 //! request counts or current occupancy; this experiment compares the four
-//! policies on a bursty, size-skewed arrival stream.
+//! load-signal policies on a bursty, size-skewed arrival stream.
+//! (`RouterPolicy::PrefixAffinity` is excluded: this workload carries no
+//! prefix structure, so it degenerates to least-estimated-load —
+//! `bench --bin prefix_routing` is its experiment.)
 //!
 //! ```text
 //! cargo run --release -p pf-bench --bin cluster_routing [-- --quick]
@@ -35,7 +38,13 @@ fn main() {
     let mut arrivals: Vec<SimTime> = PoissonArrivals::new(14.0).assign(&mut seeded(12), n);
     arrivals.sort_unstable();
 
-    let jobs: Vec<Box<dyn FnOnce() -> ClusterReport + Send>> = RouterPolicy::ALL
+    let policies = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastOutstanding,
+        RouterPolicy::LeastUsedMemory,
+        RouterPolicy::LeastEstimatedLoad,
+    ];
+    let jobs: Vec<Box<dyn FnOnce() -> ClusterReport + Send>> = policies
         .into_iter()
         .map(|policy| {
             let requests = requests.clone();

@@ -27,23 +27,55 @@ pub struct Cli {
     pub out_dir: PathBuf,
 }
 
+/// Usage text printed on argument errors.
+const USAGE: &str = "usage: <binary> [--quick] [--out <dir> | --out=<dir>]\n\
+     --quick      reduced workload sizes for smoke runs\n\
+     --out <dir>  output directory for CSV/markdown artifacts (default: results)";
+
 impl Cli {
-    /// Parses `--quick` and `--out <dir>` from `std::env::args`.
+    /// Parses `--quick` and `--out <dir>` / `--out=<dir>` from
+    /// `std::env::args`. Unknown or malformed arguments print the usage
+    /// to stderr and exit with code 2 (the conventional CLI-misuse
+    /// status), so a typo in a CI pipeline fails fast instead of
+    /// panicking with a backtrace.
     pub fn parse() -> Cli {
+        match Cli::try_parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Argument-parsing core, separated from process exit for testing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown arguments or a
+    /// missing `--out` value.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         let mut quick = false;
         let mut out_dir = PathBuf::from("results");
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => quick = true,
                 "--out" => {
-                    out_dir =
-                        PathBuf::from(args.next().expect("--out requires a directory argument"));
+                    out_dir = PathBuf::from(
+                        args.next()
+                            .ok_or_else(|| "--out requires a directory argument".to_string())?,
+                    );
                 }
-                other => panic!("unknown argument: {other} (expected --quick / --out <dir>)"),
+                other => match other.strip_prefix("--out=") {
+                    Some(dir) if !dir.is_empty() => out_dir = PathBuf::from(dir),
+                    Some(_) => return Err("--out= requires a directory argument".to_string()),
+                    None => return Err(format!("unknown argument: {other}")),
+                },
             }
         }
-        Cli { quick, out_dir }
+        Ok(Cli { quick, out_dir })
     }
 
     /// Picks between the full and quick size of a workload parameter.
@@ -159,6 +191,31 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.12345), "12.35%");
+    }
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cli_parses_flags_and_both_out_forms() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.quick);
+        assert_eq!(cli.out_dir, PathBuf::from("results"));
+        let cli = parse(&["--quick", "--out", "artifacts"]).unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.out_dir, PathBuf::from("artifacts"));
+        let cli = parse(&["--out=elsewhere"]).unwrap();
+        assert_eq!(cli.out_dir, PathBuf::from("elsewhere"));
+    }
+
+    #[test]
+    fn cli_rejects_bad_arguments_with_messages() {
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown argument: --frobnicate"));
+        assert!(parse(&["--out"]).unwrap_err().contains("--out requires"));
+        assert!(parse(&["--out="]).unwrap_err().contains("--out= requires"));
     }
 
     #[test]

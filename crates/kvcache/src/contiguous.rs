@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{AllocError, KvCacheManager};
+use crate::{AllocError, KvCacheError, KvCacheManager};
 
 #[derive(Debug, Clone, Copy)]
 struct ContiguousEntry {
@@ -16,8 +16,9 @@ struct ContiguousEntry {
 /// This models pre-PagedAttention serving systems. The gap between the
 /// reservation and the tokens actually generated is pure waste — the paper's
 /// motivation for smarter scheduling and memory management. `extend` within
-/// the reservation always succeeds; exceeding the reservation panics, since
-/// a real system would have sized the region for the configured maximum.
+/// the reservation always succeeds; exceeding the reservation is a caller
+/// bug (a real system sizes the region for the configured maximum) and
+/// reports [`KvCacheError::Alloc`] — panicking in debug builds.
 ///
 /// # Example
 ///
@@ -29,7 +30,7 @@ struct ContiguousEntry {
 /// pool.allocate(1, 100, 2148)?;
 /// assert_eq!(pool.used_tokens(), 2148);
 /// assert_eq!(pool.logical_tokens(), 100);
-/// # Ok::<(), pf_kvcache::AllocError>(())
+/// # Ok::<(), pf_kvcache::KvCacheError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ContiguousPool {
@@ -104,17 +105,23 @@ impl KvCacheManager for ContiguousPool {
         Ok(())
     }
 
-    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), AllocError> {
-        let entry = self
-            .requests
-            .get_mut(&req)
-            .unwrap_or_else(|| panic!("extend of unknown request {req}"));
-        assert!(
-            entry.logical + tokens <= entry.reserved,
-            "request {req} grew past its reservation ({} + {tokens} > {})",
-            entry.logical,
-            entry.reserved
-        );
+    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), KvCacheError> {
+        let Some(entry) = self.requests.get_mut(&req) else {
+            debug_assert!(false, "extend of unknown request {req}");
+            return Err(KvCacheError::UnknownRequest { req });
+        };
+        if entry.logical + tokens > entry.reserved {
+            debug_assert!(
+                false,
+                "request {req} grew past its reservation ({} + {tokens} > {})",
+                entry.logical, entry.reserved
+            );
+            return Err(AllocError {
+                requested: tokens,
+                available: entry.reserved - entry.logical,
+            }
+            .into());
+        }
         entry.logical += tokens;
         self.logical += tokens;
         Ok(())
@@ -131,12 +138,15 @@ impl KvCacheManager for ContiguousPool {
         }
     }
 
-    fn extension_shortfall(&self, requests: &[u64]) -> u64 {
-        for req in requests {
-            assert!(self.requests.contains_key(req), "unknown request {req}");
+    fn extension_shortfall(&self, requests: &[u64]) -> Result<u64, KvCacheError> {
+        for &req in requests {
+            if !self.requests.contains_key(&req) {
+                debug_assert!(false, "unknown request {req}");
+                return Err(KvCacheError::UnknownRequest { req });
+            }
         }
         // Growth within the reservation is prepaid.
-        0
+        Ok(0)
     }
 
     fn peak_used_tokens(&self) -> u64 {
@@ -199,10 +209,21 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "grew past its reservation")]
-    fn growing_past_reservation_panics() {
+    #[cfg(debug_assertions)]
+    fn growing_past_reservation_panics_in_debug() {
         let mut p = ContiguousPool::new(100);
         p.allocate(1, 10, 20).unwrap();
         let _ = p.extend(1, 11);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn growing_past_reservation_errors_in_release() {
+        let mut p = ContiguousPool::new(100);
+        p.allocate(1, 10, 20).unwrap();
+        let err = p.extend(1, 11).unwrap_err();
+        assert_eq!(err.alloc().expect("capacity error").available, 10);
+        assert_eq!(p.extend(9, 1), Err(KvCacheError::UnknownRequest { req: 9 }));
     }
 
     mod props {

@@ -12,6 +12,10 @@
 //!   FasterTransformer/ORCA style. Massive reservation waste, shown here as
 //!   the motivating baseline.
 //!
+//! The crate also provides [`PrefixCache`], a per-instance LRU over shared
+//! prompt prefixes (system prompts, multi-turn conversations) used by
+//! KV-aware routers to simulate prefix-cache hits.
+//!
 //! All sizes are in **KV token slots**: one slot stores the key/value
 //! vectors of one token across all layers. Requests are identified by opaque
 //! `u64` keys chosen by the caller.
@@ -27,7 +31,7 @@
 //! assert_eq!(pool.used_tokens(), 301);
 //! assert_eq!(pool.release(1), 301);
 //! assert_eq!(pool.used_tokens(), 0);
-//! # Ok::<(), pf_kvcache::AllocError>(())
+//! # Ok::<(), pf_kvcache::KvCacheError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,10 +39,12 @@
 
 mod contiguous;
 mod paged;
+mod prefix;
 mod token_pool;
 
 pub use contiguous::ContiguousPool;
 pub use paged::PagedPool;
+pub use prefix::{PrefixCache, PrefixCacheStats};
 pub use token_pool::TokenPool;
 
 use std::error::Error;
@@ -64,6 +70,62 @@ impl fmt::Display for AllocError {
 }
 
 impl Error for AllocError {}
+
+/// Typed error of KV-cache manager operations.
+///
+/// Distinguishes ordinary memory exhaustion (the engine's admission and
+/// eviction machinery handles it) from *protocol misuse* — operating on a
+/// request id the manager does not know, which indicates a routing or
+/// bookkeeping bug upstream. Misuse panics in debug builds (via
+/// `debug_assert!`) and surfaces as a located error in release builds
+/// instead of poisoning the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvCacheError {
+    /// The operation could not be satisfied for lack of free slots.
+    Alloc(AllocError),
+    /// The operation referenced a request id the manager does not track —
+    /// a routing/bookkeeping bug, not a capacity condition.
+    UnknownRequest {
+        /// The unknown request id.
+        req: u64,
+    },
+}
+
+impl KvCacheError {
+    /// The allocation failure, when this is a capacity error.
+    pub fn alloc(&self) -> Option<AllocError> {
+        match self {
+            KvCacheError::Alloc(e) => Some(*e),
+            KvCacheError::UnknownRequest { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvCacheError::Alloc(e) => e.fmt(f),
+            KvCacheError::UnknownRequest { req } => {
+                write!(f, "kv-cache operation on unknown request {req}")
+            }
+        }
+    }
+}
+
+impl Error for KvCacheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KvCacheError::Alloc(e) => Some(e),
+            KvCacheError::UnknownRequest { .. } => None,
+        }
+    }
+}
+
+impl From<AllocError> for KvCacheError {
+    fn from(e: AllocError) -> Self {
+        KvCacheError::Alloc(e)
+    }
+}
 
 /// Common interface of all KV-cache managers.
 ///
@@ -112,13 +174,11 @@ pub trait KvCacheManager: fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError`] on out-of-memory; the manager state is
+    /// Returns [`KvCacheError::Alloc`] on out-of-memory and
+    /// [`KvCacheError::UnknownRequest`] if `req` is not tracked (a
+    /// `debug_assert!` panic in debug builds); the manager state is
     /// unchanged on error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `req` is unknown.
-    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), AllocError>;
+    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), KvCacheError>;
 
     /// Releases everything held by request `req`, returning the number of
     /// physical slots freed (0 if the request is unknown).
@@ -129,10 +189,11 @@ pub trait KvCacheManager: fmt::Debug {
     /// guaranteed to succeed). Used by the engine to decide evictions
     /// before a decode step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any listed request is unknown.
-    fn extension_shortfall(&self, requests: &[u64]) -> u64;
+    /// Returns [`KvCacheError::UnknownRequest`] if any listed request is
+    /// not tracked (a `debug_assert!` panic in debug builds).
+    fn extension_shortfall(&self, requests: &[u64]) -> Result<u64, KvCacheError>;
 
     /// Highest physical usage ever observed.
     fn peak_used_tokens(&self) -> u64;
@@ -197,6 +258,23 @@ mod trait_tests {
         assert_eq!(
             e.to_string(),
             "kv-cache allocation of 10 tokens failed (3 available)"
+        );
+    }
+
+    #[test]
+    fn kv_cache_error_wraps_and_displays() {
+        let alloc = AllocError {
+            requested: 10,
+            available: 3,
+        };
+        let wrapped = KvCacheError::from(alloc);
+        assert_eq!(wrapped.alloc(), Some(alloc));
+        assert!(wrapped.to_string().contains("10 tokens"));
+        let unknown = KvCacheError::UnknownRequest { req: 9 };
+        assert_eq!(unknown.alloc(), None);
+        assert_eq!(
+            unknown.to_string(),
+            "kv-cache operation on unknown request 9"
         );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{AllocError, KvCacheManager};
+use crate::{AllocError, KvCacheError, KvCacheManager};
 
 #[derive(Debug, Clone, Copy)]
 struct PagedEntry {
@@ -26,7 +26,7 @@ struct PagedEntry {
 /// assert_eq!(pool.logical_tokens(), 17);
 /// assert_eq!(pool.used_tokens(), 32);
 /// assert_eq!(pool.overhead_tokens(), 15);
-/// # Ok::<(), pf_kvcache::AllocError>(())
+/// # Ok::<(), pf_kvcache::KvCacheError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct PagedPool {
@@ -119,20 +119,21 @@ impl KvCacheManager for PagedPool {
         Ok(())
     }
 
-    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), AllocError> {
+    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), KvCacheError> {
         let free_blocks = self.free_blocks();
         let block_size = self.block_size;
-        let entry = self
-            .requests
-            .get_mut(&req)
-            .unwrap_or_else(|| panic!("extend of unknown request {req}"));
+        let Some(entry) = self.requests.get_mut(&req) else {
+            debug_assert!(false, "extend of unknown request {req}");
+            return Err(KvCacheError::UnknownRequest { req });
+        };
         let new_blocks = (entry.logical + tokens).div_ceil(block_size);
         let extra = new_blocks.saturating_sub(entry.blocks);
         if extra > free_blocks {
             return Err(AllocError {
                 requested: tokens,
                 available: free_blocks * block_size,
-            });
+            }
+            .into());
         }
         entry.logical += tokens;
         entry.blocks = new_blocks;
@@ -153,20 +154,20 @@ impl KvCacheManager for PagedPool {
         }
     }
 
-    fn extension_shortfall(&self, requests: &[u64]) -> u64 {
+    fn extension_shortfall(&self, requests: &[u64]) -> Result<u64, KvCacheError> {
         let mut blocks_needed = 0u64;
-        for req in requests {
-            let entry = self
-                .requests
-                .get(req)
-                .unwrap_or_else(|| panic!("unknown request {req}"));
+        for &req in requests {
+            let Some(entry) = self.requests.get(&req) else {
+                debug_assert!(false, "unknown request {req}");
+                return Err(KvCacheError::UnknownRequest { req });
+            };
             // A new block is needed exactly when every allocated block is
             // full (including the zero-token, zero-block case).
             if entry.logical == entry.blocks * self.block_size {
                 blocks_needed += 1;
             }
         }
-        blocks_needed.saturating_sub(self.free_blocks()) * self.block_size
+        Ok(blocks_needed.saturating_sub(self.free_blocks()) * self.block_size)
     }
 
     fn peak_used_tokens(&self) -> u64 {
@@ -210,7 +211,7 @@ mod tests {
         p.allocate(1, 10, 10).unwrap();
         p.extend(1, 6).unwrap(); // fills the single block
         let err = p.extend(1, 1).unwrap_err();
-        assert_eq!(err.available, 0);
+        assert_eq!(err.alloc().expect("capacity error").available, 0);
         assert_eq!(p.logical_tokens(), 16);
     }
 
@@ -246,6 +247,25 @@ mod tests {
     #[should_panic(expected = "block size must be positive")]
     fn zero_block_size_panics() {
         let _ = PagedPool::new(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    #[cfg(debug_assertions)]
+    fn extend_unknown_panics_in_debug() {
+        let mut p = PagedPool::new(32, 16);
+        let _ = p.extend(9, 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn extend_unknown_errors_in_release() {
+        let mut p = PagedPool::new(32, 16);
+        assert_eq!(p.extend(9, 1), Err(KvCacheError::UnknownRequest { req: 9 }));
+        assert_eq!(
+            p.extension_shortfall(&[9]),
+            Err(KvCacheError::UnknownRequest { req: 9 })
+        );
     }
 
     mod props {

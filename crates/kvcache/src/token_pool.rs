@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{AllocError, KvCacheManager};
+use crate::{AllocError, KvCacheError, KvCacheManager};
 
 /// Token-granularity allocator: every logical token occupies exactly one
 /// physical slot, so there is no internal fragmentation and no reservation.
@@ -20,7 +20,7 @@ use crate::{AllocError, KvCacheManager};
 /// assert_eq!(pool.available_tokens(), 60);
 /// assert!(pool.extend(7, 60).is_ok());
 /// assert!(pool.extend(7, 1).is_err()); // full
-/// # Ok::<(), pf_kvcache::AllocError>(())
+/// # Ok::<(), pf_kvcache::KvCacheError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct TokenPool {
@@ -85,17 +85,18 @@ impl KvCacheManager for TokenPool {
         Ok(())
     }
 
-    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), AllocError> {
+    fn extend(&mut self, req: u64, tokens: u64) -> Result<(), KvCacheError> {
         let available = self.available_tokens();
-        let held = self
-            .requests
-            .get_mut(&req)
-            .unwrap_or_else(|| panic!("extend of unknown request {req}"));
+        let Some(held) = self.requests.get_mut(&req) else {
+            debug_assert!(false, "extend of unknown request {req}");
+            return Err(KvCacheError::UnknownRequest { req });
+        };
         if tokens > available {
             return Err(AllocError {
                 requested: tokens,
                 available,
-            });
+            }
+            .into());
         }
         *held += tokens;
         self.used += tokens;
@@ -109,11 +110,14 @@ impl KvCacheManager for TokenPool {
         freed
     }
 
-    fn extension_shortfall(&self, requests: &[u64]) -> u64 {
-        for req in requests {
-            assert!(self.requests.contains_key(req), "unknown request {req}");
+    fn extension_shortfall(&self, requests: &[u64]) -> Result<u64, KvCacheError> {
+        for &req in requests {
+            if !self.requests.contains_key(&req) {
+                debug_assert!(false, "unknown request {req}");
+                return Err(KvCacheError::UnknownRequest { req });
+            }
         }
-        (requests.len() as u64).saturating_sub(self.available_tokens())
+        Ok((requests.len() as u64).saturating_sub(self.available_tokens()))
     }
 
     fn peak_used_tokens(&self) -> u64 {
@@ -205,9 +209,21 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unknown request")]
-    fn extend_unknown_panics() {
+    #[cfg(debug_assertions)]
+    fn extend_unknown_panics_in_debug() {
         let mut p = TokenPool::new(10);
         let _ = p.extend(9, 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn extend_unknown_errors_in_release() {
+        let mut p = TokenPool::new(10);
+        assert_eq!(p.extend(9, 1), Err(KvCacheError::UnknownRequest { req: 9 }));
+        assert_eq!(
+            p.extension_shortfall(&[9]),
+            Err(KvCacheError::UnknownRequest { req: 9 })
+        );
     }
 
     mod props {

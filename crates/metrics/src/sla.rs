@@ -303,6 +303,13 @@ impl GoodputReport {
         }
     }
 
+    /// Requests whose *TTFT* met the SLA, regardless of their TPOT
+    /// outcome (aggregatable across instances — see
+    /// [`GoodputReport::ttft_attainment`]).
+    pub fn ttft_ok_count(&self) -> usize {
+        self.total_requests - self.violations.ttft - self.violations.no_tokens
+    }
+
     /// Fraction of requests whose *TTFT* met the SLA, regardless of their
     /// TPOT outcome (1.0 when empty).
     ///
@@ -313,8 +320,7 @@ impl GoodputReport {
         if self.total_requests == 0 {
             return 1.0;
         }
-        let ttft_ok = self.total_requests - self.violations.ttft - self.violations.no_tokens;
-        ttft_ok as f64 / self.total_requests as f64
+        self.ttft_ok_count() as f64 / self.total_requests as f64
     }
 
     /// System-level P99 compliance, the paper's Figure 9 framing

@@ -17,7 +17,19 @@
 //!   aggressive scheduler can report);
 //! * [`RouterPolicy::LeastEstimatedLoad`] — the future-required-memory
 //!   estimate of the running batch plus the expected footprint of the
-//!   queue — the paper's proposal.
+//!   queue — the paper's proposal;
+//! * [`RouterPolicy::PrefixAffinity`] — KV-aware routing (NVIDIA
+//!   Dynamo-style): steer each request to the live instance holding the
+//!   longest cached prefix of its prompt, falling back to
+//!   least-estimated-load below a match threshold. Requires instances
+//!   configured with a prefix cache
+//!   ([`crate::SimConfigBuilder::prefix_cache`]) and workloads carrying
+//!   prefix structure ([`pf_workload::datasets::multi_turn_chat`]).
+//!
+//! All load-based policies break exact ties with a deterministic rotating
+//! cursor rather than by lowest index — equal-load instances (the steady
+//! state right after warm-up) would otherwise pile the traffic onto
+//! member 0.
 //!
 //! # Example
 //!
@@ -51,6 +63,11 @@ use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
 use crate::report::SimReport;
 
+/// Smallest cached overlap (tokens) for which [`RouterPolicy::PrefixAffinity`]
+/// prefers the matching instance over the least-loaded one. Below this the
+/// prefill saving is smaller than the imbalance it can cause.
+pub const PREFIX_MATCH_MIN_TOKENS: u64 = 32;
+
 /// Request-forwarding policy of the cluster front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouterPolicy {
@@ -63,15 +80,27 @@ pub enum RouterPolicy {
     /// Lowest estimated total load: future required memory of the running
     /// batch plus expected queue footprint (the paper's §7 proposal).
     LeastEstimatedLoad,
+    /// KV-aware prefix affinity: the live instance holding the longest
+    /// cached prefix of the request's prompt wins, provided the overlap
+    /// reaches [`PREFIX_MATCH_MIN_TOKENS`]; otherwise (and among
+    /// equal-length matches) the decision falls back to load.
+    PrefixAffinity {
+        /// `true` breaks equal-match ties by least estimated load;
+        /// `false` breaks them with the rotating cursor only.
+        load_tiebreak: bool,
+    },
 }
 
 impl RouterPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [RouterPolicy; 4] = [
+    pub const ALL: [RouterPolicy; 5] = [
         RouterPolicy::RoundRobin,
         RouterPolicy::LeastOutstanding,
         RouterPolicy::LeastUsedMemory,
         RouterPolicy::LeastEstimatedLoad,
+        RouterPolicy::PrefixAffinity {
+            load_tiebreak: true,
+        },
     ];
 
     /// Short label for reports.
@@ -81,34 +110,142 @@ impl RouterPolicy {
             RouterPolicy::LeastOutstanding => "least-outstanding",
             RouterPolicy::LeastUsedMemory => "least-used-memory",
             RouterPolicy::LeastEstimatedLoad => "least-estimated-load",
+            RouterPolicy::PrefixAffinity { .. } => "prefix-affinity",
         }
     }
 
-    fn pick(self, engines: &[Engine], rr_cursor: &mut usize) -> usize {
-        match self {
-            RouterPolicy::RoundRobin => {
-                let i = *rr_cursor % engines.len();
-                *rr_cursor += 1;
-                i
+    fn pick(self, engines: &[Engine], spec: &RequestSpec, cursor: &mut usize) -> usize {
+        pick_engine(
+            self,
+            engines.iter().enumerate(),
+            spec,
+            cursor,
+            engines.len(),
+        )
+        .expect("cluster has at least one instance")
+    }
+}
+
+/// Index minimizing `key` among `candidates`, breaking *exact* key ties by
+/// the first candidate at or after `*cursor` (mod `n`), then advancing the
+/// cursor just past the winner. The rotation spreads equal-load picks
+/// across the fleet instead of piling them onto the lowest index.
+pub(crate) fn pick_rotating_min(
+    candidates: impl Iterator<Item = (usize, f64)>,
+    cursor: &mut usize,
+    n: usize,
+) -> Option<usize> {
+    let n = n.max(1);
+    let start = *cursor % n;
+    let mut best: Option<(usize, f64, usize)> = None;
+    for (i, key) in candidates {
+        let rank = (i + n - start) % n;
+        let better = match &best {
+            None => true,
+            Some((_, best_key, best_rank)) => match key.total_cmp(best_key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => rank < *best_rank,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if better {
+            best = Some((i, key, rank));
+        }
+    }
+    best.map(|(i, _, _)| {
+        *cursor = (i + 1) % n;
+        i
+    })
+}
+
+/// One routable candidate: fleet index, load under the active policy's
+/// signal, and cached prefix overlap with the request being routed.
+pub(crate) struct RouteCandidate {
+    pub(crate) index: usize,
+    pub(crate) load: f64,
+    pub(crate) cached_match: u64,
+}
+
+/// The single definition of the routing dispatch, shared by the cluster,
+/// the elastic fleet and the disagg prefill pool: [`RouterPolicy::RoundRobin`]
+/// rotates, [`RouterPolicy::PrefixAffinity`] takes the longest cached match
+/// at or above [`PREFIX_MATCH_MIN_TOKENS`] (ties by load or rotation),
+/// and everything else routes by the candidate's load — all exact ties
+/// broken by the rotating cursor. `n` is the full fleet size.
+pub(crate) fn pick_routed(
+    policy: RouterPolicy,
+    candidates: &[RouteCandidate],
+    cursor: &mut usize,
+    n: usize,
+) -> Option<usize> {
+    let by_load = |c: &RouteCandidate| (c.index, c.load);
+    match policy {
+        RouterPolicy::RoundRobin => {
+            pick_rotating_min(candidates.iter().map(|c| (c.index, 0.0)), cursor, n)
+        }
+        RouterPolicy::LeastOutstanding
+        | RouterPolicy::LeastUsedMemory
+        | RouterPolicy::LeastEstimatedLoad => {
+            pick_rotating_min(candidates.iter().map(by_load), cursor, n)
+        }
+        RouterPolicy::PrefixAffinity { load_tiebreak } => {
+            let best_match = candidates.iter().map(|c| c.cached_match).max().unwrap_or(0);
+            if best_match >= PREFIX_MATCH_MIN_TOKENS {
+                let matched = candidates.iter().filter(|c| c.cached_match == best_match);
+                if load_tiebreak {
+                    pick_rotating_min(matched.map(by_load), cursor, n)
+                } else {
+                    pick_rotating_min(matched.map(|c| (c.index, 0.0)), cursor, n)
+                }
+            } else {
+                pick_rotating_min(candidates.iter().map(by_load), cursor, n)
             }
-            RouterPolicy::LeastOutstanding => argmin(engines, |e| e.outstanding() as f64),
-            RouterPolicy::LeastUsedMemory => argmin(engines, Engine::used_frac),
-            RouterPolicy::LeastEstimatedLoad => argmin(engines, Engine::load_estimate),
         }
     }
 }
 
-fn argmin(engines: &[Engine], key: impl Fn(&Engine) -> f64) -> usize {
-    let mut best = 0;
-    let mut best_key = f64::INFINITY;
-    for (i, engine) in engines.iter().enumerate() {
-        let k = key(engine);
-        if k < best_key {
-            best_key = k;
-            best = i;
+/// Applies `policy` to a candidate subset of an engine fleet (the cluster
+/// routes over every instance; the elastic cluster over live members
+/// only). `n` is the full fleet size — the rotating cursor is indexed
+/// over it. Each policy evaluates only the signal it routes on —
+/// `load_estimate` walks the whole queue, so the cheap policies must not
+/// pay for it.
+pub(crate) fn pick_engine<'a, I>(
+    policy: RouterPolicy,
+    candidates: I,
+    spec: &RequestSpec,
+    cursor: &mut usize,
+    n: usize,
+) -> Option<usize>
+where
+    I: Iterator<Item = (usize, &'a Engine)>,
+{
+    match policy {
+        RouterPolicy::RoundRobin => pick_rotating_min(candidates.map(|(i, _)| (i, 0.0)), cursor, n),
+        RouterPolicy::LeastOutstanding => pick_rotating_min(
+            candidates.map(|(i, e)| (i, e.outstanding() as f64)),
+            cursor,
+            n,
+        ),
+        RouterPolicy::LeastUsedMemory => {
+            pick_rotating_min(candidates.map(|(i, e)| (i, e.used_frac())), cursor, n)
+        }
+        RouterPolicy::LeastEstimatedLoad => {
+            pick_rotating_min(candidates.map(|(i, e)| (i, e.load_estimate())), cursor, n)
+        }
+        RouterPolicy::PrefixAffinity { .. } => {
+            let candidates: Vec<RouteCandidate> = candidates
+                .map(|(i, e)| RouteCandidate {
+                    index: i,
+                    // The paper's §7 signal doubles as the affinity
+                    // tie-break and below-threshold fallback.
+                    load: e.load_estimate(),
+                    cached_match: e.cached_prefix_tokens(spec),
+                })
+                .collect();
+            pick_routed(policy, &candidates, cursor, n)
         }
     }
-    best
 }
 
 /// A cluster of identical serving instances behind one router.
@@ -190,17 +327,27 @@ impl ClusterSimulation {
         }
         let mut stream: VecDeque<(SimTime, RequestSpec)> =
             arrival_times.into_iter().zip(requests).collect();
-        let mut rr_cursor = 0usize;
+        let mut cursor = 0usize;
         let mut routed = vec![0usize; n_instances];
+        // Tick-selection argmin (not a routing decision: first-index ties
+        // here only order simulation work, they move no traffic).
+        let lagging = |engines: &[Engine]| {
+            engines
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.now().cmp(&b.now()))
+                .map(|(i, _)| i)
+                .expect("cluster has at least one instance")
+        };
 
         loop {
             // Tick the engine with the smallest clock; route stream
             // arrivals once the global front passes their timestamp.
-            let i_min = argmin(&engines, |e| e.now().as_secs_f64());
+            let i_min = lagging(&engines);
             if let Some(&(at, _)) = stream.front() {
                 if engines[i_min].now() >= at {
                     let (at, spec) = stream.pop_front().expect("peeked");
-                    let target = self.policy.pick(&engines, &mut rr_cursor);
+                    let target = self.policy.pick(&engines, &spec, &mut cursor);
                     let arrival = at.max(engines[target].now());
                     engines[target].inject(arrival, spec);
                     routed[target] += 1;
@@ -291,6 +438,35 @@ impl ClusterReport {
     /// Total evictions across instances.
     pub fn evictions(&self) -> u64 {
         self.instances.iter().map(|r| r.evictions).sum()
+    }
+
+    /// Fraction of completed requests whose TTFT met the SLA (1.0 when no
+    /// request completed) — the headline prefix-affinity routing improves.
+    pub fn ttft_attainment(&self) -> f64 {
+        let total: usize = self
+            .instances
+            .iter()
+            .map(|r| r.goodput.total_requests)
+            .sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ttft_ok: usize = self
+            .instances
+            .iter()
+            .map(|r| r.goodput.ttft_ok_count())
+            .sum();
+        ttft_ok as f64 / total as f64
+    }
+
+    /// Prefix-cache statistics merged across instances (all zero when
+    /// caches are disabled).
+    pub fn prefix_stats(&self) -> pf_kvcache::PrefixCacheStats {
+        let mut stats = pf_kvcache::PrefixCacheStats::default();
+        for instance in &self.instances {
+            stats.merge(&instance.prefix_stats);
+        }
+        stats
     }
 
     /// Imbalance of routed requests: max/min across instances (1.0 =

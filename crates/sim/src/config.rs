@@ -79,6 +79,48 @@ pub enum PrefillMode {
     },
 }
 
+/// Prefix-cache configuration: the instance retains finished requests'
+/// conversation KV in an LRU keyed by [`pf_workload::PrefixId`], so later
+/// requests declaring the same prefix skip re-prefilling the cached
+/// tokens. The cache's occupancy is charged against the *same* KV pool as
+/// request KV (and reclaimed first under memory pressure), bounded by
+/// `budget_frac` of capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PrefixCacheConfig {
+    /// Largest fraction of KV capacity the prefix cache may occupy, in
+    /// `(0, 1]`.
+    pub budget_frac: f64,
+}
+
+impl PrefixCacheConfig {
+    /// Creates a configuration with the given capacity fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_frac` is not in `(0, 1]`.
+    pub fn with_budget_frac(budget_frac: f64) -> Self {
+        assert!(
+            budget_frac > 0.0 && budget_frac <= 1.0,
+            "prefix-cache budget fraction {budget_frac} outside (0, 1]"
+        );
+        PrefixCacheConfig { budget_frac }
+    }
+
+    /// Cache budget in tokens for a pool of `capacity_tokens`.
+    pub fn budget_tokens(&self, capacity_tokens: u64) -> u64 {
+        (capacity_tokens as f64 * self.budget_frac) as u64
+    }
+}
+
+impl Default for PrefixCacheConfig {
+    /// A fifth of KV capacity — roughly what chat deployments reserve for
+    /// system prompts and hot sessions.
+    fn default() -> Self {
+        PrefixCacheConfig { budget_frac: 0.2 }
+    }
+}
+
 /// Full description of one simulated serving deployment.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -116,6 +158,9 @@ pub struct SimConfig {
     /// Record utilization/future-memory time series (small cost; on by
     /// default).
     pub record_series: bool,
+    /// Simulated prefix cache (`None` disables prefix reuse entirely —
+    /// the pre-KV-aware behavior).
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl SimConfig {
@@ -138,6 +183,7 @@ impl SimConfig {
                 max_sim_time: None,
                 history_warmup: Vec::new(),
                 record_series: true,
+                prefix_cache: None,
             },
         }
     }
@@ -252,6 +298,13 @@ impl SimConfigBuilder {
     /// Enables or disables time-series recording.
     pub fn record_series(mut self, record: bool) -> Self {
         self.config.record_series = record;
+        self
+    }
+
+    /// Enables the simulated prefix cache with `budget_frac` of KV
+    /// capacity (see [`PrefixCacheConfig`]).
+    pub fn prefix_cache(mut self, budget_frac: f64) -> Self {
+        self.config.prefix_cache = Some(PrefixCacheConfig::with_budget_frac(budget_frac));
         self
     }
 

@@ -82,10 +82,12 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision, StepLatency};
 use pf_core::{BatchEntry, FutureMemoryEstimator};
+use pf_kvcache::{PrefixCache, PrefixCacheStats};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
 use pf_workload::RequestSpec;
 
-use crate::config::SimConfig;
+use crate::cluster::{pick_rotating_min, pick_routed, RouteCandidate, RouterPolicy};
+use crate::config::{PrefixCacheConfig, SimConfig};
 use crate::elastic::{MemberState, ScalingEvent};
 use crate::error::SimError;
 use crate::perf::PerfModel;
@@ -148,12 +150,23 @@ impl KvTransferSpec {
 #[derive(Debug, Clone)]
 pub struct DisaggConfig {
     /// Replica description shared by both pools (scheduler settings are
-    /// unused — the pools run stage-specific loops).
+    /// unused — the pools run stage-specific loops; a
+    /// [`SimConfig::prefix_cache`] setting is honoured on the prefill
+    /// pool, where hits shrink prefill passes directly).
     pub base: SimConfig,
     /// The prefill→decode KV-transfer link.
     pub transfer: KvTransferSpec,
-    /// Prompt tokens batched into one prefill pass at most.
+    /// *Computed* prompt tokens batched into one prefill pass at most
+    /// (prefix-cache hits shrink a prompt's computed tokens, letting more
+    /// prompts share a pass at the same per-pass cost).
     pub max_prefill_batch_tokens: u64,
+    /// Front-end routing policy over the prefill pool.
+    /// [`RouterPolicy::PrefixAffinity`] steers requests to the prefill
+    /// instance caching the longest prefix of their prompt;
+    /// [`RouterPolicy::RoundRobin`] rotates; every other policy routes by
+    /// the pool's load signal (queued plus held prompt tokens). All exact
+    /// ties break with a rotating cursor.
+    pub router: RouterPolicy,
 }
 
 impl DisaggConfig {
@@ -164,6 +177,7 @@ impl DisaggConfig {
             base,
             transfer: KvTransferSpec::nvlink(),
             max_prefill_batch_tokens: 8_192,
+            router: RouterPolicy::LeastEstimatedLoad,
         }
     }
 
@@ -181,6 +195,12 @@ impl DisaggConfig {
     pub fn prefill_batch_tokens(mut self, tokens: u64) -> Self {
         assert!(tokens > 0, "prefill batch budget must be positive");
         self.max_prefill_batch_tokens = tokens;
+        self
+    }
+
+    /// Sets the prefill-pool routing policy.
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
         self
     }
 }
@@ -374,6 +394,9 @@ struct Job {
     spec: RequestSpec,
     timing: RequestTiming,
     generated: u32,
+    /// Prompt tokens served from the prefill instance's prefix cache
+    /// (assigned when the job enters a prefill batch; shrinks the pass).
+    cached_prefix: u64,
 }
 
 impl Job {
@@ -382,6 +405,7 @@ impl Job {
             spec,
             timing: RequestTiming::new(arrived),
             generated: 0,
+            cached_prefix: 0,
         }
     }
 
@@ -426,6 +450,10 @@ struct PrefillMember {
     /// KV tokens resident: the in-flight batch plus completed prefills
     /// whose transfer has not finished yet.
     held_tokens: u64,
+    /// Instance-local prefix cache (None when disabled). Its occupancy
+    /// shares the instance's KV capacity with `held_tokens` and is
+    /// reclaimed first when a batch needs the room.
+    prefix: Option<PrefixCache>,
     busy: bool,
     routed: usize,
     completed: usize,
@@ -457,6 +485,22 @@ impl PrefillMember {
 
     fn load_signal(&self) -> u64 {
         self.queued_tokens + self.held_tokens
+    }
+
+    /// Prefix-cache occupancy in tokens (0 when disabled).
+    fn prefix_used(&self) -> u64 {
+        self.prefix.as_ref().map_or(0, PrefixCache::used_tokens)
+    }
+
+    /// Cached overlap this instance would serve `spec` from, without
+    /// touching the cache (router probe).
+    fn cached_match(&self, spec: &RequestSpec) -> u64 {
+        match (&self.prefix, spec.prefix_id) {
+            (Some(cache), Some(id)) => cache
+                .peek(id.raw())
+                .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
+            _ => 0,
+        }
     }
 }
 
@@ -650,6 +694,11 @@ struct Run {
     kv_bytes_per_token: u64,
     max_prefill_batch_tokens: u64,
     record: bool,
+    router: RouterPolicy,
+    prefix_cache: Option<PrefixCacheConfig>,
+    /// Rotating tie-break cursors of the two pools' routing decisions.
+    route_cursor: usize,
+    decode_cursor: usize,
 
     prefill: Vec<PrefillMember>,
     decode: Vec<DecodeMember>,
@@ -731,6 +780,10 @@ impl Run {
             kv_bytes_per_token: config.base.model.kv_bytes_per_token(),
             max_prefill_batch_tokens: max_batch,
             record: config.base.record_series,
+            router: config.router,
+            prefix_cache: config.base.prefix_cache,
+            route_cursor: 0,
+            decode_cursor: 0,
             prefill: Vec::new(),
             decode: Vec::new(),
             prefill_scaling: Vec::new(),
@@ -794,6 +847,9 @@ impl Run {
             queued_tokens: 0,
             batch: Vec::new(),
             held_tokens: 0,
+            prefix: self
+                .prefix_cache
+                .map(|spec| PrefixCache::new(spec.budget_tokens(self.capacity))),
             busy: false,
             routed: 0,
             completed: 0,
@@ -878,6 +934,27 @@ impl Run {
         Ok(self.finish())
     }
 
+    /// Routes an arrival over the live prefill members with the configured
+    /// policy, delegating to the cluster's shared routing dispatch
+    /// ([`pick_routed`]) — the pool's load signal is queued plus held
+    /// prompt tokens.
+    fn route_prefill(&mut self, spec: &RequestSpec) -> usize {
+        let n = self.prefill.len();
+        let candidates: Vec<RouteCandidate> = self
+            .prefill
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_live())
+            .map(|(i, m)| RouteCandidate {
+                index: i,
+                load: m.load_signal() as f64,
+                cached_match: m.cached_match(spec),
+            })
+            .collect();
+        pick_routed(self.router, &candidates, &mut self.route_cursor, n)
+            .expect("at least one live prefill instance")
+    }
+
     fn on_arrival(&mut self, now: SimTime, spec: RequestSpec) {
         if let Some(planning) = self.planning.as_mut() {
             planning
@@ -885,14 +962,7 @@ impl Run {
                 .planner
                 .on_request_arrival(now, spec.input_len);
         }
-        let target = self
-            .prefill
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.is_live())
-            .min_by_key(|(i, m)| (m.load_signal(), *i))
-            .map(|(i, _)| i)
-            .expect("at least one live prefill instance");
+        let target = self.route_prefill(&spec);
         let member = &mut self.prefill[target];
         member.routed += 1;
         member.queued_tokens += u64::from(spec.input_len);
@@ -901,7 +971,9 @@ impl Run {
     }
 
     /// Starts a prefill pass on member `i` if it is idle and a batch fits
-    /// the token budget and the instance's free KV.
+    /// the token budget and the instance's free KV. Prefix-cache hits
+    /// shrink each job's contribution to the pass; cached prefixes are
+    /// evicted (LRU first) when the batch needs their slots.
     fn try_start_prefill(&mut self, i: usize, now: SimTime) {
         let capacity = self.capacity;
         let max_batch = self.max_prefill_batch_tokens;
@@ -910,37 +982,81 @@ impl Run {
         if member.busy || !member.is_active() {
             return;
         }
-        let mut batch_prompt_tokens = 0u64;
+        let mut batch_computed_tokens = 0u64;
         while let Some(front) = member.queue.front() {
-            let prompt = u64::from(front.spec.input_len);
-            let tokens = front.prefill_tokens();
-            if !member.batch.is_empty() && batch_prompt_tokens + prompt > max_batch {
-                break;
-            }
+            let spec = front.spec;
+            let prompt = u64::from(spec.input_len);
+            // The prompt plus the first generated token (see
+            // [`Job::prefill_tokens`]).
+            let tokens = prompt + 1;
             if member.held_tokens + tokens > capacity {
                 break;
             }
-            let job = member.queue.pop_front().expect("peeked");
+            // The batch budget bounds *computed* tokens — what the pass
+            // actually costs — so prefix hits make room for more prompts.
+            // Decide the break on a pre-eviction probe: eviction can only
+            // shrink the match (grow the cost), so a probe that already
+            // busts the budget certainly busts it afterwards — and a job
+            // that breaks here must not have evicted cache entries first.
+            let computed_probe = prompt.saturating_sub(member.cached_match(&spec)).max(1);
+            if !member.batch.is_empty() && batch_computed_tokens + computed_probe > max_batch {
+                break;
+            }
+            // The request's KV outranks cached prefixes: reclaim cache
+            // slots so the batch entry fits alongside the cache.
+            if member.held_tokens + member.prefix_used() + tokens > capacity {
+                let room = capacity - member.held_tokens - tokens;
+                member
+                    .prefix
+                    .as_mut()
+                    .expect("non-zero prefix occupancy implies a cache")
+                    .evict_down_to(room);
+            }
+            let mut job = member.queue.pop_front().expect("peeked");
+            // Consume the prefix hit: the pass skips the cached tokens
+            // (at least the final prompt position is always computed;
+            // the reclaim above may have shrunk the probed match).
+            if let (Some(cache), Some(id)) = (member.prefix.as_mut(), job.spec.prefix_id) {
+                job.cached_prefix = cache.lookup(id.raw(), u64::from(job.spec.prefix_len));
+            }
             member.queued_tokens -= prompt;
             member.held_tokens += tokens;
-            batch_prompt_tokens += prompt;
+            batch_computed_tokens += prompt.saturating_sub(job.cached_prefix).max(1);
             member.batch.push(job);
         }
         if member.batch.is_empty() {
             return;
         }
         member.busy = true;
-        let duration = perf.prefill_step(batch_prompt_tokens);
+        let duration = perf.prefill_step(batch_computed_tokens);
         self.schedule(now + duration, Ev::PrefillDone(i));
+    }
+
+    /// Retains a prefilled prompt's KV in the instance's prefix cache:
+    /// the session's next turn routed here skips recomputing it. Keeps
+    /// the instance invariant `held + cache ≤ capacity`.
+    fn cache_prefill_prefix(member: &mut PrefillMember, capacity: u64, job: &Job) {
+        let Some(cache) = member.prefix.as_mut() else {
+            return;
+        };
+        let Some(id) = job.spec.prefix_id else {
+            return;
+        };
+        cache.insert(id.raw(), u64::from(job.spec.input_len) + 1);
+        if member.held_tokens + cache.used_tokens() > capacity {
+            cache.evict_down_to(capacity.saturating_sub(member.held_tokens));
+        }
     }
 
     fn on_prefill_done(&mut self, now: SimTime, i: usize) {
         self.prefill[i].busy = false;
         let batch = std::mem::take(&mut self.prefill[i].batch);
         self.prefill[i].completed += batch.len();
+        let capacity = self.capacity;
         for mut job in batch {
             job.generated += 1;
             job.timing.record_token(now);
+            Self::cache_prefill_prefix(&mut self.prefill[i], capacity, &job);
             if let Some(planning) = self.planning.as_mut() {
                 let ttft = job.timing.ttft().expect("first token just recorded");
                 planning
@@ -998,14 +1114,17 @@ impl Run {
                 .planner
                 .on_request_arrival(now, job.spec.input_len);
         }
-        let target = self
-            .decode
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.is_live())
-            .min_by_key(|(j, m)| (m.load_signal(), *j))
-            .map(|(j, _)| j)
-            .expect("at least one live decode instance");
+        let n = self.decode.len();
+        let target = pick_rotating_min(
+            self.decode
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.is_live())
+                .map(|(j, m)| (j, m.load_signal() as f64)),
+            &mut self.decode_cursor,
+            n,
+        )
+        .expect("at least one live decode instance");
         let member = &mut self.decode[target];
         member.routed += 1;
         member.pending_reserved += job.final_footprint();
@@ -1270,12 +1389,19 @@ impl Run {
             .map(|o| (o.timing, u64::from(o.output_len)))
             .collect();
         let goodput = GoodputReport::compute(&self.sla, &requests, makespan);
+        let mut prefix_stats = PrefixCacheStats::default();
+        for member in &self.prefill {
+            if let Some(cache) = &member.prefix {
+                prefix_stats.merge(&cache.stats());
+            }
+        }
         DisaggReport {
             goodput,
             makespan,
             unserved: self.remaining,
             prefill,
             decode,
+            prefix_stats,
             transfers: self.stats,
             pool_series: self.series,
             transfer_intervals: self.transfer_intervals,
@@ -1366,6 +1492,9 @@ pub struct DisaggReport {
     pub prefill: PoolReport,
     /// The decode pool.
     pub decode: PoolReport,
+    /// Prefix-cache statistics merged across prefill instances (all zero
+    /// when caches are disabled).
+    pub prefix_stats: PrefixCacheStats,
     /// KV-transfer statistics.
     pub transfers: TransferStats,
     /// Per-pool live/provisioned replica counts over time

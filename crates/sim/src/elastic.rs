@@ -12,10 +12,13 @@
 //!   their queued and running work but receive nothing new, and stop (and
 //!   stop costing GPU-seconds) once empty.
 //!
-//! The front end routes every arriving request to the **live** instance
-//! with the lowest future-required-memory estimate
-//! ([`crate::cluster::RouterPolicy::LeastEstimatedLoad`] — the paper's §7
-//! signal); warming, draining and stopped instances are never routed to.
+//! The front end routes every arriving request among the **live**
+//! instances with a configurable [`RouterPolicy`] (default
+//! [`RouterPolicy::LeastEstimatedLoad`] — the paper's §7 signal;
+//! [`RouterPolicy::PrefixAffinity`] adds KV-aware prefix routing when the
+//! base config enables a prefix cache); warming, draining and stopped
+//! instances are never routed to. Exact load ties break with a rotating
+//! cursor, not by lowest index.
 //!
 //! The run is fully deterministic: one global clock orders engine steps,
 //! arrivals and planning rounds, and all randomness is seeded.
@@ -54,6 +57,7 @@ use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, ScalingDecision, StepLaten
 use pf_metrics::{GoodputReport, SimDuration, SimTime, StepSeries};
 use pf_workload::RequestSpec;
 
+use crate::cluster::{pick_engine, RouterPolicy};
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
@@ -138,6 +142,7 @@ pub struct ElasticCluster {
     base: SimConfig,
     autoscale: AutoscaleConfig,
     initial_replicas: usize,
+    router: RouterPolicy,
 }
 
 impl ElasticCluster {
@@ -162,7 +167,15 @@ impl ElasticCluster {
             base,
             autoscale,
             initial_replicas,
+            router: RouterPolicy::LeastEstimatedLoad,
         }
+    }
+
+    /// Sets the front-end routing policy (default
+    /// [`RouterPolicy::LeastEstimatedLoad`]).
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
     }
 
     /// Runs the elastic fleet against a timed arrival stream.
@@ -190,8 +203,14 @@ impl ElasticCluster {
             arrival_times.windows(2).all(|w| w[0] <= w[1]),
             "arrival times must be sorted"
         );
-        Run::start(self.base, self.autoscale, self.initial_replicas, &requests)?
-            .drive(arrival_times.into_iter().zip(requests).collect())
+        Run::start(
+            self.base,
+            self.autoscale,
+            self.initial_replicas,
+            self.router,
+            &requests,
+        )?
+        .drive(arrival_times.into_iter().zip(requests).collect())
     }
 }
 
@@ -201,6 +220,10 @@ struct Run {
     planner: AutoscalePlanner<ReplicaModel>,
     members: Vec<Member>,
     spawned_total: usize,
+    router: RouterPolicy,
+    /// Rotating tie-break cursor of the router (see
+    /// [`crate::cluster::pick_rotating_min`]).
+    route_cursor: usize,
     next_adjust: SimTime,
     interval: SimDuration,
     warmup: SimDuration,
@@ -217,6 +240,7 @@ impl Run {
         base: SimConfig,
         autoscale: AutoscaleConfig,
         initial_replicas: usize,
+        router: RouterPolicy,
         requests: &[RequestSpec],
     ) -> Result<Run, SimError> {
         let model = ReplicaModel {
@@ -231,6 +255,8 @@ impl Run {
             planner,
             members: Vec::new(),
             spawned_total: 0,
+            router,
+            route_cursor: 0,
             next_adjust: SimTime::ZERO + interval,
             interval,
             warmup,
@@ -313,19 +339,22 @@ impl Run {
             .map(|(i, _)| i)
     }
 
-    /// Routes to the live member with the lowest estimated load (the
-    /// paper's §7 signal).
-    fn route_target(&self) -> Option<usize> {
-        self.members
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.is_live())
-            .min_by(|(_, a), (_, b)| {
-                a.engine
-                    .load_estimate()
-                    .total_cmp(&b.engine.load_estimate())
-            })
-            .map(|(i, _)| i)
+    /// Routes `spec` among the live members with the configured policy,
+    /// breaking exact load ties with the rotating cursor (first-index
+    /// tie-breaking would herd every cold-start request onto member 0).
+    fn route_target(&mut self, spec: &RequestSpec) -> Option<usize> {
+        let n = self.members.len();
+        pick_engine(
+            self.router,
+            self.members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.is_live())
+                .map(|(i, m)| (i, &m.engine)),
+            spec,
+            &mut self.route_cursor,
+            n,
+        )
     }
 
     /// Feeds newly finished requests of member `i` to the planner.
@@ -464,7 +493,7 @@ impl Run {
             if let Some(&(at, _)) = stream.front() {
                 if front >= at {
                     let (at, spec) = stream.pop_front().expect("peeked");
-                    let Some(target) = self.route_target() else {
+                    let Some(target) = self.route_target(&spec) else {
                         // No live instance (all draining under horizon
                         // pressure): the request goes unserved.
                         dropped += 1;
@@ -660,5 +689,20 @@ impl ElasticReport {
     /// Total evictions across instances.
     pub fn evictions(&self) -> u64 {
         self.instances.iter().map(|i| i.report.evictions).sum()
+    }
+
+    /// Fraction of completed requests whose TTFT met the SLA.
+    pub fn ttft_attainment(&self) -> f64 {
+        self.goodput.ttft_attainment()
+    }
+
+    /// Prefix-cache statistics merged across instances (all zero when
+    /// caches are disabled).
+    pub fn prefix_stats(&self) -> pf_kvcache::PrefixCacheStats {
+        let mut stats = pf_kvcache::PrefixCacheStats::default();
+        for instance in &self.instances {
+            stats.merge(&instance.report.prefix_stats);
+        }
+        stats
     }
 }

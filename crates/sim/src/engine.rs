@@ -26,7 +26,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use pf_core::{
     BatchEntry, FutureMemoryEstimator, MemoryState, QueuedRequest, RunningRequest, Scheduler,
 };
-use pf_kvcache::KvCacheManager;
+use pf_kvcache::{KvCacheManager, PrefixCache};
 use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, StepSeries};
 use pf_workload::{ClosedLoopClients, RequestSpec};
 
@@ -39,6 +39,12 @@ use crate::report::{RequestOutcome, SimReport};
 /// The plan loop repeats while the scheduler admits the whole visible
 /// window, so this is not an admission cap — only a cost bound.
 const PLAN_WINDOW: usize = 256;
+
+/// Reserved KV-pool request id under which the prefix cache's occupancy is
+/// charged, so cached prefixes and request KV compete for the *same*
+/// physical slots. Workload request ids are dense from zero and never
+/// reach it.
+const PREFIX_SENTINEL: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct Pending {
@@ -65,6 +71,10 @@ struct Live {
     /// This admission restores a swapped-out victim: the "prefill" is a
     /// PCIe swap-in transfer, not a recompute pass.
     swapped_in: bool,
+    /// Prompt tokens served from the prefix cache at this admission: the
+    /// prefill pass skips them (KV accounting is unchanged — the request
+    /// still holds its full footprint).
+    cached_prefix: u64,
 }
 
 /// Outcome of one engine tick (co-simulation protocol).
@@ -199,6 +209,9 @@ pub(crate) struct Engine {
     arrivals: Arrivals,
     queue: VecDeque<Pending>,
     running: Vec<Live>,
+    /// Simulated prefix cache (disabled unless configured). Its occupancy
+    /// is mirrored into `kv` under [`PREFIX_SENTINEL`].
+    prefix: Option<PrefixCache>,
 
     decode_steps: u64,
     prefill_steps: u64,
@@ -241,6 +254,9 @@ impl Engine {
         // history, mirroring a service whose statistics are already warm.
         let output_len_sum: u64 = config.history_warmup.iter().map(|&l| u64::from(l)).sum();
         let output_len_count = config.history_warmup.len() as u64;
+        let prefix = config
+            .prefix_cache
+            .map(|spec| PrefixCache::new(spec.budget_tokens(capacity)));
         Engine {
             perf,
             capacity,
@@ -252,6 +268,7 @@ impl Engine {
             arrivals,
             queue: VecDeque::new(),
             running: Vec::new(),
+            prefix,
             output_len_sum,
             output_len_count,
             decode_steps: 0,
@@ -374,7 +391,17 @@ impl Engine {
 
     /// Runs upfront validation (also used by the cluster driver, which
     /// validates against each member engine's capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefix cache is enabled and the request id is
+    /// `u64::MAX` — that id is reserved for the cache's pool charge, and
+    /// letting it through would silently corrupt the KV accounting.
     pub(crate) fn validate_spec(&self, spec: &RequestSpec) -> Result<(), SimError> {
+        assert!(
+            self.prefix.is_none() || spec.id.raw() != PREFIX_SENTINEL,
+            "request id u64::MAX is reserved for the prefix cache"
+        );
         let contiguous = matches!(self.config.kv_layout, crate::config::KvLayout::Contiguous);
         let static_mode = matches!(self.config.batching, BatchingMode::Static { .. });
         let needed = if contiguous || static_mode {
@@ -413,6 +440,126 @@ impl Engine {
             self.validate_spec(spec)?;
         }
         Ok(())
+    }
+
+    /// Cached prefix overlap a request would enjoy on this instance right
+    /// now, *without* touching the cache — the KV-aware router's probe
+    /// (only the instance that actually serves the request refreshes the
+    /// entry).
+    pub(crate) fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u64 {
+        match (&self.prefix, spec.prefix_id) {
+            (Some(cache), Some(id)) => cache
+                .peek(id.raw())
+                .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
+            _ => 0,
+        }
+    }
+
+    /// Re-charges the pool's sentinel allocation to the cache's current
+    /// occupancy, shrinking the cache when the pool cannot hold it (block
+    /// rounding can make a paged pool stricter than the token budget).
+    fn sync_prefix_charge(&mut self) {
+        let Some(cache) = self.prefix.as_mut() else {
+            return;
+        };
+        self.kv.release(PREFIX_SENTINEL);
+        loop {
+            let occ = cache.used_tokens();
+            if occ == 0 {
+                return;
+            }
+            if self.kv.allocate(PREFIX_SENTINEL, occ, occ).is_ok() {
+                return;
+            }
+            let free = self.kv.available_tokens();
+            cache.evict_down_to(free.min(occ - 1));
+        }
+    }
+
+    /// Evicts cached prefixes (LRU first) until the pool can admit a
+    /// request of `tokens` prompt / `reserve_total` reservation. Returns
+    /// whether admission is now possible. Cached prefixes are always
+    /// reclaimed before live work is refused or evicted: a cache entry is
+    /// a bet on future savings, a request is work already accepted.
+    fn reclaim_prefix_for_admission(&mut self, tokens: u64, reserve_total: u64) -> bool {
+        loop {
+            if self.kv.can_admit(tokens, reserve_total) {
+                return true;
+            }
+            let Some(cache) = self.prefix.as_mut() else {
+                return false;
+            };
+            let occ = cache.used_tokens();
+            if occ == 0 {
+                return false;
+            }
+            // One LRU entry at a time, then re-check.
+            cache.evict_down_to(occ - 1);
+            self.sync_prefix_charge();
+        }
+    }
+
+    /// Evicts exactly one LRU prefix entry, returning whether anything
+    /// was reclaimed (used when a scheduler whose admission gate counts
+    /// used memory refuses an empty batch).
+    fn reclaim_prefix_one(&mut self) -> bool {
+        let Some(cache) = self.prefix.as_mut() else {
+            return false;
+        };
+        let occ = cache.used_tokens();
+        if occ == 0 {
+            return false;
+        }
+        cache.evict_down_to(occ - 1);
+        self.sync_prefix_charge();
+        true
+    }
+
+    /// Frees at least `needed` cached-prefix tokens if the cache holds
+    /// any, returning whether anything was reclaimed (decode-step memory
+    /// pressure).
+    fn reclaim_prefix_tokens(&mut self, needed: u64) -> bool {
+        let Some(cache) = self.prefix.as_mut() else {
+            return false;
+        };
+        let occ = cache.used_tokens();
+        if occ == 0 {
+            return false;
+        }
+        cache.evict_down_to(occ.saturating_sub(needed));
+        self.sync_prefix_charge();
+        true
+    }
+
+    /// Consumes the admission-time prefix hit for `pending`: the cached
+    /// overlap in tokens, refreshing the entry's recency and counting
+    /// lookup/hit statistics.
+    fn prefix_lookup(&mut self, pending: &Pending) -> u64 {
+        let Some(cache) = self.prefix.as_mut() else {
+            return 0;
+        };
+        let Some(id) = pending.spec.prefix_id else {
+            return 0;
+        };
+        cache.lookup(id.raw(), u64::from(pending.spec.prefix_len))
+    }
+
+    /// Retains a finished request's conversation KV in the prefix cache
+    /// under its declared prefix id, so the session's next turn can skip
+    /// re-prefilling it.
+    fn cache_finished_prefix(&mut self, spec: &RequestSpec, generated: u32) {
+        let Some(cache) = self.prefix.as_mut() else {
+            return;
+        };
+        let Some(id) = spec.prefix_id else {
+            return;
+        };
+        let conversation = u64::from(spec.input_len) + u64::from(generated);
+        let before = cache.used_tokens();
+        cache.insert(id.raw(), conversation);
+        if cache.used_tokens() != before {
+            self.sync_prefix_charge();
+        }
     }
 
     fn time_exceeded(&self) -> bool {
@@ -491,6 +638,16 @@ impl Engine {
                 .plan_admission(&running_views, &queue_views, &self.memory_state())
                 .min(window);
             if plan == 0 {
+                // Schedulers gate admission on used memory, which counts
+                // cached prefixes. With an empty batch, a refusal means
+                // the *cache* is what blocks the queue — give entries
+                // back until the scheduler admits or the cache is empty.
+                // (Refusal with a live batch is ordinary backpressure and
+                // resolves as requests finish; draining the cache for it
+                // would forfeit hits for no admission gain.)
+                if self.running.is_empty() && self.reclaim_prefix_one() {
+                    continue;
+                }
                 break;
             }
             let mut admitted_now = 0usize;
@@ -500,14 +657,25 @@ impl Engine {
                 let needed = u64::from(pending.spec.input_len) + u64::from(pending.generated) + 1;
                 let reserve_total =
                     u64::from(pending.spec.input_len) + u64::from(pending.spec.max_new_tokens);
-                if self
-                    .kv
-                    .allocate(pending.spec.id.raw(), needed, reserve_total)
-                    .is_err()
-                {
-                    break;
+                let req = pending.spec.id.raw();
+                if self.kv.allocate(req, needed, reserve_total).is_err() {
+                    // Reclaim cached prefixes before refusing admission:
+                    // request KV outranks speculative cache entries.
+                    if !self.reclaim_prefix_for_admission(needed, reserve_total)
+                        || self.kv.allocate(req, needed, reserve_total).is_err()
+                    {
+                        break;
+                    }
                 }
                 let pending = self.queue.pop_front().expect("front exists");
+                // Swap-in restores the full KV wholesale — no recompute to
+                // skip; everything else (fresh admissions *and* recompute
+                // re-prefills) can reuse cached prefix tokens.
+                let cached = if pending.swapped {
+                    0
+                } else {
+                    self.prefix_lookup(&pending)
+                };
                 let prefill_tokens =
                     u64::from(pending.spec.input_len) + u64::from(pending.generated);
                 self.running.push(Live {
@@ -520,10 +688,13 @@ impl Engine {
                         // Swap-in restores the KV state wholesale; it never
                         // goes through chunked prompt processing.
                         PrefillMode::Chunked { .. } if pending.swapped => 0,
-                        PrefillMode::Chunked { .. } => prefill_tokens,
+                        // Even a full-prefix hit computes at least the last
+                        // prompt position.
+                        PrefillMode::Chunked { .. } => prefill_tokens.saturating_sub(cached).max(1),
                     },
                     first_token_pending: true,
                     swapped_in: pending.swapped,
+                    cached_prefix: cached,
                 });
                 admitted_now += 1;
             }
@@ -553,7 +724,10 @@ impl Engine {
             if live.swapped_in {
                 swapped_tokens += tokens;
             } else {
-                prompt_tokens += tokens;
+                // Prefix-cache hits shrink the prefill to the uncached
+                // suffix (at least one position: the final prompt token is
+                // always computed).
+                prompt_tokens += tokens.saturating_sub(live.cached_prefix).max(1);
             }
         }
         let mut duration = self.perf.prefill_step(prompt_tokens);
@@ -599,8 +773,9 @@ impl Engine {
                 }
             }
         }
-        // Make room for one new token per decoding request, evicting the
-        // most recently admitted request while short (recompute preemption).
+        // Make room for one new token per decoding request: reclaim cached
+        // prefixes first, then evict the most recently admitted request
+        // while short (recompute preemption).
         loop {
             let decoding_ids: Vec<u64> = self
                 .running
@@ -608,8 +783,19 @@ impl Engine {
                 .filter(|l| l.prefill_remaining == 0 && !l.first_token_pending)
                 .map(|l| l.spec.id.raw())
                 .collect();
-            if decoding_ids.is_empty() || self.kv.extension_shortfall(&decoding_ids) == 0 {
+            if decoding_ids.is_empty() {
                 break;
+            }
+            let at = self.now;
+            let shortfall = self
+                .kv
+                .extension_shortfall(&decoding_ids)
+                .map_err(|error| SimError::KvCache { error, at })?;
+            if shortfall == 0 {
+                break;
+            }
+            if self.reclaim_prefix_tokens(shortfall) {
+                continue;
             }
             if self.running.len() <= 1 {
                 // Cannot happen for validated workloads: a lone request
@@ -623,17 +809,24 @@ impl Engine {
         }
         // Grow every decoding request by one token.
         let mut emitters = 0u64;
+        let at = self.now;
         for live in &self.running {
             if live.prefill_remaining == 0 {
                 emitters += 1;
                 if !live.first_token_pending {
                     self.kv
                         .extend(live.spec.id.raw(), 1)
-                        .expect("shortfall checked above");
+                        .map_err(|error| SimError::KvCache { error, at })?;
                 }
             }
         }
-        let kv_tokens = self.kv.logical_tokens();
+        // Idle cached prefixes occupy memory but no running request
+        // attends to them: they must not be billed as attention KV in the
+        // step's bandwidth term.
+        let kv_tokens = self
+            .kv
+            .logical_tokens()
+            .saturating_sub(self.prefix.as_ref().map_or(0, PrefixCache::used_tokens));
         let duration = if chunk_tokens > 0 {
             self.perf.mixed_step(chunk_tokens, emitters, kv_tokens)
         } else {
@@ -688,6 +881,9 @@ impl Engine {
 
     fn finish(&mut self, live: Live) {
         self.kv.release(live.spec.id.raw());
+        // Retain the conversation KV as a cached prefix (the release above
+        // freed the slots this re-charges under the cache sentinel).
+        self.cache_finished_prefix(&live.spec, live.generated);
         self.scheduler.on_request_finished(live.generated);
         self.output_len_sum += u64::from(live.generated);
         self.output_len_count += 1;
@@ -770,6 +966,12 @@ impl Engine {
             consumed_series: self.consumed_series,
             future_required_series: self.future_required_series,
             queue_series: self.queue_series,
+            prefix_stats: self
+                .prefix
+                .as_ref()
+                .map(PrefixCache::stats)
+                .unwrap_or_default(),
+            prefix_cached_tokens: self.prefix.as_ref().map_or(0, PrefixCache::used_tokens),
             outcomes: self.outcomes,
         }
     }

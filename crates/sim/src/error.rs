@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use pf_kvcache::KvCacheError;
 use pf_metrics::SimTime;
 
 /// Errors reported by [`Simulation::run`](crate::Simulation::run).
@@ -32,6 +33,17 @@ pub enum SimError {
         /// Simulated time at the stall.
         at: SimTime,
     },
+    /// The KV-cache manager rejected an operation the engine believed
+    /// valid — an unknown request id (a routing/bookkeeping bug) or an
+    /// extension the shortfall check should have covered. The typed error
+    /// locates the bug instead of poisoning the whole simulation with a
+    /// panic.
+    KvCache {
+        /// The underlying manager error.
+        error: KvCacheError,
+        /// Simulated time of the failing operation.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -52,11 +64,21 @@ impl fmt::Display for SimError {
                 f,
                 "scheduler stalled at {at} with {queued} queued requests and an empty batch"
             ),
+            SimError::KvCache { error, at } => {
+                write!(f, "kv-cache protocol error at {at}: {error}")
+            }
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::KvCache { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -80,5 +102,11 @@ mod tests {
         }
         .to_string()
         .contains("stalled"));
+        let kv = SimError::KvCache {
+            error: KvCacheError::UnknownRequest { req: 4 },
+            at: SimTime::ZERO,
+        };
+        assert!(kv.to_string().contains("unknown request 4"));
+        assert!(std::error::Error::source(&kv).is_some());
     }
 }

@@ -51,7 +51,10 @@ mod perf;
 mod report;
 mod simulation;
 
-pub use config::{BatchingMode, EvictionMode, KvLayout, PrefillMode, SimConfig, SimConfigBuilder};
+pub use config::{
+    BatchingMode, EvictionMode, KvLayout, PrefillMode, PrefixCacheConfig, SimConfig,
+    SimConfigBuilder,
+};
 pub use error::SimError;
 pub use hardware::GpuSpec;
 pub use model::ModelSpec;

@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use pf_kvcache::PrefixCacheStats;
 use pf_metrics::{GoodputReport, RequestTiming, SimDuration, StepSeries};
 
 /// Outcome of one request.
@@ -55,6 +56,10 @@ pub struct SimReport {
     pub future_required_series: StepSeries,
     /// Queue-depth time series, if recording was enabled.
     pub queue_series: StepSeries,
+    /// Prefix-cache statistics (all zero when the cache is disabled).
+    pub prefix_stats: PrefixCacheStats,
+    /// Prefix-cache occupancy in tokens at the end of the run.
+    pub prefix_cached_tokens: u64,
     /// Per-request outcomes (completed requests only).
     pub outcomes: Vec<RequestOutcome>,
 }
@@ -127,6 +132,8 @@ mod tests {
             consumed_series: StepSeries::new(),
             future_required_series: StepSeries::new(),
             queue_series: StepSeries::new(),
+            prefix_stats: PrefixCacheStats::default(),
+            prefix_cached_tokens: 0,
             outcomes: Vec::new(),
         }
     }

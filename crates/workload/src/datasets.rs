@@ -139,6 +139,233 @@ pub fn prefill_heavy(n: usize, seed: u64) -> Vec<RequestSpec> {
     )
 }
 
+/// Parameters of the [`multi_turn_chat`] session builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTurnSpec {
+    /// Tokens of the system prompt prepended to every session's first
+    /// turn (part of the session prefix from turn two on).
+    pub system_prompt_len: u32,
+    /// Tokens of each new user message.
+    pub user_turn: LengthSampler,
+    /// Tokens of each assistant answer.
+    pub assistant_turn: LengthSampler,
+    /// Probability that a session continues after a turn (geometric
+    /// session length with mean `1 / (1 - p)` turns).
+    pub continue_prob: f64,
+    /// Sessions interleaved round-robin at any moment — consecutive
+    /// requests belong to different sessions, as a shared front end sees
+    /// them.
+    pub concurrent_sessions: usize,
+    /// Generation cap per turn.
+    pub max_new_tokens: u32,
+    /// Conversations are force-ended once their token count would exceed
+    /// this context budget (a real chat UI truncates or re-summarizes).
+    pub max_context: u32,
+}
+
+impl Default for MultiTurnSpec {
+    fn default() -> Self {
+        MultiTurnSpec {
+            system_prompt_len: 224,
+            user_turn: LengthSampler::uniform(16, 128),
+            assistant_turn: LengthSampler::uniform(32, 256),
+            continue_prob: 0.72,
+            concurrent_sessions: 8,
+            max_new_tokens: 512,
+            max_context: 3_072,
+        }
+    }
+}
+
+/// Multi-turn chat workload with shared-prefix structure — the traffic
+/// shape KV-aware prefix-affinity routing targets.
+///
+/// Sessions have geometric length: after every turn the conversation
+/// continues with probability [`MultiTurnSpec::continue_prob`]. Each
+/// session's first turn carries the system prompt plus a user message
+/// (`prefix_len = 0`: nothing of this session is cached anywhere yet);
+/// every later turn repeats the full conversation so far — system prompt,
+/// previous user messages and assistant answers — as its prefix, then
+/// appends a fresh user message. All turns of one session declare the same
+/// [`crate::PrefixId`], so a router can steer them to the instance that
+/// still holds the conversation's KV. Sessions are interleaved round-robin
+/// across [`MultiTurnSpec::concurrent_sessions`] slots, mimicking a front
+/// end multiplexing many concurrent users.
+pub fn multi_turn_chat(n: usize, seed: u64) -> Vec<RequestSpec> {
+    multi_turn_chat_with(n, seed, &MultiTurnSpec::default())
+}
+
+/// [`multi_turn_chat`] with explicit parameters.
+pub fn multi_turn_chat_with(n: usize, seed: u64, spec: &MultiTurnSpec) -> Vec<RequestSpec> {
+    assert!(
+        spec.concurrent_sessions > 0,
+        "need at least one concurrent session"
+    );
+    assert!(
+        (0.0..1.0).contains(&spec.continue_prob),
+        "continue probability {} outside [0, 1)",
+        spec.continue_prob
+    );
+    let base = derive_seed(seed, 109);
+    let mut user_rng = seeded(derive_seed(base, 0));
+    let mut out_rng = seeded(derive_seed(base, 1));
+    let mut cont_rng = seeded(derive_seed(base, 2));
+    /// One interleaving slot: the session currently owning it, if any.
+    struct Slot {
+        session: u64,
+        /// Conversation tokens so far (inputs + outputs of past turns).
+        conversation: u32,
+    }
+    let mut slots: Vec<Option<Slot>> = (0..spec.concurrent_sessions).map(|_| None).collect();
+    let mut next_session = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let slot = &mut slots[i % spec.concurrent_sessions];
+        let (session, prefix_len) = match slot {
+            Some(s) => (s.session, s.conversation),
+            None => {
+                let session = next_session;
+                next_session += 1;
+                *slot = Some(Slot {
+                    session,
+                    conversation: 0,
+                });
+                (session, 0)
+            }
+        };
+        let fresh = if prefix_len == 0 {
+            spec.system_prompt_len + spec.user_turn.sample(&mut user_rng)
+        } else {
+            spec.user_turn.sample(&mut user_rng)
+        };
+        let input_len = prefix_len + fresh;
+        let output_len = spec
+            .assistant_turn
+            .sample(&mut out_rng)
+            .clamp(1, spec.max_new_tokens);
+        out.push(
+            RequestSpec::new(i as u64, input_len, output_len, spec.max_new_tokens)
+                .with_prefix(session, prefix_len),
+        );
+        let conversation = input_len + output_len;
+        let continues = cont_rng.gen_bool(spec.continue_prob)
+            && conversation + spec.user_turn.max_len() + spec.max_new_tokens <= spec.max_context;
+        *slot = continues.then_some(Slot {
+            session,
+            conversation,
+        });
+    }
+    out
+}
+
+/// Session-timed variant of [`multi_turn_chat`]: sessions *arrive* as a
+/// Poisson process at `sessions_per_sec`, and each follow-up turn arrives
+/// one think gap after the previous turn — `think_floor_secs` (covering
+/// the assistant's response time plus a minimal read) plus an
+/// exponentially distributed pause of mean `think_mean_secs`.
+///
+/// This is the closed-loop-per-session shape real chat traffic has: a
+/// user cannot send turn *k + 1* before reading the answer to turn *k*.
+/// An open-loop assignment (e.g. [`crate::PoissonArrivals`] over
+/// [`multi_turn_chat`]'s output) breaks that causality at high rates —
+/// follow-up turns arrive before their session's previous turn finished,
+/// making prefix reuse physically impossible no matter how the router
+/// behaves.
+///
+/// Returns `(requests, arrival_times)` sorted by arrival time, ids dense
+/// in arrival order — ready for the cluster drivers.
+///
+/// # Panics
+///
+/// Panics if `sessions_per_sec` is not finite and positive, the think
+/// parameters are negative, or `spec` violates [`multi_turn_chat_with`]'s
+/// constraints.
+pub fn multi_turn_chat_timed(
+    n: usize,
+    seed: u64,
+    spec: &MultiTurnSpec,
+    sessions_per_sec: f64,
+    think_floor_secs: f64,
+    think_mean_secs: f64,
+) -> (Vec<RequestSpec>, Vec<pf_metrics::SimTime>) {
+    assert!(
+        sessions_per_sec.is_finite() && sessions_per_sec > 0.0,
+        "invalid session rate {sessions_per_sec}"
+    );
+    assert!(
+        think_floor_secs >= 0.0 && think_mean_secs >= 0.0,
+        "negative think time"
+    );
+    assert!(
+        (0.0..1.0).contains(&spec.continue_prob),
+        "continue probability {} outside [0, 1)",
+        spec.continue_prob
+    );
+    let base = derive_seed(seed, 110);
+    let mut start_rng = seeded(derive_seed(base, 0));
+    let mut user_rng = seeded(derive_seed(base, 1));
+    let mut out_rng = seeded(derive_seed(base, 2));
+    let mut cont_rng = seeded(derive_seed(base, 3));
+    let mut think_rng = seeded(derive_seed(base, 4));
+    // (arrival_us, session, turn, spec-without-id)
+    let mut turns: Vec<(u64, u64, u32, u32, u32, u32)> = Vec::with_capacity(2 * n);
+    let mut session_start = 0.0f64;
+    let mut session = 0u64;
+    while turns.len() < n {
+        let u: f64 = start_rng.gen();
+        session_start += -(1.0 - u).ln() / sessions_per_sec;
+        let mut at = session_start;
+        let mut conversation = 0u32;
+        let mut turn = 0u32;
+        loop {
+            let fresh = if conversation == 0 {
+                spec.system_prompt_len + spec.user_turn.sample(&mut user_rng)
+            } else {
+                spec.user_turn.sample(&mut user_rng)
+            };
+            let input_len = conversation + fresh;
+            let output_len = spec
+                .assistant_turn
+                .sample(&mut out_rng)
+                .clamp(1, spec.max_new_tokens);
+            turns.push((
+                (at * 1e6) as u64,
+                session,
+                turn,
+                input_len,
+                output_len,
+                conversation,
+            ));
+            conversation = input_len + output_len;
+            let continues = cont_rng.gen_bool(spec.continue_prob)
+                && conversation + spec.user_turn.max_len() + spec.max_new_tokens
+                    <= spec.max_context;
+            if !continues {
+                break;
+            }
+            let u: f64 = think_rng.gen();
+            at += think_floor_secs - (1.0 - u).ln() * think_mean_secs;
+            turn += 1;
+        }
+        session += 1;
+    }
+    // Interleave sessions by arrival; truncating to n may cut a session's
+    // tail, which is fine (the user left).
+    turns.sort_unstable_by_key(|&(at, session, turn, ..)| (at, session, turn));
+    turns.truncate(n);
+    let mut requests = Vec::with_capacity(n);
+    let mut arrivals = Vec::with_capacity(n);
+    for (i, (at_us, session, _, input_len, output_len, prefix_len)) in turns.into_iter().enumerate()
+    {
+        requests.push(
+            RequestSpec::new(i as u64, input_len, output_len, spec.max_new_tokens)
+                .with_prefix(session, prefix_len),
+        );
+        arrivals.push(pf_metrics::SimTime::from_micros(at_us));
+    }
+    (requests, arrivals)
+}
+
 /// TextVQA-like multimodal workload for Qwen-VL-Chat (256 vision tokens per
 /// image).
 pub fn textvqa_qwen_vl(n: usize, seed: u64) -> Vec<RequestSpec> {
@@ -312,6 +539,103 @@ mod tests {
         let last_out = mean_of(m[150..].iter().map(|r| r.true_output_len));
         assert!(first > 1000.0);
         assert!(last_in > last_out);
+    }
+
+    #[test]
+    fn multi_turn_chat_builds_session_chains() {
+        let spec = MultiTurnSpec::default();
+        let reqs = multi_turn_chat(600, 1);
+        assert_eq!(reqs.len(), 600);
+        let mut turns: std::collections::HashMap<u64, Vec<&RequestSpec>> = Default::default();
+        for r in &reqs {
+            let prefix = r.prefix_id.expect("every chat request has a session");
+            turns.entry(prefix.raw()).or_default().push(r);
+        }
+        assert!(turns.len() > 10, "expected many sessions");
+        let mut multi_turn_sessions = 0;
+        for session in turns.values() {
+            // First turn: fresh conversation carrying the system prompt.
+            assert_eq!(session[0].prefix_len, 0);
+            assert!(session[0].input_len >= spec.system_prompt_len);
+            let mut conversation = session[0].input_len + session[0].true_output_len;
+            for turn in &session[1..] {
+                multi_turn_sessions += 1;
+                // Later turns repeat the exact conversation so far.
+                assert_eq!(turn.prefix_len, conversation);
+                assert!(turn.input_len > turn.prefix_len, "a fresh user message");
+                conversation = turn.input_len + turn.true_output_len;
+                // The force-end rule keeps continued conversations within
+                // the context budget.
+                assert!(
+                    conversation <= spec.max_context,
+                    "conversation {conversation} exceeds the context budget"
+                );
+            }
+        }
+        assert!(
+            multi_turn_sessions > 100,
+            "geometric sessions should yield many follow-up turns, got {multi_turn_sessions}"
+        );
+        // Request ids are dense and sequential (arrival order).
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.raw(), i as u64);
+        }
+    }
+
+    #[test]
+    fn multi_turn_chat_interleaves_sessions() {
+        let reqs = multi_turn_chat(64, 2);
+        // Consecutive requests never belong to the same session: the
+        // round-robin slots model a front end serving many users at once.
+        for pair in reqs.windows(2) {
+            assert_ne!(pair[0].prefix_id, pair[1].prefix_id);
+        }
+    }
+
+    #[test]
+    fn multi_turn_chat_timed_respects_session_causality() {
+        let spec = MultiTurnSpec::default();
+        let floor = 4.0;
+        let (reqs, times) = multi_turn_chat_timed(500, 3, &spec, 2.0, floor, 6.0);
+        assert_eq!(reqs.len(), 500);
+        assert_eq!(times.len(), 500);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted arrivals");
+        let mut last_turn: std::collections::HashMap<u64, (u32, pf_metrics::SimTime)> =
+            Default::default();
+        let mut follow_ups = 0;
+        for (r, &at) in reqs.iter().zip(&times) {
+            let session = r.prefix_id.expect("sessions everywhere").raw();
+            match last_turn.get(&session) {
+                None => assert_eq!(r.prefix_len, 0, "first turn of a session"),
+                Some(&(conversation, prev_at)) => {
+                    follow_ups += 1;
+                    // The conversation chain is exact and the think gap
+                    // keeps causality: a user answers only after the floor.
+                    assert_eq!(r.prefix_len, conversation);
+                    assert!(
+                        (at - prev_at).as_secs_f64() >= floor - 1e-6,
+                        "turn arrived {}s after its predecessor",
+                        (at - prev_at).as_secs_f64()
+                    );
+                }
+            }
+            last_turn.insert(session, (r.input_len + r.true_output_len, at));
+        }
+        assert!(follow_ups > 150, "expected many follow-up turns");
+        // Dense ids in arrival order; deterministic.
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.raw(), i as u64);
+        }
+        assert_eq!(
+            multi_turn_chat_timed(500, 3, &spec, 2.0, floor, 6.0).0,
+            reqs
+        );
+    }
+
+    #[test]
+    fn multi_turn_chat_is_deterministic() {
+        assert_eq!(multi_turn_chat(200, 9), multi_turn_chat(200, 9));
+        assert_ne!(multi_turn_chat(200, 9), multi_turn_chat(200, 10));
     }
 
     #[test]

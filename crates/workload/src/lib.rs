@@ -49,5 +49,5 @@ pub mod trace;
 pub mod trace_io;
 
 pub use arrival::{ClosedLoopClients, PoissonArrivals, RateProfile};
-pub use request::{RequestId, RequestSpec};
+pub use request::{PrefixId, RequestId, RequestSpec};
 pub use sampler::LengthSampler;

@@ -26,6 +26,34 @@ impl From<u64> for RequestId {
     }
 }
 
+/// Opaque identifier of a shared prompt prefix (a multi-turn session's
+/// conversation, a shared system prompt). Requests declaring the same
+/// prefix id repeat each other's leading prompt tokens, which a KV-aware
+/// router can exploit by steering them to the instance that still caches
+/// those tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PrefixId(pub u64);
+
+impl PrefixId {
+    /// Raw numeric value (used as the prefix-cache key).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PrefixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prefix#{}", self.0)
+    }
+}
+
+impl From<u64> for PrefixId {
+    fn from(v: u64) -> Self {
+        PrefixId(v)
+    }
+}
+
 /// Static description of one inference request.
 ///
 /// `true_output_len` is simulation ground truth: the number of tokens the
@@ -47,6 +75,14 @@ pub struct RequestSpec {
     pub max_new_tokens: u32,
     /// Vision-encoder tokens contained in `input_len` (0 for text-only).
     pub image_tokens: u32,
+    /// Shared prompt prefix this request extends (`None` for
+    /// prefix-free traffic). After the request finishes, the serving
+    /// instance holds the whole conversation's KV under this id.
+    pub prefix_id: Option<PrefixId>,
+    /// Leading prompt tokens (contained in `input_len`) that repeat the
+    /// declared prefix — the part a prefix-cache hit can skip. Zero for
+    /// the first request of a session (nothing cached yet).
+    pub prefix_len: u32,
 }
 
 impl RequestSpec {
@@ -75,7 +111,28 @@ impl RequestSpec {
             true_output_len,
             max_new_tokens,
             image_tokens: 0,
+            prefix_id: None,
+            prefix_len: 0,
         }
+    }
+
+    /// Declares the shared prefix this request extends: its first
+    /// `prefix_len` prompt tokens repeat prefix `prefix_id` (session-chat
+    /// builder; see [`crate::datasets::multi_turn_chat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > input_len` (the prefix is part of the
+    /// prompt, not extra tokens).
+    pub fn with_prefix(mut self, prefix_id: impl Into<PrefixId>, prefix_len: u32) -> Self {
+        assert!(
+            prefix_len <= self.input_len,
+            "prefix length {prefix_len} exceeds input length {}",
+            self.input_len
+        );
+        self.prefix_id = Some(prefix_id.into());
+        self.prefix_len = prefix_len;
+        self
     }
 
     /// Creates a multimodal request whose prompt embeds `image_tokens`
@@ -124,6 +181,23 @@ mod tests {
         assert_eq!(r.true_total_len(), 150);
         assert_eq!(r.max_total_len(), 612);
         assert_eq!(r.image_tokens, 0);
+        assert_eq!(r.prefix_id, None);
+        assert_eq!(r.prefix_len, 0);
+    }
+
+    #[test]
+    fn with_prefix_marks_session() {
+        let r = RequestSpec::new(3u64, 100, 50, 512).with_prefix(7u64, 80);
+        assert_eq!(r.prefix_id, Some(PrefixId(7)));
+        assert_eq!(r.prefix_len, 80);
+        assert_eq!(PrefixId(7).to_string(), "prefix#7");
+        assert_eq!(PrefixId(7).raw(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input length")]
+    fn prefix_beyond_input_rejected() {
+        let _ = RequestSpec::new(1u64, 10, 5, 100).with_prefix(1u64, 11);
     }
 
     #[test]

@@ -8,22 +8,41 @@
 //! every experiment in this workspace on them; the synthetic generators in
 //! [`crate::trace`] exist only because the real traces cannot be shipped.
 //!
-//! Format: a header line `input_len,output_len` followed by one record per
-//! request in arrival order. Extra columns are ignored on import.
+//! Format: a header line `input_len,output_len,prefix_id,prefix_len`
+//! followed by one record per request in arrival order. Extra columns are
+//! ignored on import; column order is taken from the header.
+//!
+//! # Prefix columns (backward-compatible)
+//!
+//! `prefix_id` and `prefix_len` carry the shared-prefix structure that
+//! KV-aware prefix-affinity routing consumes (see
+//! [`crate::datasets::multi_turn_chat`]): `prefix_id` names the session or
+//! system-prompt prefix the request extends, and `prefix_len` is how many
+//! of the request's leading prompt tokens repeat it. Both columns are
+//! **optional on import**: traces written before these columns existed —
+//! or any export that omits them — parse exactly as before, defaulting
+//! every record to no prefix (`prefix_id` empty, `prefix_len` 0). An empty
+//! `prefix_id` field means "no shared prefix"; `prefix_len` is only
+//! meaningful alongside a non-empty `prefix_id`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::request::RequestSpec;
 
-/// A minimal trace record: one request's input and output lengths, in
-/// arrival order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A minimal trace record: one request's input and output lengths (plus
+/// optional shared-prefix structure), in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceRecord {
     /// Prompt length in tokens.
     pub input_len: u32,
     /// Output length in tokens.
     pub output_len: u32,
+    /// Shared prefix the request extends (`None` for prefix-free traffic
+    /// and for traces without the column).
+    pub prefix_id: Option<u64>,
+    /// Leading prompt tokens repeating the prefix (0 without a prefix).
+    pub prefix_len: u32,
 }
 
 /// Error raised while parsing a trace CSV.
@@ -95,6 +114,10 @@ pub fn read_trace_csv<R: Read>(reader: R) -> Result<Vec<TraceRecord>, ParseTrace
             message: format!("header must name input_len and output_len, got '{header}'"),
         });
     };
+    // Optional prefix columns: absent in pre-prefix traces, which default
+    // to prefix-free records (see the module docs).
+    let prefix_id_col = columns.iter().position(|c| c == "prefix_id");
+    let prefix_len_col = columns.iter().position(|c| c == "prefix_len");
     let mut records = Vec::new();
     for (idx, line) in lines {
         let line_no = idx + 1;
@@ -116,23 +139,53 @@ pub fn read_trace_csv<R: Read>(reader: R) -> Result<Vec<TraceRecord>, ParseTrace
                 message: format!("invalid {name} value '{raw}'"),
             })
         };
+        // An empty prefix_id field means "no shared prefix"; a row in a
+        // prefix-aware trace may also simply be shorter than the prefix
+        // columns (defaults apply).
+        let prefix_id = match prefix_id_col.and_then(|col| fields.get(col)) {
+            Some(raw) if !raw.trim().is_empty() => {
+                Some(raw.trim().parse().map_err(|_| ParseTraceError {
+                    line: line_no,
+                    message: format!("invalid prefix_id value '{raw}'"),
+                })?)
+            }
+            _ => None,
+        };
+        let prefix_len = match prefix_len_col.and_then(|col| fields.get(col)) {
+            Some(raw) if !raw.trim().is_empty() => {
+                raw.trim().parse().map_err(|_| ParseTraceError {
+                    line: line_no,
+                    message: format!("invalid prefix_len value '{raw}'"),
+                })?
+            }
+            _ => 0,
+        };
         records.push(TraceRecord {
             input_len: field(input_col, "input_len")?,
             output_len: field(output_col, "output_len")?,
+            prefix_id,
+            prefix_len,
         });
     }
     Ok(records)
 }
 
-/// Writes a trace in the canonical `input_len,output_len` schema.
+/// Writes a trace in the canonical
+/// `input_len,output_len,prefix_id,prefix_len` schema (prefix-free
+/// records leave the `prefix_id` field empty).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_trace_csv<W: Write>(mut writer: W, records: &[TraceRecord]) -> std::io::Result<()> {
-    writeln!(writer, "input_len,output_len")?;
+    writeln!(writer, "input_len,output_len,prefix_id,prefix_len")?;
     for record in records {
-        writeln!(writer, "{},{}", record.input_len, record.output_len)?;
+        let prefix_id = record.prefix_id.map_or(String::new(), |id| id.to_string());
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            record.input_len, record.output_len, prefix_id, record.prefix_len
+        )?;
     }
     Ok(())
 }
@@ -143,18 +196,24 @@ pub fn write_trace_csv<W: Write>(mut writer: W, records: &[TraceRecord]) -> std:
 /// would; records whose output exceeds the cap are clamped (the real
 /// system would have cut them off too). Records with zero output are
 /// dropped (log-style traces occasionally contain aborted requests).
+/// Prefix structure carries over; a `prefix_len` exceeding the prompt is
+/// clamped to it (defensive against hand-edited traces).
 pub fn requests_from_records(records: &[TraceRecord], max_new_tokens: u32) -> Vec<RequestSpec> {
     records
         .iter()
         .filter(|r| r.output_len > 0)
         .enumerate()
         .map(|(i, r)| {
-            RequestSpec::new(
+            let spec = RequestSpec::new(
                 i as u64,
                 r.input_len,
                 r.output_len.min(max_new_tokens),
                 max_new_tokens,
-            )
+            );
+            match r.prefix_id {
+                Some(id) => spec.with_prefix(id, r.prefix_len.min(r.input_len)),
+                None => spec,
+            }
         })
         .collect()
 }
@@ -167,6 +226,8 @@ pub fn records_from_requests(requests: &[RequestSpec]) -> Vec<TraceRecord> {
         .map(|r| TraceRecord {
             input_len: r.input_len,
             output_len: r.true_output_len,
+            prefix_id: r.prefix_id.map(|p| p.raw()),
+            prefix_len: r.prefix_len,
         })
         .collect()
 }
@@ -185,11 +246,13 @@ mod tests {
             vec![
                 TraceRecord {
                     input_len: 10,
-                    output_len: 20
+                    output_len: 20,
+                    ..TraceRecord::default()
                 },
                 TraceRecord {
                     input_len: 30,
-                    output_len: 40
+                    output_len: 40,
+                    ..TraceRecord::default()
                 },
             ]
         );
@@ -203,7 +266,8 @@ mod tests {
             records,
             vec![TraceRecord {
                 input_len: 7,
-                output_len: 99
+                output_len: 99,
+                ..TraceRecord::default()
             }]
         );
     }
@@ -229,6 +293,60 @@ mod tests {
     }
 
     #[test]
+    fn old_schema_defaults_to_no_prefix() {
+        // Pre-prefix traces (no prefix columns) parse unchanged.
+        let csv = "input_len,output_len\n10,20\n";
+        let records = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(records[0].prefix_id, None);
+        assert_eq!(records[0].prefix_len, 0);
+    }
+
+    #[test]
+    fn prefix_columns_parse_and_roundtrip() {
+        let csv = "input_len,output_len,prefix_id,prefix_len\n300,40,7,250\n80,10,,0\n";
+        let records = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(records[0].prefix_id, Some(7));
+        assert_eq!(records[0].prefix_len, 250);
+        assert_eq!(records[1].prefix_id, None);
+        let mut buffer = Vec::new();
+        write_trace_csv(&mut buffer, &records).unwrap();
+        assert_eq!(read_trace_csv(buffer.as_slice()).unwrap(), records);
+        // Conversion carries the prefix into the request spec.
+        let requests = requests_from_records(&records, 512);
+        assert_eq!(requests[0].prefix_id.map(|p| p.raw()), Some(7));
+        assert_eq!(requests[0].prefix_len, 250);
+        assert_eq!(requests[1].prefix_id, None);
+    }
+
+    #[test]
+    fn invalid_prefix_values_are_located() {
+        let bad_id =
+            read_trace_csv("input_len,output_len,prefix_id,prefix_len\n1,2,x,0\n".as_bytes())
+                .unwrap_err();
+        assert_eq!(bad_id.line, 2);
+        assert!(bad_id.message.contains("invalid prefix_id"));
+        let bad_len =
+            read_trace_csv("input_len,output_len,prefix_id,prefix_len\n1,2,3,-1\n".as_bytes())
+                .unwrap_err();
+        assert!(bad_len.message.contains("invalid prefix_len"));
+    }
+
+    #[test]
+    fn multi_turn_sessions_roundtrip_through_csv() {
+        let requests = datasets::multi_turn_chat(60, 5);
+        let records = records_from_requests(&requests);
+        let mut buffer = Vec::new();
+        write_trace_csv(&mut buffer, &records).unwrap();
+        let parsed = read_trace_csv(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+        let rebuilt = requests_from_records(&parsed, 512);
+        for (a, b) in rebuilt.iter().zip(&requests) {
+            assert_eq!(a.prefix_id, b.prefix_id);
+            assert_eq!(a.prefix_len, b.prefix_len);
+        }
+    }
+
+    #[test]
     fn roundtrip_through_csv() {
         let requests = datasets::sharegpt(50, 1);
         let records = records_from_requests(&requests);
@@ -250,14 +368,17 @@ mod tests {
             TraceRecord {
                 input_len: 10,
                 output_len: 5000,
+                ..TraceRecord::default()
             },
             TraceRecord {
                 input_len: 10,
                 output_len: 0,
+                ..TraceRecord::default()
             },
             TraceRecord {
                 input_len: 10,
                 output_len: 7,
+                ..TraceRecord::default()
             },
         ];
         let requests = requests_from_records(&records, 2048);

@@ -9,10 +9,29 @@ use proptest::prelude::*;
 
 fn records_strategy() -> impl Strategy<Value = Vec<TraceRecord>> {
     proptest::collection::vec(
-        (0u32..100_000, 0u32..100_000).prop_map(|(input_len, output_len)| TraceRecord {
-            input_len,
-            output_len,
-        }),
+        (
+            0u32..100_000,
+            0u32..100_000,
+            // Two in three records carry a session prefix (the offline
+            // proptest shim has no `option::of`).
+            0u64..3_000,
+            0u32..100_000,
+        )
+            .prop_map(|(input_len, output_len, prefix_raw, prefix_len)| {
+                let prefix_id = (prefix_raw % 3 != 0).then_some(prefix_raw);
+                TraceRecord {
+                    input_len,
+                    output_len,
+                    prefix_id,
+                    // A prefix length is only meaningful alongside a prefix
+                    // id and within the prompt.
+                    prefix_len: if prefix_id.is_some() {
+                        prefix_len.min(input_len)
+                    } else {
+                        0
+                    },
+                }
+            }),
         0..200,
     )
 }
@@ -63,6 +82,7 @@ proptest! {
             (0u32..10_000, 0u32..10_000).prop_map(|(i, o)| TraceRecord {
                 input_len: i,
                 output_len: o,
+                ..TraceRecord::default()
             }),
             1..40,
         ),
@@ -98,14 +118,34 @@ proptest! {
     /// same records.
     #[test]
     fn column_permutations_parse_identically(records in records_strategy()) {
-        let mut shuffled = String::from("timestamp,output_len,model,input_len\n");
+        let mut shuffled =
+            String::from("timestamp,prefix_len,output_len,model,input_len,prefix_id\n");
         for (i, r) in records.iter().enumerate() {
+            let prefix_id = r.prefix_id.map_or(String::new(), |id| id.to_string());
             shuffled.push_str(&format!(
-                "{}.5,{},m{},{}\n",
-                i, r.output_len, i, r.input_len
+                "{}.5,{},{},m{},{},{}\n",
+                i, r.prefix_len, r.output_len, i, r.input_len, prefix_id
             ));
         }
         let parsed = read_trace_csv(shuffled.as_bytes()).expect("permuted header");
         prop_assert_eq!(parsed, records);
+    }
+
+    /// Dropping the prefix columns entirely (a pre-prefix trace) parses
+    /// the same lengths with prefix defaults.
+    #[test]
+    fn prefix_columns_are_optional(records in records_strategy()) {
+        let mut legacy = String::from("input_len,output_len\n");
+        for r in &records {
+            legacy.push_str(&format!("{},{}\n", r.input_len, r.output_len));
+        }
+        let parsed = read_trace_csv(legacy.as_bytes()).expect("legacy schema");
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert_eq!(p.input_len, r.input_len);
+            prop_assert_eq!(p.output_len, r.output_len);
+            prop_assert_eq!(p.prefix_id, None);
+            prop_assert_eq!(p.prefix_len, 0);
+        }
     }
 }
