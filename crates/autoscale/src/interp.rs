@@ -138,7 +138,25 @@ impl<M: StepLatency> PerfInterpolator<M> {
     ///
     /// Panics if `replicas` is zero.
     pub fn predict(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
-        let mut e = self.raw_predict(load, replicas);
+        self.predict_scaled(load, replicas, 1.0)
+    }
+
+    /// [`PerfInterpolator::predict`] for replicas whose step latencies run
+    /// `perf_scale`× the base model's speed (2.0 = twice as fast). A
+    /// heterogeneous planner passes the mean `perf_scale` of the candidate
+    /// fleet; 1.0 reproduces the homogeneous prediction bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or `perf_scale` is not finite and
+    /// positive.
+    pub fn predict_scaled(
+        &self,
+        load: &LoadSample,
+        replicas: usize,
+        perf_scale: f64,
+    ) -> PerfEstimate {
+        let mut e = self.raw_predict(load, replicas, perf_scale);
         e.ttft_secs = (e.ttft_secs * self.ttft_correction).min(INFEASIBLE_TTFT_SECS);
         e.tpot_secs *= self.tpot_correction;
         e
@@ -156,7 +174,21 @@ impl<M: StepLatency> PerfInterpolator<M> {
         observed_ttft_secs: f64,
         observed_tpot_secs: f64,
     ) {
-        let raw = self.raw_predict(load, replicas);
+        self.observe_scaled(load, replicas, 1.0, observed_ttft_secs, observed_tpot_secs);
+    }
+
+    /// [`PerfInterpolator::observe`] against replicas running at
+    /// `perf_scale`× the base model's speed — the scale of the fleet that
+    /// actually produced the observed latencies.
+    pub fn observe_scaled(
+        &mut self,
+        load: &LoadSample,
+        replicas: usize,
+        perf_scale: f64,
+        observed_ttft_secs: f64,
+        observed_tpot_secs: f64,
+    ) {
+        let raw = self.raw_predict(load, replicas, perf_scale);
         if !raw.feasible {
             // The sketch already says "overloaded"; observed latencies from
             // a saturated system would teach the corrections nothing but
@@ -188,28 +220,38 @@ impl<M: StepLatency> PerfInterpolator<M> {
         }
     }
 
-    /// The analytic sketch without corrections.
-    fn raw_predict(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+    /// Prefill-pass latency at the fleet's speed scale.
+    fn prefill_secs(&self, prompt_tokens: u64, scale: f64) -> f64 {
+        self.model.prefill_secs(prompt_tokens) / scale
+    }
+
+    /// Decode-step latency at the fleet's speed scale.
+    fn decode_secs(&self, batch_size: u64, kv_tokens: u64, scale: f64) -> f64 {
+        self.model.decode_secs(batch_size, kv_tokens) / scale
+    }
+
+    /// The analytic sketch without corrections, at `scale`× model speed.
+    fn raw_predict(&self, load: &LoadSample, replicas: usize, scale: f64) -> PerfEstimate {
         assert!(replicas > 0, "cannot predict for zero replicas");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "invalid perf scale {scale}"
+        );
         let load = load.sanitized();
         match self.role {
-            PoolRole::Colocated => self.raw_colocated(&load, replicas),
-            PoolRole::Prefill => self.raw_prefill(&load, replicas),
-            PoolRole::Decode => self.raw_decode(&load, replicas),
+            PoolRole::Colocated => self.raw_colocated(&load, replicas, scale),
+            PoolRole::Prefill => self.raw_prefill(&load, replicas, scale),
+            PoolRole::Decode => self.raw_decode(&load, replicas, scale),
         }
     }
 
     /// Colocated column: decode fixed point plus the prefill pass in TTFT.
-    fn raw_colocated(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
-        let prefill = self
-            .model
-            .prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64);
-        let Some(point) = self.decode_point(load, replicas) else {
+    fn raw_colocated(&self, load: &LoadSample, replicas: usize, scale: f64) -> PerfEstimate {
+        let prefill = self.prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64, scale);
+        let Some(point) = self.decode_point(load, replicas, scale) else {
             return PerfEstimate {
                 ttft_secs: prefill,
-                tpot_secs: self
-                    .model
-                    .decode_secs(1, load.mean_input_tokens.ceil() as u64),
+                tpot_secs: self.decode_secs(1, load.mean_input_tokens.ceil() as u64, scale),
                 concurrency: 0.0,
                 utilization: 0.0,
                 feasible: true,
@@ -231,11 +273,9 @@ impl<M: StepLatency> PerfInterpolator<M> {
     /// Prefill-bound column: each replica is an M/M/1 queue of whole-prompt
     /// prefill passes. TPOT is reported as zero — a prefill pool emits only
     /// first tokens, so only the TTFT side of the SLA can bind on it.
-    fn raw_prefill(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
+    fn raw_prefill(&self, load: &LoadSample, replicas: usize, scale: f64) -> PerfEstimate {
         let lambda = load.request_rate / replicas as f64;
-        let service = self
-            .model
-            .prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64);
+        let service = self.prefill_secs(load.mean_input_tokens.ceil().max(1.0) as u64, scale);
         if lambda <= 0.0 {
             return PerfEstimate {
                 ttft_secs: service,
@@ -264,13 +304,11 @@ impl<M: StepLatency> PerfInterpolator<M> {
     /// Decode-bound column: the decode fixed point alone. TTFT is reported
     /// as zero — first tokens come from the prefill pool, so only the TPOT
     /// side of the SLA (and raw feasibility) can bind on a decode pool.
-    fn raw_decode(&self, load: &LoadSample, replicas: usize) -> PerfEstimate {
-        let Some(point) = self.decode_point(load, replicas) else {
+    fn raw_decode(&self, load: &LoadSample, replicas: usize, scale: f64) -> PerfEstimate {
+        let Some(point) = self.decode_point(load, replicas, scale) else {
             return PerfEstimate {
                 ttft_secs: 0.0,
-                tpot_secs: self
-                    .model
-                    .decode_secs(1, load.mean_input_tokens.ceil() as u64),
+                tpot_secs: self.decode_secs(1, load.mean_input_tokens.ceil() as u64, scale),
                 concurrency: 0.0,
                 utilization: 0.0,
                 feasible: true,
@@ -287,7 +325,7 @@ impl<M: StepLatency> PerfInterpolator<M> {
 
     /// Shared decode-side queueing sketch, or `None` when the load offers
     /// no decode work at all.
-    fn decode_point(&self, load: &LoadSample, replicas: usize) -> Option<DecodePoint> {
+    fn decode_point(&self, load: &LoadSample, replicas: usize, scale: f64) -> Option<DecodePoint> {
         let lambda = load.request_rate / replicas as f64;
         let l_in = load.mean_input_tokens;
         let l_out = load.mean_output_tokens;
@@ -309,7 +347,7 @@ impl<M: StepLatency> PerfInterpolator<M> {
         for _ in 0..32 {
             let batch = n.ceil().max(1.0) as u64;
             let kv = (n * mean_resident).ceil() as u64;
-            let t_step = self.model.decode_secs(batch, kv);
+            let t_step = self.decode_secs(batch, kv, scale);
             let service = l_out * t_step;
             let target = (lambda * service).max(1e-9).min(4.0 * n_max);
             n = 0.5 * n + 0.5 * target;
@@ -317,13 +355,13 @@ impl<M: StepLatency> PerfInterpolator<M> {
         let required = n;
         let n_eff = required.min(n_max);
         let batch_eff = n_eff.ceil().max(1.0) as u64;
-        let tpot_secs = self
-            .model
-            .decode_secs(batch_eff, (n_eff * mean_resident).ceil() as u64);
+        let tpot_secs = self.decode_secs(batch_eff, (n_eff * mean_resident).ceil() as u64, scale);
         // Throughput ceiling at the memory-bound batch size.
-        let t_step_full = self
-            .model
-            .decode_secs(n_max.ceil() as u64, (n_max * mean_resident).ceil() as u64);
+        let t_step_full = self.decode_secs(
+            n_max.ceil() as u64,
+            (n_max * mean_resident).ceil() as u64,
+            scale,
+        );
         let max_tokens_per_s = n_max / t_step_full;
         let utilization = (lambda * l_out) / max_tokens_per_s;
         let feasible = utilization < 1.0;
@@ -468,6 +506,29 @@ mod tests {
     #[should_panic(expected = "zero replicas")]
     fn zero_replicas_panics() {
         let _ = PerfInterpolator::new(ToyModel).predict(&LoadSample::ZERO, 0);
+    }
+
+    #[test]
+    fn perf_scale_speeds_up_the_sketch() {
+        let interp = PerfInterpolator::new(ToyModel);
+        let load = chat_load(10.0);
+        let base = interp.predict(&load, 2);
+        let fast = interp.predict_scaled(&load, 2, 2.0);
+        let slow = interp.predict_scaled(&load, 2, 0.5);
+        assert!(fast.ttft_secs < base.ttft_secs);
+        assert!(fast.tpot_secs < base.tpot_secs);
+        assert!(fast.utilization < base.utilization);
+        assert!(slow.ttft_secs > base.ttft_secs);
+        assert!(slow.utilization > base.utilization);
+        // Scale 1.0 is the identity, bit for bit.
+        let unit = interp.predict_scaled(&load, 2, 1.0);
+        assert_eq!(unit, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid perf scale")]
+    fn non_finite_scale_panics() {
+        let _ = PerfInterpolator::new(ToyModel).predict_scaled(&LoadSample::ZERO, 1, f64::NAN);
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct AutoscalePlanner<M> {
     /// Last non-empty mean lengths, as cold-start fallbacks decay away.
     fallback_input: f64,
     fallback_output: f64,
+    /// Per-slot `perf_scale` of a heterogeneous fleet (`None` for a
+    /// homogeneous fleet of scale-1.0 replicas): candidate size `n` is
+    /// modelled as `n` replicas at the mean scale of the first `n` slots.
+    slot_scales: Option<Vec<f64>>,
 }
 
 impl<M: StepLatency> AutoscalePlanner<M> {
@@ -77,7 +81,63 @@ impl<M: StepLatency> AutoscalePlanner<M> {
             previous_interval: None,
             fallback_input: config.initial_mean_input_tokens,
             fallback_output: config.initial_mean_output_tokens,
+            slot_scales: None,
             config,
+        }
+    }
+
+    /// Declares a heterogeneous fleet: `scales[i]` is the `perf_scale` of
+    /// the GPU a fleet of `i + 1` replicas would run in its `(i+1)`-th
+    /// position (relative step-latency speed; 1.0 = the base model). The
+    /// planner sizes candidate fleets of `n` replicas against the mean
+    /// scale of the first `n` entries — exact for homogeneous fleets.
+    /// Because drains and re-spawns change which GPUs a given size maps
+    /// to, clusters refresh this each round via
+    /// [`AutoscalePlanner::update_slot_perf_scales`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` has fewer entries than `max_replicas` or any
+    /// entry is not finite and positive.
+    pub fn with_slot_perf_scales(mut self, scales: Vec<f64>) -> Self {
+        self.update_slot_perf_scales(scales);
+        self
+    }
+
+    /// Replaces the per-slot perf scales in place. Heterogeneous clusters
+    /// call this before every planning round with the fleet each candidate
+    /// size would *actually* run (`pf-sim`'s
+    /// `fleet::candidate_perf_scales`): scale-downs drain the costliest
+    /// members first, so after any shrink the surviving fleet can differ
+    /// from the declared provisioning order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` has fewer entries than `max_replicas` or any
+    /// entry is not finite and positive.
+    pub fn update_slot_perf_scales(&mut self, scales: Vec<f64>) {
+        assert!(
+            scales.len() >= self.config.policy.max_replicas,
+            "need one perf scale per provisioning slot: got {}, max_replicas {}",
+            scales.len(),
+            self.config.policy.max_replicas
+        );
+        assert!(
+            scales.iter().all(|s| s.is_finite() && *s > 0.0),
+            "perf scales must be finite and positive: {scales:?}"
+        );
+        self.slot_scales = Some(scales);
+    }
+
+    /// Mean `perf_scale` of the first `n` provisioning slots (1.0 for a
+    /// homogeneous fleet).
+    fn fleet_scale(&self, n: usize) -> f64 {
+        match &self.slot_scales {
+            Some(scales) => {
+                let n = n.clamp(1, scales.len());
+                scales[..n].iter().sum::<f64>() / n as f64
+            }
+            None => 1.0,
         }
     }
 
@@ -172,7 +232,9 @@ impl<M: StepLatency> AutoscalePlanner<M> {
         if let (Some((previous, served_by)), Some(ttft), Some(tpot)) =
             (self.previous_interval, self.ttfts.mean(), self.tpots.mean())
         {
-            self.interpolator.observe(&previous, served_by, ttft, tpot);
+            let scale = self.fleet_scale(served_by);
+            self.interpolator
+                .observe_scaled(&previous, served_by, scale, ttft, tpot);
         }
         self.previous_interval = Some((observed, live_replicas.max(1)));
         // 3. Forecast the warm-up horizon ahead (provisioning against the
@@ -185,7 +247,10 @@ impl<M: StepLatency> AutoscalePlanner<M> {
             self.policy.config().max_replicas,
         );
         let estimates: Vec<PerfEstimate> = (min..=max)
-            .map(|n| self.interpolator.predict(&forecast, n))
+            .map(|n| {
+                self.interpolator
+                    .predict_scaled(&forecast, n, self.fleet_scale(n))
+            })
             .collect();
         // 4. Decide.
         let decision = self.policy.decide(effective_replicas, &estimates);
@@ -330,6 +395,41 @@ mod tests {
     fn zero_replicas_panics() {
         let mut p = planner(1, 2);
         let _ = p.plan(SimTime::ZERO, 0, 0);
+    }
+
+    #[test]
+    fn slower_slots_provision_more_replicas() {
+        let run = |scales: Option<Vec<f64>>| {
+            let config = AutoscaleConfig::bounded(1, 6)
+                .interval(SimDuration::from_secs(10))
+                .predictor(PredictorKind::ewma())
+                .initial_lengths(100.0, 300.0);
+            let mut p = AutoscalePlanner::new(config, sla(), ToyModel);
+            if let Some(scales) = scales {
+                p = p.with_slot_perf_scales(scales);
+            }
+            feed_interval(&mut p, 10, 8);
+            p.plan(SimTime::from_secs(10), 1, 0).decision.target_or(1)
+        };
+        let full_speed = run(None);
+        let half_speed = run(Some(vec![0.5; 6]));
+        assert!(
+            half_speed >= full_speed,
+            "half-speed fleet ordered {half_speed} replicas, full-speed {full_speed}"
+        );
+        assert!(
+            half_speed > full_speed,
+            "slower GPUs must need more of them"
+        );
+        // All-1.0 slots are exactly the homogeneous fleet.
+        assert_eq!(run(Some(vec![1.0; 6])), full_speed);
+    }
+
+    #[test]
+    #[should_panic(expected = "one perf scale per provisioning slot")]
+    fn too_few_slot_scales_panics() {
+        let config = AutoscaleConfig::bounded(1, 4);
+        let _ = AutoscalePlanner::new(config, sla(), ToyModel).with_slot_perf_scales(vec![1.0]);
     }
 
     #[test]

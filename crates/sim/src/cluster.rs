@@ -61,12 +61,13 @@ use pf_workload::RequestSpec;
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
+pub(crate) use crate::fleet::{pick_rotating_min, pick_routed, RouteCandidate};
 use crate::report::SimReport;
 
 /// Smallest cached overlap (tokens) for which [`RouterPolicy::PrefixAffinity`]
-/// prefers the matching instance over the least-loaded one. Below this the
-/// prefill saving is smaller than the imbalance it can cause.
-pub const PREFIX_MATCH_MIN_TOKENS: u64 = 32;
+/// prefers the matching instance over the least-loaded one (re-exported
+/// from the fleet kernel, which owns the routing surface).
+pub use crate::fleet::PREFIX_MATCH_MIN_TOKENS;
 
 /// Request-forwarding policy of the cluster front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,7 +118,7 @@ impl RouterPolicy {
     fn pick(self, engines: &[Engine], spec: &RequestSpec, cursor: &mut usize) -> usize {
         pick_engine(
             self,
-            engines.iter().enumerate(),
+            engines.iter().enumerate().map(|(i, e)| (i, e, 1.0)),
             spec,
             cursor,
             engines.len(),
@@ -126,88 +127,15 @@ impl RouterPolicy {
     }
 }
 
-/// Index minimizing `key` among `candidates`, breaking *exact* key ties by
-/// the first candidate at or after `*cursor` (mod `n`), then advancing the
-/// cursor just past the winner. The rotation spreads equal-load picks
-/// across the fleet instead of piling them onto the lowest index.
-pub(crate) fn pick_rotating_min(
-    candidates: impl Iterator<Item = (usize, f64)>,
-    cursor: &mut usize,
-    n: usize,
-) -> Option<usize> {
-    let n = n.max(1);
-    let start = *cursor % n;
-    let mut best: Option<(usize, f64, usize)> = None;
-    for (i, key) in candidates {
-        let rank = (i + n - start) % n;
-        let better = match &best {
-            None => true,
-            Some((_, best_key, best_rank)) => match key.total_cmp(best_key) {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Equal => rank < *best_rank,
-                std::cmp::Ordering::Greater => false,
-            },
-        };
-        if better {
-            best = Some((i, key, rank));
-        }
-    }
-    best.map(|(i, _, _)| {
-        *cursor = (i + 1) % n;
-        i
-    })
-}
-
-/// One routable candidate: fleet index, load under the active policy's
-/// signal, and cached prefix overlap with the request being routed.
-pub(crate) struct RouteCandidate {
-    pub(crate) index: usize,
-    pub(crate) load: f64,
-    pub(crate) cached_match: u64,
-}
-
-/// The single definition of the routing dispatch, shared by the cluster,
-/// the elastic fleet and the disagg prefill pool: [`RouterPolicy::RoundRobin`]
-/// rotates, [`RouterPolicy::PrefixAffinity`] takes the longest cached match
-/// at or above [`PREFIX_MATCH_MIN_TOKENS`] (ties by load or rotation),
-/// and everything else routes by the candidate's load — all exact ties
-/// broken by the rotating cursor. `n` is the full fleet size.
-pub(crate) fn pick_routed(
-    policy: RouterPolicy,
-    candidates: &[RouteCandidate],
-    cursor: &mut usize,
-    n: usize,
-) -> Option<usize> {
-    let by_load = |c: &RouteCandidate| (c.index, c.load);
-    match policy {
-        RouterPolicy::RoundRobin => {
-            pick_rotating_min(candidates.iter().map(|c| (c.index, 0.0)), cursor, n)
-        }
-        RouterPolicy::LeastOutstanding
-        | RouterPolicy::LeastUsedMemory
-        | RouterPolicy::LeastEstimatedLoad => {
-            pick_rotating_min(candidates.iter().map(by_load), cursor, n)
-        }
-        RouterPolicy::PrefixAffinity { load_tiebreak } => {
-            let best_match = candidates.iter().map(|c| c.cached_match).max().unwrap_or(0);
-            if best_match >= PREFIX_MATCH_MIN_TOKENS {
-                let matched = candidates.iter().filter(|c| c.cached_match == best_match);
-                if load_tiebreak {
-                    pick_rotating_min(matched.map(by_load), cursor, n)
-                } else {
-                    pick_rotating_min(matched.map(|c| (c.index, 0.0)), cursor, n)
-                }
-            } else {
-                pick_rotating_min(candidates.iter().map(by_load), cursor, n)
-            }
-        }
-    }
-}
-
 /// Applies `policy` to a candidate subset of an engine fleet (the cluster
 /// routes over every instance; the elastic cluster over live members
 /// only). `n` is the full fleet size — the rotating cursor is indexed
-/// over it. Each policy evaluates only the signal it routes on —
+/// over it. Each candidate carries its GPU's `perf_scale`; queue-drain
+/// signals divide by it, so a fast GPU looks emptier than a slow one at
+/// equal queued work (1.0 everywhere reproduces the homogeneous dispatch
+/// bit-for-bit). [`RouterPolicy::LeastUsedMemory`] is *not* scaled: it
+/// measures KV headroom, and `GpuType` models speed and price, not
+/// memory. Each policy evaluates only the signal it routes on —
 /// `load_estimate` walks the whole queue, so the cheap policies must not
 /// pay for it.
 pub(crate) fn pick_engine<'a, I>(
@@ -218,28 +146,32 @@ pub(crate) fn pick_engine<'a, I>(
     n: usize,
 ) -> Option<usize>
 where
-    I: Iterator<Item = (usize, &'a Engine)>,
+    I: Iterator<Item = (usize, &'a Engine, f64)>,
 {
     match policy {
-        RouterPolicy::RoundRobin => pick_rotating_min(candidates.map(|(i, _)| (i, 0.0)), cursor, n),
+        RouterPolicy::RoundRobin => {
+            pick_rotating_min(candidates.map(|(i, _, _)| (i, 0.0)), cursor, n)
+        }
         RouterPolicy::LeastOutstanding => pick_rotating_min(
-            candidates.map(|(i, e)| (i, e.outstanding() as f64)),
+            candidates.map(|(i, e, s)| (i, e.outstanding() as f64 / s)),
             cursor,
             n,
         ),
         RouterPolicy::LeastUsedMemory => {
-            pick_rotating_min(candidates.map(|(i, e)| (i, e.used_frac())), cursor, n)
+            pick_rotating_min(candidates.map(|(i, e, _)| (i, e.used_frac())), cursor, n)
         }
-        RouterPolicy::LeastEstimatedLoad => {
-            pick_rotating_min(candidates.map(|(i, e)| (i, e.load_estimate())), cursor, n)
-        }
+        RouterPolicy::LeastEstimatedLoad => pick_rotating_min(
+            candidates.map(|(i, e, s)| (i, e.load_estimate() / s)),
+            cursor,
+            n,
+        ),
         RouterPolicy::PrefixAffinity { .. } => {
             let candidates: Vec<RouteCandidate> = candidates
-                .map(|(i, e)| RouteCandidate {
+                .map(|(i, e, s)| RouteCandidate {
                     index: i,
                     // The paper's §7 signal doubles as the affinity
                     // tie-break and below-threshold fallback.
-                    load: e.load_estimate(),
+                    load: e.load_estimate() / s,
                     cached_match: e.cached_prefix_tokens(spec),
                 })
                 .collect();

@@ -161,6 +161,12 @@ pub struct SimConfig {
     /// Simulated prefix cache (`None` disables prefix reuse entirely —
     /// the pre-KV-aware behavior).
     pub prefix_cache: Option<PrefixCacheConfig>,
+    /// Deployment-wide request deadline applied to requests that do not
+    /// carry their own [`pf_workload::RequestSpec::deadline`]: a request
+    /// still waiting for its first token past this is cancelled and
+    /// counted in [`crate::SimReport::timed_out`]. `None` (default) waits
+    /// forever.
+    pub request_deadline: Option<SimDuration>,
 }
 
 impl SimConfig {
@@ -184,6 +190,7 @@ impl SimConfig {
                 history_warmup: Vec::new(),
                 record_series: true,
                 prefix_cache: None,
+                request_deadline: None,
             },
         }
     }
@@ -305,6 +312,18 @@ impl SimConfigBuilder {
     /// capacity (see [`PrefixCacheConfig`]).
     pub fn prefix_cache(mut self, budget_frac: f64) -> Self {
         self.config.prefix_cache = Some(PrefixCacheConfig::with_budget_frac(budget_frac));
+        self
+    }
+
+    /// Sets the deployment-wide request deadline (see
+    /// [`SimConfig::request_deadline`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn request_deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "a zero deadline can never be met");
+        self.config.request_deadline = Some(deadline);
         self
     }
 

@@ -4,13 +4,14 @@
 //! A colocated engine runs prefill and decode on the same GPU, so the two
 //! stages interfere: prompt passes stall token emission (MTPOT), and the
 //! decode batch's KV residency starves prompt admission (TTFT). This module
-//! splits them. **Prefill instances** serve a FIFO queue of prompts in
-//! batched whole-prompt passes and emit each request's *first* token;
-//! **decode instances** run continuous-batching token generation for
-//! requests whose KV cache has been handed over, admitting handoffs by the
-//! paper's future-required-memory estimate (Eq. 2–4 on ground-truth
-//! lengths — an oracle, so the decode batch packs densely yet never
-//! evicts). The pools scale (and in the elastic variant autoscale)
+//! splits them. **Prefill instances** serve a queue of prompts in batched
+//! whole-prompt passes and emit each request's *first* token — in FIFO
+//! order or shortest-prompt-first with an aging cap
+//! ([`PrefillOrder`]); **decode instances** run continuous-batching token
+//! generation for requests whose KV cache has been handed over, admitting
+//! handoffs by the paper's future-required-memory estimate (Eq. 2–4 on
+//! ground-truth lengths — an oracle, so the decode batch packs densely yet
+//! never evicts). The pools scale (and in the elastic variant autoscale)
 //! independently, each against the SLA term its stage controls: prefill
 //! against TTFT, decode against TPOT.
 //!
@@ -40,15 +41,35 @@
 //! completes, so a saturated link backpressures prompt admission exactly
 //! as it would in a real deployment.
 //!
-//! # Elastic variant
+//! # Elastic variant and cross-pool repurposing
 //!
-//! [`ElasticDisaggCluster`] reuses the warm-up/drain lifecycle of
-//! [`crate::elastic`]: scale-ups provision instances that serve only after
+//! [`ElasticDisaggCluster`] runs both pools on the [`crate::fleet`]
+//! lifecycle kernel: scale-ups provision instances that serve only after
 //! a warm-up delay, scale-downs cancel warming instances first and then
 //! drain live ones (they finish their work, transfer everything out and
 //! stop costing GPU-seconds). One [`AutoscalePlanner`] per pool — built
 //! with [`pf_autoscale::PoolRole::Prefill`] / [`PoolRole::Decode`] — sizes
 //! the pools independently.
+//!
+//! With [`DisaggConfig::repurpose`] enabled, a decode scale-up first
+//! *claims* draining prefill instances instead of provisioning cold ones:
+//! when a claimed instance finishes draining, it flips into the decode
+//! pool after the short `repurpose_delay` (KV pool reset, CUDA graphs
+//! re-captured) instead of a full warm-up — the weights are already on
+//! the GPU. The flip is atomic in the cost ledger: the instance stops
+//! charging the prefill pool and starts charging the decode pool at the
+//! same instant, carries its [`GpuType`] with it, and is reported in
+//! [`DisaggReport::repurposes`]. A member never serves both roles at
+//! once: it must be fully drained (no queue, no batch, no held KV) before
+//! the flip, and its decode life starts from an empty KV pool.
+//!
+//! # Heterogeneous pools
+//!
+//! [`DisaggConfig::fleet`] assigns a [`GpuType`] per provisioning slot in
+//! each pool. A member's `perf_scale` scales its step durations, routing
+//! divides load signals by it, the per-pool planners size candidates
+//! against the mean scale of the slots they would occupy, and reports
+//! price every instance at its `cost_weight`.
 //!
 //! The run is fully deterministic: one global event heap orders arrivals,
 //! step completions, transfers and planning rounds, with a monotone
@@ -86,10 +107,13 @@ use pf_kvcache::{PrefixCache, PrefixCacheStats};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
 use pf_workload::RequestSpec;
 
-use crate::cluster::{pick_rotating_min, pick_routed, RouteCandidate, RouterPolicy};
+use crate::cluster::RouterPolicy;
 use crate::config::{PrefixCacheConfig, SimConfig};
-use crate::elastic::{MemberState, ScalingEvent};
 use crate::error::SimError;
+use crate::fleet::{
+    self, pick_rotating_min, pick_routed, slot_gpu, FleetMember, GpuType, MemberCore, MemberState,
+    RouteCandidate, ScalingEvent,
+};
 use crate::perf::PerfModel;
 use crate::report::RequestOutcome;
 
@@ -144,6 +168,39 @@ impl KvTransferSpec {
     }
 }
 
+/// Order in which a prefill instance serves its prompt queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PrefillOrder {
+    /// Arrival order (the default).
+    Fifo,
+    /// Shortest prompt first: short prompts overtake long ones, cutting
+    /// the TTFT tail on mixed prompt lengths — bounded by an aging cap so
+    /// long prompts cannot starve.
+    ShortestPromptFirst {
+        /// Once the *oldest* queued prompt has waited this long, it is
+        /// served next regardless of length (starvation bound).
+        aging_cap: SimDuration,
+    },
+}
+
+impl PrefillOrder {
+    /// Shortest-prompt-first with a 10-second aging cap.
+    pub fn sjf() -> Self {
+        PrefillOrder::ShortestPromptFirst {
+            aging_cap: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefillOrder::Fifo => "fifo",
+            PrefillOrder::ShortestPromptFirst { .. } => "sjf",
+        }
+    }
+}
+
 /// Configuration of a disaggregated deployment: one replica type (model,
 /// GPU, capacity, SLA — all from the embedded [`SimConfig`]) split into
 /// two pools joined by a [`KvTransferSpec`] link.
@@ -167,6 +224,18 @@ pub struct DisaggConfig {
     /// the pool's load signal (queued plus held prompt tokens). All exact
     /// ties break with a rotating cursor.
     pub router: RouterPolicy,
+    /// Queue discipline of the prefill instances (default FIFO).
+    pub prefill_order: PrefillOrder,
+    /// Cross-pool repurposing delay: when set, decode scale-ups claim
+    /// draining prefill instances, which flip into the decode pool this
+    /// long after finishing their drain — much shorter than a full
+    /// warm-up, since the weights are already resident. `None` (default)
+    /// disables repurposing.
+    pub repurpose: Option<SimDuration>,
+    /// GPU type per prefill provisioning slot (empty = reference type).
+    pub prefill_slots: Vec<GpuType>,
+    /// GPU type per decode provisioning slot (empty = reference type).
+    pub decode_slots: Vec<GpuType>,
 }
 
 impl DisaggConfig {
@@ -178,6 +247,10 @@ impl DisaggConfig {
             transfer: KvTransferSpec::nvlink(),
             max_prefill_batch_tokens: 8_192,
             router: RouterPolicy::LeastEstimatedLoad,
+            prefill_order: PrefillOrder::Fifo,
+            repurpose: None,
+            prefill_slots: Vec::new(),
+            decode_slots: Vec::new(),
         }
     }
 
@@ -201,6 +274,29 @@ impl DisaggConfig {
     /// Sets the prefill-pool routing policy.
     pub fn router(mut self, router: RouterPolicy) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Sets the prefill queue discipline.
+    pub fn prefill_order(mut self, order: PrefillOrder) -> Self {
+        self.prefill_order = order;
+        self
+    }
+
+    /// Enables cross-pool repurposing with the given flip delay (see
+    /// [`DisaggConfig::repurpose`]).
+    pub fn repurpose(mut self, delay: SimDuration) -> Self {
+        self.repurpose = Some(delay);
+        self
+    }
+
+    /// Declares heterogeneous pools: provisioning slot `k` of each pool
+    /// runs on the `k`-th entry of its slot list (slots past the end
+    /// repeat the last entry; an empty list is the homogeneous reference
+    /// fleet, bit-identical to the single-type behavior).
+    pub fn fleet(mut self, prefill_slots: Vec<GpuType>, decode_slots: Vec<GpuType>) -> Self {
+        self.prefill_slots = prefill_slots;
+        self.decode_slots = decode_slots;
         self
     }
 }
@@ -331,25 +427,28 @@ impl ElasticDisaggCluster {
         };
         let sla = self.config.base.sla;
         let interval = self.prefill_autoscale.interval;
+        let pool_planner = |autoscale: AutoscaleConfig, role, slots: &[GpuType]| {
+            let max = autoscale.policy.max_replicas;
+            let warmup = autoscale.warmup;
+            let mut planner = AutoscalePlanner::with_role(autoscale, sla, model, role);
+            if !slots.is_empty() {
+                planner = planner.with_slot_perf_scales(
+                    (0..max).map(|k| slot_gpu(slots, k).perf_scale).collect(),
+                );
+            }
+            PoolPlanner { planner, warmup }
+        };
         let planning = Planning {
-            prefill: PoolPlanner {
-                warmup: self.prefill_autoscale.warmup,
-                planner: AutoscalePlanner::with_role(
-                    self.prefill_autoscale,
-                    sla,
-                    model,
-                    PoolRole::Prefill,
-                ),
-            },
-            decode: PoolPlanner {
-                warmup: self.decode_autoscale.warmup,
-                planner: AutoscalePlanner::with_role(
-                    self.decode_autoscale,
-                    sla,
-                    model,
-                    PoolRole::Decode,
-                ),
-            },
+            prefill: pool_planner(
+                self.prefill_autoscale,
+                PoolRole::Prefill,
+                &self.config.prefill_slots,
+            ),
+            decode: pool_planner(
+                self.decode_autoscale,
+                PoolRole::Decode,
+                &self.config.decode_slots,
+            ),
             interval,
             next_plan: SimTime::ZERO + interval,
         };
@@ -365,9 +464,9 @@ impl ElasticDisaggCluster {
     }
 }
 
-/// Step-latency oracle for one replica (either pool — the hardware is
-/// homogeneous): the roofline [`PerfModel`] with the deployment's KV
-/// capacity.
+/// Step-latency oracle for one reference replica (either pool): the
+/// roofline [`PerfModel`] with the deployment's KV capacity. Heterogeneous
+/// slots scale this model through the planner's per-slot perf scales.
 #[derive(Debug, Clone, Copy)]
 struct PoolModel {
     perf: PerfModel,
@@ -438,9 +537,7 @@ impl Job {
 
 #[derive(Debug)]
 struct PrefillMember {
-    state: MemberState,
-    spawned_at: SimTime,
-    stopped_at: Option<SimTime>,
+    core: MemberCore,
     /// Prompts routed here, waiting for a prefill pass.
     queue: VecDeque<Job>,
     /// Prompt tokens waiting in `queue` (routing signal).
@@ -455,34 +552,25 @@ struct PrefillMember {
     /// reclaimed first when a batch needs the room.
     prefix: Option<PrefixCache>,
     busy: bool,
-    routed: usize,
     completed: usize,
+    /// Claimed by a decode scale-up: flips into the decode pool (after
+    /// the repurpose delay) the moment its drain completes.
+    repurpose_claimed: bool,
 }
 
 #[derive(Debug)]
 struct DecodeMember {
-    state: MemberState,
-    spawned_at: SimTime,
-    stopped_at: Option<SimTime>,
+    core: MemberCore,
     /// Transferred requests waiting for admission into the decode batch.
     pending: VecDeque<Job>,
     /// Final footprints of `pending` (routing signal).
     pending_reserved: u64,
     running: Vec<Job>,
     busy: bool,
-    routed: usize,
     completed: usize,
 }
 
 impl PrefillMember {
-    fn is_live(&self) -> bool {
-        self.state == MemberState::Live
-    }
-
-    fn is_active(&self) -> bool {
-        matches!(self.state, MemberState::Live | MemberState::Draining)
-    }
-
     fn load_signal(&self) -> u64 {
         self.queued_tokens + self.held_tokens
     }
@@ -505,41 +593,18 @@ impl PrefillMember {
 }
 
 impl DecodeMember {
-    fn is_live(&self) -> bool {
-        self.state == MemberState::Live
-    }
-
-    fn is_active(&self) -> bool {
-        matches!(self.state, MemberState::Live | MemberState::Draining)
-    }
-
     fn load_signal(&self) -> u64 {
         self.running.iter().map(Job::kv_tokens).sum::<u64>() + self.pending_reserved
     }
 }
 
-/// The lifecycle surface both member types share, so the warm-up/drain
-/// machinery exists once (mirroring `elastic.rs`) instead of per pool.
-trait PoolMember {
-    fn state(&self) -> MemberState;
-    fn set_state(&mut self, state: MemberState);
-    fn stop(&mut self, at: SimTime);
-    /// Relative load for drain-victim selection (lower drains first).
-    fn load_signal(&self) -> u64;
-}
-
-impl PoolMember for PrefillMember {
-    fn state(&self) -> MemberState {
-        self.state
+impl FleetMember for PrefillMember {
+    fn core(&self) -> &MemberCore {
+        &self.core
     }
 
-    fn set_state(&mut self, state: MemberState) {
-        self.state = state;
-    }
-
-    fn stop(&mut self, at: SimTime) {
-        self.state = MemberState::Stopped;
-        self.stopped_at = Some(at);
+    fn core_mut(&mut self) -> &mut MemberCore {
+        &mut self.core
     }
 
     fn load_signal(&self) -> u64 {
@@ -547,78 +612,18 @@ impl PoolMember for PrefillMember {
     }
 }
 
-impl PoolMember for DecodeMember {
-    fn state(&self) -> MemberState {
-        self.state
+impl FleetMember for DecodeMember {
+    fn core(&self) -> &MemberCore {
+        &self.core
     }
 
-    fn set_state(&mut self, state: MemberState) {
-        self.state = state;
-    }
-
-    fn stop(&mut self, at: SimTime) {
-        self.state = MemberState::Stopped;
-        self.stopped_at = Some(at);
+    fn core_mut(&mut self) -> &mut MemberCore {
+        &mut self.core
     }
 
     fn load_signal(&self) -> u64 {
         DecodeMember::load_signal(self)
     }
-}
-
-/// `(live, warming)` counts of one pool.
-fn pool_counts<T: PoolMember>(members: &[T]) -> (usize, usize) {
-    let live = members
-        .iter()
-        .filter(|m| m.state() == MemberState::Live)
-        .count();
-    let warming = members
-        .iter()
-        .filter(|m| matches!(m.state(), MemberState::Warming { .. }))
-        .count();
-    (live, warming)
-}
-
-/// Shrinks one pool toward `target`: cancels the newest warming instances
-/// first (they have served nothing), then marks the least-loaded live
-/// instances as draining — never taking the pool below one live member,
-/// so the router always has a target. Returns the indices newly marked
-/// draining; the caller runs its pool-specific idle-stop check on them.
-fn scale_down_pool<T: PoolMember>(members: &mut [T], target: usize, now: SimTime) -> Vec<usize> {
-    let (live, warming) = pool_counts(members);
-    let mut excess = (live + warming).saturating_sub(target);
-    for i in (0..members.len()).rev() {
-        if excess == 0 {
-            break;
-        }
-        if matches!(members[i].state(), MemberState::Warming { .. }) {
-            members[i].stop(now);
-            excess -= 1;
-        }
-    }
-    let mut drained = Vec::new();
-    while excess > 0 {
-        let live_count = members
-            .iter()
-            .filter(|m| m.state() == MemberState::Live)
-            .count();
-        if live_count <= 1 {
-            break; // never leave the router without a target
-        }
-        let Some(victim) = members
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.state() == MemberState::Live)
-            .min_by_key(|(i, m)| (m.load_signal(), *i))
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
-        members[victim].set_state(MemberState::Draining);
-        drained.push(victim);
-        excess -= 1;
-    }
-    drained
 }
 
 /// Which pool an event addresses.
@@ -685,6 +690,18 @@ struct Planning {
     next_plan: SimTime,
 }
 
+/// One cross-pool repurposing flip, for reports and property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepurposeEvent {
+    /// When the drained prefill member flipped (its prefill life ends and
+    /// its decode life begins at exactly this instant).
+    pub at: SimTime,
+    /// Index into [`DisaggReport::prefill`]'s instances.
+    pub prefill_member: usize,
+    /// Index into [`DisaggReport::decode`]'s instances.
+    pub decode_member: usize,
+}
+
 /// Mutable state of one disaggregated run.
 struct Run {
     perf: PerfModel,
@@ -695,7 +712,15 @@ struct Run {
     max_prefill_batch_tokens: u64,
     record: bool,
     router: RouterPolicy,
+    prefill_order: PrefillOrder,
+    repurpose_delay: Option<SimDuration>,
+    prefill_slots: Vec<GpuType>,
+    decode_slots: Vec<GpuType>,
     prefix_cache: Option<PrefixCacheConfig>,
+    default_deadline: Option<SimDuration>,
+    /// Whether any deadline can ever fire (config default or a spec in the
+    /// workload) — keeps the per-pass queue purge free otherwise.
+    deadlines_possible: bool,
     /// Rotating tie-break cursors of the two pools' routing decisions.
     route_cursor: usize,
     decode_cursor: usize,
@@ -704,6 +729,7 @@ struct Run {
     decode: Vec<DecodeMember>,
     prefill_scaling: Vec<ScalingEvent>,
     decode_scaling: Vec<ScalingEvent>,
+    repurposes: Vec<RepurposeEvent>,
     planning: Option<Planning>,
 
     heap: BinaryHeap<Scheduled>,
@@ -712,6 +738,7 @@ struct Run {
     link_free: BinaryHeap<Reverse<u64>>,
 
     remaining: usize,
+    timed_out: usize,
     outcomes: Vec<RequestOutcome>,
     clock: SimTime,
     series: SeriesGroup,
@@ -781,13 +808,20 @@ impl Run {
             max_prefill_batch_tokens: max_batch,
             record: config.base.record_series,
             router: config.router,
+            prefill_order: config.prefill_order,
+            repurpose_delay: config.repurpose,
+            prefill_slots: config.prefill_slots,
+            decode_slots: config.decode_slots,
             prefix_cache: config.base.prefix_cache,
+            default_deadline: config.base.request_deadline,
+            deadlines_possible: config.base.request_deadline.is_some(),
             route_cursor: 0,
             decode_cursor: 0,
             prefill: Vec::new(),
             decode: Vec::new(),
             prefill_scaling: Vec::new(),
             decode_scaling: Vec::new(),
+            repurposes: Vec::new(),
             planning,
             heap: BinaryHeap::new(),
             seq: 0,
@@ -795,6 +829,7 @@ impl Run {
                 .map(|_| Reverse(0))
                 .collect(),
             remaining: requests.len(),
+            timed_out: 0,
             outcomes: Vec::with_capacity(requests.len()),
             clock: SimTime::ZERO,
             series: SeriesGroup::new(),
@@ -803,10 +838,12 @@ impl Run {
             transfer_intervals: Vec::new(),
         };
         for _ in 0..initial_prefill {
-            run.spawn_prefill(SimTime::ZERO, SimDuration::ZERO);
+            let gpu = slot_gpu(&run.prefill_slots, fleet::provisioned_count(&run.prefill));
+            run.spawn_prefill(SimTime::ZERO, SimDuration::ZERO, gpu);
         }
         for _ in 0..initial_decode {
-            run.spawn_decode(SimTime::ZERO, SimDuration::ZERO);
+            let gpu = slot_gpu(&run.decode_slots, fleet::provisioned_count(&run.decode));
+            run.spawn_decode(SimTime::ZERO, SimDuration::ZERO, gpu);
         }
         for (at, spec) in arrival_times.into_iter().zip(requests) {
             run.schedule(at, Ev::Arrival(spec));
@@ -831,18 +868,9 @@ impl Run {
         });
     }
 
-    fn spawn_prefill(&mut self, now: SimTime, warmup: SimDuration) {
-        let state = if warmup.is_zero() {
-            MemberState::Live
-        } else {
-            MemberState::Warming {
-                ready_at: now + warmup,
-            }
-        };
+    fn spawn_prefill(&mut self, now: SimTime, warmup: SimDuration, gpu: GpuType) {
         self.prefill.push(PrefillMember {
-            state,
-            spawned_at: now,
-            stopped_at: None,
+            core: MemberCore::spawn(now, warmup, gpu),
             queue: VecDeque::new(),
             queued_tokens: 0,
             batch: Vec::new(),
@@ -851,8 +879,8 @@ impl Run {
                 .prefix_cache
                 .map(|spec| PrefixCache::new(spec.budget_tokens(self.capacity))),
             busy: false,
-            routed: 0,
             completed: 0,
+            repurpose_claimed: false,
         });
         if !warmup.is_zero() {
             let member = self.prefill.len() - 1;
@@ -866,23 +894,13 @@ impl Run {
         }
     }
 
-    fn spawn_decode(&mut self, now: SimTime, warmup: SimDuration) {
-        let state = if warmup.is_zero() {
-            MemberState::Live
-        } else {
-            MemberState::Warming {
-                ready_at: now + warmup,
-            }
-        };
+    fn spawn_decode(&mut self, now: SimTime, warmup: SimDuration, gpu: GpuType) {
         self.decode.push(DecodeMember {
-            state,
-            spawned_at: now,
-            stopped_at: None,
+            core: MemberCore::spawn(now, warmup, gpu),
             pending: VecDeque::new(),
             pending_reserved: 0,
             running: Vec::new(),
             busy: false,
-            routed: 0,
             completed: 0,
         });
         if !warmup.is_zero() {
@@ -900,20 +918,20 @@ impl Run {
     fn record_fleet(&mut self, at: SimTime) {
         let at = at.max(self.last_series_at);
         self.last_series_at = at;
-        let live = |m: &PrefillMember| m.is_live();
-        let up = |m: &PrefillMember| m.stopped_at.is_none();
-        let p_live = self.prefill.iter().filter(|m| live(m)).count() as f64;
-        let p_up = self.prefill.iter().filter(|m| up(m)).count() as f64;
-        let d_live = self.decode.iter().filter(|m| m.is_live()).count() as f64;
-        let d_up = self
-            .decode
-            .iter()
-            .filter(|m| m.stopped_at.is_none())
-            .count() as f64;
-        self.series.record("prefill-live", at, p_live);
-        self.series.record("prefill-provisioned", at, p_up);
-        self.series.record("decode-live", at, d_live);
-        self.series.record("decode-provisioned", at, d_up);
+        let (p_live, _) = fleet::pool_counts(&self.prefill);
+        let (d_live, _) = fleet::pool_counts(&self.decode);
+        self.series.record("prefill-live", at, p_live as f64);
+        self.series.record(
+            "prefill-provisioned",
+            at,
+            fleet::provisioned_count(&self.prefill) as f64,
+        );
+        self.series.record("decode-live", at, d_live as f64);
+        self.series.record(
+            "decode-provisioned",
+            at,
+            fleet::provisioned_count(&self.decode) as f64,
+        );
     }
 
     fn drive(mut self) -> Result<DisaggReport, SimError> {
@@ -935,19 +953,19 @@ impl Run {
     }
 
     /// Routes an arrival over the live prefill members with the configured
-    /// policy, delegating to the cluster's shared routing dispatch
+    /// policy, delegating to the fleet kernel's shared routing dispatch
     /// ([`pick_routed`]) — the pool's load signal is queued plus held
-    /// prompt tokens.
+    /// prompt tokens, divided by the member's GPU speed.
     fn route_prefill(&mut self, spec: &RequestSpec) -> usize {
         let n = self.prefill.len();
         let candidates: Vec<RouteCandidate> = self
             .prefill
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.is_live())
+            .filter(|(_, m)| m.core.is_live())
             .map(|(i, m)| RouteCandidate {
                 index: i,
-                load: m.load_signal() as f64,
+                load: m.load_signal() as f64 / m.core.gpu.perf_scale,
                 cached_match: m.cached_match(spec),
             })
             .collect();
@@ -962,29 +980,89 @@ impl Run {
                 .planner
                 .on_request_arrival(now, spec.input_len);
         }
+        self.deadlines_possible |= spec.deadline.is_some();
         let target = self.route_prefill(&spec);
         let member = &mut self.prefill[target];
-        member.routed += 1;
+        member.core.routed += 1;
         member.queued_tokens += u64::from(spec.input_len);
         member.queue.push_back(Job::new(spec, now));
         self.try_start_prefill(target, now);
     }
 
+    /// Cancels queued prompts on member `i` whose deadline expired before
+    /// their prefill started: the request leaves the queue (it holds no
+    /// KV yet) and counts as timed out.
+    fn purge_timed_out_prefill(&mut self, i: usize, now: SimTime) {
+        if !self.deadlines_possible {
+            return;
+        }
+        let default_deadline = self.default_deadline;
+        let member = &mut self.prefill[i];
+        let mut expired = 0usize;
+        member.queue.retain(|job| {
+            let Some(deadline) = job.spec.deadline.or(default_deadline) else {
+                return true;
+            };
+            if now.saturating_since(job.timing.arrival()) >= deadline {
+                expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if expired > 0 {
+            member.queued_tokens = member
+                .queue
+                .iter()
+                .map(|j| u64::from(j.spec.input_len))
+                .sum();
+            self.timed_out += expired;
+            self.remaining -= expired;
+        }
+    }
+
+    /// The queue position the prefill order serves next. Queue order is
+    /// arrival order, so the front is always the oldest entry — the aging
+    /// cap only needs to inspect it.
+    fn next_prefill_index(
+        queue: &VecDeque<Job>,
+        now: SimTime,
+        order: PrefillOrder,
+    ) -> Option<usize> {
+        let front = queue.front()?;
+        match order {
+            PrefillOrder::Fifo => Some(0),
+            PrefillOrder::ShortestPromptFirst { aging_cap } => {
+                if now.saturating_since(front.timing.arrival()) >= aging_cap {
+                    return Some(0);
+                }
+                queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(pos, job)| (job.spec.input_len, *pos))
+                    .map(|(pos, _)| pos)
+            }
+        }
+    }
+
     /// Starts a prefill pass on member `i` if it is idle and a batch fits
-    /// the token budget and the instance's free KV. Prefix-cache hits
-    /// shrink each job's contribution to the pass; cached prefixes are
-    /// evicted (LRU first) when the batch needs their slots.
+    /// the token budget and the instance's free KV. The configured
+    /// [`PrefillOrder`] picks which queued prompt joins next; prefix-cache
+    /// hits shrink each job's contribution to the pass, and cached
+    /// prefixes are evicted (LRU first) when the batch needs their slots.
     fn try_start_prefill(&mut self, i: usize, now: SimTime) {
+        self.purge_timed_out_prefill(i, now);
         let capacity = self.capacity;
         let max_batch = self.max_prefill_batch_tokens;
+        let order = self.prefill_order;
         let perf = self.perf;
         let member = &mut self.prefill[i];
-        if member.busy || !member.is_active() {
+        if member.busy || !member.core.is_active() {
             return;
         }
         let mut batch_computed_tokens = 0u64;
-        while let Some(front) = member.queue.front() {
-            let spec = front.spec;
+        while let Some(pos) = Self::next_prefill_index(&member.queue, now, order) {
+            let spec = member.queue[pos].spec;
             let prompt = u64::from(spec.input_len);
             // The prompt plus the first generated token (see
             // [`Job::prefill_tokens`]).
@@ -1012,7 +1090,7 @@ impl Run {
                     .expect("non-zero prefix occupancy implies a cache")
                     .evict_down_to(room);
             }
-            let mut job = member.queue.pop_front().expect("peeked");
+            let mut job = member.queue.remove(pos).expect("selected within bounds");
             // Consume the prefix hit: the pass skips the cached tokens
             // (at least the final prompt position is always computed;
             // the reclaim above may have shrunk the probed match).
@@ -1028,7 +1106,10 @@ impl Run {
             return;
         }
         member.busy = true;
-        let duration = perf.prefill_step(batch_computed_tokens);
+        let duration = member
+            .core
+            .gpu
+            .scale_step(perf.prefill_step(batch_computed_tokens));
         self.schedule(now + duration, Ev::PrefillDone(i));
     }
 
@@ -1119,14 +1200,14 @@ impl Run {
             self.decode
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| m.is_live())
-                .map(|(j, m)| (j, m.load_signal() as f64)),
+                .filter(|(_, m)| m.core.is_live())
+                .map(|(j, m)| (j, m.load_signal() as f64 / m.core.gpu.perf_scale)),
             &mut self.decode_cursor,
             n,
         )
         .expect("at least one live decode instance");
         let member = &mut self.decode[target];
-        member.routed += 1;
+        member.core.routed += 1;
         member.pending_reserved += job.final_footprint();
         member.pending.push_back(job);
         self.try_start_decode(target, now);
@@ -1145,7 +1226,7 @@ impl Run {
         let capacity = self.capacity;
         let perf = self.perf;
         let member = &mut self.decode[j];
-        if member.busy || !member.is_active() {
+        if member.busy || !member.core.is_active() {
             return;
         }
         while let Some(front) = member.pending.front() {
@@ -1165,7 +1246,10 @@ impl Run {
         let batch = member.running.len() as u64;
         let kv_tokens: u64 = member.running.iter().map(Job::kv_tokens).sum();
         member.busy = true;
-        let duration = perf.decode_step(batch, kv_tokens);
+        let duration = member
+            .core
+            .gpu
+            .scale_step(perf.decode_step(batch, kv_tokens));
         self.schedule(now + duration, Ev::DecodeDone(j));
     }
 
@@ -1204,54 +1288,67 @@ impl Run {
     }
 
     fn on_ready(&mut self, now: SimTime, pool: PoolKind, member: usize) {
-        let promoted = match pool {
-            PoolKind::Prefill => {
-                let m = &mut self.prefill[member];
-                if matches!(m.state, MemberState::Warming { .. }) {
-                    m.state = MemberState::Live;
-                    true
-                } else {
-                    false
-                }
-            }
-            PoolKind::Decode => {
-                let m = &mut self.decode[member];
-                if matches!(m.state, MemberState::Warming { .. }) {
-                    m.state = MemberState::Live;
-                    true
-                } else {
-                    false
-                }
-            }
+        let core = match pool {
+            PoolKind::Prefill => &mut self.prefill[member].core,
+            PoolKind::Decode => &mut self.decode[member].core,
         };
-        if promoted {
+        if matches!(core.state, MemberState::Warming { .. }) {
+            core.state = MemberState::Live;
             self.record_fleet(now);
         }
+    }
+
+    /// Pending repurpose claims: draining prefill members the decode pool
+    /// owns but which have not flipped yet. The decode planner counts
+    /// them as capacity already ordered.
+    fn claimed_repurposes(&self) -> usize {
+        self.prefill
+            .iter()
+            .filter(|m| m.repurpose_claimed && m.core.stopped_at.is_none())
+            .count()
     }
 
     fn maybe_stop_prefill(&mut self, i: usize, now: SimTime) {
         let member = &mut self.prefill[i];
-        if member.state == MemberState::Draining
+        if !(member.core.state == MemberState::Draining
             && !member.busy
             && member.queue.is_empty()
             && member.batch.is_empty()
-            && member.held_tokens == 0
+            && member.held_tokens == 0)
         {
-            member.state = MemberState::Stopped;
-            member.stopped_at = Some(now);
-            self.record_fleet(now);
+            return;
         }
+        let gpu = member.core.gpu;
+        let claimed = std::mem::take(&mut member.repurpose_claimed);
+        member.core.stop(now);
+        if claimed {
+            // The flip: the member leaves the prefill ledger and re-spawns
+            // in the decode pool at the same instant, with its KV pool
+            // reset and only the short repurpose delay before it serves
+            // (the weights are already resident). The decode planner sees
+            // it as ordinary warming capacity.
+            let delay = self
+                .repurpose_delay
+                .expect("claims only exist with repurposing enabled");
+            let decode_member = self.decode.len();
+            self.spawn_decode(now, delay, gpu);
+            self.repurposes.push(RepurposeEvent {
+                at: now,
+                prefill_member: i,
+                decode_member,
+            });
+        }
+        self.record_fleet(now);
     }
 
     fn maybe_stop_decode(&mut self, j: usize, now: SimTime) {
         let member = &mut self.decode[j];
-        if member.state == MemberState::Draining
+        if member.core.state == MemberState::Draining
             && !member.busy
             && member.running.is_empty()
             && member.pending.is_empty()
         {
-            member.state = MemberState::Stopped;
-            member.stopped_at = Some(now);
+            member.core.stop(now);
             self.record_fleet(now);
         }
     }
@@ -1267,40 +1364,23 @@ impl Run {
         });
     }
 
-    /// One planning round: each pool's planner decides independently.
+    /// One planning round: each pool's planner decides independently. The
+    /// prefill decision runs first so a decode scale-up in the same round
+    /// can claim its freshly draining victims; the prefill victims'
+    /// idle-stop check is deferred until after the decode decision, so an
+    /// already-idle victim flips immediately instead of stopping cold.
     fn on_plan(&mut self, now: SimTime) {
         let Some(mut planning) = self.planning.take() else {
             return;
         };
         planning.next_plan = now + planning.interval;
-        for pool in [PoolKind::Prefill, PoolKind::Decode] {
-            let (live, warming) = match pool {
-                PoolKind::Prefill => pool_counts(&self.prefill),
-                PoolKind::Decode => pool_counts(&self.decode),
-            };
-            let effective = live + warming;
-            if effective == 0 {
-                continue;
-            }
-            let pool_planner = match pool {
-                PoolKind::Prefill => &mut planning.prefill,
-                PoolKind::Decode => &mut planning.decode,
-            };
-            let outcome = pool_planner.planner.plan(now, live, warming);
-            let warmup = pool_planner.warmup;
-            let target = outcome.decision.target_or(effective);
-            self.apply_decision(pool, now, outcome.decision, warmup);
-            if target != effective {
-                let events = match pool {
-                    PoolKind::Prefill => &mut self.prefill_scaling,
-                    PoolKind::Decode => &mut self.decode_scaling,
-                };
-                events.push(ScalingEvent {
-                    at: now,
-                    from: effective,
-                    to: target,
-                });
-            }
+        let prefill_drained = self.plan_pool(PoolKind::Prefill, now, &mut planning);
+        let decode_drained = self.plan_pool(PoolKind::Decode, now, &mut planning);
+        for victim in decode_drained {
+            self.maybe_stop_decode(victim, now);
+        }
+        for victim in prefill_drained {
+            self.maybe_stop_prefill(victim, now);
         }
         self.record_fleet(now);
         if self.remaining > 0 {
@@ -1312,60 +1392,176 @@ impl Run {
         }
     }
 
+    /// Runs one pool's planner and applies its decision, returning the
+    /// members newly marked draining (their idle-stop check is the
+    /// caller's, after both pools have decided).
+    fn plan_pool(&mut self, pool: PoolKind, now: SimTime, planning: &mut Planning) -> Vec<usize> {
+        let (live, mut warming) = match pool {
+            PoolKind::Prefill => fleet::pool_counts(&self.prefill),
+            PoolKind::Decode => fleet::pool_counts(&self.decode),
+        };
+        if pool == PoolKind::Decode {
+            // Claimed-but-not-flipped repurposes are decode capacity
+            // already ordered.
+            warming += self.claimed_repurposes();
+        }
+        let effective = live + warming;
+        if effective == 0 {
+            return Vec::new();
+        }
+        let pool_planner = match pool {
+            PoolKind::Prefill => &mut planning.prefill,
+            PoolKind::Decode => &mut planning.decode,
+        };
+        // Refresh the planner's candidate-fleet scales from the members
+        // each size would actually keep (drains remove the costliest
+        // first; claimed repurposes are approximated by the slot types
+        // they would otherwise have spawned into).
+        let slots = match pool {
+            PoolKind::Prefill => &self.prefill_slots,
+            PoolKind::Decode => &self.decode_slots,
+        };
+        if !slots.is_empty() {
+            let max = pool_planner.planner.config().policy.max_replicas;
+            let scales = match pool {
+                PoolKind::Prefill => fleet::candidate_perf_scales(&self.prefill, slots, max),
+                PoolKind::Decode => fleet::candidate_perf_scales(&self.decode, slots, max),
+            };
+            pool_planner.planner.update_slot_perf_scales(scales);
+        }
+        let outcome = pool_planner.planner.plan(now, live, warming);
+        let warmup = pool_planner.warmup;
+        let target = outcome.decision.target_or(effective);
+        let drained = self.apply_decision(pool, now, outcome.decision, warmup);
+        if target != effective {
+            let events = match pool {
+                PoolKind::Prefill => &mut self.prefill_scaling,
+                PoolKind::Decode => &mut self.decode_scaling,
+            };
+            events.push(ScalingEvent {
+                at: now,
+                from: effective,
+                to: target,
+            });
+        }
+        drained
+    }
+
     /// Applies one pool's scaling decision: scale-ups spawn warming
-    /// instances, scale-downs run the shared cancel-then-drain pass
-    /// ([`scale_down_pool`]) followed by the pool-specific idle-stop
-    /// check.
+    /// instances (a decode scale-up claims draining prefill members first
+    /// when repurposing is enabled), scale-downs run the fleet kernel's
+    /// cancel-then-drain pass ([`fleet::shrink_pool`]). Returns the
+    /// members newly marked draining.
     fn apply_decision(
         &mut self,
         pool: PoolKind,
         now: SimTime,
         decision: ScalingDecision,
         warmup: SimDuration,
-    ) {
-        let (live, warming) = match pool {
-            PoolKind::Prefill => pool_counts(&self.prefill),
-            PoolKind::Decode => pool_counts(&self.decode),
+    ) -> Vec<usize> {
+        let (live, mut warming) = match pool {
+            PoolKind::Prefill => fleet::pool_counts(&self.prefill),
+            PoolKind::Decode => fleet::pool_counts(&self.decode),
         };
+        if pool == PoolKind::Decode {
+            warming += self.claimed_repurposes();
+        }
         let effective = live + warming;
         match decision {
             ScalingDecision::ScaleUp { target } if target > effective => {
-                for _ in effective..target {
+                let mut need = target - effective;
+                if pool == PoolKind::Decode && self.repurpose_delay.is_some() {
+                    need -= self.claim_repurposes(need);
+                }
+                for _ in 0..need {
                     match pool {
-                        PoolKind::Prefill => self.spawn_prefill(now, warmup),
-                        PoolKind::Decode => self.spawn_decode(now, warmup),
+                        PoolKind::Prefill => {
+                            let gpu = slot_gpu(
+                                &self.prefill_slots,
+                                fleet::provisioned_count(&self.prefill),
+                            );
+                            self.spawn_prefill(now, warmup, gpu);
+                        }
+                        PoolKind::Decode => {
+                            let gpu = slot_gpu(
+                                &self.decode_slots,
+                                fleet::provisioned_count(&self.decode),
+                            );
+                            self.spawn_decode(now, warmup, gpu);
+                        }
                     }
                 }
+                Vec::new()
             }
             ScalingDecision::ScaleDown { target } if target < effective => {
-                let drained = match pool {
-                    PoolKind::Prefill => scale_down_pool(&mut self.prefill, target, now),
-                    PoolKind::Decode => scale_down_pool(&mut self.decode, target, now),
-                };
-                for victim in drained {
-                    match pool {
-                        PoolKind::Prefill => self.maybe_stop_prefill(victim, now),
-                        PoolKind::Decode => self.maybe_stop_decode(victim, now),
+                let mut excess = effective - target;
+                if pool == PoolKind::Decode {
+                    // Un-claim pending repurposes first: they have not
+                    // started costing the decode pool anything yet.
+                    for i in (0..self.prefill.len()).rev() {
+                        if excess == 0 {
+                            break;
+                        }
+                        if self.prefill[i].repurpose_claimed
+                            && self.prefill[i].core.stopped_at.is_none()
+                        {
+                            self.prefill[i].repurpose_claimed = false;
+                            excess -= 1;
+                        }
+                    }
+                }
+                if excess == 0 {
+                    return Vec::new();
+                }
+                match pool {
+                    PoolKind::Prefill => fleet::shrink_pool(&mut self.prefill, target, now),
+                    PoolKind::Decode => {
+                        // Claims reduced `excess` above; re-express the
+                        // target over actual decode members only.
+                        let (d_live, d_warming) = fleet::pool_counts(&self.decode);
+                        let member_target = (d_live + d_warming).saturating_sub(excess);
+                        fleet::shrink_pool(&mut self.decode, member_target, now)
                     }
                 }
             }
-            _ => {}
+            _ => Vec::new(),
         }
+    }
+
+    /// Claims up to `need` draining, unclaimed prefill members for the
+    /// decode pool (least-loaded first: they flip soonest). Returns how
+    /// many were claimed.
+    fn claim_repurposes(&mut self, need: usize) -> usize {
+        let mut candidates: Vec<(u64, usize)> = self
+            .prefill
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.core.state == MemberState::Draining && !m.repurpose_claimed)
+            .map(|(i, m)| (m.load_signal(), i))
+            .collect();
+        candidates.sort_unstable();
+        let claimed = candidates.len().min(need);
+        for &(_, i) in candidates.iter().take(claimed) {
+            self.prefill[i].repurpose_claimed = true;
+        }
+        claimed
     }
 
     fn finish(mut self) -> DisaggReport {
         let end = self.clock;
         self.record_fleet(end);
+        let instance_report = |core: &MemberCore, completed: usize| PoolInstanceReport {
+            spawned_at: core.spawned_at,
+            stopped_at: core.stopped_at.unwrap_or(end),
+            gpu: core.gpu,
+            routed: core.routed,
+            completed,
+        };
         let prefill = PoolReport {
             instances: self
                 .prefill
                 .iter()
-                .map(|m| PoolInstanceReport {
-                    spawned_at: m.spawned_at,
-                    stopped_at: m.stopped_at.unwrap_or(end),
-                    routed: m.routed,
-                    completed: m.completed,
-                })
+                .map(|m| instance_report(&m.core, m.completed))
                 .collect(),
             events: self.prefill_scaling,
         };
@@ -1373,12 +1569,7 @@ impl Run {
             instances: self
                 .decode
                 .iter()
-                .map(|m| PoolInstanceReport {
-                    spawned_at: m.spawned_at,
-                    stopped_at: m.stopped_at.unwrap_or(end),
-                    routed: m.routed,
-                    completed: m.completed,
-                })
+                .map(|m| instance_report(&m.core, m.completed))
                 .collect(),
             events: self.decode_scaling,
         };
@@ -1399,8 +1590,10 @@ impl Run {
             goodput,
             makespan,
             unserved: self.remaining,
+            timed_out: self.timed_out,
             prefill,
             decode,
+            repurposes: self.repurposes,
             prefix_stats,
             transfers: self.stats,
             pool_series: self.series,
@@ -1444,6 +1637,8 @@ pub struct PoolInstanceReport {
     pub spawned_at: SimTime,
     /// When it stopped costing GPU time (run end for instances still up).
     pub stopped_at: SimTime,
+    /// The accelerator this instance ran on.
+    pub gpu: GpuType,
     /// Requests routed to it.
     pub routed: usize,
     /// Stage completions it performed (prefill passes finished / requests
@@ -1457,6 +1652,11 @@ impl PoolInstanceReport {
         self.stopped_at
             .saturating_since(self.spawned_at)
             .as_secs_f64()
+    }
+
+    /// Provisioned seconds weighted by the instance's GPU cost.
+    pub fn cost_weighted_secs(&self) -> f64 {
+        self.active_secs() * self.gpu.cost_weight
     }
 }
 
@@ -1477,6 +1677,14 @@ impl PoolReport {
             .map(PoolInstanceReport::active_secs)
             .sum()
     }
+
+    /// Total cost-weighted GPU-seconds provisioned in this pool.
+    pub fn cost_weighted_gpu_seconds(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(PoolInstanceReport::cost_weighted_secs)
+            .sum()
+    }
 }
 
 /// Aggregate result of a disaggregated cluster run.
@@ -1488,10 +1696,16 @@ pub struct DisaggReport {
     pub makespan: SimDuration,
     /// Requests that never completed (zero unless the run was cut short).
     pub unserved: usize,
+    /// Requests cancelled because their deadline expired before their
+    /// prefill started.
+    pub timed_out: usize,
     /// The prefill pool.
     pub prefill: PoolReport,
     /// The decode pool.
     pub decode: PoolReport,
+    /// Cross-pool repurposing flips, in flip order (empty with
+    /// repurposing disabled).
+    pub repurposes: Vec<RepurposeEvent>,
     /// Prefix-cache statistics merged across prefill instances (all zero
     /// when caches are disabled).
     pub prefix_stats: PrefixCacheStats,
@@ -1533,6 +1747,13 @@ impl DisaggReport {
     /// Total GPU-seconds provisioned across both pools.
     pub fn gpu_seconds(&self) -> f64 {
         self.prefill.gpu_seconds() + self.decode.gpu_seconds()
+    }
+
+    /// Total cost-weighted GPU-seconds across both pools — the objective
+    /// heterogeneous fleets compete on (equals
+    /// [`DisaggReport::gpu_seconds`] for homogeneous weight-1.0 fleets).
+    pub fn cost_weighted_gpu_seconds(&self) -> f64 {
+        self.prefill.cost_weighted_gpu_seconds() + self.decode.cost_weighted_gpu_seconds()
     }
 
     /// Largest number of simultaneously provisioned prefill replicas.

@@ -8,9 +8,28 @@
 //!
 //! * **scale-up** provisions fresh instances that accept traffic only
 //!   after a configurable *warm-up delay* (boot + weight load);
-//! * **scale-down** puts instances into a *draining* state: they finish
-//!   their queued and running work but receive nothing new, and stop (and
-//!   stop costing GPU-seconds) once empty.
+//! * **scale-down** runs the shared shrink pass of [`crate::fleet`]:
+//!   cancel the newest warming instances first, then put live victims into
+//!   a *draining* state — they finish their queued and running work but
+//!   receive nothing new, and stop (and stop costing GPU-seconds) once
+//!   empty.
+//!
+//! The member lifecycle (warm-up, drain, stop, the cost ledger) is the
+//! [`crate::fleet`] kernel — the same state machine the disaggregated
+//! pools run on; this module contributes only the engine work loop and
+//! the planning cadence.
+//!
+//! # Heterogeneous fleets
+//!
+//! [`ElasticCluster::fleet`] assigns a [`GpuType`] per provisioning slot:
+//! slot `k` (the `k`-th simultaneously provisioned instance) runs on
+//! `slots[k]`. A member's `perf_scale` multiplies its engine's kernel
+//! speed, the router divides each member's load signal by it (a fast GPU
+//! looks emptier than a slow one at equal queued work), the planner sizes
+//! candidate fleets against the mean `perf_scale` of the slots they would
+//! occupy, and the shrink pass releases the costliest members first.
+//! Reports price every instance at its `cost_weight`
+//! ([`ElasticReport::cost_weighted_gpu_seconds`]).
 //!
 //! The front end routes every arriving request among the **live**
 //! instances with a configurable [`RouterPolicy`] (default
@@ -61,8 +80,11 @@ use crate::cluster::{pick_engine, RouterPolicy};
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
+use crate::fleet::{self, slot_gpu, FleetMember, GpuType, MemberCore, MemberState};
 use crate::perf::PerfModel;
 use crate::report::SimReport;
+
+pub use crate::fleet::ScalingEvent;
 
 /// Step-latency oracle for one replica of the elastic fleet: the roofline
 /// [`PerfModel`] with the *deployment's* KV capacity (which an override in
@@ -87,62 +109,37 @@ impl StepLatency for ReplicaModel {
     }
 }
 
-/// Lifecycle of one fleet member (shared with [`crate::disagg`]'s pools:
-/// the disaggregated cluster reuses exactly this warm-up/drain machinery).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum MemberState {
-    /// Provisioned but not yet accepting traffic.
-    Warming {
-        /// When the instance becomes live.
-        ready_at: SimTime,
-    },
-    /// Serving and routable.
-    Live,
-    /// Finishing in-flight work; receives nothing new.
-    Draining,
-    /// Released; costs nothing from `stopped_at` on.
-    Stopped,
-}
-
 #[derive(Debug)]
 struct Member {
     engine: Engine,
-    state: MemberState,
-    spawned_at: SimTime,
-    stopped_at: Option<SimTime>,
-    routed: usize,
+    core: MemberCore,
     seen_outcomes: usize,
 }
 
-impl Member {
-    fn is_active(&self) -> bool {
-        matches!(self.state, MemberState::Live | MemberState::Draining)
+impl FleetMember for Member {
+    fn core(&self) -> &MemberCore {
+        &self.core
     }
 
-    fn is_live(&self) -> bool {
-        self.state == MemberState::Live
+    fn core_mut(&mut self) -> &mut MemberCore {
+        &mut self.core
+    }
+
+    fn load_signal(&self) -> u64 {
+        self.engine.outstanding() as u64
     }
 }
 
-/// One fleet-size change, for reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScalingEvent {
-    /// When the planner decided.
-    pub at: SimTime,
-    /// Provisioned replicas (live + warming) before the decision.
-    pub from: usize,
-    /// Provisioned replicas after the decision.
-    pub to: usize,
-}
-
-/// An elastic fleet of identical serving instances driven by an
-/// SLA-targeted autoscaling planner.
+/// An elastic fleet of serving instances driven by an SLA-targeted
+/// autoscaling planner (identical replicas by default; see
+/// [`ElasticCluster::fleet`] for mixed GPU types).
 #[derive(Debug)]
 pub struct ElasticCluster {
     base: SimConfig,
     autoscale: AutoscaleConfig,
     initial_replicas: usize,
     router: RouterPolicy,
+    slots: Vec<GpuType>,
 }
 
 impl ElasticCluster {
@@ -168,6 +165,7 @@ impl ElasticCluster {
             autoscale,
             initial_replicas,
             router: RouterPolicy::LeastEstimatedLoad,
+            slots: Vec::new(),
         }
     }
 
@@ -175,6 +173,20 @@ impl ElasticCluster {
     /// [`RouterPolicy::LeastEstimatedLoad`]).
     pub fn router(mut self, router: RouterPolicy) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Declares a heterogeneous fleet: provisioning slot `k` runs on
+    /// `slots[k]` (slots past the end repeat the last entry). The default
+    /// is a homogeneous fleet of [`GpuType::reference`] instances, which
+    /// reproduces the single-type behavior bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn fleet(mut self, slots: Vec<GpuType>) -> Self {
+        assert!(!slots.is_empty(), "a fleet needs at least one GPU type");
+        self.slots = slots;
         self
     }
 
@@ -208,6 +220,7 @@ impl ElasticCluster {
             self.autoscale,
             self.initial_replicas,
             self.router,
+            self.slots,
             &requests,
         )?
         .drive(arrival_times.into_iter().zip(requests).collect())
@@ -221,8 +234,9 @@ struct Run {
     members: Vec<Member>,
     spawned_total: usize,
     router: RouterPolicy,
+    slots: Vec<GpuType>,
     /// Rotating tie-break cursor of the router (see
-    /// [`crate::cluster::pick_rotating_min`]).
+    /// [`crate::fleet::pick_rotating_min`]).
     route_cursor: usize,
     next_adjust: SimTime,
     interval: SimDuration,
@@ -241,13 +255,21 @@ impl Run {
         autoscale: AutoscaleConfig,
         initial_replicas: usize,
         router: RouterPolicy,
+        slots: Vec<GpuType>,
         requests: &[RequestSpec],
     ) -> Result<Run, SimError> {
         let model = ReplicaModel {
             perf: base.perf_model(),
             capacity_tokens: base.capacity_tokens(),
         };
-        let planner = AutoscalePlanner::new(autoscale, base.sla, model);
+        let max_replicas = autoscale.policy.max_replicas;
+        let mut planner = AutoscalePlanner::new(autoscale, base.sla, model);
+        if !slots.is_empty() {
+            let scales = (0..max_replicas)
+                .map(|k| slot_gpu(&slots, k).perf_scale)
+                .collect();
+            planner = planner.with_slot_perf_scales(scales);
+        }
         let interval = planner.interval();
         let warmup = planner.warmup();
         let mut run = Run {
@@ -256,6 +278,7 @@ impl Run {
             members: Vec::new(),
             spawned_total: 0,
             router,
+            slots,
             route_cursor: 0,
             next_adjust: SimTime::ZERO + interval,
             interval,
@@ -268,8 +291,8 @@ impl Run {
         for _ in 0..initial_replicas {
             run.spawn(SimTime::ZERO, SimDuration::ZERO);
         }
-        // Upfront validation against one (any) member: the fleet is
-        // homogeneous.
+        // Upfront validation against one (any) member: every member shares
+        // the same KV capacity (GPU types differ in speed and cost only).
         run.members[0].engine.validate()?;
         for spec in requests {
             run.members[0].engine.validate_spec(spec)?;
@@ -279,45 +302,33 @@ impl Run {
     }
 
     fn spawn(&mut self, now: SimTime, warmup: SimDuration) {
+        // The slot an instance occupies is its rank among currently
+        // provisioned members: a fleet of n instances always runs on
+        // (approximately) the first n slots of the declared mix.
+        let gpu = slot_gpu(&self.slots, fleet::provisioned_count(&self.members));
         let mut config = self.base.clone();
         // Independent sampling streams per instance, as in the static
         // cluster.
         config.seed = config.seed.wrapping_add(self.spawned_total as u64);
+        // A GPU type's perf_scale multiplies the whole stack's kernel
+        // speed (×1.0 for the reference type — bit-identical).
+        config.tuning.kernel_speedup *= gpu.perf_scale;
         self.spawned_total += 1;
         let mut engine = Engine::new(config, Arrivals::offline(Vec::new()));
         engine.advance_to(now);
-        let ready_at = now + warmup;
-        let state = if warmup.is_zero() {
-            MemberState::Live
-        } else {
-            MemberState::Warming { ready_at }
-        };
         self.members.push(Member {
             engine,
-            state,
-            spawned_at: now,
-            stopped_at: None,
-            routed: 0,
+            core: MemberCore::spawn(now, warmup, gpu),
             seen_outcomes: 0,
         });
     }
 
     fn live_count(&self) -> usize {
-        self.members.iter().filter(|m| m.is_live()).count()
+        fleet::pool_counts(&self.members).0
     }
 
     fn warming_count(&self) -> usize {
-        self.members
-            .iter()
-            .filter(|m| matches!(m.state, MemberState::Warming { .. }))
-            .count()
-    }
-
-    fn provisioned_count(&self) -> usize {
-        self.members
-            .iter()
-            .filter(|m| m.stopped_at.is_none())
-            .count()
+        fleet::pool_counts(&self.members).1
     }
 
     fn record_fleet(&mut self, at: SimTime) {
@@ -325,7 +336,7 @@ impl Run {
         self.last_record = at;
         self.live_series.record(at, self.live_count() as f64);
         self.provisioned_series
-            .record(at, self.provisioned_count() as f64);
+            .record(at, fleet::provisioned_count(&self.members) as f64);
     }
 
     /// Index of the active member with the smallest clock (the global
@@ -334,7 +345,7 @@ impl Run {
         self.members
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.is_active())
+            .filter(|(_, m)| m.core.is_active())
             .min_by_key(|(_, m)| m.engine.now())
             .map(|(i, _)| i)
     }
@@ -342,6 +353,8 @@ impl Run {
     /// Routes `spec` among the live members with the configured policy,
     /// breaking exact load ties with the rotating cursor (first-index
     /// tie-breaking would herd every cold-start request onto member 0).
+    /// Load signals divide by each member's `perf_scale`, so mixed fleets
+    /// weight traffic toward their faster GPUs.
     fn route_target(&mut self, spec: &RequestSpec) -> Option<usize> {
         let n = self.members.len();
         pick_engine(
@@ -349,8 +362,8 @@ impl Run {
             self.members
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| m.is_live())
-                .map(|(i, m)| (i, &m.engine)),
+                .filter(|(_, m)| m.core.is_live())
+                .map(|(i, m)| (i, &m.engine, m.core.gpu.perf_scale)),
             spec,
             &mut self.route_cursor,
             n,
@@ -387,6 +400,18 @@ impl Run {
             // Horizon pressure stopped the whole fleet; nothing to steer.
             return;
         }
+        if !self.slots.is_empty() {
+            // Refresh the planner's view of what each candidate size would
+            // run on: drains removed the costliest members first, so the
+            // surviving fleet can differ from the declared slot order.
+            let max = self.planner.config().policy.max_replicas;
+            self.planner
+                .update_slot_perf_scales(fleet::candidate_perf_scales(
+                    &self.members,
+                    &self.slots,
+                    max,
+                ));
+        }
         let outcome = self.planner.plan(at, live, warming);
         let target = outcome.decision.target_or(effective);
         match outcome.decision {
@@ -396,38 +421,10 @@ impl Run {
                 }
             }
             ScalingDecision::ScaleDown { target } if target < effective => {
-                let mut excess = effective - target;
-                // Cancel the newest warming instances first: they have
-                // served nothing yet.
-                for i in (0..self.members.len()).rev() {
-                    if excess == 0 {
-                        break;
-                    }
-                    if matches!(self.members[i].state, MemberState::Warming { .. }) {
-                        self.members[i].state = MemberState::Stopped;
-                        self.members[i].stopped_at = Some(at);
-                        excess -= 1;
-                    }
-                }
-                // Then drain the least-loaded live instances (they finish
-                // their work and stop; live never falls below `target`).
-                while excess > 0 {
-                    let Some(victim) = self
-                        .members
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.is_live())
-                        .min_by_key(|(i, m)| (m.engine.outstanding(), *i))
-                        .map(|(i, _)| i)
-                    else {
-                        break;
-                    };
-                    if self.live_count() <= 1 {
-                        break; // never leave the router without a target
-                    }
-                    self.members[victim].state = MemberState::Draining;
-                    excess -= 1;
-                }
+                // The shared shrink pass: cancel the newest warming
+                // members, then drain the costliest / least-loaded live
+                // ones — never below one live member.
+                let _ = fleet::shrink_pool(&mut self.members, target, at);
             }
             _ => {}
         }
@@ -445,10 +442,10 @@ impl Run {
     fn promote_ready(&mut self, front: SimTime) -> bool {
         let mut promoted = false;
         for member in &mut self.members {
-            if let MemberState::Warming { ready_at } = member.state {
+            if let MemberState::Warming { ready_at } = member.core.state {
                 if ready_at <= front {
                     member.engine.advance_to(ready_at);
-                    member.state = MemberState::Live;
+                    member.core.state = MemberState::Live;
                     promoted = true;
                 }
             }
@@ -457,17 +454,6 @@ impl Run {
             self.record_fleet(front);
         }
         promoted
-    }
-
-    /// Earliest pending ready-at among warming members.
-    fn next_ready(&self) -> Option<SimTime> {
-        self.members
-            .iter()
-            .filter_map(|m| match m.state {
-                MemberState::Warming { ready_at } => Some(ready_at),
-                _ => None,
-            })
-            .min()
     }
 
     fn drive(
@@ -502,7 +488,7 @@ impl Run {
                     self.planner.on_request_arrival(at, spec.input_len);
                     let arrival = at.max(self.members[target].engine.now());
                     self.members[target].engine.inject(arrival, spec);
-                    self.members[target].routed += 1;
+                    self.members[target].core.routed += 1;
                     continue;
                 }
             }
@@ -527,14 +513,12 @@ impl Run {
                 Tick::HorizonReached => {
                     // The member will never work again; release it so the
                     // run can terminate.
-                    self.members[i_min].state = MemberState::Stopped;
-                    self.members[i_min].stopped_at = Some(front);
+                    self.members[i_min].core.stop(front);
                     self.record_fleet(front);
                 }
                 Tick::Drained => {
-                    if self.members[i_min].state == MemberState::Draining {
-                        self.members[i_min].state = MemberState::Stopped;
-                        self.members[i_min].stopped_at = Some(front);
+                    if self.members[i_min].core.state == MemberState::Draining {
+                        self.members[i_min].core.stop(front);
                         self.record_fleet(front);
                         continue;
                     }
@@ -543,7 +527,7 @@ impl Run {
                     let all_idle = self
                         .members
                         .iter()
-                        .filter(|m| m.is_active())
+                        .filter(|m| m.core.is_active())
                         .all(|m| m.engine.outstanding() == 0);
                     if stream.is_empty() && all_idle && self.warming_count() == 0 {
                         break;
@@ -552,7 +536,7 @@ impl Run {
                     if let Some(&(at, _)) = stream.front() {
                         next = next.min(at);
                     }
-                    if let Some(ready) = self.next_ready() {
+                    if let Some(ready) = fleet::next_ready(&self.members) {
                         next = next.min(ready);
                     }
                     self.members[i_min].engine.advance_to(next.max(front));
@@ -570,22 +554,23 @@ impl Run {
         let end = self
             .members
             .iter()
-            .map(|m| m.stopped_at.unwrap_or(m.engine.now()))
+            .map(|m| m.core.stopped_at.unwrap_or(m.engine.now()))
             .max()
             .unwrap_or(SimTime::ZERO);
         self.live_series.record(end, self.live_count() as f64);
         self.provisioned_series
-            .record(end, self.provisioned_count() as f64);
+            .record(end, fleet::provisioned_count(&self.members) as f64);
         let sla = self.base.sla;
         let instances: Vec<ElasticInstanceReport> = self
             .members
             .into_iter()
             .map(|m| {
-                let stopped_at = m.stopped_at.unwrap_or(end);
+                let stopped_at = m.core.stopped_at.unwrap_or(end);
                 ElasticInstanceReport {
-                    spawned_at: m.spawned_at,
+                    spawned_at: m.core.spawned_at,
                     stopped_at,
-                    routed: m.routed,
+                    gpu: m.core.gpu,
+                    routed: m.core.routed,
                     report: m.engine.into_report(),
                 }
             })
@@ -618,6 +603,8 @@ pub struct ElasticInstanceReport {
     pub spawned_at: SimTime,
     /// When it stopped costing GPU time (run end for instances still up).
     pub stopped_at: SimTime,
+    /// The accelerator this instance ran on.
+    pub gpu: GpuType,
     /// Requests routed to it.
     pub routed: usize,
     /// Its engine report.
@@ -631,6 +618,11 @@ impl ElasticInstanceReport {
         self.stopped_at
             .saturating_since(self.spawned_at)
             .as_secs_f64()
+    }
+
+    /// Provisioned seconds weighted by the instance's GPU cost.
+    pub fn cost_weighted_secs(&self) -> f64 {
+        self.active_secs() * self.gpu.cost_weight
     }
 }
 
@@ -681,6 +673,13 @@ impl ElasticReport {
         self.instances.iter().map(|i| i.active_secs()).sum()
     }
 
+    /// Total provisioned GPU-seconds weighted by each instance's GPU cost
+    /// — the objective heterogeneous fleets compete on. Equals
+    /// [`ElasticReport::gpu_seconds`] for homogeneous weight-1.0 fleets.
+    pub fn cost_weighted_gpu_seconds(&self) -> f64 {
+        self.instances.iter().map(|i| i.cost_weighted_secs()).sum()
+    }
+
     /// Largest number of simultaneously provisioned replicas.
     pub fn peak_replicas(&self) -> usize {
         self.provisioned_series.max_value().unwrap_or(0.0) as usize
@@ -689,6 +688,12 @@ impl ElasticReport {
     /// Total evictions across instances.
     pub fn evictions(&self) -> u64 {
         self.instances.iter().map(|i| i.report.evictions).sum()
+    }
+
+    /// Requests dropped because their deadline expired while queued,
+    /// summed across instances.
+    pub fn timed_out(&self) -> usize {
+        self.instances.iter().map(|i| i.report.timed_out).sum()
     }
 
     /// Fraction of completed requests whose TTFT met the SLA.

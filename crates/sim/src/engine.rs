@@ -216,6 +216,10 @@ pub(crate) struct Engine {
     decode_steps: u64,
     prefill_steps: u64,
     evictions: u64,
+    timed_out: usize,
+    /// Whether any deadline can ever fire (config default or a spec seen
+    /// so far) — keeps the per-tick purge free for deadline-less runs.
+    deadlines_possible: bool,
     outcomes: Vec<RequestOutcome>,
 
     output_len_sum: u64,
@@ -257,6 +261,7 @@ impl Engine {
         let prefix = config
             .prefix_cache
             .map(|spec| PrefixCache::new(spec.budget_tokens(capacity)));
+        let deadlines_possible = config.request_deadline.is_some();
         Engine {
             perf,
             capacity,
@@ -274,6 +279,8 @@ impl Engine {
             decode_steps: 0,
             prefill_steps: 0,
             evictions: 0,
+            timed_out: 0,
+            deadlines_possible,
             outcomes: Vec::new(),
             consumed_weighted_sum: 0.0,
             weighted_time: 0.0,
@@ -571,6 +578,7 @@ impl Engine {
 
     fn ingest_arrivals(&mut self) {
         while let Some((at, spec)) = self.arrivals.pop_due(self.now) {
+            self.deadlines_possible |= spec.deadline.is_some();
             self.queue.push_back(Pending {
                 spec,
                 generated: 0,
@@ -579,6 +587,38 @@ impl Engine {
                 swapped: false,
             });
         }
+        self.purge_timed_out();
+    }
+
+    /// Cancels queued requests whose deadline expired before they produced
+    /// a token: the queue slot is reclaimed and the request counts as
+    /// timed out. Requests that already streamed tokens (evicted and
+    /// re-queued work) are never cancelled — the client is mid-response —
+    /// and they hold no KV while queued, so cancellation frees exactly the
+    /// queue entry.
+    fn purge_timed_out(&mut self) {
+        if !self.deadlines_possible {
+            return;
+        }
+        let now = self.now;
+        let default_deadline = self.config.request_deadline;
+        let mut expired = 0usize;
+        self.queue.retain(|p| {
+            if p.generated > 0 || p.swapped {
+                return true;
+            }
+            let Some(deadline) = p.spec.deadline.or(default_deadline) else {
+                return true;
+            };
+            let waited = now.saturating_since(p.timing.arrival());
+            if waited >= deadline {
+                expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.timed_out += expired;
     }
 
     fn memory_state(&self) -> MemoryState {
@@ -950,6 +990,7 @@ impl Engine {
             evictions: self.evictions,
             completed: self.outcomes.len(),
             unfinished,
+            timed_out: self.timed_out,
             makespan,
             capacity_tokens: self.capacity,
             avg_consumed_frac: if self.weighted_time > 0.0 {

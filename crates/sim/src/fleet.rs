@@ -1,0 +1,657 @@
+//! The shared fleet-lifecycle kernel: one instance state machine, one
+//! shrink pass, one cost ledger and one routing surface for every
+//! multi-instance deployment in this crate.
+//!
+//! [`crate::elastic::ElasticCluster`], [`crate::disagg::DisaggCluster`]
+//! and [`crate::disagg::ElasticDisaggCluster`] all manage pools of serving
+//! instances that are provisioned, warmed up, drained and released over a
+//! run. This module is the single definition of that machinery; the
+//! deployment modules contribute only their pool-specific work loops.
+//!
+//! # The member state machine
+//!
+//! ```text
+//!               spawn(warmup > 0)
+//!                     │
+//!                     ▼
+//!                ┌─────────┐  ready_at reached   ┌──────┐
+//!                │ Warming │ ───────────────────▶│ Live │◀── spawn(warmup = 0)
+//!                └─────────┘                     └──────┘
+//!                     │                             │
+//!       shrink:       │ cancel                      │ shrink: drain victim
+//!       (newest       ▼                             ▼
+//!       first)   ┌─────────┐   in-flight work   ┌──────────┐
+//!                │ Stopped │◀──────────────────│ Draining │
+//!                └─────────┘   finishes         └──────────┘
+//!                     ▲
+//!                     │ repurpose: a drained member leaves this pool and
+//!                     └─ re-spawns in another pool as Warming, with a
+//!                        short repurpose delay instead of a full warm-up
+//! ```
+//!
+//! * **Warming** members cost GPU time (the accelerator is booting and
+//!   loading weights) but are never routed to.
+//! * **Live** members serve traffic; only they are routing candidates.
+//! * **Draining** members finish their queued and running work, receive
+//!   nothing new, and stop — and stop costing — once empty.
+//! * **Stopped** members cost nothing from `stopped_at` on.
+//!
+//! # Heterogeneous fleets
+//!
+//! Every member carries a [`GpuType`]: a name, a `cost_weight` (its price
+//! relative to the fleet's reference accelerator) and a `perf_scale` (its
+//! step-latency speed relative to the reference; 2.0 = twice as fast).
+//! The cost ledger ([`MemberCore::cost_weighted_secs`]) charges
+//! provisioned wall-clock seconds multiplied by `cost_weight` — the
+//! objective heterogeneous planners minimize — and the shrink pass
+//! releases the *costliest* members first, so a mixed fleet sheds its
+//! expensive capacity as soon as the cheap capacity suffices.
+//!
+//! # Shrinking
+//!
+//! [`shrink_pool`] implements the one scale-down discipline every pool
+//! uses: cancel the newest warming members first (they have served
+//! nothing), then mark live victims as draining — preferring the highest
+//! `cost_weight`, then the lowest load, then the lowest index — and never
+//! take a pool below one live member, so its router always has a target.
+//!
+//! # Routing surface
+//!
+//! [`pick_rotating_min`] and [`pick_routed`] are the one definition of the
+//! load-minimizing routing dispatch with deterministic rotating tie-breaks
+//! (first-index tie-breaking would herd all cold-start traffic onto member
+//! 0). [`crate::cluster`], the elastic fleet and both disagg pools route
+//! through them.
+
+use pf_metrics::SimTime;
+
+/// Lifecycle state of one fleet member (see the module-level diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Provisioned but not yet accepting traffic.
+    Warming {
+        /// When the instance becomes live.
+        ready_at: SimTime,
+    },
+    /// Serving and routable.
+    Live,
+    /// Finishing in-flight work; receives nothing new.
+    Draining,
+    /// Released; costs nothing from its stop time on.
+    Stopped,
+}
+
+/// An accelerator type in a (possibly mixed) fleet: a display name plus
+/// its cost and speed relative to the fleet's reference GPU.
+///
+/// `perf_scale` multiplies the replica's effective kernel speed (2.0 =
+/// step latencies halve); `cost_weight` multiplies its provisioned
+/// seconds in the cost ledger. KV capacity is taken from the deployment
+/// configuration as usual — `GpuType` models speed and price, not memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GpuType {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// Price per provisioned second relative to the reference GPU.
+    pub cost_weight: f64,
+    /// Step-latency speed relative to the reference GPU (higher = faster).
+    pub perf_scale: f64,
+}
+
+impl GpuType {
+    /// Creates a GPU type, validating the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both weights are finite and positive.
+    pub fn new(name: &'static str, cost_weight: f64, perf_scale: f64) -> Self {
+        assert!(
+            cost_weight.is_finite() && cost_weight > 0.0,
+            "invalid cost weight {cost_weight}"
+        );
+        assert!(
+            perf_scale.is_finite() && perf_scale > 0.0,
+            "invalid perf scale {perf_scale}"
+        );
+        GpuType {
+            name,
+            cost_weight,
+            perf_scale,
+        }
+    }
+
+    /// The reference accelerator: cost 1.0, speed 1.0.
+    pub fn reference() -> Self {
+        GpuType::new("ref", 1.0, 1.0)
+    }
+
+    /// A big training-class GPU (the reference: cost 1.0, speed 1.0).
+    pub fn big() -> Self {
+        GpuType::new("big", 1.0, 1.0)
+    }
+
+    /// A mid-range inference GPU: 55% of the reference speed at 45% of
+    /// the price — cheaper per provisioned second, slower per step.
+    pub fn mid() -> Self {
+        GpuType::new("mid", 0.45, 0.55)
+    }
+
+    /// A small inference GPU: 30% of the reference speed at 22% of the
+    /// price.
+    pub fn small() -> Self {
+        GpuType::new("small", 0.22, 0.30)
+    }
+
+    /// Scales a reference-GPU step duration to this GPU's speed (a
+    /// `perf_scale` of 2.0 halves it). Exactly the identity for the
+    /// reference scale 1.0, so homogeneous runs replay bit-identically.
+    pub fn scale_step(&self, duration: pf_metrics::SimDuration) -> pf_metrics::SimDuration {
+        if self.perf_scale == 1.0 {
+            duration
+        } else {
+            pf_metrics::SimDuration::from_secs_f64(duration.as_secs_f64() / self.perf_scale)
+        }
+    }
+}
+
+/// The GPU type of provisioning slot `k` in a declared mix (slots past the
+/// end repeat the last entry; an empty mix is the homogeneous reference
+/// fleet).
+pub fn slot_gpu(slots: &[GpuType], k: usize) -> GpuType {
+    match slots.get(k) {
+        Some(gpu) => *gpu,
+        None => slots.last().copied().unwrap_or_default(),
+    }
+}
+
+impl Default for GpuType {
+    fn default() -> Self {
+        GpuType::reference()
+    }
+}
+
+/// The lifecycle bookkeeping every fleet member embeds: state, GPU type,
+/// provisioning timestamps and the routed-request counter.
+#[derive(Debug, Clone, Copy)]
+pub struct MemberCore {
+    /// Current lifecycle state.
+    pub state: MemberState,
+    /// The accelerator this member runs on.
+    pub gpu: GpuType,
+    /// When the member was provisioned (cost accrues from here).
+    pub spawned_at: SimTime,
+    /// When it stopped costing GPU time (`None` while still provisioned).
+    pub stopped_at: Option<SimTime>,
+    /// Requests routed to this member.
+    pub routed: usize,
+}
+
+impl MemberCore {
+    /// Provisions a member at `now`: live immediately when `warmup` is
+    /// zero, warming until `now + warmup` otherwise.
+    pub fn spawn(now: SimTime, warmup: pf_metrics::SimDuration, gpu: GpuType) -> Self {
+        let state = if warmup.is_zero() {
+            MemberState::Live
+        } else {
+            MemberState::Warming {
+                ready_at: now + warmup,
+            }
+        };
+        MemberCore {
+            state,
+            gpu,
+            spawned_at: now,
+            stopped_at: None,
+            routed: 0,
+        }
+    }
+
+    /// Whether the member may hold work (live or draining).
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, MemberState::Live | MemberState::Draining)
+    }
+
+    /// Whether the member is a routing candidate.
+    pub fn is_live(&self) -> bool {
+        self.state == MemberState::Live
+    }
+
+    /// Releases the member at `at`.
+    pub fn stop(&mut self, at: SimTime) {
+        self.state = MemberState::Stopped;
+        self.stopped_at = Some(at);
+    }
+
+    /// Provisioned wall-clock seconds, using `end` for members still up.
+    pub fn active_secs(&self, end: SimTime) -> f64 {
+        self.stopped_at
+            .unwrap_or(end)
+            .saturating_since(self.spawned_at)
+            .as_secs_f64()
+    }
+
+    /// Provisioned seconds weighted by the member's GPU cost.
+    pub fn cost_weighted_secs(&self, end: SimTime) -> f64 {
+        self.active_secs(end) * self.gpu.cost_weight
+    }
+}
+
+/// One fleet-size change, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingEvent {
+    /// When the planner decided.
+    pub at: SimTime,
+    /// Provisioned replicas (live + warming) before the decision.
+    pub from: usize,
+    /// Provisioned replicas after the decision.
+    pub to: usize,
+}
+
+/// The surface a pool's member type exposes to the lifecycle kernel.
+pub trait FleetMember {
+    /// The embedded lifecycle bookkeeping.
+    fn core(&self) -> &MemberCore;
+
+    /// Mutable access to the lifecycle bookkeeping.
+    fn core_mut(&mut self) -> &mut MemberCore;
+
+    /// Relative load for drain-victim selection (lower drains first).
+    fn load_signal(&self) -> u64;
+}
+
+/// `(live, warming)` counts of one pool.
+pub fn pool_counts<T: FleetMember>(members: &[T]) -> (usize, usize) {
+    let live = members.iter().filter(|m| m.core().is_live()).count();
+    let warming = members
+        .iter()
+        .filter(|m| matches!(m.core().state, MemberState::Warming { .. }))
+        .count();
+    (live, warming)
+}
+
+/// Members still costing GPU time (anything not stopped).
+pub fn provisioned_count<T: FleetMember>(members: &[T]) -> usize {
+    members
+        .iter()
+        .filter(|m| m.core().stopped_at.is_none())
+        .count()
+}
+
+/// Earliest pending ready-at among warming members.
+pub fn next_ready<T: FleetMember>(members: &[T]) -> Option<SimTime> {
+    members
+        .iter()
+        .filter_map(|m| match m.core().state {
+            MemberState::Warming { ready_at } => Some(ready_at),
+            _ => None,
+        })
+        .min()
+}
+
+/// Per-slot `perf_scale`s describing the fleet each candidate size would
+/// *actually* run, for the planner's heterogeneous sizing
+/// (`AutoscalePlanner::update_slot_perf_scales`).
+///
+/// Entry `k` is the `perf_scale` of the member that would be the
+/// `(k+1)`-th survivor of shrinking this pool: live members in reverse
+/// drain order (the longest-surviving — cheapest, then most loaded —
+/// first), then warming members oldest-spawn-first (shrink cancels the
+/// newest first), then the slot types future spawns would occupy. The
+/// declared provisioning order alone is wrong here: the shrink pass
+/// drains the *costliest* members first, so after any scale-down the
+/// surviving fleet differs from the first-n slots.
+pub fn candidate_perf_scales<T: FleetMember>(
+    members: &[T],
+    slots: &[GpuType],
+    max_candidates: usize,
+) -> Vec<f64> {
+    // Live members, most-survivable first: the reverse of the drain
+    // order's (cost desc, load asc, index asc) key.
+    let mut live: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.core().is_live())
+        .map(|(i, _)| i)
+        .collect();
+    live.sort_by(|&a, &b| {
+        members[a]
+            .core()
+            .gpu
+            .cost_weight
+            .total_cmp(&members[b].core().gpu.cost_weight)
+            .then_with(|| members[b].load_signal().cmp(&members[a].load_signal()))
+            .then_with(|| b.cmp(&a))
+    });
+    // Warming members survive any live member's drain but are cancelled
+    // newest-first, so the oldest (lowest index) is the most survivable.
+    let warming = members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| matches!(m.core().state, MemberState::Warming { .. }))
+        .map(|(i, _)| i);
+    let mut scales: Vec<f64> = live
+        .into_iter()
+        .chain(warming)
+        .map(|i| members[i].core().gpu.perf_scale)
+        .collect();
+    let mut next_slot = provisioned_count(members);
+    while scales.len() < max_candidates {
+        scales.push(slot_gpu(slots, next_slot).perf_scale);
+        next_slot += 1;
+    }
+    scales.truncate(max_candidates);
+    scales
+}
+
+/// Shrinks one pool toward `target` members: cancels the newest warming
+/// members first (they have served nothing), then marks live victims as
+/// draining — preferring the highest `cost_weight`, then the lowest
+/// [`FleetMember::load_signal`], then the lowest index — and never takes
+/// the pool below one live member, so the router always has a target.
+/// Returns the indices newly marked draining; the caller runs its
+/// pool-specific idle-stop check on them.
+pub fn shrink_pool<T: FleetMember>(members: &mut [T], target: usize, now: SimTime) -> Vec<usize> {
+    let (live, warming) = pool_counts(members);
+    let mut excess = (live + warming).saturating_sub(target);
+    for i in (0..members.len()).rev() {
+        if excess == 0 {
+            break;
+        }
+        if matches!(members[i].core().state, MemberState::Warming { .. }) {
+            members[i].core_mut().stop(now);
+            excess -= 1;
+        }
+    }
+    let mut drained = Vec::new();
+    while excess > 0 {
+        let live_count = members.iter().filter(|m| m.core().is_live()).count();
+        if live_count <= 1 {
+            break; // never leave the router without a target
+        }
+        let Some(victim) = drain_victim(members) else {
+            break;
+        };
+        members[victim].core_mut().state = MemberState::Draining;
+        drained.push(victim);
+        excess -= 1;
+    }
+    drained
+}
+
+/// The live member the shrink pass drains next: highest GPU cost first
+/// (release expensive capacity as soon as cheap capacity suffices), then
+/// lowest load (it empties soonest), then lowest index. For a homogeneous
+/// fleet this reduces to the classic least-loaded-first victim.
+pub fn drain_victim<T: FleetMember>(members: &[T]) -> Option<usize> {
+    members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.core().is_live())
+        .min_by(|(ia, a), (ib, b)| {
+            b.core()
+                .gpu
+                .cost_weight
+                .total_cmp(&a.core().gpu.cost_weight)
+                .then_with(|| a.load_signal().cmp(&b.load_signal()))
+                .then_with(|| ia.cmp(ib))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Smallest cached overlap (tokens) for which
+/// [`crate::cluster::RouterPolicy::PrefixAffinity`] prefers the matching
+/// instance over the least-loaded one. Below this the prefill saving is
+/// smaller than the imbalance it can cause.
+pub const PREFIX_MATCH_MIN_TOKENS: u64 = 32;
+
+/// Index minimizing `key` among `candidates`, breaking *exact* key ties by
+/// the first candidate at or after `*cursor` (mod `n`), then advancing the
+/// cursor just past the winner. The rotation spreads equal-load picks
+/// across the fleet instead of piling them onto the lowest index.
+pub(crate) fn pick_rotating_min(
+    candidates: impl Iterator<Item = (usize, f64)>,
+    cursor: &mut usize,
+    n: usize,
+) -> Option<usize> {
+    let n = n.max(1);
+    let start = *cursor % n;
+    let mut best: Option<(usize, f64, usize)> = None;
+    for (i, key) in candidates {
+        let rank = (i + n - start) % n;
+        let better = match &best {
+            None => true,
+            Some((_, best_key, best_rank)) => match key.total_cmp(best_key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => rank < *best_rank,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if better {
+            best = Some((i, key, rank));
+        }
+    }
+    best.map(|(i, _, _)| {
+        *cursor = (i + 1) % n;
+        i
+    })
+}
+
+/// One routable candidate: fleet index, load under the active policy's
+/// signal (already divided by the member's `perf_scale`, so a fast GPU
+/// looks emptier than a slow one at equal queued work), and cached prefix
+/// overlap with the request being routed.
+pub(crate) struct RouteCandidate {
+    pub(crate) index: usize,
+    pub(crate) load: f64,
+    pub(crate) cached_match: u64,
+}
+
+/// The single definition of the routing dispatch, shared by the cluster,
+/// the elastic fleet and the disagg pools:
+/// [`crate::cluster::RouterPolicy::RoundRobin`] rotates,
+/// [`crate::cluster::RouterPolicy::PrefixAffinity`] takes the longest
+/// cached match at or above [`PREFIX_MATCH_MIN_TOKENS`] (ties by load or
+/// rotation), and everything else routes by the candidate's load — all
+/// exact ties broken by the rotating cursor. `n` is the full fleet size.
+pub(crate) fn pick_routed(
+    policy: crate::cluster::RouterPolicy,
+    candidates: &[RouteCandidate],
+    cursor: &mut usize,
+    n: usize,
+) -> Option<usize> {
+    use crate::cluster::RouterPolicy;
+    let by_load = |c: &RouteCandidate| (c.index, c.load);
+    match policy {
+        RouterPolicy::RoundRobin => {
+            pick_rotating_min(candidates.iter().map(|c| (c.index, 0.0)), cursor, n)
+        }
+        RouterPolicy::LeastOutstanding
+        | RouterPolicy::LeastUsedMemory
+        | RouterPolicy::LeastEstimatedLoad => {
+            pick_rotating_min(candidates.iter().map(by_load), cursor, n)
+        }
+        RouterPolicy::PrefixAffinity { load_tiebreak } => {
+            let best_match = candidates.iter().map(|c| c.cached_match).max().unwrap_or(0);
+            if best_match >= PREFIX_MATCH_MIN_TOKENS {
+                let matched = candidates.iter().filter(|c| c.cached_match == best_match);
+                if load_tiebreak {
+                    pick_rotating_min(matched.map(by_load), cursor, n)
+                } else {
+                    pick_rotating_min(matched.map(|c| (c.index, 0.0)), cursor, n)
+                }
+            } else {
+                pick_rotating_min(candidates.iter().map(by_load), cursor, n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_metrics::SimDuration;
+
+    struct Toy {
+        core: MemberCore,
+        load: u64,
+    }
+
+    impl FleetMember for Toy {
+        fn core(&self) -> &MemberCore {
+            &self.core
+        }
+
+        fn core_mut(&mut self) -> &mut MemberCore {
+            &mut self.core
+        }
+
+        fn load_signal(&self) -> u64 {
+            self.load
+        }
+    }
+
+    fn live(load: u64, gpu: GpuType) -> Toy {
+        Toy {
+            core: MemberCore::spawn(SimTime::ZERO, SimDuration::ZERO, gpu),
+            load,
+        }
+    }
+
+    fn warming(at_s: u64) -> Toy {
+        Toy {
+            core: MemberCore::spawn(SimTime::ZERO, SimDuration::from_secs(at_s), GpuType::big()),
+            load: 0,
+        }
+    }
+
+    #[test]
+    fn spawn_state_depends_on_warmup() {
+        let cold = MemberCore::spawn(SimTime::ZERO, SimDuration::from_secs(5), GpuType::big());
+        assert!(matches!(cold.state, MemberState::Warming { ready_at } if
+            ready_at == SimTime::from_secs(5)));
+        let hot = MemberCore::spawn(SimTime::ZERO, SimDuration::ZERO, GpuType::big());
+        assert!(hot.is_live());
+    }
+
+    #[test]
+    fn shrink_cancels_newest_warming_first() {
+        let mut pool = vec![live(3, GpuType::big()), warming(5), warming(9)];
+        let drained = shrink_pool(&mut pool, 1, SimTime::from_secs(1));
+        assert!(
+            drained.is_empty(),
+            "warming cancellation covered the excess"
+        );
+        assert_eq!(pool[0].core.state, MemberState::Live);
+        assert_eq!(pool[1].core.state, MemberState::Stopped);
+        assert_eq!(pool[2].core.state, MemberState::Stopped);
+        assert_eq!(pool[1].core.stopped_at, Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn shrink_prefers_costly_then_idle_victims() {
+        let mut pool = vec![
+            live(0, GpuType::small()),
+            live(50, GpuType::big()),
+            live(10, GpuType::big()),
+        ];
+        let drained = shrink_pool(&mut pool, 1, SimTime::ZERO);
+        // Both big members outrank the idle small one; among them the
+        // less-loaded drains first.
+        assert_eq!(drained, vec![2, 1]);
+        assert_eq!(pool[0].core.state, MemberState::Live);
+    }
+
+    #[test]
+    fn homogeneous_shrink_is_least_loaded_first() {
+        let mut pool = vec![
+            live(7, GpuType::big()),
+            live(2, GpuType::big()),
+            live(2, GpuType::big()),
+        ];
+        let drained = shrink_pool(&mut pool, 1, SimTime::ZERO);
+        assert_eq!(drained, vec![1, 2], "load then index ties");
+    }
+
+    #[test]
+    fn shrink_never_empties_the_pool() {
+        let mut pool = vec![live(1, GpuType::big()), live(2, GpuType::big())];
+        let drained = shrink_pool(&mut pool, 0, SimTime::ZERO);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(pool.iter().filter(|m| m.core.is_live()).count(), 1);
+    }
+
+    #[test]
+    fn ledger_weights_by_cost() {
+        let mut a = live(0, GpuType::big());
+        let mut b = live(0, GpuType::new("half", 0.5, 0.5));
+        a.core.stop(SimTime::from_secs(10));
+        b.core.stop(SimTime::from_secs(10));
+        let end = SimTime::from_secs(99);
+        let total = a.core.cost_weighted_secs(end) + b.core.cost_weighted_secs(end);
+        assert!((total - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_scales_track_drain_survivors_not_slot_order() {
+        // Slots declare big-first, but the shrink pass drains big members
+        // first — so small candidate fleets are the *mid* members.
+        let slots = [
+            GpuType::big(),
+            GpuType::big(),
+            GpuType::mid(),
+            GpuType::mid(),
+        ];
+        let pool = vec![
+            live(10, GpuType::big()),
+            live(20, GpuType::big()),
+            live(30, GpuType::mid()),
+            live(40, GpuType::mid()),
+        ];
+        let scales = candidate_perf_scales(&pool, &slots, 4);
+        let mid = GpuType::mid().perf_scale;
+        // Survivors of shrinking to 1/2: the mids (cheapest, most loaded
+        // last); only candidates of 3+ include a big member.
+        assert_eq!(scales[0], mid);
+        assert_eq!(scales[1], mid);
+        assert_eq!(scales[2], 1.0);
+        assert_eq!(scales[3], 1.0);
+        // After the bigs drain away, candidates re-grow from future slots.
+        let survivors = vec![live(30, GpuType::mid()), live(40, GpuType::mid())];
+        let scales = candidate_perf_scales(&survivors, &slots, 4);
+        assert_eq!(scales, vec![mid, mid, mid, mid]);
+    }
+
+    #[test]
+    fn candidate_scales_prefer_live_over_warming_and_pad_from_slots() {
+        let slots = [GpuType::big(), GpuType::mid()];
+        let pool = vec![warming(5), live(0, GpuType::big())];
+        let scales = candidate_perf_scales(&pool, &slots, 4);
+        // The live member survives everything; the warming member is next;
+        // future spawns occupy slot 2+ (repeating the last declared type).
+        assert_eq!(scales[0], 1.0);
+        assert_eq!(scales[1], 1.0);
+        assert_eq!(scales[2], GpuType::mid().perf_scale);
+        assert_eq!(scales[3], GpuType::mid().perf_scale);
+    }
+
+    #[test]
+    fn counts_and_next_ready() {
+        let pool = vec![live(0, GpuType::big()), warming(3), warming(7)];
+        assert_eq!(pool_counts(&pool), (1, 2));
+        assert_eq!(provisioned_count(&pool), 3);
+        assert_eq!(next_ready(&pool), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost weight")]
+    fn zero_cost_weight_panics() {
+        let _ = GpuType::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid perf scale")]
+    fn negative_perf_scale_panics() {
+        let _ = GpuType::new("bad", 1.0, -1.0);
+    }
+}

@@ -45,6 +45,7 @@ pub mod disagg;
 pub mod elastic;
 mod engine;
 mod error;
+pub mod fleet;
 mod hardware;
 mod model;
 mod perf;
@@ -56,6 +57,7 @@ pub use config::{
     SimConfigBuilder,
 };
 pub use error::SimError;
+pub use fleet::GpuType;
 pub use hardware::GpuSpec;
 pub use model::ModelSpec;
 pub use perf::{PerfModel, PerfTuning};

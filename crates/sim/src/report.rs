@@ -37,6 +37,9 @@ pub struct SimReport {
     pub completed: usize,
     /// Requests left unfinished at the simulation horizon.
     pub unfinished: usize,
+    /// Requests cancelled because their deadline expired before a first
+    /// token (neither completed nor unfinished).
+    pub timed_out: usize,
     /// End-to-end simulated duration.
     pub makespan: SimDuration,
     /// KV capacity in tokens.
@@ -124,6 +127,7 @@ mod tests {
             evictions: 3,
             completed: 2,
             unfinished: 0,
+            timed_out: 0,
             makespan: SimDuration::from_secs(10),
             capacity_tokens: 1000,
             avg_consumed_frac: 0.5,

@@ -5,9 +5,9 @@
 use pf_autoscale::{AutoscaleConfig, PredictorKind};
 use pf_metrics::{SimDuration, SimTime};
 use pf_sim::disagg::{
-    DisaggCluster, DisaggConfig, DisaggReport, ElasticDisaggCluster, KvTransferSpec,
+    DisaggCluster, DisaggConfig, DisaggReport, ElasticDisaggCluster, KvTransferSpec, PrefillOrder,
 };
-use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_sim::{GpuSpec, GpuType, ModelSpec, SimConfig};
 use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
 
 fn base_config(capacity: u64) -> SimConfig {
@@ -315,6 +315,154 @@ fn initial_replicas_outside_bounds_panics() {
         autoscale(1, 4),
         6,
         1,
+    );
+}
+
+/// Prefill-heavy bursts with a minority of very long prompts: the regime
+/// where queue order decides the TTFT tail — during a burst, dozens of
+/// short summaries pile up behind one 3k-token prompt at the head of a
+/// FIFO queue.
+fn bursty_mixed_prompts(n: usize, seed: u64) -> (Vec<RequestSpec>, Vec<SimTime>) {
+    let input = LengthSampler::mixture(vec![
+        (0.90, LengthSampler::uniform(64, 256)),
+        (0.10, LengthSampler::uniform(2048, 3072)),
+    ]);
+    let output = LengthSampler::uniform(8, 32);
+    let requests = datasets::from_samplers(n, seed, &input, &output, 64);
+    let arrivals = RateProfile::bursty(
+        3.0,
+        22.0,
+        SimDuration::from_secs(25),
+        SimDuration::from_secs(60),
+    )
+    .assign(&mut seeded(33), n);
+    (requests, arrivals)
+}
+
+#[test]
+fn sjf_prefill_order_cuts_the_ttft_tail_without_starving_long_prompts() {
+    let n = 600;
+    let aging_cap = SimDuration::from_secs(8);
+    let (requests, arrivals) = bursty_mixed_prompts(n, 21);
+    let run = |order: PrefillOrder| {
+        DisaggCluster::new(
+            DisaggConfig::new(base_config(12_000))
+                .prefill_order(order)
+                .prefill_batch_tokens(4_096),
+            1,
+            1,
+        )
+        .run(requests.clone(), arrivals.clone())
+        .expect("disagg run")
+    };
+    let fifo = run(PrefillOrder::Fifo);
+    let sjf = run(PrefillOrder::ShortestPromptFirst { aging_cap });
+    assert_eq!(fifo.completed(), n);
+    assert_eq!(sjf.completed(), n, "sjf must not drop or starve requests");
+    assert!(
+        sjf.goodput.ttft_secs.p99 < fifo.goodput.ttft_secs.p99,
+        "sjf TTFT p99 {:.2}s did not beat fifo {:.2}s",
+        sjf.goodput.ttft_secs.p99,
+        fifo.goodput.ttft_secs.p99
+    );
+    // The aging cap bounds starvation: the worst wait under SJF (a long
+    // prompt repeatedly overtaken during a burst) stays within the cap
+    // plus one aged-flush backlog — operationally, no prompt waits
+    // unboundedly behind short ones.
+    let max_ttft = |report: &DisaggReport| {
+        report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.timing.ttft())
+            .max()
+            .expect("completed requests have first tokens")
+    };
+    let fifo_worst = max_ttft(&fifo);
+    let sjf_worst = max_ttft(&sjf);
+    assert!(
+        sjf_worst <= fifo_worst + aging_cap,
+        "sjf worst TTFT {sjf_worst} exceeds fifo worst {fifo_worst} plus the aging cap"
+    );
+}
+
+#[test]
+fn queued_requests_past_their_deadline_are_cancelled() {
+    // One prefill instance at ~2x its service rate: the queue grows
+    // without bound, so late requests blow through a 12 s deadline.
+    let n = 200;
+    let requests: Vec<RequestSpec> = prefill_heavy_requests(n, 22)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_secs(12)))
+        .collect();
+    let report = DisaggCluster::new(DisaggConfig::new(base_config(12_000)), 1, 1)
+        .run(requests, steady_arrivals(n, 100))
+        .expect("disagg run");
+    assert!(
+        report.timed_out > 0,
+        "an overloaded prefill queue must time requests out"
+    );
+    assert_eq!(
+        report.completed() + report.timed_out,
+        n,
+        "every request either completes or times out"
+    );
+    assert_eq!(report.unserved, 0);
+    // Every completed request met its deadline to the first token.
+    for outcome in &report.outcomes {
+        let ttft = outcome.timing.ttft().expect("completed");
+        assert!(
+            ttft < SimDuration::from_secs(12) + SimDuration::from_secs(1),
+            "request {} completed with TTFT {} past its deadline",
+            outcome.id,
+            ttft
+        );
+    }
+    // Without deadlines the same run completes everything.
+    let no_deadline = DisaggCluster::new(DisaggConfig::new(base_config(12_000)), 1, 1)
+        .run(prefill_heavy_requests(n, 22), steady_arrivals(n, 100))
+        .expect("disagg run");
+    assert_eq!(no_deadline.completed(), n);
+    assert_eq!(no_deadline.timed_out, 0);
+}
+
+#[test]
+fn heterogeneous_pools_price_and_pace_by_gpu_type() {
+    let n = 200;
+    let requests = prefill_heavy_requests(n, 23);
+    let run = |slots: Vec<GpuType>| {
+        DisaggCluster::new(
+            DisaggConfig::new(base_config(12_000)).fleet(slots, Vec::new()),
+            2,
+            1,
+        )
+        .run(requests.clone(), steady_arrivals(n, 150))
+        .expect("disagg run")
+    };
+    let reference = run(Vec::new());
+    let homogeneous = run(vec![GpuType::reference(), GpuType::reference()]);
+    let mixed = run(vec![GpuType::reference(), GpuType::mid()]);
+    // Declaring the reference type explicitly changes nothing, bit for bit.
+    assert_eq!(reference.makespan, homogeneous.makespan);
+    assert_eq!(
+        reference.cost_weighted_gpu_seconds(),
+        homogeneous.cost_weighted_gpu_seconds()
+    );
+    assert_eq!(
+        reference.gpu_seconds(),
+        reference.cost_weighted_gpu_seconds()
+    );
+    // A mixed pool completes everything, bills the cheap GPU at its
+    // weight, and routes more work to the faster member.
+    assert_eq!(mixed.completed(), n);
+    assert!(
+        mixed.cost_weighted_gpu_seconds() < mixed.gpu_seconds(),
+        "a sub-1.0-cost member must cut the weighted bill"
+    );
+    assert!(
+        mixed.prefill.instances[0].routed > mixed.prefill.instances[1].routed,
+        "the faster GPU should draw more traffic ({} vs {})",
+        mixed.prefill.instances[0].routed,
+        mixed.prefill.instances[1].routed
     );
 }
 

@@ -191,3 +191,99 @@ fn static_min_and_max_bracket_the_elastic_fleet() {
 fn initial_replicas_outside_bounds_panics() {
     let _ = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 6);
 }
+
+#[test]
+fn declaring_the_reference_fleet_changes_nothing() {
+    use pf_sim::GpuType;
+    let n = 400;
+    let requests = datasets::short_chat(n, 20);
+    let arrivals =
+        RateProfile::diurnal(1.0, 10.0, SimDuration::from_secs(150)).assign(&mut seeded(21), n);
+    let implicit = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 1)
+        .run(requests.clone(), arrivals.clone())
+        .expect("implicit run");
+    let explicit = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 1)
+        .fleet(vec![GpuType::reference(); 4])
+        .run(requests, arrivals)
+        .expect("explicit run");
+    // The homogeneous reference fleet is the identity, bit for bit.
+    assert_eq!(implicit.makespan, explicit.makespan);
+    assert_eq!(implicit.events, explicit.events);
+    assert_eq!(implicit.gpu_seconds(), explicit.gpu_seconds());
+    assert_eq!(
+        implicit.gpu_seconds(),
+        implicit.cost_weighted_gpu_seconds(),
+        "weight-1.0 fleets bill plain GPU-seconds"
+    );
+}
+
+#[test]
+fn mixed_fleet_completes_and_bills_by_cost_weight() {
+    use pf_sim::GpuType;
+    let n = 500;
+    let requests = datasets::short_chat(n, 22);
+    let arrivals =
+        RateProfile::diurnal(1.0, 8.0, SimDuration::from_secs(150)).assign(&mut seeded(23), n);
+    let report = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 2)
+        .fleet(vec![
+            GpuType::big(),
+            GpuType::big(),
+            GpuType::mid(),
+            GpuType::mid(),
+        ])
+        .run(requests, arrivals)
+        .expect("mixed run");
+    assert_eq!(report.completed(), n);
+    assert_eq!(report.unrouted, 0);
+    // The ledger recomputes from per-instance lifetimes and weights.
+    let recompute: f64 = report
+        .instances
+        .iter()
+        .map(|i| i.active_secs() * i.gpu.cost_weight)
+        .sum();
+    assert!((report.cost_weighted_gpu_seconds() - recompute).abs() < 1e-9);
+    // Any mid-tier instance in the fleet bills below plain seconds.
+    if report.instances.iter().any(|i| i.gpu.cost_weight < 1.0) {
+        assert!(report.cost_weighted_gpu_seconds() < report.gpu_seconds());
+    }
+    // Determinism with mixed types.
+    let replay = ElasticCluster::new(base_config(6_000), autoscale(1, 4), 2)
+        .fleet(vec![
+            GpuType::big(),
+            GpuType::big(),
+            GpuType::mid(),
+            GpuType::mid(),
+        ])
+        .run(datasets::short_chat(n, 22), {
+            RateProfile::diurnal(1.0, 8.0, SimDuration::from_secs(150)).assign(&mut seeded(23), n)
+        })
+        .expect("replay");
+    assert_eq!(replay.makespan, report.makespan);
+    assert_eq!(replay.events, report.events);
+    assert_eq!(
+        replay.cost_weighted_gpu_seconds(),
+        report.cost_weighted_gpu_seconds()
+    );
+}
+
+#[test]
+fn elastic_timed_out_requests_are_reported() {
+    // A burst far beyond the bounded fleet's capacity with tight
+    // deadlines: the elastic report surfaces the engine-level timeouts.
+    let n = 500;
+    let requests: Vec<pf_workload::RequestSpec> = datasets::short_chat(n, 24)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_secs(8)))
+        .collect();
+    let arrivals: Vec<SimTime> = (0..n)
+        .map(|i| SimTime::from_millis(20 * i as u64)) // 50 req/s
+        .collect();
+    let report = ElasticCluster::new(base_config(3_000), autoscale(1, 2), 1)
+        .run(requests, arrivals)
+        .expect("elastic run");
+    assert!(
+        report.timed_out() > 0,
+        "a 50 req/s burst into a 2-replica fleet must shed load"
+    );
+    assert_eq!(report.completed() + report.timed_out(), n);
+}

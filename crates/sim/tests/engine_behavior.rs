@@ -381,3 +381,88 @@ fn swap_mode_with_zero_evictions_matches_recompute() {
     assert_eq!(recompute.makespan, swap.makespan);
     assert_eq!(recompute.decode_steps, swap.decode_steps);
 }
+
+#[test]
+fn queued_requests_past_their_deadline_time_out() {
+    // Everything arrives at once against a pool that admits only a few
+    // requests at a time: the back of the queue waits far past 5 s.
+    use pf_metrics::SimTime;
+    let n = 80;
+    let requests: Vec<RequestSpec> = decode_heavy(n, 7)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_secs(5)))
+        .collect();
+    let arrivals = vec![SimTime::ZERO; n];
+    let report = Simulation::with_arrivals(
+        small_config(SchedulerConfig::past_future(), 1_200),
+        requests,
+        arrivals,
+    )
+    .run()
+    .unwrap();
+    assert!(
+        report.timed_out > 0,
+        "a 5 s deadline must cancel stragglers"
+    );
+    assert_eq!(
+        report.completed + report.timed_out,
+        n,
+        "every request either completes or times out"
+    );
+    assert_eq!(report.unfinished, 0);
+    // Cancelled requests left no KV behind: the survivors' outcomes are
+    // all full-length completions.
+    assert!(report.outcomes.iter().all(|o| o.output_len >= 1));
+}
+
+#[test]
+fn deployment_wide_deadline_applies_to_deadline_free_requests() {
+    use pf_metrics::SimTime;
+    let n = 80;
+    let requests = decode_heavy(n, 7); // no per-request deadlines
+    let arrivals = vec![SimTime::ZERO; n];
+    let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(1_200)
+        .request_deadline(SimDuration::from_secs(5))
+        .seed(42)
+        .build();
+    let with_default = Simulation::with_arrivals(config, requests.clone(), arrivals.clone())
+        .run()
+        .unwrap();
+    assert!(with_default.timed_out > 0);
+    assert_eq!(with_default.completed + with_default.timed_out, n);
+    // Without any deadline the identical run completes everything.
+    let without = Simulation::with_arrivals(
+        small_config(SchedulerConfig::past_future(), 1_200),
+        requests,
+        arrivals,
+    )
+    .run()
+    .unwrap();
+    assert_eq!(without.completed, n);
+    assert_eq!(without.timed_out, 0);
+}
+
+#[test]
+fn generous_deadlines_change_nothing() {
+    let n = 48;
+    let baseline = Simulation::offline(
+        small_config(SchedulerConfig::past_future(), 2_000),
+        decode_heavy(n, 9),
+    )
+    .run()
+    .unwrap();
+    let relaxed: Vec<RequestSpec> = decode_heavy(n, 9)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_secs(100_000)))
+        .collect();
+    let with_deadlines =
+        Simulation::offline(small_config(SchedulerConfig::past_future(), 2_000), relaxed)
+            .run()
+            .unwrap();
+    assert_eq!(with_deadlines.completed, n);
+    assert_eq!(with_deadlines.timed_out, 0);
+    assert_eq!(with_deadlines.makespan, baseline.makespan);
+    assert_eq!(with_deadlines.decode_steps, baseline.decode_steps);
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pf_metrics::SimDuration;
+
 /// Opaque request identifier, unique within one workload/simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -83,6 +85,11 @@ pub struct RequestSpec {
     /// declared prefix — the part a prefix-cache hit can skip. Zero for
     /// the first request of a session (nothing cached yet).
     pub prefix_len: u32,
+    /// Optional service deadline measured from arrival: a request still
+    /// waiting (no token emitted) past this is cancelled by the serving
+    /// engine — its queue slot is reclaimed and it counts as `timed_out`
+    /// in reports instead of completing. `None` waits forever.
+    pub deadline: Option<SimDuration>,
 }
 
 impl RequestSpec {
@@ -113,7 +120,21 @@ impl RequestSpec {
             image_tokens: 0,
             prefix_id: None,
             prefix_len: 0,
+            deadline: None,
         }
+    }
+
+    /// Attaches a cancellation deadline: if no token has been emitted
+    /// within `deadline` of arrival, the serving engine drops the request
+    /// (client gave up / gateway timeout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero (the request could never be served).
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "a zero deadline can never be met");
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Declares the shared prefix this request extends: its first
@@ -183,6 +204,19 @@ mod tests {
         assert_eq!(r.image_tokens, 0);
         assert_eq!(r.prefix_id, None);
         assert_eq!(r.prefix_len, 0);
+        assert_eq!(r.deadline, None);
+    }
+
+    #[test]
+    fn with_deadline_marks_cancellable() {
+        let r = RequestSpec::new(3u64, 100, 50, 512).with_deadline(SimDuration::from_secs(30));
+        assert_eq!(r.deadline, Some(SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero deadline")]
+    fn zero_deadline_rejected() {
+        let _ = RequestSpec::new(1u64, 10, 5, 100).with_deadline(SimDuration::ZERO);
     }
 
     #[test]

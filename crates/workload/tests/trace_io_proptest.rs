@@ -16,22 +16,30 @@ fn records_strategy() -> impl Strategy<Value = Vec<TraceRecord>> {
             // proptest shim has no `option::of`).
             0u64..3_000,
             0u32..100_000,
+            // Half the records carry an arrival timestamp; a third carry
+            // a (nonzero) deadline.
+            0u64..10_000_000_000,
+            1u64..600_000_000,
         )
-            .prop_map(|(input_len, output_len, prefix_raw, prefix_len)| {
-                let prefix_id = (prefix_raw % 3 != 0).then_some(prefix_raw);
-                TraceRecord {
-                    input_len,
-                    output_len,
-                    prefix_id,
-                    // A prefix length is only meaningful alongside a prefix
-                    // id and within the prompt.
-                    prefix_len: if prefix_id.is_some() {
-                        prefix_len.min(input_len)
-                    } else {
-                        0
-                    },
-                }
-            }),
+            .prop_map(
+                |(input_len, output_len, prefix_raw, prefix_len, arrival_raw, deadline_raw)| {
+                    let prefix_id = (prefix_raw % 3 != 0).then_some(prefix_raw);
+                    TraceRecord {
+                        input_len,
+                        output_len,
+                        prefix_id,
+                        // A prefix length is only meaningful alongside a prefix
+                        // id and within the prompt.
+                        prefix_len: if prefix_id.is_some() {
+                            prefix_len.min(input_len)
+                        } else {
+                            0
+                        },
+                        arrival_us: (arrival_raw % 2 == 0).then_some(arrival_raw),
+                        deadline_us: (deadline_raw % 3 == 0).then_some(deadline_raw),
+                    }
+                },
+            ),
         0..200,
     )
 }
@@ -64,12 +72,18 @@ proptest! {
             prop_assert_eq!(request.true_output_len, record.output_len.min(cap));
         }
         // And back: extracting records from the requests matches the
-        // surviving records (cap chosen above any sampled output).
+        // surviving records (cap chosen above any sampled output;
+        // timestamps live outside RequestSpec, so the untimed extraction
+        // drops them).
         let back = records_from_requests(&requests);
         let expected: Vec<TraceRecord> = records
             .iter()
             .filter(|r| r.output_len > 0)
             .copied()
+            .map(|mut r| {
+                r.arrival_us = None;
+                r
+            })
             .collect();
         prop_assert_eq!(back, expected);
     }
@@ -118,13 +132,16 @@ proptest! {
     /// same records.
     #[test]
     fn column_permutations_parse_identically(records in records_strategy()) {
-        let mut shuffled =
-            String::from("timestamp,prefix_len,output_len,model,input_len,prefix_id\n");
+        let mut shuffled = String::from(
+            "timestamp,prefix_len,output_len,deadline_us,arrival_us,model,input_len,prefix_id\n",
+        );
         for (i, r) in records.iter().enumerate() {
             let prefix_id = r.prefix_id.map_or(String::new(), |id| id.to_string());
+            let arrival = r.arrival_us.map_or(String::new(), |t| t.to_string());
+            let deadline = r.deadline_us.map_or(String::new(), |t| t.to_string());
             shuffled.push_str(&format!(
-                "{}.5,{},{},m{},{},{}\n",
-                i, r.prefix_len, r.output_len, i, r.input_len, prefix_id
+                "{}.5,{},{},{},{},m{},{},{}\n",
+                i, r.prefix_len, r.output_len, deadline, arrival, i, r.input_len, prefix_id
             ));
         }
         let parsed = read_trace_csv(shuffled.as_bytes()).expect("permuted header");
