@@ -1,0 +1,242 @@
+//! Extension: slack-aware deadline scheduling across the cluster runners.
+//!
+//! PR 4 gave requests deadlines but only as a guillotine: engines cancel
+//! expired queued requests. This scenario exercises the scheduling move on
+//! top — `QueueOrder::LeastSlackFirst` admits by *remaining deadline
+//! slack* (and early-drops requests that can no longer make it) — on
+//! mixed-deadline traffic: tight-deadline interactive chat interleaved
+//! with lax batch summarization (`datasets::mixed_deadline`). Under FIFO
+//! a chat request milliseconds from its deadline waits behind a 3k-token
+//! document with a minute of slack, and the chat class dies in the queue.
+//!
+//! The comparison runs at matched provisioning in all three topologies —
+//! a fixed 2-instance colocated cluster, a fixed 1-prefill/1-decode
+//! disaggregated split, and a fixed-size (min = max = 2) elastic fleet —
+//! and asserts, per topology:
+//!
+//! * LeastSlackFirst times out strictly fewer requests than FIFO;
+//! * deadline attainment (fraction of requests whose first token landed
+//!   within their own deadline; timed-out and unserved requests count as
+//!   misses) does not drop;
+//! * replay is bit-identical (same workload, same report, twice).
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin deadline_sched [-- --quick]
+//! ```
+
+use std::collections::HashMap;
+
+use pf_autoscale::{AutoscaleConfig, PredictorKind};
+use pf_bench::{pct, Cli};
+use pf_core::SchedulerConfig;
+use pf_metrics::{Align, SimDuration, SimTime, Table};
+use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig};
+use pf_sim::elastic::ElasticCluster;
+use pf_sim::{GpuSpec, ModelSpec, QueueOrder, RequestOutcome, SimConfig};
+use pf_workload::{datasets, RequestSpec};
+
+/// One topology × queue-order measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RunResult {
+    completed: usize,
+    timed_out: usize,
+    /// Fraction of all issued requests whose first token landed within
+    /// their own deadline (timed-out / unserved requests are misses).
+    attainment: f64,
+    gpu_seconds: f64,
+    makespan_s: f64,
+}
+
+/// Deadline attainment over every issued request: an outcome attains iff
+/// its TTFT is within the deadline its spec carried; requests without an
+/// outcome (timed out, unserved) are misses.
+fn deadline_attainment<'a>(
+    outcomes: impl Iterator<Item = &'a RequestOutcome>,
+    requests: &[RequestSpec],
+) -> f64 {
+    let deadlines: HashMap<u64, SimDuration> = requests
+        .iter()
+        .filter_map(|r| r.deadline.map(|d| (r.id.raw(), d)))
+        .collect();
+    let attained = outcomes
+        .filter(|o| {
+            let Some(deadline) = deadlines.get(&o.id) else {
+                return true;
+            };
+            o.timing.ttft().is_some_and(|ttft| ttft <= *deadline)
+        })
+        .count();
+    attained as f64 / requests.len() as f64
+}
+
+fn base_config(order: QueueOrder) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(8_000)
+        .record_series(false)
+        .queue_order(order)
+        .seed(72)
+        .build()
+}
+
+fn steady(n: usize, gap_ms: u64) -> Vec<SimTime> {
+    (0..n)
+        .map(|i| SimTime::from_millis(gap_ms * i as u64))
+        .collect()
+}
+
+fn coloc_run(order: QueueOrder, requests: &[RequestSpec], arrivals: &[SimTime]) -> RunResult {
+    let report = ClusterSimulation::new(base_config(order), 2, RouterPolicy::LeastEstimatedLoad)
+        .run(requests.to_vec(), arrivals.to_vec())
+        .expect("colocated run");
+    let makespan_s = report.makespan().as_secs_f64();
+    RunResult {
+        completed: report.completed(),
+        timed_out: report.instances.iter().map(|r| r.timed_out).sum(),
+        attainment: deadline_attainment(
+            report.instances.iter().flat_map(|r| r.outcomes.iter()),
+            requests,
+        ),
+        // Fixed fleet: both instances are provisioned for the whole run.
+        gpu_seconds: 2.0 * makespan_s,
+        makespan_s,
+    }
+}
+
+fn disagg_run(order: QueueOrder, requests: &[RequestSpec], arrivals: &[SimTime]) -> RunResult {
+    let mut base = base_config(order);
+    base.capacity_override = Some(12_000);
+    let report = DisaggCluster::new(DisaggConfig::new(base), 1, 1)
+        .run(requests.to_vec(), arrivals.to_vec())
+        .expect("disagg run");
+    RunResult {
+        completed: report.completed(),
+        timed_out: report.timed_out,
+        attainment: deadline_attainment(report.outcomes.iter(), requests),
+        gpu_seconds: report.gpu_seconds(),
+        makespan_s: report.makespan.as_secs_f64(),
+    }
+}
+
+fn elastic_run(order: QueueOrder, requests: &[RequestSpec], arrivals: &[SimTime]) -> RunResult {
+    let autoscale = AutoscaleConfig::bounded(2, 2)
+        .interval(SimDuration::from_secs(10))
+        .warmup(SimDuration::from_secs(20))
+        .predictor(PredictorKind::holt())
+        .initial_lengths(160.0, 224.0);
+    let report = ElasticCluster::new(base_config(order), autoscale, 2)
+        .run(requests.to_vec(), arrivals.to_vec())
+        .expect("elastic run");
+    RunResult {
+        completed: report.completed(),
+        timed_out: report.timed_out(),
+        attainment: deadline_attainment(
+            report
+                .instances
+                .iter()
+                .flat_map(|i| i.report.outcomes.iter()),
+            requests,
+        ),
+        gpu_seconds: report.gpu_seconds(),
+        makespan_s: report.makespan.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+
+    // (label, workload seed, (n, gap ms) full, (n, gap ms) quick,
+    // runner). Rates are tuned so each topology's queue transiently
+    // outruns the tight 5 s chat deadline under FIFO while the lax 60 s
+    // class stays feasible.
+    type Runner = fn(QueueOrder, &[RequestSpec], &[SimTime]) -> RunResult;
+    type Scenario = (&'static str, u64, (usize, u64), (usize, u64), Runner);
+    let scenarios: [Scenario; 3] = [
+        ("coloc-2x", 71, (300, 60), (140, 50), coloc_run),
+        ("disagg-1p1d", 33, (300, 25), (150, 25), disagg_run),
+        ("elastic-2", 73, (400, 60), (200, 50), elastic_run),
+    ];
+
+    let mut table = Table::new([
+        "topology",
+        "order",
+        "completed",
+        "timed out",
+        "deadline att.",
+        "GPU-seconds",
+        "makespan s",
+    ])
+    .with_aligns(&[
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    for (label, seed, full, quick, runner) in scenarios {
+        let (n, gap_ms) = if cli.quick { quick } else { full };
+        let requests = datasets::mixed_deadline(n, seed);
+        let arrivals = steady(n, gap_ms);
+        let fifo = runner(QueueOrder::Fifo, &requests, &arrivals);
+        let lsf = runner(QueueOrder::least_slack(), &requests, &arrivals);
+
+        // Deterministic replay: the identical run must reproduce the
+        // identical report, bit for bit.
+        for (order, first) in [(QueueOrder::Fifo, fifo), (QueueOrder::least_slack(), lsf)] {
+            let replay = runner(order, &requests, &arrivals);
+            assert_eq!(replay, first, "{label}/{} replay diverged", order.label());
+        }
+
+        assert!(
+            fifo.timed_out > 0,
+            "{label}: the scenario must pressure deadlines under FIFO"
+        );
+        assert!(
+            lsf.timed_out < fifo.timed_out,
+            "{label}: least-slack-first timed out {} vs FIFO {}",
+            lsf.timed_out,
+            fifo.timed_out
+        );
+        assert!(
+            lsf.attainment >= fifo.attainment,
+            "{label}: least-slack-first attainment {:.3} fell below FIFO {:.3}",
+            lsf.attainment,
+            fifo.attainment
+        );
+        // Matched provisioning: identical fleet sizes; the provisioned
+        // time may stretch only by what serving the rescued requests
+        // costs.
+        assert!(
+            lsf.gpu_seconds <= fifo.gpu_seconds * 1.25,
+            "{label}: least-slack-first spent {:.0} GPU-s vs FIFO {:.0}",
+            lsf.gpu_seconds,
+            fifo.gpu_seconds
+        );
+
+        for (order, result) in [("fifo", fifo), ("least-slack", lsf)] {
+            table.row([
+                label.to_string(),
+                order.to_string(),
+                result.completed.to_string(),
+                result.timed_out.to_string(),
+                pct(result.attainment),
+                format!("{:.0}", result.gpu_seconds),
+                format!("{:.0}", result.makespan_s),
+            ]);
+        }
+    }
+
+    cli.emit(
+        "deadline_sched",
+        "Slack-aware deadline scheduling: FIFO vs LeastSlackFirst on mixed-deadline traffic",
+        &table,
+    );
+    println!(
+        "[ok] least-slack-first strictly reduced timeouts and held deadline attainment \
+         in all three topologies, with bit-identical replay"
+    );
+}

@@ -211,6 +211,14 @@ pub struct ViolationCounts {
     pub mtpot: usize,
     /// Requests that produced no tokens.
     pub no_tokens: usize,
+    /// Requests cancelled past their deadline — still waiting for a
+    /// first token, or preempted mid-stream and never readmitted. They
+    /// never completed, so they carry no timing samples (any tokens a
+    /// preempted one streamed before cancellation do not count as
+    /// delivered output) — but they are SLA misses and must weigh the
+    /// attainment denominators (a system that cancels a doomed request
+    /// must not *raise* its reported attainment by doing so).
+    pub timed_out: usize,
 }
 
 /// Aggregate goodput/throughput report over a set of finished requests.
@@ -244,16 +252,44 @@ impl GoodputReport {
     ///
     /// Each element of `requests` pairs the request's timing with its output
     /// token count. `duration` is the measurement interval (zero duration
-    /// yields zero rates).
+    /// yields zero rates). Equivalent to
+    /// [`GoodputReport::compute_with_timeouts`] with zero timed-out
+    /// requests — use that variant when the run cancelled requests past
+    /// their deadline, so they count as SLA misses instead of vanishing
+    /// from the denominators.
     pub fn compute(
         sla: &SlaSpec,
         requests: &[(RequestTiming, u64)],
         duration: SimDuration,
     ) -> GoodputReport {
+        GoodputReport::compute_with_timeouts(sla, requests, duration, 0)
+    }
+
+    /// [`GoodputReport::compute`] plus `timed_out` requests that were
+    /// cancelled past their deadline (while waiting for a first token,
+    /// or preempted mid-stream and never readmitted). They contribute no
+    /// counted tokens and no timing samples, but they enter
+    /// `total_requests`, `violations.timed_out`, and therefore the
+    /// [`GoodputReport::satisfied_fraction`] and
+    /// [`GoodputReport::ttft_attainment`] denominators as misses.
+    ///
+    /// The TTFT/MTPOT percentile summaries still describe *completed*
+    /// requests only (a cancelled request has no latency to summarize), so
+    /// [`GoodputReport::is_p99_compliant`] additionally requires that no
+    /// request timed out.
+    pub fn compute_with_timeouts(
+        sla: &SlaSpec,
+        requests: &[(RequestTiming, u64)],
+        duration: SimDuration,
+        timed_out: usize,
+    ) -> GoodputReport {
         let mut satisfied_requests = 0;
         let mut total_output_tokens = 0;
         let mut satisfied_output_tokens = 0;
-        let mut violations = ViolationCounts::default();
+        let mut violations = ViolationCounts {
+            timed_out,
+            ..ViolationCounts::default()
+        };
         let mut ttfts = Vec::with_capacity(requests.len());
         let mut mtpots = Vec::with_capacity(requests.len());
         for (timing, tokens) in requests {
@@ -281,7 +317,7 @@ impl GoodputReport {
             }
         };
         GoodputReport {
-            total_requests: requests.len(),
+            total_requests: requests.len() + timed_out,
             satisfied_requests,
             total_output_tokens,
             satisfied_output_tokens,
@@ -305,13 +341,18 @@ impl GoodputReport {
 
     /// Requests whose *TTFT* met the SLA, regardless of their TPOT
     /// outcome (aggregatable across instances — see
-    /// [`GoodputReport::ttft_attainment`]).
+    /// [`GoodputReport::ttft_attainment`]). Timed-out requests never
+    /// produced a first token, so they are excluded here (and counted in
+    /// the denominator).
     pub fn ttft_ok_count(&self) -> usize {
-        self.total_requests - self.violations.ttft - self.violations.no_tokens
+        self.total_requests
+            - self.violations.ttft
+            - self.violations.no_tokens
+            - self.violations.timed_out
     }
 
     /// Fraction of requests whose *TTFT* met the SLA, regardless of their
-    /// TPOT outcome (1.0 when empty).
+    /// TPOT outcome (1.0 when empty). Timed-out requests count as misses.
     ///
     /// This is the term a disaggregated prefill pool is sized against:
     /// requests violating only MTPOT still count as TTFT-attained, so the
@@ -327,12 +368,15 @@ impl GoodputReport {
     /// ("P99 TTFT 10s, P99 MTPOT 1.5s"): true when the 99th percentiles of
     /// TTFT and MTPOT both stay within the SLA. Under this reading a
     /// compliant system's *entire* throughput counts as goodput; a
-    /// non-compliant one scores zero.
+    /// non-compliant one scores zero. The percentiles summarize completed
+    /// requests, so any timed-out (cancelled) request disqualifies the
+    /// system outright — cancelling stragglers must not launder the tail.
     pub fn is_p99_compliant(&self, sla: &SlaSpec) -> bool {
         if self.total_requests == 0 {
             return true;
         }
-        self.ttft_secs.p99 <= sla.max_ttft.as_secs_f64()
+        self.violations.timed_out == 0
+            && self.ttft_secs.p99 <= sla.max_ttft.as_secs_f64()
             && self.mtpot_secs.p99 <= sla.max_mtpot.as_secs_f64()
     }
 
@@ -462,6 +506,32 @@ mod tests {
         assert!((report.ttft_attainment() - 2.0 / 3.0).abs() < 1e-12);
         let empty = GoodputReport::compute(&sla, &[], SimDuration::ZERO);
         assert_eq!(empty.ttft_attainment(), 1.0);
+    }
+
+    #[test]
+    fn timed_out_requests_weigh_the_attainment_denominators() {
+        let sla = SlaSpec::chat_7b();
+        let mut ok = RequestTiming::new(SimTime::ZERO);
+        ok.record_token(secs(0.5));
+        ok.record_token(secs(0.6));
+        let completed = [(ok, 100)];
+        let without = GoodputReport::compute(&sla, &completed, SimDuration::from_secs(10));
+        let with =
+            GoodputReport::compute_with_timeouts(&sla, &completed, SimDuration::from_secs(10), 3);
+        // Cancelling three doomed requests must *lower* attainment, not
+        // leave it untouched (and certainly not raise it).
+        assert_eq!(without.satisfied_fraction(), 1.0);
+        assert_eq!(without.ttft_attainment(), 1.0);
+        assert_eq!(with.total_requests, 4);
+        assert_eq!(with.violations.timed_out, 3);
+        assert!((with.satisfied_fraction() - 0.25).abs() < 1e-12);
+        assert!((with.ttft_attainment() - 0.25).abs() < 1e-12);
+        // Throughput counts tokens actually produced; timeouts add none.
+        assert_eq!(with.total_output_tokens, 100);
+        assert_eq!(with.goodput_tok_per_s, without.goodput_tok_per_s);
+        // A run with cancellations can never be P99-compliant.
+        assert!(without.is_p99_compliant(&sla));
+        assert!(!with.is_p99_compliant(&sla));
     }
 
     #[test]

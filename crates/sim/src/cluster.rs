@@ -68,6 +68,10 @@ use crate::report::SimReport;
 /// prefers the matching instance over the least-loaded one (re-exported
 /// from the fleet kernel, which owns the routing surface).
 pub use crate::fleet::PREFIX_MATCH_MIN_TOKENS;
+/// Weight of queued deadline-slack pressure in
+/// [`RouterPolicy::PrefixAffinity`]'s load signal (re-exported from the
+/// fleet kernel, which owns the routing surface).
+pub use crate::fleet::SLACK_PRESSURE_WEIGHT;
 
 /// Request-forwarding policy of the cluster front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,7 +88,11 @@ pub enum RouterPolicy {
     /// KV-aware prefix affinity: the live instance holding the longest
     /// cached prefix of the request's prompt wins, provided the overlap
     /// reaches [`PREFIX_MATCH_MIN_TOKENS`]; otherwise (and among
-    /// equal-length matches) the decision falls back to load.
+    /// equal-length matches) the decision falls back to load. When
+    /// requests carry deadlines, each candidate's load also carries its
+    /// queue's remaining-slack pressure (weighted by
+    /// [`SLACK_PRESSURE_WEIGHT`]), so queues full of urgent work attract
+    /// less new traffic; deadline-free runs are unaffected.
     PrefixAffinity {
         /// `true` breaks equal-match ties by least estimated load;
         /// `false` breaks them with the rotating cursor only.
@@ -170,8 +178,15 @@ where
                 .map(|(i, e, s)| RouteCandidate {
                     index: i,
                     // The paper's §7 signal doubles as the affinity
-                    // tie-break and below-threshold fallback.
-                    load: e.load_estimate() / s,
+                    // tie-break and below-threshold fallback. Queued
+                    // deadline-slack pressure is folded in so urgent
+                    // queues look fuller and get room to drain (zero — a
+                    // no-op — for deadline-free runs); like the base
+                    // load it divides by the GPU's speed — a fast member
+                    // drains its urgent queue proportionally faster
+                    // (matching the disagg router's treatment).
+                    load: (e.load_estimate() + SLACK_PRESSURE_WEIGHT * e.queue_slack_pressure())
+                        / s,
                     cached_match: e.cached_prefix_tokens(spec),
                 })
                 .collect();

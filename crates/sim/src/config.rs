@@ -79,6 +79,60 @@ pub enum PrefillMode {
     },
 }
 
+/// Order in which the engine's admission loop (and the disaggregated
+/// pools' stage queues) serve waiting requests.
+///
+/// [`QueueOrder::LeastSlackFirst`] is the deadline-aware discipline: the
+/// queue is ranked by *remaining slack* — the request's effective deadline
+/// ([`pf_workload::RequestSpec::deadline`], else
+/// [`SimConfig::request_deadline`]) minus the time it has already waited —
+/// so a request 50 ms from missing overtakes one with 5 s to spare.
+/// Requests with no effective deadline rank last, and an aging cap
+/// guarantees no request (deadline-less or lax) can starve behind an
+/// endless stream of tight ones. Requests whose slack has already fallen
+/// below the minimum feasible prefill time are dropped early and counted
+/// `timed_out` — admitting them would burn a prefill pass (and KV) on a
+/// request that is guaranteed to miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum QueueOrder {
+    /// Arrival order (the default; deadlines only act as the cancellation
+    /// guillotine).
+    #[default]
+    Fifo,
+    /// Least remaining deadline slack first, with early-drop of doomed
+    /// requests (see the type-level docs).
+    LeastSlackFirst {
+        /// Once a request has waited this long it is served in arrival
+        /// order ahead of any slack ranking (starvation bound for
+        /// deadline-less and lax requests).
+        aging_cap: SimDuration,
+    },
+}
+
+impl QueueOrder {
+    /// Least-slack-first with a 30-second aging cap.
+    pub fn least_slack() -> Self {
+        QueueOrder::LeastSlackFirst {
+            aging_cap: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueOrder::Fifo => "fifo",
+            QueueOrder::LeastSlackFirst { .. } => "least-slack",
+        }
+    }
+
+    /// Whether this discipline ranks by slack (and early-drops doomed
+    /// requests).
+    pub fn is_slack_aware(self) -> bool {
+        matches!(self, QueueOrder::LeastSlackFirst { .. })
+    }
+}
+
 /// Prefix-cache configuration: the instance retains finished requests'
 /// conversation KV in an LRU keyed by [`pf_workload::PrefixId`], so later
 /// requests declaring the same prefix skip re-prefilling the cached
@@ -163,10 +217,15 @@ pub struct SimConfig {
     pub prefix_cache: Option<PrefixCacheConfig>,
     /// Deployment-wide request deadline applied to requests that do not
     /// carry their own [`pf_workload::RequestSpec::deadline`]: a request
-    /// still waiting for its first token past this is cancelled and
-    /// counted in [`crate::SimReport::timed_out`]. `None` (default) waits
+    /// still queued past this — waiting for its first token, or
+    /// preempted and waiting for readmission — is cancelled and counted
+    /// in [`crate::SimReport::timed_out`]. `None` (default) waits
     /// forever.
     pub request_deadline: Option<SimDuration>,
+    /// Queue discipline of the admission loop (default
+    /// [`QueueOrder::Fifo`]; see [`QueueOrder::LeastSlackFirst`] for
+    /// deadline-aware scheduling).
+    pub queue_order: QueueOrder,
 }
 
 impl SimConfig {
@@ -191,6 +250,7 @@ impl SimConfig {
                 record_series: true,
                 prefix_cache: None,
                 request_deadline: None,
+                queue_order: QueueOrder::Fifo,
             },
         }
     }
@@ -327,6 +387,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the admission queue discipline (see [`QueueOrder`]).
+    pub fn queue_order(mut self, order: QueueOrder) -> Self {
+        self.config.queue_order = order;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SimConfig {
         self.config
@@ -344,6 +410,7 @@ mod tests {
         assert_eq!(c.kv_layout, KvLayout::TokenPool);
         assert_eq!(c.batching, BatchingMode::Continuous);
         assert_eq!(c.prefill, PrefillMode::WholePrompt);
+        assert_eq!(c.queue_order, QueueOrder::Fifo);
         assert!(c.record_series);
         assert!(c.capacity_tokens() > 100_000);
     }
@@ -370,6 +437,17 @@ mod tests {
         assert_eq!(paged.build_kv_manager().capacity_tokens(), 992);
         let contiguous = base.kv_layout(KvLayout::Contiguous).build();
         assert_eq!(contiguous.build_kv_manager().capacity_tokens(), 1000);
+    }
+
+    #[test]
+    fn queue_order_flows_into_config() {
+        let c = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .queue_order(QueueOrder::least_slack())
+            .build();
+        assert!(c.queue_order.is_slack_aware());
+        assert_eq!(c.queue_order.label(), "least-slack");
+        assert_eq!(QueueOrder::default().label(), "fifo");
+        assert!(!QueueOrder::Fifo.is_slack_aware());
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! independently, each against the SLA term its stage controls: prefill
 //! against TTFT, decode against TPOT.
 //!
+//! When the base config sets [`QueueOrder::LeastSlackFirst`](crate::QueueOrder),
+//! deadline slack overrides the [`PrefillOrder`]: each prefill instance
+//! serves the queued prompt with the least remaining slack next (aging
+//! cap intact), and prompts whose slack has fallen below their minimum
+//! feasible prefill time are dropped early instead of burning a pass on a
+//! guaranteed miss. Decode admission ranks pending handoffs by remaining
+//! slack against the *end-to-end* deadline — a handoff reaches the decode
+//! pool only after its KV transfer lands, so the transfer latency is
+//! charged before the ranking.
+//!
 //! # The KV-transfer cost model
 //!
 //! Moving a request between pools means moving its KV cache. The cost
@@ -108,11 +118,11 @@ use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime
 use pf_workload::RequestSpec;
 
 use crate::cluster::RouterPolicy;
-use crate::config::{PrefixCacheConfig, SimConfig};
+use crate::config::{PrefixCacheConfig, QueueOrder, SimConfig};
 use crate::error::SimError;
 use crate::fleet::{
     self, pick_rotating_min, pick_routed, slot_gpu, FleetMember, GpuType, MemberCore, MemberState,
-    RouteCandidate, ScalingEvent,
+    RouteCandidate, ScalingEvent, SLACK_PRESSURE_WEIGHT,
 };
 use crate::perf::PerfModel;
 use crate::report::RequestOutcome;
@@ -580,6 +590,20 @@ impl PrefillMember {
         self.prefix.as_ref().map_or(0, PrefixCache::used_tokens)
     }
 
+    /// Deadline-slack pressure of this instance's prompt queue: the sum
+    /// over queued jobs with an effective deadline of
+    /// `1 / (1 + slack_secs)` (the same urgency signal the colocated
+    /// engines expose to routers). Zero for deadline-free queues.
+    fn slack_pressure(&self, now: SimTime, default_deadline: Option<SimDuration>) -> f64 {
+        self.queue
+            .iter()
+            .filter_map(|job| {
+                let deadline = job.spec.deadline.or(default_deadline)?;
+                Some(fleet::slack_urgency(now, job.timing.arrival(), deadline))
+            })
+            .sum()
+    }
+
     /// Cached overlap this instance would serve `spec` from, without
     /// touching the cache (router probe).
     fn cached_match(&self, spec: &RequestSpec) -> u64 {
@@ -718,9 +742,12 @@ struct Run {
     decode_slots: Vec<GpuType>,
     prefix_cache: Option<PrefixCacheConfig>,
     default_deadline: Option<SimDuration>,
-    /// Whether any deadline can ever fire (config default or a spec in the
-    /// workload) — keeps the per-pass queue purge free otherwise.
-    deadlines_possible: bool,
+    queue_order: QueueOrder,
+    /// Jobs carrying their *own* deadline currently waiting in a prefill
+    /// queue — the per-pass purge runs only while this is non-zero or a
+    /// deployment-wide default exists, so a trace with one deadlined
+    /// request pays the scan only while that request is pending.
+    queued_deadlines: usize,
     /// Rotating tie-break cursors of the two pools' routing decisions.
     route_cursor: usize,
     decode_cursor: usize,
@@ -814,7 +841,8 @@ impl Run {
             decode_slots: config.decode_slots,
             prefix_cache: config.base.prefix_cache,
             default_deadline: config.base.request_deadline,
-            deadlines_possible: config.base.request_deadline.is_some(),
+            queue_order: config.base.queue_order,
+            queued_deadlines: 0,
             route_cursor: 0,
             decode_cursor: 0,
             prefill: Vec::new(),
@@ -955,18 +983,32 @@ impl Run {
     /// Routes an arrival over the live prefill members with the configured
     /// policy, delegating to the fleet kernel's shared routing dispatch
     /// ([`pick_routed`]) — the pool's load signal is queued plus held
-    /// prompt tokens, divided by the member's GPU speed.
-    fn route_prefill(&mut self, spec: &RequestSpec) -> usize {
+    /// prompt tokens, divided by the member's GPU speed. Under
+    /// [`RouterPolicy::PrefixAffinity`] with deadlines in play, each
+    /// candidate's load also carries its queue's remaining-slack pressure
+    /// (weighted by [`SLACK_PRESSURE_WEIGHT`] of capacity), so urgent
+    /// queues attract less new traffic.
+    fn route_prefill(&mut self, now: SimTime, spec: &RequestSpec) -> usize {
         let n = self.prefill.len();
+        let slack_weighted = matches!(self.router, RouterPolicy::PrefixAffinity { .. })
+            && (self.default_deadline.is_some() || self.queued_deadlines > 0);
+        let default_deadline = self.default_deadline;
+        let pressure_tokens = SLACK_PRESSURE_WEIGHT * self.capacity as f64;
         let candidates: Vec<RouteCandidate> = self
             .prefill
             .iter()
             .enumerate()
             .filter(|(_, m)| m.core.is_live())
-            .map(|(i, m)| RouteCandidate {
-                index: i,
-                load: m.load_signal() as f64 / m.core.gpu.perf_scale,
-                cached_match: m.cached_match(spec),
+            .map(|(i, m)| {
+                let mut load = m.load_signal() as f64;
+                if slack_weighted {
+                    load += pressure_tokens * m.slack_pressure(now, default_deadline);
+                }
+                RouteCandidate {
+                    index: i,
+                    load: load / m.core.gpu.perf_scale,
+                    cached_match: m.cached_match(spec),
+                }
             })
             .collect();
         pick_routed(self.router, &candidates, &mut self.route_cursor, n)
@@ -980,8 +1022,10 @@ impl Run {
                 .planner
                 .on_request_arrival(now, spec.input_len);
         }
-        self.deadlines_possible |= spec.deadline.is_some();
-        let target = self.route_prefill(&spec);
+        if spec.deadline.is_some() {
+            self.queued_deadlines += 1;
+        }
+        let target = self.route_prefill(now, &spec);
         let member = &mut self.prefill[target];
         member.core.routed += 1;
         member.queued_tokens += u64::from(spec.input_len);
@@ -991,20 +1035,47 @@ impl Run {
 
     /// Cancels queued prompts on member `i` whose deadline expired before
     /// their prefill started: the request leaves the queue (it holds no
-    /// KV yet) and counts as timed out.
+    /// KV yet) and counts as timed out. Under
+    /// [`QueueOrder::LeastSlackFirst`] prompts whose remaining slack is
+    /// below their minimum feasible prefill time (on this member's GPU,
+    /// accounting for its current prefix-cache overlap) are dropped early
+    /// — a pass spent on them is a pass stolen from prompts that can
+    /// still make it. Skipped entirely while no pending request can time
+    /// out.
     fn purge_timed_out_prefill(&mut self, i: usize, now: SimTime) {
-        if !self.deadlines_possible {
+        if self.default_deadline.is_none() && self.queued_deadlines == 0 {
             return;
         }
         let default_deadline = self.default_deadline;
+        let slack_aware = self.queue_order.is_slack_aware();
+        let perf = self.perf;
         let member = &mut self.prefill[i];
+        let gpu = member.core.gpu;
+        let prefix = &member.prefix;
         let mut expired = 0usize;
+        let mut expired_own_deadline = 0usize;
         member.queue.retain(|job| {
             let Some(deadline) = job.spec.deadline.or(default_deadline) else {
                 return true;
             };
-            if now.saturating_since(job.timing.arrival()) >= deadline {
+            let waited = now.saturating_since(job.timing.arrival());
+            let min_feasible = if slack_aware {
+                let prompt = u64::from(job.spec.input_len);
+                let cached = match (prefix, job.spec.prefix_id) {
+                    (Some(cache), Some(id)) => cache
+                        .peek(id.raw())
+                        .map_or(0, |c| c.min(u64::from(job.spec.prefix_len))),
+                    _ => 0,
+                };
+                gpu.scale_step(perf.prefill_step(prompt.saturating_sub(cached).max(1)))
+            } else {
+                SimDuration::ZERO
+            };
+            if waited + min_feasible >= deadline {
                 expired += 1;
+                if job.spec.deadline.is_some() {
+                    expired_own_deadline += 1;
+                }
                 false
             } else {
                 true
@@ -1018,18 +1089,39 @@ impl Run {
                 .sum();
             self.timed_out += expired;
             self.remaining -= expired;
+            self.queued_deadlines -= expired_own_deadline;
         }
     }
 
     /// The queue position the prefill order serves next. Queue order is
     /// arrival order, so the front is always the oldest entry — the aging
-    /// cap only needs to inspect it.
+    /// caps only need to inspect it. [`QueueOrder::LeastSlackFirst`]
+    /// overrides the [`PrefillOrder`]: the prompt with the least
+    /// remaining deadline slack joins the pass next (deadline-less
+    /// prompts rank last, oldest first).
     fn next_prefill_index(
         queue: &VecDeque<Job>,
         now: SimTime,
         order: PrefillOrder,
+        queue_order: QueueOrder,
+        default_deadline: Option<SimDuration>,
     ) -> Option<usize> {
         let front = queue.front()?;
+        if let QueueOrder::LeastSlackFirst { aging_cap } = queue_order {
+            return queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(pos, job)| {
+                    let key = fleet::slack_rank_key(
+                        now,
+                        job.timing.arrival(),
+                        job.spec.deadline.or(default_deadline),
+                        aging_cap,
+                    );
+                    (key, *pos)
+                })
+                .map(|(pos, _)| pos);
+        }
         match order {
             PrefillOrder::Fifo => Some(0),
             PrefillOrder::ShortestPromptFirst { aging_cap } => {
@@ -1055,13 +1147,18 @@ impl Run {
         let capacity = self.capacity;
         let max_batch = self.max_prefill_batch_tokens;
         let order = self.prefill_order;
+        let queue_order = self.queue_order;
+        let default_deadline = self.default_deadline;
         let perf = self.perf;
         let member = &mut self.prefill[i];
         if member.busy || !member.core.is_active() {
             return;
         }
         let mut batch_computed_tokens = 0u64;
-        while let Some(pos) = Self::next_prefill_index(&member.queue, now, order) {
+        let mut batched_own_deadlines = 0usize;
+        while let Some(pos) =
+            Self::next_prefill_index(&member.queue, now, order, queue_order, default_deadline)
+        {
             let spec = member.queue[pos].spec;
             let prompt = u64::from(spec.input_len);
             // The prompt plus the first generated token (see
@@ -1091,6 +1188,9 @@ impl Run {
                     .evict_down_to(room);
             }
             let mut job = member.queue.remove(pos).expect("selected within bounds");
+            if job.spec.deadline.is_some() {
+                batched_own_deadlines += 1;
+            }
             // Consume the prefix hit: the pass skips the cached tokens
             // (at least the final prompt position is always computed;
             // the reclaim above may have shrunk the probed match).
@@ -1102,6 +1202,8 @@ impl Run {
             batch_computed_tokens += prompt.saturating_sub(job.cached_prefix).max(1);
             member.batch.push(job);
         }
+        self.queued_deadlines -= batched_own_deadlines;
+        let member = &mut self.prefill[i];
         if member.batch.is_empty() {
             return;
         }
@@ -1213,6 +1315,37 @@ impl Run {
         self.try_start_decode(target, now);
     }
 
+    /// Orders a decode member's pending handoffs least-slack-first
+    /// against the end-to-end deadline. A handoff lands here only after
+    /// its prefill finished *and* its KV transfer completed, so `waited`
+    /// — and therefore the slack ranking — already charges the transfer
+    /// latency. The grouping is the shared [`fleet::slack_rank_key`]:
+    /// aged jobs oldest first, then ascending slack, then deadline-less
+    /// jobs oldest first (stable, hence deterministic). A handoff whose
+    /// end-to-end deadline has already passed saturates to zero slack and
+    /// ranks *most* urgent — deliberately: it streamed its first token at
+    /// prefill, so cancellation is off the table (the client is
+    /// mid-response), and the most overdue client resumes soonest —
+    /// mirroring the engine queue's preempted-work-first group.
+    fn rank_pending_by_slack(
+        pending: &mut VecDeque<Job>,
+        now: SimTime,
+        aging_cap: SimDuration,
+        default_deadline: Option<SimDuration>,
+    ) {
+        if pending.len() < 2 {
+            return;
+        }
+        pending.make_contiguous().sort_by_key(|job| {
+            fleet::slack_rank_key(
+                now,
+                job.timing.arrival(),
+                job.spec.deadline.or(default_deadline),
+                aging_cap,
+            )
+        });
+    }
+
     /// Admits pending handoffs and starts one decode step on member `j` if
     /// it is idle with a non-empty batch.
     ///
@@ -1221,13 +1354,21 @@ impl Run {
     /// only when the batch's *peak* future footprint — not its worst-case
     /// sum — stays within capacity. Exact lengths make the estimate an
     /// oracle, so admitted requests are never evicted, while packing the
-    /// batch far denser than a conservative full-reservation rule.
+    /// batch far denser than a conservative full-reservation rule. Under
+    /// [`QueueOrder::LeastSlackFirst`] the pending handoffs are ranked by
+    /// remaining end-to-end slack before admission, so the most urgent
+    /// request joins the batch (and resumes token emission) first.
     fn try_start_decode(&mut self, j: usize, now: SimTime) {
         let capacity = self.capacity;
         let perf = self.perf;
+        let queue_order = self.queue_order;
+        let default_deadline = self.default_deadline;
         let member = &mut self.decode[j];
         if member.busy || !member.core.is_active() {
             return;
+        }
+        if let QueueOrder::LeastSlackFirst { aging_cap } = queue_order {
+            Self::rank_pending_by_slack(&mut member.pending, now, aging_cap, default_deadline);
         }
         while let Some(front) = member.pending.front() {
             let mut entries: Vec<BatchEntry> =
@@ -1579,7 +1720,8 @@ impl Run {
             .iter()
             .map(|o| (o.timing, u64::from(o.output_len)))
             .collect();
-        let goodput = GoodputReport::compute(&self.sla, &requests, makespan);
+        let goodput =
+            GoodputReport::compute_with_timeouts(&self.sla, &requests, makespan, self.timed_out);
         let mut prefix_stats = PrefixCacheStats::default();
         for member in &self.prefill {
             if let Some(cache) = &member.prefix {
@@ -1728,13 +1870,14 @@ impl DisaggReport {
         self.outcomes.len()
     }
 
-    /// Fraction of completed requests satisfying the full SLA.
+    /// Fraction of requests satisfying the full SLA (timed-out requests
+    /// count as misses).
     pub fn sla_attainment(&self) -> f64 {
         self.goodput.satisfied_fraction()
     }
 
-    /// Fraction of completed requests whose TTFT met the SLA (the prefill
-    /// pool's objective).
+    /// Fraction of requests whose TTFT met the SLA (the prefill pool's
+    /// objective; timed-out requests count as misses).
     pub fn ttft_attainment(&self) -> f64 {
         self.goodput.ttft_attainment()
     }

@@ -37,7 +37,11 @@
 //! [`RouterPolicy::PrefixAffinity`] adds KV-aware prefix routing when the
 //! base config enables a prefix cache); warming, draining and stopped
 //! instances are never routed to. Exact load ties break with a rotating
-//! cursor, not by lowest index.
+//! cursor, not by lowest index. Member engines inherit the base config's
+//! [`QueueOrder`](crate::QueueOrder), so deadline-slack-aware admission
+//! (and its early-drop of doomed requests) works unchanged inside an
+//! elastic fleet, and [`ElasticReport::timed_out`] requests count as SLA
+//! misses in the cluster-level goodput.
 //!
 //! The run is fully deterministic: one global clock orders engine steps,
 //! arrivals and planning rounds, and all randomness is seeded.
@@ -576,14 +580,17 @@ impl Run {
             })
             .collect();
         // Cluster-level goodput over every completed request, measured on
-        // the cluster makespan.
+        // the cluster makespan; timed-out requests enter the denominators
+        // as SLA misses.
         let all_requests: Vec<(pf_metrics::RequestTiming, u64)> = instances
             .iter()
             .flat_map(|i| i.report.outcomes.iter())
             .map(|o| (o.timing, u64::from(o.output_len)))
             .collect();
+        let timed_out: usize = instances.iter().map(|i| i.report.timed_out).sum();
         let makespan = end.saturating_since(SimTime::ZERO);
-        let goodput = GoodputReport::compute(&sla, &all_requests, makespan);
+        let goodput =
+            GoodputReport::compute_with_timeouts(&sla, &all_requests, makespan, timed_out);
         ElasticReport {
             goodput,
             makespan,
@@ -657,7 +664,8 @@ impl ElasticReport {
         self.goodput.satisfied_requests
     }
 
-    /// Fraction of completed requests that satisfied the SLA.
+    /// Fraction of requests that satisfied the SLA (timed-out requests
+    /// count as misses).
     pub fn sla_attainment(&self) -> f64 {
         self.goodput.satisfied_fraction()
     }

@@ -19,6 +19,40 @@
 //! lengths) at every step — the quantity reported in the paper's Figure 1
 //! and Table 1, which exceeds 100% exactly when the current batch is
 //! destined to run out of memory.
+//!
+//! # Queue discipline and deadlines
+//!
+//! A queued request moves through these states, ordered by the configured
+//! [`QueueOrder`]:
+//!
+//! ```text
+//!             ingest                 scheduler plan + KV alloc
+//! arrivals ──────────▶ queue ════(QueueOrder ranks the queue)════▶ running
+//!                      ▲  │                                          │
+//!   preemption: evicted│  │ purge:                            finish │
+//!   victims re-queue   │  │  · waited ≥ deadline (Fifo guillotine)   ▼
+//!   (rank 0 — client   │  │  · slack < min feasible prefill     outcomes
+//!   is mid-response)   │  │    (LeastSlackFirst early-drop)
+//!                      │  ▼
+//!              running └─ timed_out
+//!
+//! LeastSlackFirst ranking (stable within each group):
+//!   [0] preempted (mid-response, resume first)
+//!   [1] waited ≥ aging_cap, oldest first          (starvation bound)
+//!   [2] remaining slack = deadline − waited, ascending
+//!   [3] no effective deadline, oldest first
+//! ```
+//!
+//! Under [`QueueOrder::Fifo`] deadlines act only as the guillotine: an
+//! expired queued request — never-started *or* preempted-and-waiting — is
+//! cancelled and counted `timed_out` (a queued entry holds no KV, so
+//! cancellation frees exactly the queue slot). Under
+//! [`QueueOrder::LeastSlackFirst`] admission additionally serves the
+//! tightest remaining slack first and drops requests that can no longer
+//! make their deadline even if admitted alone immediately. The purge runs
+//! only while a deadline can actually fire (a deployment-wide default, or
+//! at least one queued request carrying its own), so deadline-less runs
+//! pay nothing per tick.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -30,8 +64,9 @@ use pf_kvcache::{KvCacheManager, PrefixCache};
 use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, StepSeries};
 use pf_workload::{ClosedLoopClients, RequestSpec};
 
-use crate::config::{BatchingMode, EvictionMode, PrefillMode, SimConfig};
+use crate::config::{BatchingMode, EvictionMode, PrefillMode, QueueOrder, SimConfig};
 use crate::error::SimError;
+use crate::fleet;
 use crate::perf::PerfModel;
 use crate::report::{RequestOutcome, SimReport};
 
@@ -217,9 +252,11 @@ pub(crate) struct Engine {
     prefill_steps: u64,
     evictions: u64,
     timed_out: usize,
-    /// Whether any deadline can ever fire (config default or a spec seen
-    /// so far) — keeps the per-tick purge free for deadline-less runs.
-    deadlines_possible: bool,
+    /// Queued requests carrying their *own* deadline, maintained across
+    /// every queue mutation — the purge runs only while this is non-zero
+    /// or a deployment-wide default exists, so a trace with one deadlined
+    /// request pays the per-tick scan only while that request is pending.
+    queued_deadlines: usize,
     outcomes: Vec<RequestOutcome>,
 
     output_len_sum: u64,
@@ -261,7 +298,6 @@ impl Engine {
         let prefix = config
             .prefix_cache
             .map(|spec| PrefixCache::new(spec.budget_tokens(capacity)));
-        let deadlines_possible = config.request_deadline.is_some();
         Engine {
             perf,
             capacity,
@@ -280,7 +316,7 @@ impl Engine {
             prefill_steps: 0,
             evictions: 0,
             timed_out: 0,
-            deadlines_possible,
+            queued_deadlines: 0,
             outcomes: Vec::new(),
             consumed_weighted_sum: 0.0,
             weighted_time: 0.0,
@@ -578,7 +614,9 @@ impl Engine {
 
     fn ingest_arrivals(&mut self) {
         while let Some((at, spec)) = self.arrivals.pop_due(self.now) {
-            self.deadlines_possible |= spec.deadline.is_some();
+            if spec.deadline.is_some() {
+                self.queued_deadlines += 1;
+            }
             self.queue.push_back(Pending {
                 spec,
                 generated: 0,
@@ -590,35 +628,126 @@ impl Engine {
         self.purge_timed_out();
     }
 
-    /// Cancels queued requests whose deadline expired before they produced
-    /// a token: the queue slot is reclaimed and the request counts as
-    /// timed out. Requests that already streamed tokens (evicted and
-    /// re-queued work) are never cancelled — the client is mid-response —
-    /// and they hold no KV while queued, so cancellation frees exactly the
-    /// queue entry.
+    /// Pops the queue front, keeping the pending-deadline count exact.
+    fn pop_queue_front(&mut self) -> Option<Pending> {
+        let pending = self.queue.pop_front()?;
+        if pending.spec.deadline.is_some() {
+            self.queued_deadlines -= 1;
+        }
+        Some(pending)
+    }
+
+    /// Cancels queued requests whose deadline has expired: the queue slot
+    /// is reclaimed and the request counts as timed out. This covers both
+    /// never-started arrivals and preempted requests waiting for
+    /// readmission — a preempted request past its deadline must not be
+    /// silently re-served as if it had made it (the client gave up at the
+    /// deadline either way), and a queued entry holds no KV, so
+    /// cancellation frees exactly the queue slot. Under
+    /// [`QueueOrder::LeastSlackFirst`] a request whose remaining slack is
+    /// below the minimum feasible prefill time is dropped *early*: even
+    /// admitted alone right now its (re-)prefill would land past the
+    /// deadline, so admitting it would burn a prefill pass and KV on a
+    /// guaranteed miss. Skipped entirely while no pending request can
+    /// time out.
     fn purge_timed_out(&mut self) {
-        if !self.deadlines_possible {
+        let default_deadline = self.config.request_deadline;
+        if default_deadline.is_none() && self.queued_deadlines == 0 {
             return;
         }
         let now = self.now;
-        let default_deadline = self.config.request_deadline;
+        let slack_aware = self.config.queue_order.is_slack_aware();
+        let perf = self.perf;
+        let prefix = &self.prefix;
         let mut expired = 0usize;
+        let mut expired_own_deadline = 0usize;
         self.queue.retain(|p| {
-            if p.generated > 0 || p.swapped {
-                return true;
-            }
             let Some(deadline) = p.spec.deadline.or(default_deadline) else {
                 return true;
             };
             let waited = now.saturating_since(p.timing.arrival());
-            if waited >= deadline {
+            // The fastest possible path to a (first or resumed) token: a
+            // dedicated prefill pass over everything this admission must
+            // process, minus the current prefix-cache overlap (admission
+            // skips cached tokens — a near-fully-cached prompt is feasible
+            // far later than its raw length suggests). Swap restores are
+            // transfer-bound, not compute-bound; never early-drop those.
+            let min_feasible = if slack_aware && !p.swapped {
+                let tokens = u64::from(p.spec.input_len) + u64::from(p.generated);
+                let cached = match (prefix, p.spec.prefix_id) {
+                    (Some(cache), Some(id)) => cache
+                        .peek(id.raw())
+                        .map_or(0, |c| c.min(u64::from(p.spec.prefix_len))),
+                    _ => 0,
+                };
+                perf.prefill_step(tokens.saturating_sub(cached).max(1))
+            } else {
+                SimDuration::ZERO
+            };
+            if waited + min_feasible >= deadline {
                 expired += 1;
+                if p.spec.deadline.is_some() {
+                    expired_own_deadline += 1;
+                }
                 false
             } else {
                 true
             }
         });
         self.timed_out += expired;
+        self.queued_deadlines -= expired_own_deadline;
+        // A cancelled request still frees its closed-loop client: the
+        // client gave up on this response and submits its next request
+        // after the think time (no-op for open-loop schedules).
+        for _ in 0..expired {
+            self.arrivals.on_finish(now);
+        }
+    }
+
+    /// Reorders the queue for [`QueueOrder::LeastSlackFirst`] (see the
+    /// module docs for the ranking): preempted work first, then aged
+    /// entries oldest-first, then ascending remaining slack, then
+    /// deadline-less entries oldest-first. The sort is stable, so equal
+    /// keys keep arrival order and the reorder is deterministic.
+    fn rank_queue_by_slack(&mut self, aging_cap: SimDuration) {
+        if self.queue.len() < 2 {
+            return;
+        }
+        let now = self.now;
+        let default_deadline = self.config.request_deadline;
+        self.queue.make_contiguous().sort_by_key(|p| {
+            let arrival = p.timing.arrival();
+            if p.generated > 0 || p.swapped {
+                return (0u8, arrival.as_micros());
+            }
+            fleet::slack_rank_key(
+                now,
+                arrival,
+                p.spec.deadline.or(default_deadline),
+                aging_cap,
+            )
+        });
+    }
+
+    /// Router-facing urgency signal: the sum over queued requests with an
+    /// effective deadline of `1 / (1 + slack_secs)`. Zero for
+    /// deadline-free queues; grows as deadlines accumulate or tighten.
+    /// [`crate::cluster::RouterPolicy::PrefixAffinity`]'s load tie-break
+    /// adds this (weighted by [`crate::fleet::SLACK_PRESSURE_WEIGHT`]) so
+    /// urgent queues receive less new traffic and get room to drain.
+    pub(crate) fn queue_slack_pressure(&self) -> f64 {
+        let default_deadline = self.config.request_deadline;
+        if default_deadline.is_none() && self.queued_deadlines == 0 {
+            return 0.0;
+        }
+        let now = self.now;
+        self.queue
+            .iter()
+            .filter_map(|p| {
+                let deadline = p.spec.deadline.or(default_deadline)?;
+                Some(fleet::slack_urgency(now, p.timing.arrival(), deadline))
+            })
+            .sum()
     }
 
     fn memory_state(&self) -> MemoryState {
@@ -646,11 +775,16 @@ impl Engine {
     /// Admits queue-front requests per the scheduler's plan. In
     /// [`PrefillMode::WholePrompt`] an admission runs the prefill step
     /// immediately (advancing the clock); in chunked mode prompts are
-    /// processed incrementally by subsequent steps. Returns whether any
-    /// request was admitted.
+    /// processed incrementally by subsequent steps. The configured
+    /// [`QueueOrder`] decides which requests sit at the front (under
+    /// [`QueueOrder::LeastSlackFirst`], the ones closest to their
+    /// deadline). Returns whether any request was admitted.
     fn try_admission(&mut self) -> bool {
         if self.queue.is_empty() {
             return false;
+        }
+        if let QueueOrder::LeastSlackFirst { aging_cap } = self.config.queue_order {
+            self.rank_queue_by_slack(aging_cap);
         }
         let mut admitted_total = 0usize;
         loop {
@@ -707,7 +841,7 @@ impl Engine {
                         break;
                     }
                 }
-                let pending = self.queue.pop_front().expect("front exists");
+                let pending = self.pop_queue_front().expect("front exists");
                 // Swap-in restores the full KV wholesale — no recompute to
                 // skip; everything else (fresh admissions *and* recompute
                 // re-prefills) can reuse cached prefix tokens.
@@ -910,6 +1044,9 @@ impl Engine {
                 true
             }
         };
+        if live.spec.deadline.is_some() {
+            self.queued_deadlines += 1;
+        }
         self.queue.push_front(Pending {
             spec: live.spec,
             generated: live.generated,
@@ -980,8 +1117,14 @@ impl Engine {
             .iter()
             .map(|o| (o.timing, u64::from(o.output_len)))
             .collect();
-        let goodput = GoodputReport::compute(&self.config.sla, &requests, makespan);
+        let goodput = GoodputReport::compute_with_timeouts(
+            &self.config.sla,
+            &requests,
+            makespan,
+            self.timed_out,
+        );
         let unfinished = self.running.len() + self.queue.len() + self.arrivals.remaining();
+        let kv_used_tokens_end = self.kv.used_tokens();
         SimReport {
             scheduler_name: self.scheduler.name().to_string(),
             goodput,
@@ -1013,6 +1156,7 @@ impl Engine {
                 .map(PrefixCache::stats)
                 .unwrap_or_default(),
             prefix_cached_tokens: self.prefix.as_ref().map_or(0, PrefixCache::used_tokens),
+            kv_used_tokens_end,
             outcomes: self.outcomes,
         }
     }
@@ -1051,7 +1195,7 @@ impl Engine {
                 if worst <= self.capacity {
                     max_in = cand_in;
                     max_cap = cand_cap;
-                    batch.push(self.queue.pop_front().expect("front exists"));
+                    batch.push(self.pop_queue_front().expect("front exists"));
                 } else {
                     break;
                 }

@@ -57,11 +57,11 @@
 //!
 //! # Routing surface
 //!
-//! [`pick_rotating_min`] and [`pick_routed`] are the one definition of the
-//! load-minimizing routing dispatch with deterministic rotating tie-breaks
-//! (first-index tie-breaking would herd all cold-start traffic onto member
-//! 0). [`crate::cluster`], the elastic fleet and both disagg pools route
-//! through them.
+//! `pick_rotating_min` and `pick_routed` (crate-internal) are the one
+//! definition of the load-minimizing routing dispatch with deterministic
+//! rotating tie-breaks (first-index tie-breaking would herd all
+//! cold-start traffic onto member 0). [`crate::cluster`], the elastic
+//! fleet and both disagg pools route through them.
 
 use pf_metrics::SimTime;
 
@@ -404,6 +404,53 @@ pub fn drain_victim<T: FleetMember>(members: &[T]) -> Option<usize> {
 /// instance over the least-loaded one. Below this the prefill saving is
 /// smaller than the imbalance it can cause.
 pub const PREFIX_MATCH_MIN_TOKENS: u64 = 32;
+
+/// The least-slack-first ranking key shared by every queue in the crate
+/// (engine admission, disagg prefill selection, disagg decode pending):
+/// entries past the aging cap first, oldest first (the starvation bound);
+/// then ascending remaining slack `deadline − waited` (saturating — an
+/// already-expired entry ranks most urgent); deadline-less entries last,
+/// oldest first. Callers prepend their own higher-priority groups (the
+/// engine ranks preempted mid-response work at 0) — this key only uses
+/// groups 1–3.
+pub(crate) fn slack_rank_key(
+    now: SimTime,
+    arrival: SimTime,
+    deadline: Option<pf_metrics::SimDuration>,
+    aging_cap: pf_metrics::SimDuration,
+) -> (u8, u64) {
+    let waited = now.saturating_since(arrival);
+    if waited >= aging_cap {
+        return (1, arrival.as_micros());
+    }
+    match deadline {
+        Some(deadline) => (2, (deadline - waited).as_micros()),
+        None => (3, arrival.as_micros()),
+    }
+}
+
+/// One queued request's contribution to the router-facing slack-pressure
+/// signal: `1 / (1 + slack_secs)` — 1.0 at zero remaining slack, decaying
+/// as the deadline recedes. Summed per queue and weighed by
+/// [`SLACK_PRESSURE_WEIGHT`].
+pub(crate) fn slack_urgency(
+    now: SimTime,
+    arrival: SimTime,
+    deadline: pf_metrics::SimDuration,
+) -> f64 {
+    let waited = now.saturating_since(arrival);
+    1.0 / (1.0 + (deadline - waited).as_secs_f64())
+}
+
+/// Weight of the queue's deadline-slack pressure in
+/// [`crate::cluster::RouterPolicy::PrefixAffinity`]'s load signal: each
+/// unit of pressure (one queued request at zero remaining slack) counts
+/// like this fraction of an instance's capacity in load. Urgent queues
+/// therefore look *fuller* to the affinity tie-break and receive less new
+/// traffic, giving their tight-deadline work room to drain. Zero pressure
+/// (any deadline-free run) leaves every routing decision bit-identical to
+/// the pre-slack behavior.
+pub const SLACK_PRESSURE_WEIGHT: f64 = 0.05;
 
 /// Index minimizing `key` among `candidates`, breaking *exact* key ties by
 /// the first candidate at or after `*cursor` (mod `n`), then advancing the

@@ -53,7 +53,7 @@ mod report;
 mod simulation;
 
 pub use config::{
-    BatchingMode, EvictionMode, KvLayout, PrefillMode, PrefixCacheConfig, SimConfig,
+    BatchingMode, EvictionMode, KvLayout, PrefillMode, PrefixCacheConfig, QueueOrder, SimConfig,
     SimConfigBuilder,
 };
 pub use error::SimError;

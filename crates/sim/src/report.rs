@@ -37,8 +37,9 @@ pub struct SimReport {
     pub completed: usize,
     /// Requests left unfinished at the simulation horizon.
     pub unfinished: usize,
-    /// Requests cancelled because their deadline expired before a first
-    /// token (neither completed nor unfinished).
+    /// Requests cancelled because their deadline expired while queued —
+    /// never started, or preempted and never readmitted (neither
+    /// completed nor unfinished).
     pub timed_out: usize,
     /// End-to-end simulated duration.
     pub makespan: SimDuration,
@@ -63,6 +64,12 @@ pub struct SimReport {
     pub prefix_stats: PrefixCacheStats,
     /// Prefix-cache occupancy in tokens at the end of the run.
     pub prefix_cached_tokens: u64,
+    /// KV-pool tokens still allocated when the run ended. With a prefix
+    /// cache this equals the cache's sentinel charge
+    /// ([`SimReport::prefix_cached_tokens`]); every request allocation —
+    /// completed, preempted or cancelled past its deadline — must have
+    /// been released by then, so a larger value means leaked KV.
+    pub kv_used_tokens_end: u64,
     /// Per-request outcomes (completed requests only).
     pub outcomes: Vec<RequestOutcome>,
 }
@@ -138,6 +145,7 @@ mod tests {
             queue_series: StepSeries::new(),
             prefix_stats: PrefixCacheStats::default(),
             prefix_cached_tokens: 0,
+            kv_used_tokens_end: 0,
             outcomes: Vec::new(),
         }
     }

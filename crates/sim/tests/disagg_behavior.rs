@@ -474,3 +474,35 @@ fn oversized_prompt_is_rejected_upfront() {
         .expect_err("a 4k prompt cannot fit a 3k-token pool");
     assert!(err.to_string().contains("request 0"));
 }
+
+#[test]
+fn least_slack_first_reduces_disagg_timeouts_on_mixed_deadlines() {
+    // Mixed-deadline traffic through an overloaded prefill pool: FIFO
+    // serves 3k-token documents with a minute of slack ahead of chat
+    // seconds from missing; the slack-aware order flips that, and the
+    // doomed are dropped before they burn a pass.
+    let n = 300;
+    let requests = datasets::mixed_deadline(n, 33);
+    let arrivals = steady_arrivals(n, 25);
+    let run = |order: pf_sim::QueueOrder| {
+        let mut base = base_config(12_000);
+        base.queue_order = order;
+        DisaggCluster::new(DisaggConfig::new(base), 1, 1)
+            .run(requests.clone(), arrivals.clone())
+            .expect("disagg run")
+    };
+    let fifo = run(pf_sim::QueueOrder::Fifo);
+    let lsf = run(pf_sim::QueueOrder::least_slack());
+    assert!(
+        fifo.timed_out > 0,
+        "the scenario must pressure deadlines under FIFO"
+    );
+    assert!(
+        lsf.timed_out < fifo.timed_out,
+        "least-slack-first timed out {} vs FIFO {}",
+        lsf.timed_out,
+        fifo.timed_out
+    );
+    assert_eq!(lsf.completed() + lsf.timed_out, n);
+    assert_eq!(lsf.unserved, 0);
+}

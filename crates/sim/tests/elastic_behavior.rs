@@ -287,3 +287,40 @@ fn elastic_timed_out_requests_are_reported() {
     );
     assert_eq!(report.completed() + report.timed_out(), n);
 }
+
+#[test]
+fn least_slack_first_reduces_elastic_timeouts_on_mixed_deadlines() {
+    // Mixed-deadline traffic bursting past the bounded fleet: the member
+    // engines inherit the base config's queue order, so slack-aware
+    // admission works unchanged inside the elastic cluster.
+    let n = 400;
+    let requests = datasets::mixed_deadline(n, 27);
+    let arrivals: Vec<SimTime> = (0..n)
+        .map(|i| SimTime::from_millis(30 * i as u64))
+        .collect();
+    let run = |order: pf_sim::QueueOrder| {
+        let mut base = base_config(6_000);
+        base.queue_order = order;
+        ElasticCluster::new(base, autoscale(1, 2), 1)
+            .run(requests.clone(), arrivals.clone())
+            .expect("elastic run")
+    };
+    let fifo = run(pf_sim::QueueOrder::Fifo);
+    let lsf = run(pf_sim::QueueOrder::least_slack());
+    assert!(
+        fifo.timed_out() > 0,
+        "the scenario must pressure deadlines under FIFO"
+    );
+    assert!(
+        lsf.timed_out() < fifo.timed_out(),
+        "least-slack-first timed out {} vs FIFO {}",
+        lsf.timed_out(),
+        fifo.timed_out()
+    );
+    assert_eq!(lsf.completed() + lsf.timed_out() + lsf.unrouted, n);
+    // Timed-out requests weigh the cluster-level goodput denominator.
+    assert_eq!(
+        lsf.goodput.total_requests,
+        lsf.completed() + lsf.timed_out()
+    );
+}

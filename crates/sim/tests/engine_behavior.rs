@@ -445,6 +445,147 @@ fn deployment_wide_deadline_applies_to_deadline_free_requests() {
 }
 
 #[test]
+fn preempted_requests_past_deadline_time_out() {
+    // Regression (PR 5): a preemption re-queues at the *front* with
+    // tokens already generated, which used to slip past the deadline
+    // purge — an expired request was silently re-served instead of
+    // counted. Force preempt-past-deadline: everything is admitted at
+    // t≈0 (first tokens land well inside the 2 s deadline), the
+    // aggressive scheduler overcommits, and decode-time evictions strand
+    // victims in the queue past their deadline.
+    use pf_metrics::SimTime;
+    let n = 16;
+    let requests: Vec<RequestSpec> = decode_heavy(n, 31)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_secs(2)))
+        .collect();
+    let report = Simulation::with_arrivals(
+        small_config(SchedulerConfig::aggressive(0.99), 1_000),
+        requests,
+        vec![SimTime::ZERO; n],
+    )
+    .run()
+    .unwrap();
+    assert!(report.evictions > 0, "scenario must actually preempt");
+    assert!(
+        report.timed_out > 0,
+        "a preempted request past its deadline must count as timed out, not be re-served"
+    );
+    assert_eq!(report.completed + report.timed_out, n);
+    // Cancelled and completed requests alike released their KV.
+    assert_eq!(report.kv_used_tokens_end, 0);
+}
+
+#[test]
+fn least_slack_first_reduces_timeouts_on_mixed_deadlines() {
+    // A burst of tight-deadline chat interleaved with lax summarization:
+    // FIFO serves documents with a minute of slack ahead of chat 50 ms
+    // from missing; least-slack-first reorders and both classes survive.
+    use pf_metrics::SimTime;
+    use pf_sim::QueueOrder;
+    let n = 120;
+    let requests = datasets::mixed_deadline(n, 11);
+    let run = |order: QueueOrder| {
+        let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .scheduler(SchedulerConfig::past_future())
+            .capacity_override(8_000)
+            .queue_order(order)
+            .seed(3)
+            .build();
+        Simulation::with_arrivals(config, requests.clone(), vec![SimTime::ZERO; n])
+            .run()
+            .unwrap()
+    };
+    let fifo = run(QueueOrder::Fifo);
+    let lsf = run(QueueOrder::least_slack());
+    assert!(
+        fifo.timed_out > 0,
+        "the scenario must pressure deadlines under FIFO"
+    );
+    assert!(
+        lsf.timed_out < fifo.timed_out,
+        "least-slack-first timed out {} vs FIFO {}",
+        lsf.timed_out,
+        fifo.timed_out
+    );
+    assert_eq!(lsf.completed + lsf.timed_out, n);
+    // Timed-out requests weigh the denominator, so fewer timeouts at the
+    // same service quality means higher attainment.
+    assert!(
+        lsf.goodput.ttft_attainment() >= fifo.goodput.ttft_attainment(),
+        "LSF TTFT attainment {:.3} vs FIFO {:.3}",
+        lsf.goodput.ttft_attainment(),
+        fifo.goodput.ttft_attainment()
+    );
+}
+
+#[test]
+fn deadline_less_requests_do_not_starve_under_least_slack() {
+    // Deadline-less work ranks last under least-slack-first; the aging
+    // cap must still get it served through a steady stream of
+    // tight-deadline traffic.
+    use pf_metrics::SimTime;
+    use pf_sim::QueueOrder;
+    let tight: Vec<RequestSpec> = datasets::mixed_deadline(80, 13);
+    let free = decode_heavy(10, 17);
+    let free_ids: Vec<u64> = (1_000..1_010).collect();
+    let mut requests: Vec<RequestSpec> = Vec::new();
+    let mut arrivals: Vec<SimTime> = Vec::new();
+    // Deadline-less requests arrive first, tight traffic floods in after.
+    for (mut r, id) in free.into_iter().zip(&free_ids) {
+        r.id = (*id).into();
+        requests.push(r);
+        arrivals.push(SimTime::ZERO);
+    }
+    for (i, mut r) in tight.into_iter().enumerate() {
+        r.id = (i as u64).into();
+        requests.push(r);
+        arrivals.push(SimTime::from_millis(50 * i as u64));
+    }
+    let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(6_000)
+        .queue_order(QueueOrder::LeastSlackFirst {
+            aging_cap: SimDuration::from_secs(8),
+        })
+        .seed(5)
+        .build();
+    let report = Simulation::with_arrivals(config, requests, arrivals)
+        .run()
+        .unwrap();
+    for id in free_ids {
+        assert!(
+            report.outcomes.iter().any(|o| o.id == id),
+            "deadline-less request {id} starved"
+        );
+    }
+}
+
+#[test]
+fn lone_expired_deadline_leaves_the_rest_untouched() {
+    // One request with a millisecond deadline in an otherwise
+    // deadline-less run: it times out, everything else completes — and
+    // the purge (gated on *pending* deadlines) has nothing to scan once
+    // it is gone.
+    use pf_metrics::SimTime;
+    let n = 40;
+    let mut requests = decode_heavy(n, 19);
+    let doomed =
+        RequestSpec::new(n as u64, 1_200, 8, 512).with_deadline(SimDuration::from_millis(1));
+    requests.push(doomed);
+    let report = Simulation::with_arrivals(
+        small_config(SchedulerConfig::past_future(), 1_500),
+        requests,
+        vec![SimTime::ZERO; n + 1],
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.timed_out, 1, "only the doomed request expires");
+    assert_eq!(report.completed, n);
+    assert_eq!(report.unfinished, 0);
+}
+
+#[test]
 fn generous_deadlines_change_nothing() {
     let n = 48;
     let baseline = Simulation::offline(
@@ -465,4 +606,38 @@ fn generous_deadlines_change_nothing() {
     assert_eq!(with_deadlines.timed_out, 0);
     assert_eq!(with_deadlines.makespan, baseline.makespan);
     assert_eq!(with_deadlines.decode_steps, baseline.decode_steps);
+}
+
+#[test]
+fn closed_loop_clients_survive_timeouts() {
+    // A timed-out request must free its closed-loop client (the client
+    // gave up and submits its next request), keeping the concurrency at
+    // `n_clients` as the closed loop intends. Without that, every
+    // timeout silently retires a client, the offered load decays, and
+    // the tail of the run is measured against a much lighter system
+    // than configured (here: timeouts collapse from 45 to 19).
+    let n = 60;
+    let requests: Vec<RequestSpec> = decode_heavy(n, 23)
+        .into_iter()
+        .map(|r| r.with_deadline(SimDuration::from_millis(1_500)))
+        .collect();
+    let report = Simulation::closed_loop(
+        small_config(SchedulerConfig::past_future(), 700),
+        requests,
+        ClosedLoopClients::new(24),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(
+        report.completed + report.timed_out,
+        n,
+        "every request either completes or times out — none stranded behind a dead client"
+    );
+    assert_eq!(report.unfinished, 0);
+    assert!(
+        report.timed_out > 30,
+        "sustained 24-client pressure must keep shedding load (got {} timeouts; \
+         a decaying client pool would shed far less)",
+        report.timed_out
+    );
 }

@@ -257,3 +257,99 @@ fn disagg_prefix_affinity_hits_shrink_prefill_pool_work() {
         blind.prefix_stats.hit_tokens
     );
 }
+
+#[test]
+fn timed_out_turns_leave_no_stranded_kv() {
+    // Deadline × prefix-cache interaction: a burst of multi-turn chat
+    // against a tight default deadline cancels some follow-up turns. A
+    // cancelled turn holds no KV (it never started), and its session's
+    // cached conversation belongs to the *cache*, charged under the
+    // sentinel — at run end the pool must hold exactly the cache's
+    // occupancy, nothing stranded from cancelled requests.
+    let requests = datasets::multi_turn_chat(200, 9);
+    let n = requests.len();
+    let mut config = prefix_config(6_000);
+    config.request_deadline = Some(SimDuration::from_secs(3));
+    let arrivals = vec![SimTime::ZERO; n];
+    let report = Simulation::with_arrivals(config, requests, arrivals)
+        .run()
+        .expect("burst run");
+    assert!(
+        report.timed_out > 0,
+        "the burst must blow some 3 s deadlines"
+    );
+    assert_eq!(report.completed + report.timed_out, n);
+    assert_eq!(
+        report.kv_used_tokens_end, report.prefix_cached_tokens,
+        "pool occupancy must return to the cache's sentinel charge after the purge"
+    );
+}
+
+#[test]
+fn prefix_affinity_slack_pressure_only_acts_with_deadlines() {
+    // The slack-pressure term in PrefixAffinity's load signal is zero for
+    // deadline-free traffic: routing (and therefore the whole run) must
+    // be bit-identical with and without the slack-aware queue order.
+    let (requests, arrivals) = datasets::multi_turn_chat_timed(
+        160,
+        29,
+        &datasets::MultiTurnSpec::default(),
+        2.0,
+        2.0,
+        3.0,
+    );
+    let run = |order: pf_sim::QueueOrder| {
+        let mut config = prefix_config(30_000);
+        config.queue_order = order;
+        ClusterSimulation::new(
+            config,
+            3,
+            RouterPolicy::PrefixAffinity {
+                load_tiebreak: true,
+            },
+        )
+        .run(requests.clone(), arrivals.clone())
+        .expect("cluster run")
+    };
+    let fifo = run(pf_sim::QueueOrder::Fifo);
+    let lsf = run(pf_sim::QueueOrder::least_slack());
+    assert_eq!(fifo.routed_per_instance, lsf.routed_per_instance);
+    assert_eq!(fifo.makespan(), lsf.makespan());
+    assert_eq!(fifo.completed(), lsf.completed());
+}
+
+#[test]
+fn early_drop_accounts_for_cached_prefix() {
+    // A follow-up turn whose prompt is almost fully cached is feasible
+    // long after its raw length suggests: the least-slack-first
+    // early-drop must price the *uncached suffix*, not the full prompt.
+    let mut config = prefix_config(20_000);
+    config.queue_order = pf_sim::QueueOrder::least_slack();
+    let perf = config.perf_model();
+    // Turn 1: a 3000-token prompt cached under prefix 7 at completion.
+    let first = RequestSpec::new(0u64, 3_000, 8, 512).with_prefix(7u64, 0);
+    let conversation = 3_000 + 8;
+    // Turn 2 repeats the conversation plus a 100-token user message; its
+    // deadline sits between the suffix and the full-prompt prefill time,
+    // so dropping it is correct only if the cache is ignored.
+    let full = perf.prefill_step(u64::from(conversation) + 100);
+    let suffix = perf.prefill_step(100);
+    assert!(suffix < full);
+    let deadline = SimDuration::from_micros((suffix.as_micros() + full.as_micros()) / 2);
+    let second = RequestSpec::new(1u64, conversation + 100, 8, 512)
+        .with_prefix(7u64, conversation)
+        .with_deadline(deadline);
+    let report = Simulation::with_arrivals(
+        config,
+        vec![first, second],
+        vec![SimTime::ZERO, SimTime::from_secs(5)],
+    )
+    .run()
+    .expect("two-turn run");
+    assert_eq!(
+        report.timed_out, 0,
+        "a cached prompt feasible within its deadline must not be early-dropped"
+    );
+    assert_eq!(report.completed, 2);
+    assert!(report.prefix_stats.hits > 0, "turn 2 must hit the cache");
+}

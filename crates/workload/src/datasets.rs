@@ -139,6 +139,105 @@ pub fn prefill_heavy(n: usize, seed: u64) -> Vec<RequestSpec> {
     )
 }
 
+/// Parameters of the [`mixed_deadline`] builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedDeadlineSpec {
+    /// Fraction of requests that are tight-deadline interactive chat
+    /// (the remainder is lax batch summarization).
+    pub tight_frac: f64,
+    /// Deadline attached to the chat class (time to first token before
+    /// the client gives up).
+    pub tight_deadline: pf_metrics::SimDuration,
+    /// Deadline attached to the batch class.
+    pub lax_deadline: pf_metrics::SimDuration,
+    /// Chat prompt lengths.
+    pub chat_input: LengthSampler,
+    /// Chat answer lengths.
+    pub chat_output: LengthSampler,
+    /// Chat generation cap.
+    pub chat_cap: u32,
+    /// Summarization prompt lengths (long documents).
+    pub batch_input: LengthSampler,
+    /// Summarization answer lengths (terse summaries).
+    pub batch_output: LengthSampler,
+    /// Summarization generation cap.
+    pub batch_cap: u32,
+}
+
+impl Default for MixedDeadlineSpec {
+    /// 60% interactive chat under a 5-second first-token deadline, 40%
+    /// document summarization under a lax 60-second one — the mix where
+    /// FIFO admission lets one long document blow a handful of chat
+    /// deadlines.
+    fn default() -> Self {
+        MixedDeadlineSpec {
+            tight_frac: 0.6,
+            tight_deadline: pf_metrics::SimDuration::from_secs(5),
+            lax_deadline: pf_metrics::SimDuration::from_secs(60),
+            chat_input: LengthSampler::uniform(64, 256),
+            chat_output: LengthSampler::uniform(64, 256),
+            chat_cap: 512,
+            batch_input: LengthSampler::uniform(1024, 3072),
+            batch_output: LengthSampler::uniform(16, 96),
+            batch_cap: 128,
+        }
+    }
+}
+
+/// Mixed-deadline traffic: tight-deadline interactive chat interleaved
+/// with lax batch summarization, every request carrying an explicit
+/// [`RequestSpec::deadline`]. This is the workload slack-aware admission
+/// ([`QueueOrder::LeastSlackFirst`] in `pf-sim`) targets — under FIFO a
+/// chat request with 50 ms of slack waits behind a 3k-token document with
+/// a minute to spare, and both classes miss.
+///
+/// The class of each request is an independent Bernoulli draw
+/// ([`MixedDeadlineSpec::tight_frac`]), so the two streams interleave the
+/// way a shared front end sees them. Ids are dense in emission order.
+///
+/// [`QueueOrder::LeastSlackFirst`]: https://docs.rs/pf-sim
+pub fn mixed_deadline(n: usize, seed: u64) -> Vec<RequestSpec> {
+    mixed_deadline_with(n, seed, &MixedDeadlineSpec::default())
+}
+
+/// [`mixed_deadline`] with explicit parameters.
+///
+/// # Panics
+///
+/// Panics if `tight_frac` is outside `[0, 1]` or either deadline is zero.
+pub fn mixed_deadline_with(n: usize, seed: u64, spec: &MixedDeadlineSpec) -> Vec<RequestSpec> {
+    assert!(
+        (0.0..=1.0).contains(&spec.tight_frac),
+        "tight fraction {} outside [0, 1]",
+        spec.tight_frac
+    );
+    let base = derive_seed(seed, 111);
+    let mut class_rng = seeded(derive_seed(base, 0));
+    let mut in_rng = seeded(derive_seed(base, 1));
+    let mut out_rng = seeded(derive_seed(base, 2));
+    (0..n)
+        .map(|i| {
+            if class_rng.gen_bool(spec.tight_frac) {
+                let input = spec.chat_input.sample(&mut in_rng);
+                let output = spec
+                    .chat_output
+                    .sample(&mut out_rng)
+                    .clamp(1, spec.chat_cap);
+                RequestSpec::new(i as u64, input, output, spec.chat_cap)
+                    .with_deadline(spec.tight_deadline)
+            } else {
+                let input = spec.batch_input.sample(&mut in_rng);
+                let output = spec
+                    .batch_output
+                    .sample(&mut out_rng)
+                    .clamp(1, spec.batch_cap);
+                RequestSpec::new(i as u64, input, output, spec.batch_cap)
+                    .with_deadline(spec.lax_deadline)
+            }
+        })
+        .collect()
+}
+
 /// Parameters of the [`multi_turn_chat`] session builder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiTurnSpec {
@@ -539,6 +638,46 @@ mod tests {
         let last_out = mean_of(m[150..].iter().map(|r| r.true_output_len));
         assert!(first > 1000.0);
         assert!(last_in > last_out);
+    }
+
+    #[test]
+    fn mixed_deadline_interleaves_two_deadline_classes() {
+        let spec = MixedDeadlineSpec::default();
+        let reqs = mixed_deadline(400, 5);
+        assert_eq!(reqs.len(), 400);
+        let tight: Vec<&RequestSpec> = reqs
+            .iter()
+            .filter(|r| r.deadline == Some(spec.tight_deadline))
+            .collect();
+        let lax: Vec<&RequestSpec> = reqs
+            .iter()
+            .filter(|r| r.deadline == Some(spec.lax_deadline))
+            .collect();
+        assert_eq!(tight.len() + lax.len(), 400, "every request has a class");
+        // Bernoulli(0.6) over 400 draws stays comfortably inside [0.4, 0.8].
+        let frac = tight.len() as f64 / 400.0;
+        assert!((0.4..=0.8).contains(&frac), "tight fraction {frac}");
+        // Chat is short both ways; summarization is prompt-dominated.
+        assert!(tight.iter().all(|r| (64..=256).contains(&r.input_len)));
+        assert!(tight.iter().all(|r| r.max_new_tokens == spec.chat_cap));
+        assert!(lax.iter().all(|r| (1024..=3072).contains(&r.input_len)));
+        assert!(lax.iter().all(|r| (16..=96).contains(&r.true_output_len)));
+        // Dense ids in emission order; deterministic.
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.raw(), i as u64);
+        }
+        assert_eq!(mixed_deadline(400, 5), reqs);
+        assert_ne!(mixed_deadline(400, 6), reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn mixed_deadline_rejects_bad_fraction() {
+        let spec = MixedDeadlineSpec {
+            tight_frac: 1.5,
+            ..MixedDeadlineSpec::default()
+        };
+        let _ = mixed_deadline_with(10, 1, &spec);
     }
 
     #[test]

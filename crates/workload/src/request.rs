@@ -86,9 +86,10 @@ pub struct RequestSpec {
     /// the first request of a session (nothing cached yet).
     pub prefix_len: u32,
     /// Optional service deadline measured from arrival: a request still
-    /// waiting (no token emitted) past this is cancelled by the serving
-    /// engine — its queue slot is reclaimed and it counts as `timed_out`
-    /// in reports instead of completing. `None` waits forever.
+    /// queued past this — waiting for its first token, or preempted and
+    /// waiting for readmission — is cancelled by the serving engine. Its
+    /// queue slot is reclaimed and it counts as `timed_out` in reports
+    /// instead of completing. `None` waits forever.
     pub deadline: Option<SimDuration>,
 }
 
@@ -124,9 +125,10 @@ impl RequestSpec {
         }
     }
 
-    /// Attaches a cancellation deadline: if no token has been emitted
-    /// within `deadline` of arrival, the serving engine drops the request
-    /// (client gave up / gateway timeout).
+    /// Attaches a cancellation deadline: a request still queued
+    /// `deadline` after arrival — never started, or preempted and not
+    /// readmitted — is dropped by the serving engine (client gave up /
+    /// gateway timeout).
     ///
     /// # Panics
     ///
