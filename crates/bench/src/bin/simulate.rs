@@ -9,6 +9,7 @@
 //!
 //! Run with `--help` for the full option list.
 
+use pf_bench::Cli;
 use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SlaSpec};
 use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
@@ -33,8 +34,26 @@ OPTIONS:
   --mtpot <secs>        SLA: max inter-token gap                      [1.5]
   --warmup <N>          history warmup samples from the same dataset  [1000]
   --seed <N>            RNG seed                                      [0]
+  --quick               quarter the workload for smoke runs
   --help                print this message
 ";
+
+/// The value-taking flags simulate adds on top of the shared CLI.
+const VALUE_FLAGS: &[&str] = &[
+    "--model",
+    "--gpu",
+    "--tp",
+    "--scheduler",
+    "--param",
+    "--dataset",
+    "--requests",
+    "--clients",
+    "--capacity",
+    "--ttft",
+    "--mtpot",
+    "--warmup",
+    "--seed",
+];
 
 #[derive(Debug)]
 struct Options {
@@ -120,15 +139,16 @@ fn parse_args() -> Options {
         warmup: 1000,
         seed: 0,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        if flag == "--help" || flag == "-h" {
-            println!("{HELP}");
-            std::process::exit(0);
-        }
-        let Some(value) = args.next() else {
-            die(&format!("flag {flag} requires a value"));
-        };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        std::process::exit(0);
+    }
+    let (cli, extra) = match Cli::try_parse_extra(args, VALUE_FLAGS) {
+        Ok(parsed) => parsed,
+        Err(message) => die(&message),
+    };
+    for (flag, value) in extra {
         match flag.as_str() {
             "--model" => options.model = parse_model(&value),
             "--gpu" => options.gpu = parse_gpu(&value),
@@ -153,9 +173,10 @@ fn parse_args() -> Options {
                 options.warmup = value.parse().unwrap_or_else(|_| die("bad --warmup"));
             }
             "--seed" => options.seed = value.parse().unwrap_or_else(|_| die("bad --seed")),
-            other => die(&format!("unknown flag '{other}'")),
+            _ => unreachable!("flags outside VALUE_FLAGS are rejected by the parser"),
         }
     }
+    options.requests = cli.size(options.requests, (options.requests / 4).max(1));
     options
 }
 

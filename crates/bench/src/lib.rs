@@ -12,94 +12,15 @@
 
 #![warn(missing_docs)]
 
-use std::path::{Path, PathBuf};
+pub mod cli;
+
+pub use cli::Cli;
+
+use std::path::Path;
 use std::sync::Mutex;
 
 use pf_metrics::Table;
 use pf_workload::RequestSpec;
-
-/// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone)]
-pub struct Cli {
-    /// Reduced workload sizes for smoke runs.
-    pub quick: bool,
-    /// Output directory for CSV/markdown artifacts.
-    pub out_dir: PathBuf,
-}
-
-/// Usage text printed on argument errors.
-const USAGE: &str = "usage: <binary> [--quick] [--out <dir> | --out=<dir>]\n\
-     --quick      reduced workload sizes for smoke runs\n\
-     --out <dir>  output directory for CSV/markdown artifacts (default: results)";
-
-impl Cli {
-    /// Parses `--quick` and `--out <dir>` / `--out=<dir>` from
-    /// `std::env::args`. Unknown or malformed arguments print the usage
-    /// to stderr and exit with code 2 (the conventional CLI-misuse
-    /// status), so a typo in a CI pipeline fails fast instead of
-    /// panicking with a backtrace.
-    pub fn parse() -> Cli {
-        match Cli::try_parse(std::env::args().skip(1)) {
-            Ok(cli) => cli,
-            Err(message) => {
-                eprintln!("error: {message}");
-                eprintln!("{USAGE}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Argument-parsing core, separated from process exit for testing.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable message for unknown arguments or a
-    /// missing `--out` value.
-    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
-        let mut quick = false;
-        let mut out_dir = PathBuf::from("results");
-        let mut args = args.into_iter();
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--quick" => quick = true,
-                "--out" => {
-                    out_dir = PathBuf::from(
-                        args.next()
-                            .ok_or_else(|| "--out requires a directory argument".to_string())?,
-                    );
-                }
-                other => match other.strip_prefix("--out=") {
-                    Some(dir) if !dir.is_empty() => out_dir = PathBuf::from(dir),
-                    Some(_) => return Err("--out= requires a directory argument".to_string()),
-                    None => return Err(format!("unknown argument: {other}")),
-                },
-            }
-        }
-        Ok(Cli { quick, out_dir })
-    }
-
-    /// Picks between the full and quick size of a workload parameter.
-    pub fn size(&self, full: usize, quick: usize) -> usize {
-        if self.quick {
-            quick
-        } else {
-            full
-        }
-    }
-
-    /// Writes a table as `<name>.csv` and `<name>.md` under the output
-    /// directory and prints it to stdout with a heading.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the output directory cannot be created or written.
-    pub fn emit(&self, name: &str, title: &str, table: &Table) {
-        println!("== {title} ==");
-        println!("{}", table.to_text());
-        write_artifacts(&self.out_dir, name, table);
-        println!("[wrote {}/{name}.csv and .md]\n", self.out_dir.display());
-    }
-}
 
 /// Writes `<name>.csv` and `<name>.md` for a table.
 ///
@@ -191,31 +112,6 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.12345), "12.35%");
-    }
-
-    fn parse(args: &[&str]) -> Result<Cli, String> {
-        Cli::try_parse(args.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn cli_parses_flags_and_both_out_forms() {
-        let cli = parse(&[]).unwrap();
-        assert!(!cli.quick);
-        assert_eq!(cli.out_dir, PathBuf::from("results"));
-        let cli = parse(&["--quick", "--out", "artifacts"]).unwrap();
-        assert!(cli.quick);
-        assert_eq!(cli.out_dir, PathBuf::from("artifacts"));
-        let cli = parse(&["--out=elsewhere"]).unwrap();
-        assert_eq!(cli.out_dir, PathBuf::from("elsewhere"));
-    }
-
-    #[test]
-    fn cli_rejects_bad_arguments_with_messages() {
-        assert!(parse(&["--frobnicate"])
-            .unwrap_err()
-            .contains("unknown argument: --frobnicate"));
-        assert!(parse(&["--out"]).unwrap_err().contains("--out requires"));
-        assert!(parse(&["--out="]).unwrap_err().contains("--out= requires"));
     }
 
     #[test]

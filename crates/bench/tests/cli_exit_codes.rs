@@ -1,0 +1,47 @@
+//! End-to-end CLI contract: a misused experiment binary must exit with
+//! code 2 (CLI-misuse convention) and print a usage hint, never panic.
+
+use std::process::Command;
+
+#[test]
+fn unknown_argument_exits_with_code_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn simulate binary");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown argument"),
+        "stderr must name the bad flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("simulate"),
+        "stderr must include the usage text: {stderr}"
+    );
+}
+
+#[test]
+fn missing_flag_value_exits_with_code_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(["--seed"])
+        .output()
+        .expect("spawn simulate binary");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--seed requires"),
+        "stderr must name the incomplete flag: {stderr}"
+    );
+}
+
+#[test]
+fn help_exits_cleanly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .arg("--help")
+        .output()
+        .expect("spawn simulate binary");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("OPTIONS"));
+}

@@ -8,13 +8,27 @@
 
 use std::fmt;
 
+/// Error from [`Binning::linear`]: a zero bin width cannot bin anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroBinWidth;
+
+impl fmt::Display for ZeroBinWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear bin width must be non-zero")
+    }
+}
+
+impl std::error::Error for ZeroBinWidth {}
+
 /// Binning strategy for [`LengthHistogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Binning {
     /// Fixed-width bins: lengths `[k*width, (k+1)*width)` share bin `k`.
     Linear {
-        /// Width of each bin in tokens; must be non-zero.
+        /// Width of each bin in tokens; must be non-zero (enforced by
+        /// [`Binning::linear`]; a hand-built zero width panics in
+        /// [`Binning::bin_of`]).
         width: u32,
     },
     /// Power-of-two bins: bin `k` holds lengths in `[2^k, 2^(k+1))`
@@ -23,10 +37,33 @@ pub enum Binning {
 }
 
 impl Binning {
+    /// Validated linear binning: rejects a zero width instead of
+    /// deferring the failure to the first [`Binning::bin_of`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroBinWidth`] when `width == 0`.
+    pub fn linear(width: u32) -> Result<Binning, ZeroBinWidth> {
+        if width == 0 {
+            Err(ZeroBinWidth)
+        } else {
+            Ok(Binning::Linear { width })
+        }
+    }
+
     /// Bin index for a length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binning is `Linear` with a zero width (impossible
+    /// via [`Binning::linear`]). Earlier versions silently clamped the
+    /// width to 1, which mislabelled every length as its own bin.
     pub fn bin_of(self, len: u32) -> usize {
         match self {
-            Binning::Linear { width } => (len / width.max(1)) as usize,
+            Binning::Linear { width } => {
+                assert!(width > 0, "{ZeroBinWidth} (use Binning::linear)");
+                (len / width) as usize
+            }
             Binning::Log2 => {
                 if len <= 1 {
                     0
@@ -183,9 +220,18 @@ mod tests {
     }
 
     #[test]
-    fn linear_zero_width_clamped() {
-        // Guard: width 0 behaves like width 1 instead of dividing by zero.
-        assert_eq!(Binning::Linear { width: 0 }.bin_of(7), 7);
+    fn linear_constructor_rejects_zero_width() {
+        assert_eq!(Binning::linear(0), Err(ZeroBinWidth));
+        assert_eq!(Binning::linear(64), Ok(Binning::Linear { width: 64 }));
+        assert!(!ZeroBinWidth.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn hand_built_zero_width_panics_loudly() {
+        // Regression: a zero width used to be silently clamped to 1,
+        // mislabelling every length as its own bin. Now it fails fast.
+        Binning::Linear { width: 0 }.bin_of(7);
     }
 
     #[test]

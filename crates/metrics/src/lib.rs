@@ -44,7 +44,7 @@ mod table;
 mod time;
 mod window;
 
-pub use hist::{Binning, LengthHistogram};
+pub use hist::{Binning, LengthHistogram, ZeroBinWidth};
 pub use series::{SeriesGroup, StepSeries};
 pub use similarity::{
     cosine_similarity, diagonal_mean, off_diagonal_mean, SimilarityMatrix, WindowedLengths,

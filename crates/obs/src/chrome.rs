@@ -1,0 +1,256 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! Produces the legacy Chrome `traceEvents` JSON format, which
+//! [Perfetto](https://ui.perfetto.dev) and `chrome://tracing` both load:
+//! one duration (`"ph":"X"`) slice per reconstructed request phase, one
+//! named track (`tid`) per engine instance, instant markers for
+//! cancellations and scaling actions, and thread-name metadata so tracks
+//! read "instance 0", "instance 1", … "cluster". Timestamps are the
+//! simulator's native microseconds — the unit the format expects — so
+//! slices land at their exact simulated times.
+//!
+//! The writer is hand-rolled: every emitted string is a static
+//! kebab-case label or a formatted integer, so no JSON escaping is
+//! needed (asserted in debug builds).
+
+use crate::event::TraceEvent;
+use crate::span::{reconstruct, RequestSpans, SpanOutcome};
+
+/// `tid` of the synthetic track carrying cluster-scoped events (scaling,
+/// repurposing). Real instances are dense from zero and never reach it.
+const CLUSTER_TRACK: u64 = 1_000_000;
+
+/// Renders an event stream as Chrome trace-event JSON.
+///
+/// The output is deterministic for a given event stream: entries are
+/// sorted by `(track, start, name, request)` before rendering.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let spans = reconstruct(events);
+    chrome_trace_json_from_spans(&spans, events)
+}
+
+/// Renders pre-reconstructed spans (plus the original stream, for
+/// instant markers and track discovery) as Chrome trace-event JSON.
+pub fn chrome_trace_json_from_spans(spans: &[RequestSpans], events: &[TraceEvent]) -> String {
+    // (tid, ts, name, request, rendered-json-object)
+    let mut entries: Vec<(u64, u64, &'static str, u64, String)> = Vec::new();
+    let mut tracks: Vec<u64> = Vec::new();
+    fn track(tracks: &mut Vec<u64>, tid: u64) {
+        if !tracks.contains(&tid) {
+            tracks.push(tid);
+        }
+    }
+
+    for span in spans {
+        for phase in &span.phases {
+            let tid = u64::from(phase.instance);
+            track(&mut tracks, tid);
+            let ts = phase.start.as_micros();
+            let dur = phase.end.as_micros() - ts;
+            let name = phase.phase.label();
+            entries.push((
+                tid,
+                ts,
+                name,
+                span.request,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":0,\"tid\":{tid},\"args\":{{\"request\":{req}}}}}",
+                    req = span.request,
+                ),
+            ));
+        }
+        // Cancellations as instant markers on the owning track.
+        let marker = match span.outcome {
+            SpanOutcome::TimedOut => Some("timed-out"),
+            SpanOutcome::SlackDropped => Some("slack-dropped"),
+            SpanOutcome::Finished { .. } | SpanOutcome::Incomplete => None,
+        };
+        if let Some(name) = marker {
+            let tid = u64::from(span.instance);
+            track(&mut tracks, tid);
+            let ts = span.ended.as_micros();
+            entries.push((
+                tid,
+                ts,
+                name,
+                span.request,
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"request\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"request\":{req}}}}}",
+                    req = span.request,
+                ),
+            ));
+        }
+    }
+
+    for ev in events {
+        let (name, detail) = match *ev {
+            TraceEvent::ScaleUp { pool, from, to, .. } => (
+                "scale-up",
+                format!("\"pool\":\"{}\",\"from\":{from},\"to\":{to}", pool.label()),
+            ),
+            TraceEvent::ScaleDown { pool, from, to, .. } => (
+                "scale-down",
+                format!("\"pool\":\"{}\",\"from\":{from},\"to\":{to}", pool.label()),
+            ),
+            TraceEvent::Repurposed {
+                from_instance,
+                to_instance,
+                ..
+            } => (
+                "repurposed",
+                format!("\"from_instance\":{from_instance},\"to_instance\":{to_instance}"),
+            ),
+            _ => continue,
+        };
+        track(&mut tracks, CLUSTER_TRACK);
+        let ts = ev.at().as_micros();
+        entries.push((
+            CLUSTER_TRACK,
+            ts,
+            name,
+            0,
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"cluster\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{CLUSTER_TRACK},\"s\":\"p\",\"args\":{{{detail}}}}}"
+            ),
+        ));
+    }
+
+    entries.sort_by(|a, b| (a.0, a.1, a.2, a.3).cmp(&(b.0, b.1, b.2, b.3)));
+    tracks.sort_unstable();
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for tid in tracks {
+        let label = if tid == CLUSTER_TRACK {
+            "cluster".to_string()
+        } else {
+            format!("instance {tid}")
+        };
+        push_entry(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+        );
+    }
+    for (_, _, _, _, json) in &entries {
+        push_entry(&mut out, &mut first, json);
+    }
+    out.push_str("\n]}\n");
+    debug_assert!(!out.contains('\\'), "trace JSON must not need escaping");
+    out
+}
+
+fn push_entry(out: &mut String, first: &mut bool, json: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_metrics::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn tiny_stream() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::Admitted {
+                at: t(2),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::PrefillEnd {
+                at: t(5),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::FirstToken {
+                at: t(5),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::Finished {
+                at: t(9),
+                instance: 0,
+                request: 1,
+                sla_ok: true,
+            },
+            TraceEvent::ScaleUp {
+                at: t(4),
+                pool: crate::event::Pool::Colocated,
+                from: 1,
+                to: 2,
+            },
+        ]
+    }
+
+    /// Golden snapshot: the exact JSON for a tiny deterministic stream.
+    /// If this changes, the export format changed — update the snapshot
+    /// *and* docs/observability.md deliberately.
+    #[test]
+    fn golden_chrome_trace_snapshot() {
+        let expected = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+            {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"instance 0\"}},\n\
+            {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1000000,\"args\":{\"name\":\"cluster\"}},\n\
+            {\"name\":\"queue\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":0,\"dur\":2000,\"pid\":0,\"tid\":0,\"args\":{\"request\":1}},\n\
+            {\"name\":\"prefill\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":2000,\"dur\":3000,\"pid\":0,\"tid\":0,\"args\":{\"request\":1}},\n\
+            {\"name\":\"decode\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":5000,\"dur\":4000,\"pid\":0,\"tid\":0,\"args\":{\"request\":1}},\n\
+            {\"name\":\"scale-up\",\"cat\":\"cluster\",\"ph\":\"i\",\"ts\":4000,\"pid\":0,\"tid\":1000000,\"s\":\"p\",\"args\":{\"pool\":\"colocated\",\"from\":1,\"to\":2}}\n\
+            ]}\n";
+        assert_eq!(chrome_trace_json(&tiny_stream()), expected);
+    }
+
+    #[test]
+    fn export_is_order_stable() {
+        let mut shuffled = tiny_stream();
+        shuffled.reverse();
+        assert_eq!(
+            chrome_trace_json(&shuffled),
+            chrome_trace_json(&tiny_stream())
+        );
+    }
+
+    #[test]
+    fn cancellation_renders_instant_marker() {
+        let events = vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 2,
+                request: 7,
+            },
+            TraceEvent::TimedOut {
+                at: t(3),
+                instance: 2,
+                request: 7,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"timed-out\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("instance 2"));
+    }
+
+    #[test]
+    fn empty_stream_is_valid_json_shell() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\n]}\n"
+        );
+    }
+}

@@ -1,0 +1,518 @@
+//! The structured event taxonomy and the [`TraceSink`] trait.
+//!
+//! Every event is a [`Copy`] value stamped with the emitting engine's
+//! simulated clock ([`SimTime`]) and an `instance` id (one serving engine =
+//! one instance; disaggregated prefill and decode members get distinct
+//! ids). Emission sites pass events through an
+//! `Option<&mut dyn TraceSink>`: with `None` the emission compiles down to
+//! a branch on a null option — no allocation, no formatting, no clock
+//! reads — so the untraced path is bit-identical to a build without
+//! tracing.
+
+use pf_metrics::SimTime;
+
+/// Which pool a scaling event applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// A colocated (single-pool) cluster.
+    Colocated,
+    /// The disaggregated prefill pool.
+    Prefill,
+    /// The disaggregated decode pool.
+    Decode,
+}
+
+impl Pool {
+    /// Short lower-case label (`"colocated"`, `"prefill"`, `"decode"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pool::Colocated => "colocated",
+            Pool::Prefill => "prefill",
+            Pool::Decode => "decode",
+        }
+    }
+}
+
+/// Gauge kinds sampled by engines alongside the event stream (see
+/// [`TraceSink::gauge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeKind {
+    /// Requests waiting in the admission queue.
+    QueueDepth,
+    /// KV-pool occupancy as a fraction of capacity.
+    KvOccupancy,
+    /// Requests in the running batch.
+    BatchSize,
+    /// Deadline urgency of the queue (Σ `1 / (1 + slack_secs)`).
+    SlackPressure,
+}
+
+impl GaugeKind {
+    /// Short snake-case label used as a series-name suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            GaugeKind::QueueDepth => "queue_depth",
+            GaugeKind::KvOccupancy => "kv_occupancy",
+            GaugeKind::BatchSize => "batch_size",
+            GaugeKind::SlackPressure => "slack_pressure",
+        }
+    }
+}
+
+/// One structured lifecycle event.
+///
+/// Request-scoped variants carry the workload request id; cluster-scoped
+/// variants ([`TraceEvent::ScaleUp`], [`TraceEvent::ScaleDown`],
+/// [`TraceEvent::Repurposed`]) describe pool membership changes.
+///
+/// [`TraceEvent::DecodeStep`] is *coalesced*: one event per engine decode
+/// iteration carrying the batch size, not one per emitted token —
+/// per-token events would dominate the stream a thousand to one and add
+/// nothing the span reconstruction needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Request entered an instance's admission queue.
+    Enqueued {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Request left the queue into the running batch (its prompt KV is
+    /// allocated; prefill begins).
+    Admitted {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Queued request dropped early under slack-aware scheduling: its
+    /// remaining slack fell below the minimum feasible prefill time, so it
+    /// was cancelled before burning a prefill pass on a guaranteed miss.
+    SlackDropped {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Prefill over the request's (un-cached) prompt started. A swap-in
+    /// restore after swap preemption also counts: the readmission
+    /// transfer occupies the same lifecycle slot as a recompute prefill.
+    PrefillStart {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Prefill over the prompt completed (the request starts decoding).
+    PrefillEnd {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// First output token ever emitted for this request (the TTFT stamp;
+    /// not re-emitted after preemption re-prefills).
+    FirstToken {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// One decode iteration, coalesced over the whole batch.
+    DecodeStep {
+        /// Event time (end of the step).
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Requests that emitted a token this step.
+        batch: u32,
+    },
+    /// Request evicted under memory pressure with recompute preemption
+    /// (re-queues at the front; pays a re-prefill on readmission).
+    Preempted {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Request evicted with swap preemption (KV parked in host memory;
+    /// readmission pays a PCIe transfer instead of a recompute).
+    Swapped {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Disaggregated KV handoff entered the prefill→decode transfer link
+    /// (`at` is when the transfer actually starts moving bytes, after any
+    /// wait for a free link slot).
+    KvTransferStart {
+        /// Event time.
+        at: SimTime,
+        /// Emitting (prefill) instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Disaggregated KV handoff completed; the request now belongs to the
+    /// decode pool, so `instance` is the *receiving decode* instance.
+    KvTransferEnd {
+        /// Event time.
+        at: SimTime,
+        /// Receiving (decode) instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Request cancelled because its deadline expired while queued.
+    TimedOut {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+    },
+    /// Request completed. `sla_ok` is the per-request SLA verdict
+    /// (TTFT and MTPOT within the configured thresholds), making the
+    /// event stream a self-contained SLI for burn-rate monitoring.
+    Finished {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Request id.
+        request: u64,
+        /// Whether the request met its SLA.
+        sla_ok: bool,
+    },
+    /// Pool provisioning grew from `from` to `to` members.
+    ScaleUp {
+        /// Event time.
+        at: SimTime,
+        /// Affected pool.
+        pool: Pool,
+        /// Members before.
+        from: usize,
+        /// Members after.
+        to: usize,
+    },
+    /// Pool provisioning shrank from `from` to `to` members.
+    ScaleDown {
+        /// Event time.
+        at: SimTime,
+        /// Affected pool.
+        pool: Pool,
+        /// Members before.
+        from: usize,
+        /// Members after.
+        to: usize,
+    },
+    /// A draining prefill member flipped into the decode pool
+    /// (cross-pool repurposing).
+    Repurposed {
+        /// Event time.
+        at: SimTime,
+        /// The prefill instance that drained.
+        from_instance: u32,
+        /// The decode instance it became.
+        to_instance: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Enqueued { at, .. }
+            | TraceEvent::Admitted { at, .. }
+            | TraceEvent::SlackDropped { at, .. }
+            | TraceEvent::PrefillStart { at, .. }
+            | TraceEvent::PrefillEnd { at, .. }
+            | TraceEvent::FirstToken { at, .. }
+            | TraceEvent::DecodeStep { at, .. }
+            | TraceEvent::Preempted { at, .. }
+            | TraceEvent::Swapped { at, .. }
+            | TraceEvent::KvTransferStart { at, .. }
+            | TraceEvent::KvTransferEnd { at, .. }
+            | TraceEvent::TimedOut { at, .. }
+            | TraceEvent::Finished { at, .. }
+            | TraceEvent::ScaleUp { at, .. }
+            | TraceEvent::ScaleDown { at, .. }
+            | TraceEvent::Repurposed { at, .. } => at,
+        }
+    }
+
+    /// The request id, for request-scoped events.
+    pub fn request(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Enqueued { request, .. }
+            | TraceEvent::Admitted { request, .. }
+            | TraceEvent::SlackDropped { request, .. }
+            | TraceEvent::PrefillStart { request, .. }
+            | TraceEvent::PrefillEnd { request, .. }
+            | TraceEvent::FirstToken { request, .. }
+            | TraceEvent::Preempted { request, .. }
+            | TraceEvent::Swapped { request, .. }
+            | TraceEvent::KvTransferStart { request, .. }
+            | TraceEvent::KvTransferEnd { request, .. }
+            | TraceEvent::TimedOut { request, .. }
+            | TraceEvent::Finished { request, .. } => Some(request),
+            TraceEvent::DecodeStep { .. }
+            | TraceEvent::ScaleUp { .. }
+            | TraceEvent::ScaleDown { .. }
+            | TraceEvent::Repurposed { .. } => None,
+        }
+    }
+
+    /// The emitting instance, for instance-scoped events.
+    pub fn instance(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::Enqueued { instance, .. }
+            | TraceEvent::Admitted { instance, .. }
+            | TraceEvent::SlackDropped { instance, .. }
+            | TraceEvent::PrefillStart { instance, .. }
+            | TraceEvent::PrefillEnd { instance, .. }
+            | TraceEvent::FirstToken { instance, .. }
+            | TraceEvent::DecodeStep { instance, .. }
+            | TraceEvent::Preempted { instance, .. }
+            | TraceEvent::Swapped { instance, .. }
+            | TraceEvent::KvTransferStart { instance, .. }
+            | TraceEvent::KvTransferEnd { instance, .. }
+            | TraceEvent::TimedOut { instance, .. }
+            | TraceEvent::Finished { instance, .. } => Some(instance),
+            TraceEvent::ScaleUp { .. } | TraceEvent::ScaleDown { .. } => None,
+            TraceEvent::Repurposed { from_instance, .. } => Some(from_instance),
+        }
+    }
+
+    /// Short kebab-case event name (stable; used in exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueued { .. } => "enqueued",
+            TraceEvent::Admitted { .. } => "admitted",
+            TraceEvent::SlackDropped { .. } => "slack-dropped",
+            TraceEvent::PrefillStart { .. } => "prefill-start",
+            TraceEvent::PrefillEnd { .. } => "prefill-end",
+            TraceEvent::FirstToken { .. } => "first-token",
+            TraceEvent::DecodeStep { .. } => "decode-step",
+            TraceEvent::Preempted { .. } => "preempted",
+            TraceEvent::Swapped { .. } => "swapped",
+            TraceEvent::KvTransferStart { .. } => "kv-transfer-start",
+            TraceEvent::KvTransferEnd { .. } => "kv-transfer-end",
+            TraceEvent::TimedOut { .. } => "timed-out",
+            TraceEvent::Finished { .. } => "finished",
+            TraceEvent::ScaleUp { .. } => "scale-up",
+            TraceEvent::ScaleDown { .. } => "scale-down",
+            TraceEvent::Repurposed { .. } => "repurposed",
+        }
+    }
+}
+
+/// Consumer of the structured event stream.
+///
+/// Engines call [`TraceSink::event`] at every lifecycle transition and
+/// [`TraceSink::gauge`] (default: no-op) at every metrics-recording step.
+/// Implementations must not assume globally monotonic timestamps: in
+/// multi-instance co-simulation each *instance's* stream is monotonic, but
+/// the interleaving across instances follows the engines' tick order.
+pub trait TraceSink {
+    /// Receives one lifecycle event.
+    fn event(&mut self, ev: TraceEvent);
+
+    /// Receives one gauge sample (queue depth, KV occupancy, …). The
+    /// default implementation discards it, so event-only sinks stay
+    /// one-method implementations.
+    fn gauge(&mut self, at: SimTime, instance: u32, kind: GaugeKind, value: f64) {
+        let _ = (at, instance, kind, value);
+    }
+}
+
+/// One gauge observation captured by [`RecordingSink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Emitting instance.
+    pub instance: u32,
+    /// What was measured.
+    pub kind: GaugeKind,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Sink that records the full event and gauge streams in memory — the
+/// input to [`crate::span::reconstruct`] and
+/// [`crate::chrome::chrome_trace_json`].
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Every event, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Every gauge sample, in emission order.
+    pub gauges: Vec<GaugeSample>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn gauge(&mut self, at: SimTime, instance: u32, kind: GaugeKind, value: f64) {
+        self.gauges.push(GaugeSample {
+            at,
+            instance,
+            kind,
+            value,
+        });
+    }
+}
+
+/// Sink that only counts — the cheapest possible real sink, used by the
+/// perf baseline to measure the intrinsic cost of having tracing *on*.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Events received.
+    pub events: u64,
+    /// Gauge samples received.
+    pub gauges: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counting sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn event(&mut self, _ev: TraceEvent) {
+        self.events += 1;
+    }
+
+    fn gauge(&mut self, _at: SimTime, _instance: u32, _kind: GaugeKind, _value: f64) {
+        self.gauges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let t = SimTime::from_secs(1);
+        let request_scoped = [
+            TraceEvent::Enqueued {
+                at: t,
+                instance: 2,
+                request: 7,
+            },
+            TraceEvent::Finished {
+                at: t,
+                instance: 2,
+                request: 7,
+                sla_ok: true,
+            },
+            TraceEvent::KvTransferEnd {
+                at: t,
+                instance: 2,
+                request: 7,
+            },
+        ];
+        for ev in request_scoped {
+            assert_eq!(ev.at(), t);
+            assert_eq!(ev.request(), Some(7));
+            assert_eq!(ev.instance(), Some(2));
+            assert!(!ev.name().is_empty());
+        }
+        let scale = TraceEvent::ScaleUp {
+            at: t,
+            pool: Pool::Decode,
+            from: 1,
+            to: 2,
+        };
+        assert_eq!(scale.request(), None);
+        assert_eq!(scale.instance(), None);
+        assert_eq!(scale.name(), "scale-up");
+        let step = TraceEvent::DecodeStep {
+            at: t,
+            instance: 3,
+            batch: 8,
+        };
+        assert_eq!(step.request(), None);
+        assert_eq!(step.instance(), Some(3));
+    }
+
+    #[test]
+    fn recording_sink_captures_both_streams() {
+        let mut sink = RecordingSink::new();
+        sink.event(TraceEvent::Enqueued {
+            at: SimTime::ZERO,
+            instance: 0,
+            request: 1,
+        });
+        sink.gauge(SimTime::ZERO, 0, GaugeKind::QueueDepth, 3.0);
+        assert_eq!(sink.events.len(), 1);
+        assert_eq!(sink.gauges.len(), 1);
+        assert_eq!(sink.gauges[0].kind.label(), "queue_depth");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        for i in 0..5 {
+            sink.event(TraceEvent::DecodeStep {
+                at: SimTime::from_micros(i),
+                instance: 0,
+                batch: 1,
+            });
+        }
+        sink.gauge(SimTime::ZERO, 0, GaugeKind::BatchSize, 1.0);
+        assert_eq!(sink.events, 5);
+        assert_eq!(sink.gauges, 1);
+    }
+
+    #[test]
+    fn default_gauge_is_noop() {
+        struct EventsOnly(u64);
+        impl TraceSink for EventsOnly {
+            fn event(&mut self, _ev: TraceEvent) {
+                self.0 += 1;
+            }
+        }
+        let mut sink = EventsOnly(0);
+        sink.gauge(SimTime::ZERO, 0, GaugeKind::KvOccupancy, 0.5);
+        assert_eq!(sink.0, 0);
+    }
+
+    #[test]
+    fn pool_labels() {
+        assert_eq!(Pool::Colocated.label(), "colocated");
+        assert_eq!(Pool::Prefill.label(), "prefill");
+        assert_eq!(Pool::Decode.label(), "decode");
+    }
+}

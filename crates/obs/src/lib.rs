@@ -1,0 +1,57 @@
+//! Zero-cost-when-disabled observability for the Past-Future serving
+//! simulator.
+//!
+//! The simulator's engines (`pf-sim`) emit [`TraceEvent`]s at every
+//! request lifecycle transition — enqueue, admission, prefill, first
+//! token, decode steps, preemption, KV handoff, timeout, finish — plus
+//! cluster-scoped scaling and repurposing events, behind an
+//! `Option<&mut dyn TraceSink>`. Passing `None` costs one predictable
+//! branch per site: no allocation, no formatting, bit-identical reports.
+//!
+//! This crate provides the taxonomy and the consumers:
+//!
+//! * [`event`] — the [`TraceEvent`] enum, the [`TraceSink`] trait, and
+//!   the in-memory [`RecordingSink`] / [`CountingSink`];
+//! * [`span`] — [`span::reconstruct`] folds the flat stream into
+//!   per-request phase breakdowns (queue / prefill / kv-transfer /
+//!   decode / stalled) that exactly partition each request's lifetime;
+//! * [`chrome`] — [`chrome::chrome_trace_json`] renders the stream as
+//!   Chrome trace-event JSON, loadable in
+//!   [Perfetto](https://ui.perfetto.dev) with one track per instance;
+//! * [`telemetry`] — [`TelemetryRecorder`] samples engine gauges into a
+//!   [`pf_metrics::SeriesGroup`] and drives a multi-window SLO
+//!   [`BurnRateMonitor`] that emits [`BudgetAlert`]s on severity
+//!   escalation.
+//!
+//! # Example
+//!
+//! ```
+//! use pf_metrics::SimTime;
+//! use pf_obs::{reconstruct, Phase, RecordingSink, TraceEvent, TraceSink};
+//!
+//! let mut sink = RecordingSink::new();
+//! sink.event(TraceEvent::Enqueued { at: SimTime::ZERO, instance: 0, request: 1 });
+//! sink.event(TraceEvent::Admitted { at: SimTime::from_millis(4), instance: 0, request: 1 });
+//! sink.event(TraceEvent::FirstToken { at: SimTime::from_millis(9), instance: 0, request: 1 });
+//! sink.event(TraceEvent::Finished {
+//!     at: SimTime::from_millis(30), instance: 0, request: 1, sla_ok: true,
+//! });
+//! let spans = reconstruct(&sink.events);
+//! assert!(spans[0].phases_partition_lifetime());
+//! assert_eq!(spans[0].time_in(Phase::Queue).as_micros(), 4_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod event;
+pub mod span;
+pub mod telemetry;
+
+pub use chrome::{chrome_trace_json, chrome_trace_json_from_spans};
+pub use event::{CountingSink, GaugeKind, GaugeSample, Pool, RecordingSink, TraceEvent, TraceSink};
+pub use span::{reconstruct, Phase, PhaseSpan, PhaseTotals, RequestSpans, SpanOutcome};
+pub use telemetry::{
+    AlertWindow, BudgetAlert, BurnRateMonitor, Severity, SloConfig, TelemetryRecorder,
+};

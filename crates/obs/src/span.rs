@@ -1,0 +1,550 @@
+//! Span reconstruction: folding the flat event stream back into
+//! per-request phase breakdowns.
+//!
+//! A request's lifetime is partitioned into contiguous [`Phase`] spans:
+//!
+//! ```text
+//! enqueued ─ queue ─ admitted ─ prefill ─ first token ─ decode ─ finished
+//!               ▲                                          │
+//!               └────────────── preempted ◀────────────────┘
+//! ```
+//!
+//! with a `kv-transfer` phase between prefill and decode in disaggregated
+//! runs, and `stalled` covering time the request is owned by the system
+//! but no stage is working on it (waiting for a free KV-transfer link
+//! slot). The reconstruction is *order-stable*: markers are canonically
+//! re-sorted by `(time, kind)` first, so any permutation of the input
+//! event slice yields identical spans.
+
+use std::collections::BTreeMap;
+
+use pf_metrics::{SimDuration, SimTime};
+
+use crate::event::TraceEvent;
+
+/// What a request was doing during one span of its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting in an admission queue (including re-queue after
+    /// preemption).
+    Queue,
+    /// Prompt prefill in progress (or a swap-in restore).
+    Prefill,
+    /// KV handoff moving over the prefill→decode link.
+    KvTransfer,
+    /// Emitting output tokens (includes decode-admission wait after a KV
+    /// transfer lands — the decode pool owns the request from then on).
+    Decode,
+    /// Owned by the system but no stage working on it (e.g. waiting for a
+    /// free KV-transfer link slot).
+    Stalled,
+}
+
+impl Phase {
+    /// Short kebab-case label (stable; used in exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Prefill => "prefill",
+            Phase::KvTransfer => "kv-transfer",
+            Phase::Decode => "decode",
+            Phase::Stalled => "stalled",
+        }
+    }
+
+    /// All phases, in display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Queue,
+        Phase::Prefill,
+        Phase::KvTransfer,
+        Phase::Decode,
+        Phase::Stalled,
+    ];
+}
+
+/// One contiguous span of a request's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpan {
+    /// What the request was doing.
+    pub phase: Phase,
+    /// Span start.
+    pub start: SimTime,
+    /// Span end (exclusive; equals the next span's start).
+    pub end: SimTime,
+    /// Instance that owned the request during this span.
+    pub instance: u32,
+}
+
+impl PhaseSpan {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// How a request's trace ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Completed; `sla_ok` is the per-request SLA verdict.
+    Finished {
+        /// Whether the request met its SLA.
+        sla_ok: bool,
+    },
+    /// Cancelled past its deadline while queued.
+    TimedOut,
+    /// Early-dropped by slack-aware scheduling.
+    SlackDropped,
+    /// The trace ended (simulation horizon) with the request still in
+    /// flight.
+    Incomplete,
+}
+
+/// A request's full reconstructed lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpans {
+    /// Request id.
+    pub request: u64,
+    /// Instance the request was first enqueued on.
+    pub instance: u32,
+    /// When the request entered the system.
+    pub enqueued: SimTime,
+    /// When its trace ended (finish, cancellation, or last marker for
+    /// incomplete traces).
+    pub ended: SimTime,
+    /// How the trace ended.
+    pub outcome: SpanOutcome,
+    /// Contiguous phases partitioning `[enqueued, ended]`.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl RequestSpans {
+    /// Total time in the given phase.
+    pub fn time_in(&self, phase: Phase) -> SimDuration {
+        self.phases
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(PhaseSpan::duration)
+            .sum()
+    }
+
+    /// Whether the phases exactly partition `[enqueued, ended]`:
+    /// contiguous, non-overlapping, non-empty, covering the whole
+    /// lifetime. (Zero-length lifetimes — e.g. dropped at arrival — have
+    /// no phases.)
+    pub fn phases_partition_lifetime(&self) -> bool {
+        if self.phases.is_empty() {
+            return self.enqueued == self.ended;
+        }
+        let mut cursor = self.enqueued;
+        for span in &self.phases {
+            if span.start != cursor || span.end <= span.start {
+                return false;
+            }
+            cursor = span.end;
+        }
+        cursor == self.ended
+    }
+}
+
+/// Marker kinds in canonical same-timestamp order. The rank resolves ties
+/// so reconstruction is independent of the input event order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Marker {
+    Enqueued,
+    Admitted,
+    PrefillStart,
+    PrefillEnd,
+    FirstToken,
+    KvTransferStart,
+    KvTransferEnd,
+    Preempted,
+    Swapped,
+    Terminal(TerminalKind),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TerminalKind {
+    Finished { sla_ok: bool },
+    TimedOut,
+    SlackDropped,
+}
+
+/// Folds an event stream into per-request phase breakdowns, sorted by
+/// request id. Non-request events (decode steps, scaling, repurposing)
+/// are ignored. Input order does not matter: markers are re-sorted by
+/// `(time, canonical kind rank)` per request before the walk.
+pub fn reconstruct(events: &[TraceEvent]) -> Vec<RequestSpans> {
+    let mut per_request: BTreeMap<u64, Vec<(SimTime, Marker, u32)>> = BTreeMap::new();
+    for ev in events {
+        let marker = match *ev {
+            TraceEvent::Enqueued { .. } => Marker::Enqueued,
+            TraceEvent::Admitted { .. } => Marker::Admitted,
+            TraceEvent::PrefillStart { .. } => Marker::PrefillStart,
+            TraceEvent::PrefillEnd { .. } => Marker::PrefillEnd,
+            TraceEvent::FirstToken { .. } => Marker::FirstToken,
+            TraceEvent::KvTransferStart { .. } => Marker::KvTransferStart,
+            TraceEvent::KvTransferEnd { .. } => Marker::KvTransferEnd,
+            TraceEvent::Preempted { .. } => Marker::Preempted,
+            TraceEvent::Swapped { .. } => Marker::Swapped,
+            TraceEvent::Finished { sla_ok, .. } => {
+                Marker::Terminal(TerminalKind::Finished { sla_ok })
+            }
+            TraceEvent::TimedOut { .. } => Marker::Terminal(TerminalKind::TimedOut),
+            TraceEvent::SlackDropped { .. } => Marker::Terminal(TerminalKind::SlackDropped),
+            TraceEvent::DecodeStep { .. }
+            | TraceEvent::ScaleUp { .. }
+            | TraceEvent::ScaleDown { .. }
+            | TraceEvent::Repurposed { .. } => continue,
+        };
+        let (request, instance) = match (ev.request(), ev.instance()) {
+            (Some(r), Some(i)) => (r, i),
+            _ => continue,
+        };
+        per_request
+            .entry(request)
+            .or_default()
+            .push((ev.at(), marker, instance));
+    }
+    per_request
+        .into_iter()
+        .map(|(request, mut markers)| {
+            markers.sort_by_key(|&(at, marker, _)| (at, marker));
+            fold_markers(request, &markers)
+        })
+        .collect()
+}
+
+/// Walks one request's time-sorted markers, labelling each inter-marker
+/// segment by the state the earlier marker put the request in. One-marker
+/// lookahead distinguishes post-prefill decoding from waiting for a KV
+/// link slot.
+fn fold_markers(request: u64, markers: &[(SimTime, Marker, u32)]) -> RequestSpans {
+    debug_assert!(!markers.is_empty());
+    let (enqueued, _, first_instance) = markers[0];
+    let (ended, last_marker, _) = *markers.last().expect("non-empty");
+    let outcome = match last_marker {
+        Marker::Terminal(TerminalKind::Finished { sla_ok }) => SpanOutcome::Finished { sla_ok },
+        Marker::Terminal(TerminalKind::TimedOut) => SpanOutcome::TimedOut,
+        Marker::Terminal(TerminalKind::SlackDropped) => SpanOutcome::SlackDropped,
+        _ => SpanOutcome::Incomplete,
+    };
+    let mut phases: Vec<PhaseSpan> = Vec::new();
+    for (i, &(at, marker, instance)) in markers.iter().enumerate() {
+        let Some(&(next_at, next_marker, _)) = markers.get(i + 1) else {
+            break;
+        };
+        let phase = match marker {
+            Marker::Enqueued | Marker::Preempted | Marker::Swapped => Phase::Queue,
+            Marker::Admitted | Marker::PrefillStart => Phase::Prefill,
+            // After prefill the request is decoding — unless the next
+            // thing that happens is a KV handoff, in which case the gap
+            // is the wait for a free link slot.
+            Marker::PrefillEnd | Marker::FirstToken => {
+                if next_marker == Marker::KvTransferStart {
+                    Phase::Stalled
+                } else {
+                    Phase::Decode
+                }
+            }
+            Marker::KvTransferStart => Phase::KvTransfer,
+            Marker::KvTransferEnd => Phase::Decode,
+            // A terminal marker before the last one (duplicate terminals
+            // never happen from the engines); label defensively.
+            Marker::Terminal(_) => Phase::Stalled,
+        };
+        if next_at <= at {
+            continue; // Zero-length segment.
+        }
+        match phases.last_mut() {
+            // Merge consecutive same-phase same-instance segments.
+            Some(prev) if prev.phase == phase && prev.instance == instance => {
+                prev.end = next_at;
+            }
+            _ => phases.push(PhaseSpan {
+                phase,
+                start: at,
+                end: next_at,
+                instance,
+            }),
+        }
+    }
+    RequestSpans {
+        request,
+        instance: first_instance,
+        enqueued,
+        ended,
+        outcome,
+        phases,
+    }
+}
+
+/// Per-phase totals across many requests (for summary tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Total time per phase, indexed as [`Phase::ALL`].
+    pub totals: [SimDuration; 5],
+    /// Requests aggregated.
+    pub requests: usize,
+}
+
+impl PhaseTotals {
+    /// Sums phase time over `spans`.
+    pub fn aggregate(spans: &[RequestSpans]) -> Self {
+        let mut out = PhaseTotals {
+            requests: spans.len(),
+            ..Default::default()
+        };
+        for span in spans {
+            for (slot, phase) in out.totals.iter_mut().zip(Phase::ALL) {
+                *slot += span.time_in(phase);
+            }
+        }
+        out
+    }
+
+    /// Total time in the given phase.
+    pub fn time_in(&self, phase: Phase) -> SimDuration {
+        let idx = Phase::ALL.iter().position(|&p| p == phase).expect("known");
+        self.totals[idx]
+    }
+
+    /// Mean time per request in the given phase, in seconds.
+    pub fn mean_secs(&self, phase: Phase) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.time_in(phase).as_secs_f64() / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn simple_lifetime() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::Admitted {
+                at: t(10),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::PrefillStart {
+                at: t(10),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::PrefillEnd {
+                at: t(40),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::FirstToken {
+                at: t(40),
+                instance: 0,
+                request: 1,
+            },
+            TraceEvent::Finished {
+                at: t(100),
+                instance: 0,
+                request: 1,
+                sla_ok: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn simple_lifetime_partitions() {
+        let spans = reconstruct(&simple_lifetime());
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.request, 1);
+        assert_eq!(s.outcome, SpanOutcome::Finished { sla_ok: true });
+        assert!(s.phases_partition_lifetime());
+        assert_eq!(s.time_in(Phase::Queue), SimDuration::from_millis(10));
+        assert_eq!(s.time_in(Phase::Prefill), SimDuration::from_millis(30));
+        assert_eq!(s.time_in(Phase::Decode), SimDuration::from_millis(60));
+        assert_eq!(s.time_in(Phase::Stalled), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reconstruction_is_order_stable() {
+        let mut events = simple_lifetime();
+        events.reverse();
+        assert_eq!(reconstruct(&events), reconstruct(&simple_lifetime()));
+    }
+
+    #[test]
+    fn disagg_lifetime_includes_transfer_and_stall() {
+        let events = vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 0,
+                request: 5,
+            },
+            TraceEvent::Admitted {
+                at: t(5),
+                instance: 0,
+                request: 5,
+            },
+            TraceEvent::PrefillEnd {
+                at: t(20),
+                instance: 0,
+                request: 5,
+            },
+            TraceEvent::FirstToken {
+                at: t(20),
+                instance: 0,
+                request: 5,
+            },
+            // Link slot only frees at 30ms: 20→30 is stalled.
+            TraceEvent::KvTransferStart {
+                at: t(30),
+                instance: 0,
+                request: 5,
+            },
+            TraceEvent::KvTransferEnd {
+                at: t(35),
+                instance: 3,
+                request: 5,
+            },
+            TraceEvent::Finished {
+                at: t(90),
+                instance: 3,
+                request: 5,
+                sla_ok: false,
+            },
+        ];
+        let spans = reconstruct(&events);
+        let s = &spans[0];
+        assert!(s.phases_partition_lifetime());
+        assert_eq!(s.time_in(Phase::Stalled), SimDuration::from_millis(10));
+        assert_eq!(s.time_in(Phase::KvTransfer), SimDuration::from_millis(5));
+        assert_eq!(s.time_in(Phase::Decode), SimDuration::from_millis(55));
+        // Decode happened on the receiving decode instance's track.
+        let decode = s.phases.iter().find(|p| p.phase == Phase::Decode).unwrap();
+        assert_eq!(decode.instance, 3);
+    }
+
+    #[test]
+    fn preemption_returns_to_queue() {
+        let events = vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::Admitted {
+                at: t(1),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::PrefillEnd {
+                at: t(2),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::FirstToken {
+                at: t(2),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::Preempted {
+                at: t(10),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::Admitted {
+                at: t(15),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::PrefillEnd {
+                at: t(18),
+                instance: 0,
+                request: 9,
+            },
+            TraceEvent::Finished {
+                at: t(30),
+                instance: 0,
+                request: 9,
+                sla_ok: true,
+            },
+        ];
+        let s = &reconstruct(&events)[0];
+        assert!(s.phases_partition_lifetime());
+        // 0→1 queue, 10→15 re-queue after preemption.
+        assert_eq!(s.time_in(Phase::Queue), SimDuration::from_millis(6));
+        // 1→2 prefill, 15→18 re-prefill.
+        assert_eq!(s.time_in(Phase::Prefill), SimDuration::from_millis(4));
+        assert_eq!(s.time_in(Phase::Decode), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn timed_out_while_queued() {
+        let events = vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 1,
+                request: 2,
+            },
+            TraceEvent::TimedOut {
+                at: t(50),
+                instance: 1,
+                request: 2,
+            },
+        ];
+        let s = &reconstruct(&events)[0];
+        assert_eq!(s.outcome, SpanOutcome::TimedOut);
+        assert!(s.phases_partition_lifetime());
+        assert_eq!(s.time_in(Phase::Queue), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn incomplete_trace_is_flagged() {
+        let events = vec![
+            TraceEvent::Enqueued {
+                at: t(0),
+                instance: 0,
+                request: 4,
+            },
+            TraceEvent::Admitted {
+                at: t(3),
+                instance: 0,
+                request: 4,
+            },
+        ];
+        let s = &reconstruct(&events)[0];
+        assert_eq!(s.outcome, SpanOutcome::Incomplete);
+        assert!(s.phases_partition_lifetime());
+    }
+
+    #[test]
+    fn totals_aggregate_across_requests() {
+        let mut events = simple_lifetime();
+        events.push(TraceEvent::Enqueued {
+            at: t(0),
+            instance: 0,
+            request: 2,
+        });
+        events.push(TraceEvent::TimedOut {
+            at: t(20),
+            instance: 0,
+            request: 2,
+        });
+        let spans = reconstruct(&events);
+        let totals = PhaseTotals::aggregate(&spans);
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.time_in(Phase::Queue), SimDuration::from_millis(30));
+        assert!((totals.mean_secs(Phase::Queue) - 0.015).abs() < 1e-12);
+    }
+}

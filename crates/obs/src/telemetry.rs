@@ -1,0 +1,489 @@
+//! Live telemetry: gauge recording and multi-window SLO burn-rate
+//! monitoring.
+//!
+//! [`TelemetryRecorder`] is a [`TraceSink`] that (a) samples engine
+//! gauges into a [`pf_metrics::SeriesGroup`] (one named series per
+//! instance × gauge kind) and (b) feeds every request outcome into a
+//! [`BurnRateMonitor`] — the SRE-style multi-window error-budget monitor
+//! over the SLO attainment SLI. Finished requests count as good when they
+//! met their SLA; SLA misses, timeouts and slack drops consume error
+//! budget.
+//!
+//! # Burn-rate model
+//!
+//! With SLO target `target` over a period `P` (production: 30 days; here
+//! logically scaled to the simulated horizon), the error budget is
+//! `1 − target`. Over a lookback window `W`:
+//!
+//! ```text
+//! burn_rate(W)       = error_rate(W) / (1 − target)
+//! budget_consumed(W) = burn_rate(W) × W / P
+//! ```
+//!
+//! A burn rate of 1 spends exactly the whole budget over the period.
+//! Three windows are watched — short (`P/30`, the "1 day" window),
+//! medium (`7P/30`, the "7 day" window) and long (`P` itself) — with
+//! severities:
+//!
+//! * [`Severity::Critical`] — more than 50% of the budget consumed
+//!   within the *short* window (page immediately);
+//! * [`Severity::High`] — more than 25% consumed within the *medium*
+//!   window (page);
+//! * [`Severity::Medium`] — long-window burn rate above 1 (trending to
+//!   exhaust the budget; ticket);
+//! * [`Severity::Low`] — long-window burn rate above 0.1 (minor
+//!   deviation worth a look).
+//!
+//! [`BudgetAlert`]s are emitted on severity *escalation* only: the
+//! monitor re-arms when severity falls back below the previously alerted
+//! level, so a sustained violation produces one alert per escalation
+//! step, not one per request.
+
+use std::collections::VecDeque;
+
+use pf_metrics::{SeriesGroup, SimDuration, SimTime};
+
+use crate::event::{GaugeKind, TraceEvent, TraceSink};
+
+/// SLO definition the burn-rate monitor watches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Attainment target in `(0, 1)`, e.g. `0.99`.
+    pub target: f64,
+    /// The SLO period (production: 30 days; simulations pass their
+    /// horizon).
+    pub period: SimDuration,
+}
+
+impl SloConfig {
+    /// Creates an SLO config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1)` or `period` is zero.
+    pub fn new(target: f64, period: SimDuration) -> Self {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "SLO target {target} outside (0, 1)"
+        );
+        assert!(!period.is_zero(), "SLO period must be positive");
+        SloConfig { target, period }
+    }
+
+    /// The short ("1 day") window: `period / 30`.
+    pub fn short_window(&self) -> SimDuration {
+        SimDuration::from_micros((self.period.as_micros() / 30).max(1))
+    }
+
+    /// The medium ("7 day") window: `7 × period / 30`.
+    pub fn medium_window(&self) -> SimDuration {
+        SimDuration::from_micros((self.period.as_micros() * 7 / 30).max(1))
+    }
+
+    /// The error budget: `1 − target`.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+/// Alert severity, ordered from least to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Minor deviation: long-window burn rate above 0.1.
+    Low,
+    /// Trending: long-window burn rate above 1.
+    Medium,
+    /// >25% of the error budget consumed within the medium window.
+    High,
+    /// >50% of the error budget consumed within the short window.
+    Critical,
+}
+
+impl Severity {
+    /// Short label (`"low"`…`"critical"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// Which lookback window triggered an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertWindow {
+    /// `period / 30`.
+    Short,
+    /// `7 × period / 30`.
+    Medium,
+    /// The full period.
+    Long,
+}
+
+impl AlertWindow {
+    /// Short label (`"short"`, `"medium"`, `"long"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertWindow::Short => "short",
+            AlertWindow::Medium => "medium",
+            AlertWindow::Long => "long",
+        }
+    }
+}
+
+/// One budget alert emitted by [`BurnRateMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetAlert {
+    /// When the severity escalated.
+    pub at: SimTime,
+    /// New severity.
+    pub severity: Severity,
+    /// The window whose condition fired.
+    pub window: AlertWindow,
+    /// Burn rate over that window.
+    pub burn_rate: f64,
+    /// Fraction of the period's error budget that window's errors
+    /// consumed.
+    pub budget_consumed: f64,
+}
+
+/// Sliding-window good/bad counter.
+#[derive(Debug)]
+struct WindowCounter {
+    window: SimDuration,
+    samples: VecDeque<(SimTime, bool)>,
+    total: u64,
+    errors: u64,
+}
+
+impl WindowCounter {
+    fn new(window: SimDuration) -> Self {
+        WindowCounter {
+            window,
+            samples: VecDeque::new(),
+            total: 0,
+            errors: 0,
+        }
+    }
+
+    fn observe(&mut self, at: SimTime, ok: bool) {
+        self.samples.push_back((at, ok));
+        self.total += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        let cutoff = at.saturating_since(SimTime::ZERO) - self.window;
+        let cutoff = SimTime::ZERO + cutoff;
+        while let Some(&(t, sample_ok)) = self.samples.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.samples.pop_front();
+            self.total -= 1;
+            if !sample_ok {
+                self.errors -= 1;
+            }
+        }
+    }
+
+    fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+}
+
+/// Multi-window burn-rate monitor over the SLO attainment SLI (see the
+/// module docs for the model).
+#[derive(Debug)]
+pub struct BurnRateMonitor {
+    config: SloConfig,
+    short: WindowCounter,
+    medium: WindowCounter,
+    long: WindowCounter,
+    /// Minimum samples in a window before its condition may fire
+    /// (suppresses noise from the first few requests).
+    min_samples: u64,
+    armed_below: Option<Severity>,
+    alerts: Vec<BudgetAlert>,
+}
+
+impl BurnRateMonitor {
+    /// Creates a monitor for the given SLO with the default noise floor
+    /// (20 samples per window).
+    pub fn new(config: SloConfig) -> Self {
+        BurnRateMonitor {
+            short: WindowCounter::new(config.short_window()),
+            medium: WindowCounter::new(config.medium_window()),
+            long: WindowCounter::new(config.period),
+            config,
+            min_samples: 20,
+            armed_below: None,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Overrides the minimum per-window sample count before alerting.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Feeds one request outcome (`ok` = met its SLA).
+    pub fn observe(&mut self, at: SimTime, ok: bool) {
+        self.short.observe(at, ok);
+        self.medium.observe(at, ok);
+        self.long.observe(at, ok);
+        self.evaluate(at);
+    }
+
+    /// Burn rate over the given window right now.
+    pub fn burn_rate(&self, window: AlertWindow) -> f64 {
+        self.counter(window).error_rate() / self.config.budget()
+    }
+
+    /// Fraction of the period's budget the given window's errors consumed.
+    pub fn budget_consumed(&self, window: AlertWindow) -> f64 {
+        let w = self.counter(window).window.as_micros() as f64;
+        self.burn_rate(window) * w / self.config.period.as_micros() as f64
+    }
+
+    /// Alerts emitted so far, in emission order.
+    pub fn alerts(&self) -> &[BudgetAlert] {
+        &self.alerts
+    }
+
+    /// The SLO this monitor watches.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    fn counter(&self, window: AlertWindow) -> &WindowCounter {
+        match window {
+            AlertWindow::Short => &self.short,
+            AlertWindow::Medium => &self.medium,
+            AlertWindow::Long => &self.long,
+        }
+    }
+
+    fn current_condition(&self) -> Option<(Severity, AlertWindow)> {
+        if self.short.total >= self.min_samples && self.budget_consumed(AlertWindow::Short) > 0.5 {
+            return Some((Severity::Critical, AlertWindow::Short));
+        }
+        if self.medium.total >= self.min_samples && self.budget_consumed(AlertWindow::Medium) > 0.25
+        {
+            return Some((Severity::High, AlertWindow::Medium));
+        }
+        if self.long.total >= self.min_samples {
+            let burn = self.burn_rate(AlertWindow::Long);
+            if burn > 1.0 {
+                return Some((Severity::Medium, AlertWindow::Long));
+            }
+            if burn > 0.1 {
+                return Some((Severity::Low, AlertWindow::Long));
+            }
+        }
+        None
+    }
+
+    fn evaluate(&mut self, at: SimTime) {
+        match self.current_condition() {
+            Some((severity, window)) => {
+                let escalated = match self.armed_below {
+                    None => true,
+                    Some(armed) => severity > armed,
+                };
+                if escalated {
+                    self.alerts.push(BudgetAlert {
+                        at,
+                        severity,
+                        window,
+                        burn_rate: self.burn_rate(window),
+                        budget_consumed: self.budget_consumed(window),
+                    });
+                }
+                self.armed_below = Some(severity);
+            }
+            None => self.armed_below = None,
+        }
+    }
+}
+
+/// A [`TraceSink`] recording gauges into a [`SeriesGroup`] and feeding
+/// request outcomes into a [`BurnRateMonitor`].
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    gauges: SeriesGroup,
+    monitor: BurnRateMonitor,
+    events_seen: u64,
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder watching the given SLO.
+    pub fn new(slo: SloConfig) -> Self {
+        TelemetryRecorder {
+            gauges: SeriesGroup::new(),
+            monitor: BurnRateMonitor::new(slo),
+            events_seen: 0,
+        }
+    }
+
+    /// Overrides the monitor's minimum per-window sample count.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.monitor = self.monitor.with_min_samples(min_samples);
+        self
+    }
+
+    /// The recorded gauge series, named `i{instance}.{gauge}` (e.g.
+    /// `i0.queue_depth`).
+    pub fn gauges(&self) -> &SeriesGroup {
+        &self.gauges
+    }
+
+    /// The burn-rate monitor (alerts, current burn rates).
+    pub fn monitor(&self) -> &BurnRateMonitor {
+        &self.monitor
+    }
+
+    /// Events received (all kinds).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+}
+
+impl TraceSink for TelemetryRecorder {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events_seen += 1;
+        match ev {
+            TraceEvent::Finished { at, sla_ok, .. } => self.monitor.observe(at, sla_ok),
+            TraceEvent::TimedOut { at, .. } | TraceEvent::SlackDropped { at, .. } => {
+                self.monitor.observe(at, false)
+            }
+            _ => {}
+        }
+    }
+
+    fn gauge(&mut self, at: SimTime, instance: u32, kind: GaugeKind, value: f64) {
+        self.gauges
+            .record(&format!("i{instance}.{}", kind.label()), at, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo() -> SloConfig {
+        // Period 30s → short window 1s, medium 7s.
+        SloConfig::new(0.9, SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn windows_scale_with_period() {
+        let c = slo();
+        assert_eq!(c.short_window(), SimDuration::from_secs(1));
+        assert_eq!(c.medium_window(), SimDuration::from_secs(7));
+        assert!((c.budget() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_good_never_alerts() {
+        let mut m = BurnRateMonitor::new(slo()).with_min_samples(1);
+        for i in 0..100 {
+            m.observe(SimTime::from_millis(i * 100), true);
+        }
+        assert!(m.alerts().is_empty());
+        assert_eq!(m.burn_rate(AlertWindow::Long), 0.0);
+    }
+
+    #[test]
+    fn total_failure_escalates_to_critical_once() {
+        let mut m = BurnRateMonitor::new(slo()).with_min_samples(5);
+        for i in 0..50 {
+            m.observe(SimTime::from_millis(i * 10), false);
+        }
+        let alerts = m.alerts();
+        assert!(!alerts.is_empty());
+        // 100% errors, budget 10% → burn rate 10 everywhere. The short
+        // window consumes 10/30 ≈ 0.33 of the budget (< 0.5, no page),
+        // but the medium window consumes 10·7/30 ≈ 2.3 (> 0.25) → High.
+        assert!(alerts.iter().all(|a| a.severity >= Severity::Medium));
+        // Escalation-only: one alert per severity step, not per sample.
+        assert!(alerts.len() <= 2);
+        assert!(m.burn_rate(AlertWindow::Long) > 1.0);
+    }
+
+    #[test]
+    fn short_window_collapse_pages_critical() {
+        // Tight target: budget 2%; a sudden full outage consumes >50% of
+        // the budget within the short window.
+        let config = SloConfig::new(0.98, SimDuration::from_secs(30));
+        let mut m = BurnRateMonitor::new(config).with_min_samples(10);
+        // Healthy long history…
+        for i in 0..200 {
+            m.observe(SimTime::from_millis(i * 100), true);
+        }
+        assert!(m.alerts().is_empty());
+        // …then everything fails inside one short window.
+        for i in 0..30 {
+            m.observe(SimTime::from_millis(20_000 + i * 20), false);
+        }
+        assert!(m
+            .alerts()
+            .iter()
+            .any(|a| a.severity == Severity::Critical && a.window == AlertWindow::Short));
+    }
+
+    #[test]
+    fn rearms_after_recovery() {
+        let mut m = BurnRateMonitor::new(slo()).with_min_samples(2);
+        for i in 0..20 {
+            m.observe(SimTime::from_millis(i * 10), false);
+        }
+        let after_first = m.alerts().len();
+        assert!(after_first >= 1);
+        // Long healthy stretch clears every window.
+        for i in 0..2000 {
+            m.observe(SimTime::from_millis(1000 + i * 100), true);
+        }
+        assert_eq!(m.alerts().len(), after_first);
+        // A new burst re-alerts.
+        for i in 0..50 {
+            m.observe(SimTime::from_millis(300_000 + i * 10), false);
+        }
+        assert!(m.alerts().len() > after_first);
+    }
+
+    #[test]
+    fn recorder_routes_outcomes_and_gauges() {
+        let mut rec = TelemetryRecorder::new(slo()).with_min_samples(1);
+        rec.event(TraceEvent::Finished {
+            at: SimTime::from_secs(1),
+            instance: 0,
+            request: 1,
+            sla_ok: true,
+        });
+        rec.event(TraceEvent::TimedOut {
+            at: SimTime::from_secs(2),
+            instance: 0,
+            request: 2,
+        });
+        rec.event(TraceEvent::DecodeStep {
+            at: SimTime::from_secs(2),
+            instance: 0,
+            batch: 4,
+        });
+        rec.gauge(SimTime::from_secs(1), 0, GaugeKind::QueueDepth, 5.0);
+        rec.gauge(SimTime::from_secs(2), 1, GaugeKind::QueueDepth, 2.0);
+        assert_eq!(rec.events_seen(), 3);
+        assert_eq!(rec.gauges().len(), 2);
+        assert!(rec.gauges().get("i0.queue_depth").is_some());
+        assert!(rec.gauges().get("i1.queue_depth").is_some());
+        // One good, one bad → long-window error rate 0.5, burn rate 5.
+        assert!((rec.monitor().burn_rate(AlertWindow::Long) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the span reconstructor: for arbitrary generated
+//! request lifecycles, the reconstructed phases always partition each
+//! request's lifetime exactly, and reconstruction is order-stable (any
+//! permutation of the event stream yields identical spans).
+
+use pf_metrics::SimTime;
+use pf_obs::{reconstruct, SpanOutcome, TraceEvent};
+use proptest::prelude::*;
+
+/// Parameters of one synthetic request lifecycle, all gaps in
+/// microseconds. `preemptions` inserts that many decode→queue→prefill
+/// round-trips; `transfer` routes the request through a KV-link handoff
+/// (with `stall_us` spent waiting for a slot); `cancelled` times it out
+/// in the queue instead of finishing.
+#[derive(Debug, Clone)]
+struct LifeParams {
+    start_us: u64,
+    queue_us: u64,
+    prefill_us: u64,
+    decode_us: u64,
+    preemptions: usize,
+    transfer: bool,
+    stall_us: u64,
+    cancelled: bool,
+}
+
+fn life_params() -> impl Strategy<Value = LifeParams> {
+    (
+        (0u64..1_000_000, 1u64..50_000, 1u64..50_000, 1u64..200_000),
+        (0usize..3, 0u32..2, 0u64..10_000, 0u32..2),
+    )
+        .prop_map(
+            |(
+                (start_us, queue_us, prefill_us, decode_us),
+                (preemptions, transfer, stall_us, cancelled),
+            )| {
+                LifeParams {
+                    start_us,
+                    queue_us,
+                    prefill_us,
+                    decode_us,
+                    preemptions,
+                    transfer: transfer != 0,
+                    stall_us,
+                    cancelled: cancelled != 0,
+                }
+            },
+        )
+}
+
+/// Expands one request's parameters into its event stream.
+fn events_for(request: u64, p: &LifeParams) -> Vec<TraceEvent> {
+    let instance = (request % 4) as u32;
+    let mut t = p.start_us;
+    let at = |us: u64| SimTime::from_micros(us);
+    let mut events = vec![TraceEvent::Enqueued {
+        at: at(t),
+        instance,
+        request,
+    }];
+    t += p.queue_us;
+    if p.cancelled {
+        events.push(TraceEvent::TimedOut {
+            at: at(t),
+            instance,
+            request,
+        });
+        return events;
+    }
+    for cycle in 0..=p.preemptions {
+        events.push(TraceEvent::Admitted {
+            at: at(t),
+            instance,
+            request,
+        });
+        events.push(TraceEvent::PrefillStart {
+            at: at(t),
+            instance,
+            request,
+        });
+        t += p.prefill_us;
+        events.push(TraceEvent::PrefillEnd {
+            at: at(t),
+            instance,
+            request,
+        });
+        if cycle == 0 {
+            events.push(TraceEvent::FirstToken {
+                at: at(t),
+                instance,
+                request,
+            });
+        }
+        if cycle < p.preemptions {
+            t += p.decode_us / (p.preemptions as u64 + 1) + 1;
+            events.push(TraceEvent::Preempted {
+                at: at(t),
+                instance,
+                request,
+            });
+            t += p.queue_us / 2 + 1;
+        }
+    }
+    if p.transfer {
+        t += p.stall_us;
+        events.push(TraceEvent::KvTransferStart {
+            at: at(t),
+            instance,
+            request,
+        });
+        t += p.prefill_us / 2 + 1;
+        events.push(TraceEvent::KvTransferEnd {
+            at: at(t),
+            instance: instance + 4,
+            request,
+        });
+    }
+    t += p.decode_us;
+    events.push(TraceEvent::Finished {
+        at: at(t),
+        instance: if p.transfer { instance + 4 } else { instance },
+        request,
+        sla_ok: !request.is_multiple_of(3),
+    });
+    events
+}
+
+/// Deterministic Fisher-Yates over a seed (the shim proptest has no
+/// shuffle strategy; an LCG is plenty for permutation coverage).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #[test]
+    fn phases_always_partition_lifetime(
+        lives in proptest::collection::vec(life_params(), 1..20),
+    ) {
+        let events: Vec<TraceEvent> = lives
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| events_for(i as u64, p))
+            .collect();
+        let spans = reconstruct(&events);
+        prop_assert_eq!(spans.len(), lives.len());
+        for (span, p) in spans.iter().zip(&lives) {
+            prop_assert!(
+                span.phases_partition_lifetime(),
+                "request {} phases do not partition [{:?}, {:?}]: {:?}",
+                span.request,
+                span.enqueued,
+                span.ended,
+                span.phases
+            );
+            let expect_cancelled = p.cancelled;
+            match span.outcome {
+                SpanOutcome::TimedOut => prop_assert!(expect_cancelled),
+                SpanOutcome::Finished { .. } => prop_assert!(!expect_cancelled),
+                other => prop_assert!(false, "unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_order_stable(
+        lives in proptest::collection::vec(life_params(), 1..12),
+        seed in 0u64..u64::MAX,
+    ) {
+        let events: Vec<TraceEvent> = lives
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| events_for(i as u64, p))
+            .collect();
+        let baseline = reconstruct(&events);
+        let mut shuffled = events.clone();
+        shuffle(&mut shuffled, seed);
+        prop_assert_eq!(reconstruct(&shuffled), baseline.clone());
+        let mut reversed = events;
+        reversed.reverse();
+        prop_assert_eq!(reconstruct(&reversed), baseline);
+    }
+}

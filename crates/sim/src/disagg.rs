@@ -115,6 +115,7 @@ use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision,
 use pf_core::{BatchEntry, FutureMemoryEstimator};
 use pf_kvcache::{PrefixCache, PrefixCacheStats};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
+use pf_obs::{GaugeKind, Pool, TraceEvent, TraceSink};
 use pf_workload::RequestSpec;
 
 use crate::cluster::RouterPolicy;
@@ -351,6 +352,28 @@ impl DisaggCluster {
         requests: Vec<RequestSpec>,
         arrival_times: Vec<SimTime>,
     ) -> Result<DisaggReport, SimError> {
+        self.run_traced(requests, arrival_times, None)
+    }
+
+    /// [`DisaggCluster::run`] with an optional [`TraceSink`] receiving
+    /// every lifecycle event, including the KV-transfer handoffs. With
+    /// `None` this is exactly `run`: bit-identical reports, no allocation
+    /// on the emission paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a request cannot fit either pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run_traced(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<DisaggReport, SimError> {
         Run::start(
             self.config,
             self.prefill_instances,
@@ -358,6 +381,7 @@ impl DisaggCluster {
             None,
             requests,
             arrival_times,
+            sink,
         )?
         .drive()
     }
@@ -431,6 +455,27 @@ impl ElasticDisaggCluster {
         requests: Vec<RequestSpec>,
         arrival_times: Vec<SimTime>,
     ) -> Result<DisaggReport, SimError> {
+        self.run_traced(requests, arrival_times, None)
+    }
+
+    /// [`ElasticDisaggCluster::run`] with an optional [`TraceSink`]
+    /// receiving every lifecycle event, including per-pool scaling and
+    /// cross-pool repurposing. With `None` this is exactly `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when a request cannot fit either pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run_traced(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<DisaggReport, SimError> {
         let model = PoolModel {
             perf: self.config.base.perf_model(),
             capacity_tokens: self.config.base.capacity_tokens(),
@@ -469,6 +514,7 @@ impl ElasticDisaggCluster {
             Some(planning),
             requests,
             arrival_times,
+            sink,
         )?
         .drive()
     }
@@ -548,6 +594,9 @@ impl Job {
 #[derive(Debug)]
 struct PrefillMember {
     core: MemberCore,
+    /// Id stamped into emitted trace events (dense over both pools'
+    /// spawn order; a repurposed member gets a fresh decode-side id).
+    instance: u32,
     /// Prompts routed here, waiting for a prefill pass.
     queue: VecDeque<Job>,
     /// Prompt tokens waiting in `queue` (routing signal).
@@ -571,6 +620,8 @@ struct PrefillMember {
 #[derive(Debug)]
 struct DecodeMember {
     core: MemberCore,
+    /// Id stamped into emitted trace events (see [`PrefillMember::instance`]).
+    instance: u32,
     /// Transferred requests waiting for admission into the decode batch.
     pending: VecDeque<Job>,
     /// Final footprints of `pending` (routing signal).
@@ -727,7 +778,7 @@ pub struct RepurposeEvent {
 }
 
 /// Mutable state of one disaggregated run.
-struct Run {
+struct Run<'s> {
     perf: PerfModel,
     capacity: u64,
     sla: SlaSpec,
@@ -774,9 +825,13 @@ struct Run {
     /// `(start, done)` per transfer, recorded when the base config has
     /// series recording on (tests use it to check the in-flight bound).
     transfer_intervals: Vec<(SimTime, SimTime)>,
+    /// Next trace-event instance id (dense over both pools' spawn order).
+    next_instance: u32,
+    /// Optional trace sink; `None` costs one branch per emission site.
+    sink: Option<&'s mut dyn TraceSink>,
 }
 
-impl Run {
+impl<'s> Run<'s> {
     #[allow(clippy::too_many_lines)]
     fn start(
         config: DisaggConfig,
@@ -785,7 +840,8 @@ impl Run {
         planning: Option<Planning>,
         requests: Vec<RequestSpec>,
         arrival_times: Vec<SimTime>,
-    ) -> Result<Run, SimError> {
+        sink: Option<&'s mut dyn TraceSink>,
+    ) -> Result<Run<'s>, SimError> {
         assert_eq!(
             requests.len(),
             arrival_times.len(),
@@ -864,6 +920,8 @@ impl Run {
             last_series_at: SimTime::ZERO,
             stats: TransferStats::default(),
             transfer_intervals: Vec::new(),
+            next_instance: 0,
+            sink,
         };
         for _ in 0..initial_prefill {
             let gpu = slot_gpu(&run.prefill_slots, fleet::provisioned_count(&run.prefill));
@@ -897,8 +955,11 @@ impl Run {
     }
 
     fn spawn_prefill(&mut self, now: SimTime, warmup: SimDuration, gpu: GpuType) {
+        let instance = self.next_instance;
+        self.next_instance += 1;
         self.prefill.push(PrefillMember {
             core: MemberCore::spawn(now, warmup, gpu),
+            instance,
             queue: VecDeque::new(),
             queued_tokens: 0,
             batch: Vec::new(),
@@ -923,8 +984,11 @@ impl Run {
     }
 
     fn spawn_decode(&mut self, now: SimTime, warmup: SimDuration, gpu: GpuType) {
+        let instance = self.next_instance;
+        self.next_instance += 1;
         self.decode.push(DecodeMember {
             core: MemberCore::spawn(now, warmup, gpu),
+            instance,
             pending: VecDeque::new(),
             pending_reserved: 0,
             running: Vec::new(),
@@ -1029,6 +1093,14 @@ impl Run {
         let member = &mut self.prefill[target];
         member.core.routed += 1;
         member.queued_tokens += u64::from(spec.input_len);
+        fleet::emit(
+            &mut self.sink,
+            TraceEvent::Enqueued {
+                at: now,
+                instance: member.instance,
+                request: spec.id.raw(),
+            },
+        );
         member.queue.push_back(Job::new(spec, now));
         self.try_start_prefill(target, now);
     }
@@ -1049,7 +1121,9 @@ impl Run {
         let default_deadline = self.default_deadline;
         let slack_aware = self.queue_order.is_slack_aware();
         let perf = self.perf;
+        let sink = &mut self.sink;
         let member = &mut self.prefill[i];
+        let instance = member.instance;
         let gpu = member.core.gpu;
         let prefix = &member.prefix;
         let mut expired = 0usize;
@@ -1076,6 +1150,24 @@ impl Run {
                 if job.spec.deadline.is_some() {
                     expired_own_deadline += 1;
                 }
+                // Past the deadline outright = guillotine timeout; still
+                // inside it = slack-aware early drop.
+                fleet::emit(
+                    sink,
+                    if waited >= deadline {
+                        TraceEvent::TimedOut {
+                            at: now,
+                            instance,
+                            request: job.spec.id.raw(),
+                        }
+                    } else {
+                        TraceEvent::SlackDropped {
+                            at: now,
+                            instance,
+                            request: job.spec.id.raw(),
+                        }
+                    },
+                );
                 false
             } else {
                 true
@@ -1150,10 +1242,12 @@ impl Run {
         let queue_order = self.queue_order;
         let default_deadline = self.default_deadline;
         let perf = self.perf;
+        let sink = &mut self.sink;
         let member = &mut self.prefill[i];
         if member.busy || !member.core.is_active() {
             return;
         }
+        let instance = member.instance;
         let mut batch_computed_tokens = 0u64;
         let mut batched_own_deadlines = 0usize;
         while let Some(pos) =
@@ -1200,6 +1294,23 @@ impl Run {
             member.queued_tokens -= prompt;
             member.held_tokens += tokens;
             batch_computed_tokens += prompt.saturating_sub(job.cached_prefix).max(1);
+            let request = job.spec.id.raw();
+            fleet::emit(
+                sink,
+                TraceEvent::Admitted {
+                    at: now,
+                    instance,
+                    request,
+                },
+            );
+            fleet::emit(
+                sink,
+                TraceEvent::PrefillStart {
+                    at: now,
+                    instance,
+                    request,
+                },
+            );
             member.batch.push(job);
         }
         self.queued_deadlines -= batched_own_deadlines;
@@ -1236,9 +1347,28 @@ impl Run {
         let batch = std::mem::take(&mut self.prefill[i].batch);
         self.prefill[i].completed += batch.len();
         let capacity = self.capacity;
+        let instance = self.prefill[i].instance;
         for mut job in batch {
             job.generated += 1;
             job.timing.record_token(now);
+            // Prefill emits every request's first token, exactly once.
+            let request = job.spec.id.raw();
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::PrefillEnd {
+                    at: now,
+                    instance,
+                    request,
+                },
+            );
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::FirstToken {
+                    at: now,
+                    instance,
+                    request,
+                },
+            );
             Self::cache_prefill_prefix(&mut self.prefill[i], capacity, &job);
             if let Some(planning) = self.planning.as_mut() {
                 let ttft = job.timing.ttft().expect("first token just recorded");
@@ -1251,10 +1381,25 @@ impl Run {
                 // Single-token requests finish at prefill; nothing to hand
                 // over.
                 self.prefill[i].held_tokens -= job.prefill_tokens();
-                self.finish_job(job);
+                self.finish_job(now, instance, job);
             } else {
                 self.push_transfer(now, i, job);
             }
+        }
+        if let Some(s) = self.sink.as_deref_mut() {
+            let member = &self.prefill[i];
+            s.gauge(
+                now,
+                instance,
+                GaugeKind::QueueDepth,
+                member.queue.len() as f64,
+            );
+            s.gauge(
+                now,
+                instance,
+                GaugeKind::KvOccupancy,
+                member.held_tokens as f64 / capacity as f64,
+            );
         }
         self.try_start_prefill(i, now);
         self.maybe_stop_prefill(i, now);
@@ -1281,6 +1426,16 @@ impl Run {
                 SimTime::from_micros(done_us),
             ));
         }
+        // Stamped at the slot-granted start time (possibly later than
+        // `now`): the span between queueing and start is decode stall.
+        fleet::emit(
+            &mut self.sink,
+            TraceEvent::KvTransferStart {
+                at: SimTime::from_micros(start_us),
+                instance: self.prefill[from].instance,
+                request: job.spec.id.raw(),
+            },
+        );
         self.schedule(
             SimTime::from_micros(done_us),
             Ev::TransferDone { from, tokens, job },
@@ -1311,6 +1466,16 @@ impl Run {
         let member = &mut self.decode[target];
         member.core.routed += 1;
         member.pending_reserved += job.final_footprint();
+        // The transfer end carries the *receiving decode* instance: the
+        // request's decode phase runs there from this point on.
+        fleet::emit(
+            &mut self.sink,
+            TraceEvent::KvTransferEnd {
+                at: now,
+                instance: member.instance,
+                request: job.spec.id.raw(),
+            },
+        );
         member.pending.push_back(job);
         self.try_start_decode(target, now);
     }
@@ -1396,9 +1561,23 @@ impl Run {
 
     fn on_decode_done(&mut self, now: SimTime, j: usize) {
         self.decode[j].busy = false;
+        let instance = self.decode[j].instance;
         let mut finished = Vec::new();
         {
             let member = &mut self.decode[j];
+            // One coalesced decode event per batch tick (every running job
+            // grew by one token this step).
+            let emitters = member.running.len() as u32;
+            if emitters > 0 {
+                fleet::emit(
+                    &mut self.sink,
+                    TraceEvent::DecodeStep {
+                        at: now,
+                        instance,
+                        batch: emitters,
+                    },
+                );
+            }
             let mut k = 0;
             while k < member.running.len() {
                 let job = &mut member.running[k];
@@ -1412,6 +1591,22 @@ impl Run {
             }
             member.completed += finished.len();
         }
+        if let Some(s) = self.sink.as_deref_mut() {
+            let member = &self.decode[j];
+            let kv_tokens: u64 = member.running.iter().map(Job::kv_tokens).sum();
+            s.gauge(
+                now,
+                instance,
+                GaugeKind::BatchSize,
+                member.running.len() as f64,
+            );
+            s.gauge(
+                now,
+                instance,
+                GaugeKind::KvOccupancy,
+                kv_tokens as f64 / self.capacity as f64,
+            );
+        }
         for job in finished {
             if let Some(planning) = self.planning.as_mut() {
                 let ttft = job.timing.ttft().expect("completed with tokens");
@@ -1422,7 +1617,7 @@ impl Run {
                     job.timing.avg_tpot(),
                 );
             }
-            self.finish_job(job);
+            self.finish_job(now, instance, job);
         }
         self.try_start_decode(j, now);
         self.maybe_stop_decode(j, now);
@@ -1471,8 +1666,19 @@ impl Run {
             let delay = self
                 .repurpose_delay
                 .expect("claims only exist with repurposing enabled");
+            let from_instance = self.prefill[i].instance;
             let decode_member = self.decode.len();
             self.spawn_decode(now, delay, gpu);
+            // The flipped member serves a new role on a new track: it gets
+            // a fresh decode-side instance id, linked by this event.
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::Repurposed {
+                    at: now,
+                    from_instance,
+                    to_instance: self.decode[decode_member].instance,
+                },
+            );
             self.repurposes.push(RepurposeEvent {
                 at: now,
                 prefill_member: i,
@@ -1494,7 +1700,19 @@ impl Run {
         }
     }
 
-    fn finish_job(&mut self, job: Job) {
+    fn finish_job(&mut self, now: SimTime, instance: u32, job: Job) {
+        if self.sink.is_some() {
+            let sla_ok = self.sla.evaluate(&job.timing).is_satisfied();
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::Finished {
+                    at: now,
+                    instance,
+                    request: job.spec.id.raw(),
+                    sla_ok,
+                },
+            );
+        }
         self.remaining -= 1;
         self.outcomes.push(RequestOutcome {
             id: job.spec.id.raw(),
@@ -1575,6 +1793,11 @@ impl Run {
         let target = outcome.decision.target_or(effective);
         let drained = self.apply_decision(pool, now, outcome.decision, warmup);
         if target != effective {
+            let obs_pool = match pool {
+                PoolKind::Prefill => Pool::Prefill,
+                PoolKind::Decode => Pool::Decode,
+            };
+            fleet::emit_scale(&mut self.sink, now, obs_pool, effective, target);
             let events = match pool {
                 PoolKind::Prefill => &mut self.prefill_scaling,
                 PoolKind::Decode => &mut self.decode_scaling,

@@ -78,6 +78,7 @@ use std::collections::VecDeque;
 
 use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, ScalingDecision, StepLatency};
 use pf_metrics::{GoodputReport, SimDuration, SimTime, StepSeries};
+use pf_obs::{Pool, TraceSink};
 use pf_workload::RequestSpec;
 
 use crate::cluster::{pick_engine, RouterPolicy};
@@ -210,6 +211,29 @@ impl ElasticCluster {
         requests: Vec<RequestSpec>,
         arrival_times: Vec<SimTime>,
     ) -> Result<ElasticReport, SimError> {
+        self.run_traced(requests, arrival_times, None)
+    }
+
+    /// [`ElasticCluster::run`] with an optional [`TraceSink`] receiving
+    /// every member engine's lifecycle events plus fleet-level scaling
+    /// events. With `None` this is exactly `run`: bit-identical reports,
+    /// no allocation on the emission paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a request can never fit an instance or an
+    /// instance stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run_traced(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<ElasticReport, SimError> {
         assert_eq!(
             requests.len(),
             arrival_times.len(),
@@ -219,6 +243,7 @@ impl ElasticCluster {
             arrival_times.windows(2).all(|w| w[0] <= w[1]),
             "arrival times must be sorted"
         );
+        let mut sink = sink;
         Run::start(
             self.base,
             self.autoscale,
@@ -227,7 +252,7 @@ impl ElasticCluster {
             self.slots,
             &requests,
         )?
-        .drive(arrival_times.into_iter().zip(requests).collect())
+        .drive(arrival_times.into_iter().zip(requests).collect(), &mut sink)
     }
 }
 
@@ -317,8 +342,12 @@ impl Run {
         // A GPU type's perf_scale multiplies the whole stack's kernel
         // speed (×1.0 for the reference type — bit-identical).
         config.tuning.kernel_speedup *= gpu.perf_scale;
+        // Trace-event instance id: dense over spawn order, stable for the
+        // member's lifetime.
+        let instance = self.spawned_total as u32;
         self.spawned_total += 1;
         let mut engine = Engine::new(config, Arrivals::offline(Vec::new()));
+        engine.set_instance(instance);
         engine.advance_to(now);
         self.members.push(Member {
             engine,
@@ -394,7 +423,7 @@ impl Run {
 
     /// Runs one planning round at `self.next_adjust` and applies the
     /// decision.
-    fn adjust(&mut self) {
+    fn adjust(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
         let at = self.next_adjust;
         self.next_adjust = at + self.interval;
         let live = self.live_count();
@@ -433,6 +462,7 @@ impl Run {
             _ => {}
         }
         if target != effective {
+            fleet::emit_scale(sink, at, Pool::Colocated, effective, target);
             self.events.push(ScalingEvent {
                 at,
                 from: effective,
@@ -463,6 +493,7 @@ impl Run {
     fn drive(
         mut self,
         mut stream: VecDeque<(SimTime, RequestSpec)>,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) -> Result<ElasticReport, SimError> {
         // Requests popped from the stream while no live instance exists
         // (possible only under horizon pressure) are unserved too and
@@ -477,7 +508,7 @@ impl Run {
                 continue;
             }
             if front >= self.next_adjust {
-                self.adjust();
+                self.adjust(sink);
                 continue;
             }
             if let Some(&(at, _)) = stream.front() {
@@ -496,7 +527,7 @@ impl Run {
                     continue;
                 }
             }
-            match self.members[i_min].engine.tick()? {
+            match self.members[i_min].engine.tick_traced(sink)? {
                 Tick::Worked => self.harvest_outcomes(i_min),
                 Tick::Sleep(t) => {
                     // Do not overshoot the next global event: the planner

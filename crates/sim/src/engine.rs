@@ -62,6 +62,7 @@ use pf_core::{
 };
 use pf_kvcache::{KvCacheManager, PrefixCache};
 use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, StepSeries};
+use pf_obs::{GaugeKind, TraceEvent, TraceSink};
 use pf_workload::{ClosedLoopClients, RequestSpec};
 
 use crate::config::{BatchingMode, EvictionMode, PrefillMode, QueueOrder, SimConfig};
@@ -239,6 +240,9 @@ pub(crate) struct Engine {
     scheduler: Box<dyn Scheduler>,
     needs_oracle: bool,
     config: SimConfig,
+    /// Id stamped into emitted trace events (clusters assign one per
+    /// spawned member; standalone runs stay at 0).
+    instance: u32,
 
     now: SimTime,
     arrivals: Arrivals,
@@ -305,6 +309,7 @@ impl Engine {
             scheduler,
             needs_oracle,
             config,
+            instance: 0,
             now: SimTime::ZERO,
             arrivals,
             queue: VecDeque::new(),
@@ -329,13 +334,25 @@ impl Engine {
         }
     }
 
-    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+    pub(crate) fn run(self) -> Result<SimReport, SimError> {
+        self.run_traced(None)
+    }
+
+    /// Runs to completion with an optional [`TraceSink`] receiving every
+    /// lifecycle event. With `None` this is exactly [`Engine::run`]: the
+    /// emission sites reduce to a branch on an empty option, so the
+    /// untraced path stays allocation-free and bit-identical.
+    pub(crate) fn run_traced(
+        mut self,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<SimReport, SimError> {
+        let mut sink = sink;
         self.validate()?;
         if let BatchingMode::Static { max_batch } = self.config.batching {
-            return self.run_static(max_batch);
+            return self.run_static(max_batch, &mut sink);
         }
         loop {
-            match self.tick()? {
+            match self.tick_traced(&mut sink)? {
                 Tick::Worked => {}
                 Tick::Sleep(t) => self.now = t,
                 Tick::Blocked => {
@@ -355,15 +372,24 @@ impl Engine {
     /// [`crate::cluster`] to interleave several engines on one global
     /// clock.
     pub(crate) fn tick(&mut self) -> Result<Tick, SimError> {
-        self.ingest_arrivals();
+        self.tick_traced(&mut None)
+    }
+
+    /// [`Engine::tick`] with an optional trace sink (see
+    /// [`Engine::run_traced`] for the zero-cost contract).
+    pub(crate) fn tick_traced(
+        &mut self,
+        sink: &mut Option<&mut dyn TraceSink>,
+    ) -> Result<Tick, SimError> {
+        self.ingest_arrivals(sink);
         if self.time_exceeded() {
             return Ok(Tick::HorizonReached);
         }
-        if self.try_admission() {
+        if self.try_admission(sink) {
             return Ok(Tick::Worked);
         }
         if !self.running.is_empty() {
-            self.step()?;
+            self.step(sink)?;
             return Ok(Tick::Worked);
         }
         // Idle: nothing running, nothing admissible.
@@ -388,6 +414,12 @@ impl Engine {
     pub(crate) fn advance_to(&mut self, to: SimTime) {
         debug_assert!(to >= self.now, "engine time went backwards");
         self.now = self.now.max(to);
+    }
+
+    /// Sets the instance id stamped into emitted trace events (clusters
+    /// assign one id per spawned member).
+    pub(crate) fn set_instance(&mut self, instance: u32) {
+        self.instance = instance;
     }
 
     /// Injects an externally routed request arriving at `at`.
@@ -612,11 +644,19 @@ impl Engine {
         }
     }
 
-    fn ingest_arrivals(&mut self) {
+    fn ingest_arrivals(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
         while let Some((at, spec)) = self.arrivals.pop_due(self.now) {
             if spec.deadline.is_some() {
                 self.queued_deadlines += 1;
             }
+            fleet::emit(
+                sink,
+                TraceEvent::Enqueued {
+                    at,
+                    instance: self.instance,
+                    request: spec.id.raw(),
+                },
+            );
             self.queue.push_back(Pending {
                 spec,
                 generated: 0,
@@ -625,7 +665,7 @@ impl Engine {
                 swapped: false,
             });
         }
-        self.purge_timed_out();
+        self.purge_timed_out(sink);
     }
 
     /// Pops the queue front, keeping the pending-deadline count exact.
@@ -650,7 +690,7 @@ impl Engine {
     /// deadline, so admitting it would burn a prefill pass and KV on a
     /// guaranteed miss. Skipped entirely while no pending request can
     /// time out.
-    fn purge_timed_out(&mut self) {
+    fn purge_timed_out(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
         let default_deadline = self.config.request_deadline;
         if default_deadline.is_none() && self.queued_deadlines == 0 {
             return;
@@ -659,6 +699,7 @@ impl Engine {
         let slack_aware = self.config.queue_order.is_slack_aware();
         let perf = self.perf;
         let prefix = &self.prefix;
+        let instance = self.instance;
         let mut expired = 0usize;
         let mut expired_own_deadline = 0usize;
         self.queue.retain(|p| {
@@ -689,6 +730,24 @@ impl Engine {
                 if p.spec.deadline.is_some() {
                     expired_own_deadline += 1;
                 }
+                // Past the deadline outright = guillotine timeout; still
+                // inside it = slack-aware early drop.
+                fleet::emit(
+                    sink,
+                    if waited >= deadline {
+                        TraceEvent::TimedOut {
+                            at: now,
+                            instance,
+                            request: p.spec.id.raw(),
+                        }
+                    } else {
+                        TraceEvent::SlackDropped {
+                            at: now,
+                            instance,
+                            request: p.spec.id.raw(),
+                        }
+                    },
+                );
                 false
             } else {
                 true
@@ -779,7 +838,7 @@ impl Engine {
     /// [`QueueOrder`] decides which requests sit at the front (under
     /// [`QueueOrder::LeastSlackFirst`], the ones closest to their
     /// deadline). Returns whether any request was admitted.
-    fn try_admission(&mut self) -> bool {
+    fn try_admission(&mut self, sink: &mut Option<&mut dyn TraceSink>) -> bool {
         if self.queue.is_empty() {
             return false;
         }
@@ -852,6 +911,22 @@ impl Engine {
                 };
                 let prefill_tokens =
                     u64::from(pending.spec.input_len) + u64::from(pending.generated);
+                fleet::emit(
+                    sink,
+                    TraceEvent::Admitted {
+                        at: self.now,
+                        instance: self.instance,
+                        request: pending.spec.id.raw(),
+                    },
+                );
+                fleet::emit(
+                    sink,
+                    TraceEvent::PrefillStart {
+                        at: self.now,
+                        instance: self.instance,
+                        request: pending.spec.id.raw(),
+                    },
+                );
                 self.running.push(Live {
                     spec: pending.spec,
                     generated: pending.generated,
@@ -877,7 +952,7 @@ impl Engine {
             // so the next planning round sees the post-prefill state (the
             // state the schedulers' future-memory entries model).
             if admitted_now > 0 && matches!(self.config.prefill, PrefillMode::WholePrompt) {
-                self.prefill_step(admitted_now);
+                self.prefill_step(admitted_now, sink);
             }
             if admitted_now < plan || plan < window {
                 break;
@@ -889,7 +964,7 @@ impl Engine {
     /// Dedicated prefill step over the `admitted` most recent batch entries
     /// (whole-prompt mode). Every admitted request emits its first token at
     /// the end of the step.
-    fn prefill_step(&mut self, admitted: usize) {
+    fn prefill_step(&mut self, admitted: usize, sink: &mut Option<&mut dyn TraceSink>) {
         let start = self.running.len() - admitted;
         let mut prompt_tokens = 0u64;
         let mut swapped_tokens = 0u64;
@@ -910,16 +985,37 @@ impl Engine {
         }
         self.now += duration;
         self.prefill_steps += 1;
-        self.record_step_metrics(duration);
+        self.record_step_metrics(duration, sink);
+        let instance = self.instance;
         let mut i = start;
         while i < self.running.len() {
             let live = &mut self.running[i];
             live.first_token_pending = false;
             live.generated += 1;
+            let first_ever = live.timing.ttft().is_none();
             live.timing.record_token(self.now);
-            if live.generated >= live.spec.true_output_len {
+            let request = live.spec.id.raw();
+            fleet::emit(
+                sink,
+                TraceEvent::PrefillEnd {
+                    at: self.now,
+                    instance,
+                    request,
+                },
+            );
+            if first_ever {
+                fleet::emit(
+                    sink,
+                    TraceEvent::FirstToken {
+                        at: self.now,
+                        instance,
+                        request,
+                    },
+                );
+            }
+            if self.running[i].generated >= self.running[i].spec.true_output_len {
                 let live = self.running.remove(i);
-                self.finish(live);
+                self.finish(live, sink);
             } else {
                 i += 1;
             }
@@ -927,7 +1023,7 @@ impl Engine {
     }
 
     /// One decode (or mixed chunked-prefill) step.
-    fn step(&mut self) -> Result<(), SimError> {
+    fn step(&mut self, sink: &mut Option<&mut dyn TraceSink>) -> Result<(), SimError> {
         // Chunked prefill progress for this step.
         let mut chunk_tokens = 0u64;
         if let PrefillMode::Chunked {
@@ -979,7 +1075,7 @@ impl Engine {
                     at: self.now,
                 });
             }
-            self.evict_most_recent();
+            self.evict_most_recent(sink);
         }
         // Grow every decoding request by one token.
         let mut emitters = 0u64;
@@ -1009,19 +1105,55 @@ impl Engine {
         self.now += duration;
         if emitters > 0 {
             self.decode_steps += 1;
+            // One coalesced decode event per batch tick, not one per
+            // token: the batch size carries the per-request fan-out.
+            fleet::emit(
+                sink,
+                TraceEvent::DecodeStep {
+                    at: self.now,
+                    instance: self.instance,
+                    batch: emitters as u32,
+                },
+            );
         }
-        self.record_step_metrics(duration);
+        self.record_step_metrics(duration, sink);
+        let instance = self.instance;
         // Emit tokens; finish completed requests.
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].prefill_remaining == 0 {
                 let live = &mut self.running[i];
+                let was_pending = live.first_token_pending;
                 live.first_token_pending = false;
                 live.generated += 1;
+                let first_ever = live.timing.ttft().is_none();
                 live.timing.record_token(self.now);
-                if live.generated >= live.spec.true_output_len {
+                let request = live.spec.id.raw();
+                // A chunked prefill that just drained emits its first
+                // (or post-preemption resumed) token on this step.
+                if was_pending {
+                    fleet::emit(
+                        sink,
+                        TraceEvent::PrefillEnd {
+                            at: self.now,
+                            instance,
+                            request,
+                        },
+                    );
+                }
+                if first_ever {
+                    fleet::emit(
+                        sink,
+                        TraceEvent::FirstToken {
+                            at: self.now,
+                            instance,
+                            request,
+                        },
+                    );
+                }
+                if self.running[i].generated >= self.running[i].spec.true_output_len {
                     let live = self.running.remove(i);
-                    self.finish(live);
+                    self.finish(live, sink);
                     continue;
                 }
             }
@@ -1030,7 +1162,7 @@ impl Engine {
         Ok(())
     }
 
-    fn evict_most_recent(&mut self) {
+    fn evict_most_recent(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
         let live = self.running.pop().expect("eviction from non-empty batch");
         let held = u64::from(live.spec.input_len) + u64::from(live.generated);
         self.kv.release(live.spec.id.raw());
@@ -1044,6 +1176,22 @@ impl Engine {
                 true
             }
         };
+        fleet::emit(
+            sink,
+            if swapped {
+                TraceEvent::Swapped {
+                    at: self.now,
+                    instance: self.instance,
+                    request: live.spec.id.raw(),
+                }
+            } else {
+                TraceEvent::Preempted {
+                    at: self.now,
+                    instance: self.instance,
+                    request: live.spec.id.raw(),
+                }
+            },
+        );
         if live.spec.deadline.is_some() {
             self.queued_deadlines += 1;
         }
@@ -1056,7 +1204,19 @@ impl Engine {
         });
     }
 
-    fn finish(&mut self, live: Live) {
+    fn finish(&mut self, live: Live, sink: &mut Option<&mut dyn TraceSink>) {
+        if sink.is_some() {
+            let sla_ok = self.config.sla.evaluate(&live.timing).is_satisfied();
+            fleet::emit(
+                sink,
+                TraceEvent::Finished {
+                    at: self.now,
+                    instance: self.instance,
+                    request: live.spec.id.raw(),
+                    sla_ok,
+                },
+            );
+        }
         self.kv.release(live.spec.id.raw());
         // Retain the conversation KV as a cached prefix (the release above
         // freed the slots this re-charges under the cache sentinel).
@@ -1094,7 +1254,11 @@ impl Engine {
         FutureMemoryEstimator::peak_memory(&entries) as f64 / self.capacity as f64
     }
 
-    fn record_step_metrics(&mut self, duration: SimDuration) {
+    fn record_step_metrics(
+        &mut self,
+        duration: SimDuration,
+        sink: &mut Option<&mut dyn TraceSink>,
+    ) {
         let used_frac = self.kv.used_tokens() as f64 / self.capacity as f64;
         let secs = duration.as_secs_f64();
         self.consumed_weighted_sum += used_frac * secs;
@@ -1107,6 +1271,23 @@ impl Engine {
             self.consumed_series.record(self.now, used_frac);
             self.future_required_series.record(self.now, future_frac);
             self.queue_series.record(self.now, self.queue.len() as f64);
+        }
+        if let Some(s) = sink {
+            s.gauge(
+                self.now,
+                self.instance,
+                GaugeKind::QueueDepth,
+                self.queue.len() as f64,
+            );
+            s.gauge(self.now, self.instance, GaugeKind::KvOccupancy, used_frac);
+            s.gauge(
+                self.now,
+                self.instance,
+                GaugeKind::BatchSize,
+                self.running.len() as f64,
+            );
+            let pressure = self.queue_slack_pressure();
+            s.gauge(self.now, self.instance, GaugeKind::SlackPressure, pressure);
         }
     }
 
@@ -1164,10 +1345,15 @@ impl Engine {
     /// Static batching (pre-ORCA "original implementation" baseline): form
     /// a batch, pad every sequence to the batch maximum, run the whole
     /// batch to completion, repeat.
-    fn run_static(mut self, max_batch: usize) -> Result<SimReport, SimError> {
+    fn run_static(
+        mut self,
+        max_batch: usize,
+        sink: &mut Option<&mut dyn TraceSink>,
+    ) -> Result<SimReport, SimError> {
         assert!(max_batch > 0, "static batch size must be positive");
+        let instance = self.instance;
         loop {
-            self.ingest_arrivals();
+            self.ingest_arrivals(sink);
             if self.time_exceeded() {
                 break;
             }
@@ -1206,15 +1392,58 @@ impl Engine {
                     at: self.now,
                 });
             }
+            if sink.is_some() {
+                for pending in &batch {
+                    let request = pending.spec.id.raw();
+                    fleet::emit(
+                        sink,
+                        TraceEvent::Admitted {
+                            at: self.now,
+                            instance,
+                            request,
+                        },
+                    );
+                    fleet::emit(
+                        sink,
+                        TraceEvent::PrefillStart {
+                            at: self.now,
+                            instance,
+                            request,
+                        },
+                    );
+                }
+            }
             let b = batch.len() as u64;
             // Prefill over padded prompts.
             let duration = self.perf.prefill_step(b * max_in);
             self.now += duration;
             self.prefill_steps += 1;
-            self.accumulate_static_metrics(b, max_in, max_cap, duration);
+            self.accumulate_static_metrics(b, max_in, max_cap, duration, sink);
             for pending in &mut batch {
                 pending.generated += 1;
+                let first_ever = pending.timing.ttft().is_none();
                 pending.timing.record_token(self.now);
+                if sink.is_some() {
+                    let request = pending.spec.id.raw();
+                    fleet::emit(
+                        sink,
+                        TraceEvent::PrefillEnd {
+                            at: self.now,
+                            instance,
+                            request,
+                        },
+                    );
+                    if first_ever {
+                        fleet::emit(
+                            sink,
+                            TraceEvent::FirstToken {
+                                at: self.now,
+                                instance,
+                                request,
+                            },
+                        );
+                    }
+                }
             }
             // Decode until the whole batch finishes (early finishers idle
             // inside the batch — padding waste).
@@ -1228,7 +1457,21 @@ impl Engine {
                 let duration = self.perf.decode_step(b, kv_tokens);
                 self.now += duration;
                 self.decode_steps += 1;
-                self.accumulate_static_metrics(b, max_in, max_cap, duration);
+                if sink.is_some() {
+                    let emitters = batch
+                        .iter()
+                        .filter(|p| p.generated < p.spec.true_output_len)
+                        .count() as u32;
+                    fleet::emit(
+                        sink,
+                        TraceEvent::DecodeStep {
+                            at: self.now,
+                            instance,
+                            batch: emitters,
+                        },
+                    );
+                }
+                self.accumulate_static_metrics(b, max_in, max_cap, duration, sink);
                 for pending in &mut batch {
                     if pending.generated < pending.spec.true_output_len {
                         pending.generated += 1;
@@ -1237,6 +1480,18 @@ impl Engine {
                 }
             }
             for pending in batch {
+                if sink.is_some() {
+                    let sla_ok = self.config.sla.evaluate(&pending.timing).is_satisfied();
+                    fleet::emit(
+                        sink,
+                        TraceEvent::Finished {
+                            at: self.now,
+                            instance,
+                            request: pending.spec.id.raw(),
+                            sla_ok,
+                        },
+                    );
+                }
                 self.scheduler.on_request_finished(pending.generated);
                 self.arrivals.on_finish(self.now);
                 self.outcomes.push(RequestOutcome {
@@ -1257,6 +1512,7 @@ impl Engine {
         max_in: u64,
         max_cap: u64,
         duration: SimDuration,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) {
         // Static systems reserve the padded worst case for the whole batch.
         let used_frac = (batch * (max_in + max_cap)) as f64 / self.capacity as f64;
@@ -1270,6 +1526,17 @@ impl Engine {
             self.consumed_series.record(self.now, used_frac);
             self.future_required_series.record(self.now, used_frac);
             self.queue_series.record(self.now, self.queue.len() as f64);
+        }
+        if let Some(s) = sink {
+            s.gauge(
+                self.now,
+                self.instance,
+                GaugeKind::QueueDepth,
+                self.queue.len() as f64,
+            );
+            s.gauge(self.now, self.instance, GaugeKind::KvOccupancy, used_frac);
+            s.gauge(self.now, self.instance, GaugeKind::BatchSize, batch as f64);
+            s.gauge(self.now, self.instance, GaugeKind::SlackPressure, 0.0);
         }
     }
 }

@@ -64,6 +64,34 @@
 //! fleet and both disagg pools route through them.
 
 use pf_metrics::SimTime;
+use pf_obs::{Pool, TraceEvent, TraceSink};
+
+/// Forwards a [`TraceEvent`] to the sink, if one is attached. This is the
+/// single emission funnel every engine and cluster module routes through:
+/// with no sink it compiles to one branch on an empty option — no
+/// allocation, no formatting, bit-identical reports.
+#[inline]
+pub(crate) fn emit(sink: &mut Option<&mut dyn TraceSink>, ev: TraceEvent) {
+    if let Some(s) = sink {
+        s.event(ev);
+    }
+}
+
+/// Emits the pool-size transition `from → to` as a [`TraceEvent::ScaleUp`]
+/// or [`TraceEvent::ScaleDown`] (no event when the size is unchanged).
+pub(crate) fn emit_scale(
+    sink: &mut Option<&mut dyn TraceSink>,
+    at: SimTime,
+    pool: Pool,
+    from: usize,
+    to: usize,
+) {
+    if to > from {
+        emit(sink, TraceEvent::ScaleUp { at, pool, from, to });
+    } else if to < from {
+        emit(sink, TraceEvent::ScaleDown { at, pool, from, to });
+    }
+}
 
 /// Lifecycle state of one fleet member (see the module-level diagram).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

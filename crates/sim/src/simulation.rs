@@ -1,6 +1,7 @@
 //! Simulation entry point.
 
 use pf_metrics::SimTime;
+use pf_obs::TraceSink;
 use pf_workload::{ClosedLoopClients, RequestSpec};
 
 use crate::config::SimConfig;
@@ -87,5 +88,41 @@ impl Simulation {
     /// no KV capacity, a request that can never fit, or a scheduler stall.
     pub fn run(self) -> Result<SimReport, SimError> {
         Engine::new(self.config, self.arrivals).run()
+    }
+
+    /// [`Simulation::run`] with an optional [`TraceSink`] receiving every
+    /// request lifecycle event ([`pf_obs::TraceEvent`]). With `None` this
+    /// is exactly `run`: every emission site reduces to a branch on an
+    /// empty option, so the untraced path stays allocation-free and the
+    /// report bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the deployment cannot serve the workload:
+    /// no KV capacity, a request that can never fit, or a scheduler stall.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pf_obs::{RecordingSink, TraceEvent};
+    /// use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
+    /// use pf_workload::datasets;
+    ///
+    /// let config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+    ///     .seed(1)
+    ///     .build();
+    /// let requests = datasets::distribution_3(8, 1);
+    /// let mut sink = RecordingSink::new();
+    /// let report = Simulation::offline(config, requests).run_traced(Some(&mut sink))?;
+    /// let finished = sink
+    ///     .events
+    ///     .iter()
+    ///     .filter(|ev| matches!(ev, TraceEvent::Finished { .. }))
+    ///     .count();
+    /// assert_eq!(finished, report.completed);
+    /// # Ok::<(), pf_sim::SimError>(())
+    /// ```
+    pub fn run_traced(self, sink: Option<&mut dyn TraceSink>) -> Result<SimReport, SimError> {
+        Engine::new(self.config, self.arrivals).run_traced(sink)
     }
 }
