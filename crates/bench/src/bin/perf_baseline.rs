@@ -203,6 +203,13 @@ fn apply_gate(gate_path: &str, measurements: &[Measurement]) {
         .unwrap_or_else(|e| panic!("read gate baseline {gate_path}: {e}"));
     let committed = parse_baseline(&text);
     assert!(!committed.is_empty(), "gate baseline has no scenarios");
+    if committed.iter().all(|(_, rate)| *rate <= 0.0) {
+        eprintln!(
+            "gate WARNING: every committed sim_req_per_s in {gate_path} is zero — \
+             the baseline is a placeholder and the gate passes vacuously. \
+             Refresh it with `perf_baseline --quick --out <dir>` on a quiet machine."
+        );
+    }
     let mut failed = false;
     for (name, committed_rate) in &committed {
         let Some(m) = measurements.iter().find(|m| m.name == name) else {

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod sweep;
 
 pub use cli::Cli;
 

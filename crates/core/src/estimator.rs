@@ -121,7 +121,17 @@ impl FutureMemoryEstimator {
         Self::peak_memory(entries) <= capacity
     }
 
-    fn sort_by_remaining_desc(entries: &mut [BatchEntry]) {
+    /// `M*` computed by sorting `entries` in place — the allocation-free
+    /// variant of [`peak_memory`](Self::peak_memory) for callers that own
+    /// a reusable scratch buffer. Leaves the slice in Eq. 2 order.
+    pub fn peak_memory_in_place(entries: &mut [BatchEntry]) -> u64 {
+        Self::sort_by_remaining_desc(entries);
+        Self::peak_memory_sorted(entries)
+    }
+
+    /// Sorts entries into Eq. 2 order (`remaining` descending), the order
+    /// [`peak_memory_sorted`](Self::peak_memory_sorted) requires.
+    pub fn sort_by_remaining_desc(entries: &mut [BatchEntry]) {
         entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.remaining));
     }
 
@@ -137,6 +147,14 @@ impl FutureMemoryEstimator {
                 remaining: e.remaining - steps,
             })
             .collect()
+    }
+
+    /// Builds an [`AdmissionIndex`] over a batch in Eq. 2 order — see the
+    /// index type for the O(log n) candidate-probe contract.
+    pub fn admission_index(sorted: &[BatchEntry]) -> AdmissionIndex {
+        let mut index = AdmissionIndex::default();
+        index.rebuild(sorted);
+        index
     }
 
     /// The paper's "optimal time point" (Figures 5 and 6): the smallest
@@ -174,6 +192,205 @@ impl FutureMemoryEstimator {
         }
         // Past the horizon the batch has fully drained.
         Some(horizon + 1)
+    }
+}
+
+/// Precomputed Eq. 2–4 state of one running batch, answering "what would
+/// `M*` be if `candidate` joined the batch `steps` synchronized decode
+/// steps from now?" in O(log n) instead of a fresh O(n log n)
+/// clone-and-sort per probe.
+///
+/// The trick: with the batch fixed and sorted by `remaining` descending,
+/// each entry's completion-point term `M_i = Σ_{k≤i} committed_k +
+/// remaining_i · (i+1)` is *invariant* under synchronized decode steps —
+/// every step adds `i+1` committed tokens to the prefix and removes
+/// exactly `i+1` from the remaining term. A candidate inserted at
+/// position `p` therefore splits the peak into three closed forms:
+///
+/// * entries before `p` keep their invariant terms (a prefix maximum);
+/// * the candidate's own term is `Σ_{k<p} committed_k + p·steps +
+///   committed_c + remaining_c · (p+1)`;
+/// * entries at or past `p` shift one slot and gain the candidate's
+///   committed tokens: their term becomes `M_i + remaining_i +
+///   committed_c − steps` (a suffix maximum over `M_i + remaining_i`).
+///
+/// `rebuild` is O(n); every probe after it is a binary search for `p`
+/// plus constant work, and returns *exactly* what
+/// [`FutureMemoryEstimator::peak_memory`] would on the advanced batch
+/// plus candidate. The index is valid while the batch's membership is
+/// unchanged and no member has finished (`steps` below the smallest
+/// remaining length) — callers rebuild on any admission or completion.
+#[derive(Debug, Clone)]
+pub struct AdmissionIndex {
+    /// Per-entry `remaining` as of the index's reference step, descending
+    /// (the Eq. 2 key).
+    remaining: Vec<u64>,
+    /// Per-entry `committed` as of the reference step, parallel to
+    /// `remaining`.
+    committed: Vec<u64>,
+    /// `prefix_committed[i]` = Σ committed of entries `0..i` (length n+1).
+    prefix_committed: Vec<u64>,
+    /// `prefix_term_max[i]` = max of the invariant terms over `0..i`
+    /// (length n+1, zero at 0).
+    prefix_term_max: Vec<u64>,
+    /// `suffix_term_rem_max[i]` = max of `term_k + remaining_k` over
+    /// `i..n` (length n+1, zero at n).
+    suffix_term_rem_max: Vec<u64>,
+}
+
+impl Default for AdmissionIndex {
+    /// A valid index over the empty batch (the prefix arrays carry their
+    /// length-`n+1` sentinel zeros even at `n = 0`).
+    fn default() -> Self {
+        AdmissionIndex {
+            remaining: Vec::new(),
+            committed: Vec::new(),
+            prefix_committed: vec![0],
+            prefix_term_max: vec![0],
+            suffix_term_rem_max: vec![0],
+        }
+    }
+}
+
+impl AdmissionIndex {
+    /// Recomputes the index from a batch in Eq. 2 order, reusing the
+    /// existing allocations. The batch's values become the new reference
+    /// step (`steps = 0` in subsequent probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slice is not sorted descending.
+    pub fn rebuild(&mut self, sorted: &[BatchEntry]) {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].remaining >= w[1].remaining),
+            "entries must be sorted by remaining length, descending"
+        );
+        self.remaining.clear();
+        self.remaining.extend(sorted.iter().map(|e| e.remaining));
+        self.committed.clear();
+        self.committed.extend(sorted.iter().map(|e| e.committed));
+        self.recompute_derived();
+    }
+
+    /// Entries the index currently covers.
+    pub fn len(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Whether the index covers an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// `M*` of the indexed batch advanced by `steps` synchronized decode
+    /// steps with `candidate` inserted at its Eq. 2 position — exactly
+    /// [`FutureMemoryEstimator::peak_memory`] on that merged batch, in
+    /// O(log n).
+    ///
+    /// `steps` counts decode steps since the reference step and must stay
+    /// below every indexed entry's remaining length (a completion changes
+    /// membership — apply [`retire_due`](Self::retire_due) first); debug
+    /// builds assert this.
+    pub fn peak_with(&self, candidate: BatchEntry, steps: u64) -> u64 {
+        debug_assert!(
+            self.remaining.last().is_none_or(|&min| min > steps),
+            "index stale: a member finished within {steps} steps"
+        );
+        let n = self.remaining.len();
+        // Position by *current* remaining: r0 − steps ≥ r_c ⟺ r0 ≥ r_c + steps.
+        let threshold = candidate.remaining.saturating_add(steps);
+        let p = self.remaining.partition_point(|&r| r >= threshold);
+        let mut peak = self.prefix_term_max[p];
+        let candidate_term = self.prefix_committed[p]
+            + p as u64 * steps
+            + candidate.committed
+            + candidate.remaining * (p as u64 + 1);
+        peak = peak.max(candidate_term);
+        if p < n {
+            peak = peak.max(self.suffix_term_rem_max[p] - steps + candidate.committed);
+        }
+        peak
+    }
+
+    /// Admits `candidate` into the indexed batch `steps` decode steps
+    /// after the reference step: rebases every entry to the current step,
+    /// inserts the candidate at its Eq. 2 position and re-derives the
+    /// probe arrays — O(n), no sorting. The current step becomes the new
+    /// reference (`steps = 0` afterwards).
+    pub fn admit(&mut self, candidate: BatchEntry, steps: u64) {
+        self.rebase(steps);
+        let p = self
+            .remaining
+            .partition_point(|&r| r >= candidate.remaining);
+        self.remaining.insert(p, candidate.remaining);
+        self.committed.insert(p, candidate.committed);
+        self.recompute_derived();
+    }
+
+    /// Retires every entry finishing exactly at `steps` decode steps past
+    /// the reference step (their remaining length is exhausted — they are
+    /// the tail of the Eq. 2 order), rebases the survivors to the current
+    /// step and re-derives the probe arrays — O(n), no sorting. Returns
+    /// the number retired; the current step becomes the new reference.
+    ///
+    /// Debug builds assert no entry finished *before* `steps` (callers
+    /// retire at every completion step, so earlier finishers are already
+    /// gone).
+    pub fn retire_due(&mut self, steps: u64) -> usize {
+        debug_assert!(
+            self.remaining.last().is_none_or(|&min| min >= steps),
+            "index stale: a member finished before {steps} steps"
+        );
+        self.rebase(steps);
+        let keep = self.remaining.partition_point(|&r| r > 0);
+        let retired = self.remaining.len() - keep;
+        self.remaining.truncate(keep);
+        self.committed.truncate(keep);
+        self.recompute_derived();
+        retired
+    }
+
+    /// Advances every entry's values by `steps` synchronized decode steps
+    /// (committed grows, remaining shrinks; descending order survives the
+    /// uniform shift).
+    fn rebase(&mut self, steps: u64) {
+        if steps == 0 {
+            return;
+        }
+        for r in &mut self.remaining {
+            *r -= steps;
+        }
+        for c in &mut self.committed {
+            *c += steps;
+        }
+    }
+
+    /// Recomputes the prefix/suffix probe arrays from the raw entry
+    /// values.
+    fn recompute_derived(&mut self) {
+        let n = self.remaining.len();
+        self.prefix_committed.clear();
+        self.prefix_committed.push(0);
+        self.prefix_term_max.clear();
+        self.prefix_term_max.push(0);
+        let mut committed_sum = 0u64;
+        let mut term_max = 0u64;
+        let mut terms = std::mem::take(&mut self.suffix_term_rem_max);
+        terms.clear();
+        for i in 0..n {
+            committed_sum += self.committed[i];
+            self.prefix_committed.push(committed_sum);
+            let term = committed_sum + self.remaining[i] * (i as u64 + 1);
+            term_max = term_max.max(term);
+            self.prefix_term_max.push(term_max);
+            terms.push(term + self.remaining[i]);
+        }
+        // Turn the per-entry `term + remaining` values into a suffix max.
+        terms.push(0);
+        for i in (0..n).rev() {
+            terms[i] = terms[i].max(terms[i + 1]);
+        }
+        self.suffix_term_rem_max = terms;
     }
 }
 
@@ -362,6 +579,43 @@ mod tests {
         );
     }
 
+    #[test]
+    fn admission_index_matches_direct_peak() {
+        // Figure 5's batch: probing the candidate now and one step later
+        // must reproduce the direct Eq. 2–4 computation (19, then 18).
+        let mut running = vec![e(5, 2), e(5, 4)];
+        FutureMemoryEstimator::sort_by_remaining_desc(&mut running);
+        let index = FutureMemoryEstimator::admission_index(&running);
+        let candidate = e(3, 5);
+        assert_eq!(index.peak_with(candidate, 0), 19);
+        assert_eq!(index.peak_with(candidate, 1), 18);
+    }
+
+    #[test]
+    fn admission_index_empty_batch() {
+        let index = FutureMemoryEstimator::admission_index(&[]);
+        assert!(index.is_empty());
+        // The never-rebuilt default is the same valid empty index.
+        assert_eq!(
+            AdmissionIndex::default().peak_with(e(10, 5), 0),
+            index.peak_with(e(10, 5), 0)
+        );
+        // A candidate alone peaks at its own total footprint.
+        assert_eq!(index.peak_with(e(10, 5), 0), 15);
+        assert_eq!(index.peak_with(e(10, 5), 7), 15);
+    }
+
+    #[test]
+    fn admission_index_rebuild_reuses_allocations() {
+        let mut index = AdmissionIndex::default();
+        index.rebuild(&[e(5, 4), e(5, 2)]);
+        assert_eq!(index.len(), 2);
+        index.rebuild(&[e(7, 3)]);
+        assert_eq!(index.len(), 1);
+        // Sorted merge [(7,3), (2,1)]: M_1 = 7+3·1 = 10, M_2 = 9+1·2 = 11.
+        assert_eq!(index.peak_with(e(2, 1), 0), 11);
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -450,6 +704,83 @@ mod tests {
                     prop_assert!(
                         FutureMemoryEstimator::peak_memory(&earlier) > capacity,
                         "step {step} is not minimal"
+                    );
+                }
+            }
+
+            /// The O(log n) admission index returns exactly what a direct
+            /// advance-insert-and-sort Eq. 2–4 evaluation returns, for any
+            /// batch, candidate and in-validity-window step offset.
+            #[test]
+            fn admission_index_matches_naive(
+                entries in entries_strategy(),
+                committed in 0u64..10_000,
+                remaining in 0u64..5_000,
+                steps_seed in 0u64..5_000,
+            ) {
+                let mut batch: Vec<BatchEntry> =
+                    entries.into_iter().filter(|e| e.remaining > 0).collect();
+                FutureMemoryEstimator::sort_by_remaining_desc(&mut batch);
+                let index = FutureMemoryEstimator::admission_index(&batch);
+                // Any step strictly below the smallest remaining keeps the
+                // index valid (no member finishes).
+                let min_remaining = batch.iter().map(|e| e.remaining).min().unwrap_or(u64::MAX);
+                let steps = steps_seed % min_remaining.min(5_000);
+                let candidate = BatchEntry { committed, remaining };
+                let mut merged = FutureMemoryEstimator::advance(&batch, steps);
+                merged.push(candidate);
+                prop_assert_eq!(
+                    index.peak_with(candidate, steps),
+                    FutureMemoryEstimator::peak_memory(&merged)
+                );
+            }
+
+            /// The index stays exact through an arbitrary
+            /// admit/step/retire lifecycle — the maintenance the decode
+            /// engines perform: after every operation an admission probe
+            /// returns the same Eq. 2–4 peak as a from-scratch
+            /// evaluation of the live batch.
+            #[test]
+            fn admission_index_lifecycle_matches_naive(
+                ops in proptest::collection::vec((0u8..4, 0u64..200, 1u64..40), 1..60),
+                probe_committed in 0u64..500,
+                probe_remaining in 0u64..50,
+            ) {
+                let mut index = AdmissionIndex::default();
+                // The live batch at *current* values; the index's
+                // reference step trails it by `steps`.
+                let mut live: Vec<BatchEntry> = Vec::new();
+                let mut steps = 0u64;
+                for (op, committed, remaining) in ops {
+                    if op == 0 || live.is_empty() {
+                        let cand = BatchEntry { committed, remaining };
+                        index.admit(cand, steps);
+                        steps = 0;
+                        live.push(cand);
+                    } else {
+                        // One synchronized decode step; finishers retire.
+                        for e in &mut live {
+                            e.committed += 1;
+                            e.remaining -= 1;
+                        }
+                        steps += 1;
+                        let finished = live.iter().filter(|e| e.remaining == 0).count();
+                        if finished > 0 {
+                            live.retain(|e| e.remaining > 0);
+                            prop_assert_eq!(index.retire_due(steps), finished);
+                            steps = 0;
+                        }
+                    }
+                    prop_assert_eq!(index.len(), live.len());
+                    let probe = BatchEntry {
+                        committed: probe_committed,
+                        remaining: probe_remaining,
+                    };
+                    let mut merged = live.clone();
+                    merged.push(probe);
+                    prop_assert_eq!(
+                        index.peak_with(probe, steps),
+                        FutureMemoryEstimator::peak_memory(&merged)
                     );
                 }
             }

@@ -73,7 +73,7 @@ pub use aggressive::AggressiveScheduler;
 pub use config::SchedulerConfig;
 pub use conservative::ConservativeScheduler;
 pub use distribution::OutputLengthDistribution;
-pub use estimator::{BatchEntry, CompletionPoint, FutureMemoryEstimator};
+pub use estimator::{AdmissionIndex, BatchEntry, CompletionPoint, FutureMemoryEstimator};
 pub use history::OutputLengthHistory;
 pub use oracle::OracleScheduler;
 pub use past_future::{OutputLengthPredictor, PastFutureScheduler};

@@ -98,6 +98,15 @@ pub struct PastFutureScheduler {
     sample_repeats: usize,
     rng: StdRng,
     name: String,
+    /// `P(l)` cache: rebuilding (and re-sorting) the distribution from the
+    /// history ring is the scheduler's dominant cost, yet it only changes
+    /// when a request finishes. Invalidated by `on_request_finished`.
+    dist_cache: Option<OutputLengthDistribution>,
+    dist_dirty: bool,
+    /// Reusable admission batch, kept in Eq. 2 order (`remaining`
+    /// descending) so each candidate probe is a binary insertion plus a
+    /// linear `peak_memory_sorted` scan instead of a clone + full sort.
+    entries: Vec<BatchEntry>,
 }
 
 impl PastFutureScheduler {
@@ -126,6 +135,9 @@ impl PastFutureScheduler {
             sample_repeats,
             rng: StdRng::seed_from_u64(seed),
             name: format!("past-future(reserved={:.0}%)", reserved_frac * 100.0),
+            dist_cache: None,
+            dist_dirty: true,
+            entries: Vec::new(),
         }
     }
 
@@ -152,24 +164,25 @@ impl PastFutureScheduler {
         queue: &[QueuedRequest],
         budget: u64,
     ) -> usize {
-        let distribution = self.predictor.distribution();
-        let dist = distribution.as_ref();
+        let dist = self.dist_cache.as_ref();
         // Lines 2–6: refresh predictions for the running batch.
-        let mut entries: Vec<BatchEntry> = running
-            .iter()
-            .map(|r| {
-                let predicted =
-                    self.predictor
-                        .predict(&mut self.rng, dist, r.generated, r.max_new_tokens);
-                BatchEntry {
-                    committed: r.committed(),
-                    remaining: u64::from(predicted.saturating_sub(r.generated).max(1)),
-                }
-            })
-            .collect();
+        self.entries.clear();
+        for r in running {
+            let predicted =
+                self.predictor
+                    .predict(&mut self.rng, dist, r.generated, r.max_new_tokens);
+            self.entries.push(BatchEntry {
+                committed: r.committed(),
+                remaining: u64::from(predicted.saturating_sub(r.generated).max(1)),
+            });
+        }
+        FutureMemoryEstimator::sort_by_remaining_desc(&mut self.entries);
         // Lines 7–16: admit queue candidates while M* fits the budget.
         // Candidates are modelled at their post-prefill state (the prefill
         // emits their first token while the rest of the batch is paused).
+        // The batch stays in Eq. 2 order across insertions, so each probe
+        // is O(log n) placement + O(n) scan; M* is permutation-invariant,
+        // so the result is identical to re-sorting from scratch.
         let mut admitted = 0;
         for candidate in queue {
             let predicted = self.predictor.predict(
@@ -179,11 +192,15 @@ impl PastFutureScheduler {
                 candidate.max_new_tokens,
             );
             let (committed, remaining) = candidate.post_prefill_entry(predicted);
-            entries.push(BatchEntry {
-                committed,
-                remaining,
-            });
-            if FutureMemoryEstimator::peak_memory(&entries) <= budget {
+            let pos = self.entries.partition_point(|e| e.remaining >= remaining);
+            self.entries.insert(
+                pos,
+                BatchEntry {
+                    committed,
+                    remaining,
+                },
+            );
+            if FutureMemoryEstimator::peak_memory_sorted(&self.entries) <= budget {
                 admitted += 1;
             } else {
                 break;
@@ -207,6 +224,10 @@ impl Scheduler for PastFutureScheduler {
         if queue.is_empty() {
             return 0;
         }
+        if self.dist_dirty {
+            self.dist_cache = self.predictor.distribution();
+            self.dist_dirty = false;
+        }
         let budget = (memory.capacity_tokens as f64 * (1.0 - self.reserved_frac)) as u64;
         let mut admitted = usize::MAX;
         for _ in 0..self.sample_repeats {
@@ -220,6 +241,7 @@ impl Scheduler for PastFutureScheduler {
 
     fn on_request_finished(&mut self, output_len: u32) {
         self.predictor.record(output_len);
+        self.dist_dirty = true;
     }
 }
 

@@ -23,7 +23,9 @@ pub fn std_dev(values: &[f64]) -> f64 {
 
 /// Exact percentile by linear interpolation between order statistics.
 ///
-/// `p` is in `[0, 100]`. Returns `None` for an empty slice. The input does
+/// `p` is in `[0, 100]`. NaN samples are skipped (a poisoned sample — a
+/// `0/0` rate from an idle window, say — should not take down the whole
+/// report); returns `None` when no non-NaN samples remain. The input does
 /// not need to be sorted.
 ///
 /// # Panics
@@ -34,19 +36,26 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         (0.0..=100.0).contains(&p) && p.is_finite(),
         "bad percentile {p}"
     );
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_unstable_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// [`percentile`] over a sample that is already sorted ascending and
+/// NaN-free — the single-sort fast path for summaries that need several
+/// percentiles of one sample.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        return Some(sorted[lo]);
+        return sorted[lo];
     }
     let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Five-number-style summary of a sample: count, mean, standard deviation,
@@ -73,26 +82,31 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample. Returns the all-zero summary for an empty slice.
+    /// Summarizes a sample, skipping NaN values (see [`percentile`]).
+    /// Returns the all-zero summary when no non-NaN samples remain.
+    ///
+    /// The sample is sorted once and every order statistic — min, max and
+    /// the three percentiles — is read from that one sorted copy.
     pub fn of(values: &[f64]) -> Summary {
-        if values.is_empty() {
+        let filtered: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if filtered.is_empty() {
             return Summary::default();
         }
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &v in values {
-            min = min.min(v);
-            max = max.max(v);
-        }
+        // Mean and deviation fold in *input* order — float addition is not
+        // order-independent, and reports must not change with sort order.
+        let mean = mean(&filtered);
+        let std_dev = std_dev(&filtered);
+        let mut sorted = filtered;
+        sorted.sort_unstable_by(f64::total_cmp);
         Summary {
-            count: values.len(),
-            mean: mean(values),
-            std_dev: std_dev(values),
-            min,
-            max,
-            p50: percentile(values, 50.0).unwrap_or(0.0),
-            p90: percentile(values, 90.0).unwrap_or(0.0),
-            p99: percentile(values, 99.0).unwrap_or(0.0),
+            count: sorted.len(),
+            mean,
+            std_dev,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
         }
     }
 
@@ -167,6 +181,24 @@ mod tests {
     #[should_panic(expected = "bad percentile")]
     fn percentile_out_of_range_panics() {
         let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn percentile_skips_nan() {
+        let v = [f64::NAN, 9.0, 1.0, f64::NAN, 5.0];
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn summary_skips_nan() {
+        let s = Summary::of(&[f64::NAN, 1.0, 3.0, f64::NAN]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(Summary::of(&[f64::NAN]), Summary::default());
     }
 
     #[cfg(test)]

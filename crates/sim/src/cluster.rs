@@ -123,13 +123,20 @@ impl RouterPolicy {
         }
     }
 
-    fn pick(self, engines: &[Engine], spec: &RequestSpec, cursor: &mut usize) -> usize {
+    fn pick(
+        self,
+        engines: &[Engine],
+        spec: &RequestSpec,
+        cursor: &mut usize,
+        scratch: &mut Vec<RouteCandidate>,
+    ) -> usize {
         pick_engine(
             self,
             engines.iter().enumerate().map(|(i, e)| (i, e, 1.0)),
             spec,
             cursor,
             engines.len(),
+            scratch,
         )
         .expect("cluster has at least one instance")
     }
@@ -145,13 +152,16 @@ impl RouterPolicy {
 /// measures KV headroom, and `GpuType` models speed and price, not
 /// memory. Each policy evaluates only the signal it routes on —
 /// `load_estimate` walks the whole queue, so the cheap policies must not
-/// pay for it.
+/// pay for it. `scratch` is the caller-owned candidate buffer
+/// [`RouterPolicy::PrefixAffinity`] materializes into — routing runs per
+/// arrival, so the buffer is reused rather than reallocated.
 pub(crate) fn pick_engine<'a, I>(
     policy: RouterPolicy,
     candidates: I,
     spec: &RequestSpec,
     cursor: &mut usize,
     n: usize,
+    scratch: &mut Vec<RouteCandidate>,
 ) -> Option<usize>
 where
     I: Iterator<Item = (usize, &'a Engine, f64)>,
@@ -174,23 +184,21 @@ where
             n,
         ),
         RouterPolicy::PrefixAffinity { .. } => {
-            let candidates: Vec<RouteCandidate> = candidates
-                .map(|(i, e, s)| RouteCandidate {
-                    index: i,
-                    // The paper's §7 signal doubles as the affinity
-                    // tie-break and below-threshold fallback. Queued
-                    // deadline-slack pressure is folded in so urgent
-                    // queues look fuller and get room to drain (zero — a
-                    // no-op — for deadline-free runs); like the base
-                    // load it divides by the GPU's speed — a fast member
-                    // drains its urgent queue proportionally faster
-                    // (matching the disagg router's treatment).
-                    load: (e.load_estimate() + SLACK_PRESSURE_WEIGHT * e.queue_slack_pressure())
-                        / s,
-                    cached_match: e.cached_prefix_tokens(spec),
-                })
-                .collect();
-            pick_routed(policy, &candidates, cursor, n)
+            scratch.clear();
+            scratch.extend(candidates.map(|(i, e, s)| RouteCandidate {
+                index: i,
+                // The paper's §7 signal doubles as the affinity
+                // tie-break and below-threshold fallback. Queued
+                // deadline-slack pressure is folded in so urgent
+                // queues look fuller and get room to drain (zero — a
+                // no-op — for deadline-free runs); like the base
+                // load it divides by the GPU's speed — a fast member
+                // drains its urgent queue proportionally faster
+                // (matching the disagg router's treatment).
+                load: (e.load_estimate() + SLACK_PRESSURE_WEIGHT * e.queue_slack_pressure()) / s,
+                cached_match: e.cached_prefix_tokens(spec),
+            }));
+            pick_routed(policy, scratch, cursor, n)
         }
     }
 }
@@ -276,6 +284,8 @@ impl ClusterSimulation {
             arrival_times.into_iter().zip(requests).collect();
         let mut cursor = 0usize;
         let mut routed = vec![0usize; n_instances];
+        // Reused across arrivals by the affinity router (see pick_engine).
+        let mut route_scratch: Vec<RouteCandidate> = Vec::new();
         // Tick-selection argmin (not a routing decision: first-index ties
         // here only order simulation work, they move no traffic).
         let lagging = |engines: &[Engine]| {
@@ -294,7 +304,9 @@ impl ClusterSimulation {
             if let Some(&(at, _)) = stream.front() {
                 if engines[i_min].now() >= at {
                     let (at, spec) = stream.pop_front().expect("peeked");
-                    let target = self.policy.pick(&engines, &spec, &mut cursor);
+                    let target = self
+                        .policy
+                        .pick(&engines, &spec, &mut cursor, &mut route_scratch);
                     let arrival = at.max(engines[target].now());
                     engines[target].inject(arrival, spec);
                     routed[target] += 1;

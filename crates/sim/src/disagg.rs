@@ -112,7 +112,7 @@ use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
 
 use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision, StepLatency};
-use pf_core::{BatchEntry, FutureMemoryEstimator};
+use pf_core::{AdmissionIndex, BatchEntry};
 use pf_kvcache::{PrefixCache, PrefixCacheStats};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
 use pf_obs::{GaugeKind, Pool, TraceEvent, TraceSink};
@@ -584,9 +584,16 @@ impl Job {
     /// Future-memory entry (Eq. 2–4 of the paper, on ground truth): what
     /// this request holds now and how much it will still grow.
     fn batch_entry(&self) -> BatchEntry {
+        debug_assert!(
+            self.spec.true_output_len >= self.generated,
+            "request {} generated {} past its true output length {}",
+            self.spec.id.raw(),
+            self.generated,
+            self.spec.true_output_len
+        );
         BatchEntry {
             committed: self.kv_tokens(),
-            remaining: u64::from(self.spec.true_output_len - self.generated),
+            remaining: u64::from(self.spec.true_output_len.saturating_sub(self.generated)),
         }
     }
 }
@@ -627,6 +634,19 @@ struct DecodeMember {
     /// Final footprints of `pending` (routing signal).
     pending_reserved: u64,
     running: Vec<Job>,
+    /// O(log n) Eq. 2–4 probe state over `running`, maintained exactly:
+    /// admissions insert at the probe's Eq. 2 position
+    /// ([`AdmissionIndex::admit`]), completions retire the sorted tail
+    /// ([`AdmissionIndex::retire_due`] — finishing jobs are precisely the
+    /// minimum-remaining entries), and synchronized decode steps between
+    /// membership changes only advance `index_steps` (every completion
+    /// term is step-invariant). The batch is never cloned or re-sorted on
+    /// the decode path.
+    admit_index: AdmissionIndex,
+    index_steps: u64,
+    /// KV tokens resident across `running`, maintained incrementally
+    /// (`Σ kv_tokens`, the decode-step and routing load signal).
+    running_kv: u64,
     busy: bool,
     completed: usize,
 }
@@ -669,7 +689,11 @@ impl PrefillMember {
 
 impl DecodeMember {
     fn load_signal(&self) -> u64 {
-        self.running.iter().map(Job::kv_tokens).sum::<u64>() + self.pending_reserved
+        debug_assert_eq!(
+            self.running_kv,
+            self.running.iter().map(Job::kv_tokens).sum::<u64>()
+        );
+        self.running_kv + self.pending_reserved
     }
 }
 
@@ -829,6 +853,10 @@ struct Run<'s> {
     next_instance: u32,
     /// Optional trace sink; `None` costs one branch per emission site.
     sink: Option<&'s mut dyn TraceSink>,
+    /// Reusable completion scratch of [`Run::on_decode_done`].
+    scratch_finished: Vec<Job>,
+    /// Reusable per-arrival candidate buffer of [`Run::route_prefill`].
+    scratch_route: Vec<RouteCandidate>,
 }
 
 impl<'s> Run<'s> {
@@ -922,6 +950,8 @@ impl<'s> Run<'s> {
             transfer_intervals: Vec::new(),
             next_instance: 0,
             sink,
+            scratch_finished: Vec::new(),
+            scratch_route: Vec::new(),
         };
         for _ in 0..initial_prefill {
             let gpu = slot_gpu(&run.prefill_slots, fleet::provisioned_count(&run.prefill));
@@ -992,6 +1022,9 @@ impl<'s> Run<'s> {
             pending: VecDeque::new(),
             pending_reserved: 0,
             running: Vec::new(),
+            admit_index: AdmissionIndex::default(),
+            index_steps: 0,
+            running_kv: 0,
             busy: false,
             completed: 0,
         });
@@ -1058,24 +1091,28 @@ impl<'s> Run<'s> {
             && (self.default_deadline.is_some() || self.queued_deadlines > 0);
         let default_deadline = self.default_deadline;
         let pressure_tokens = SLACK_PRESSURE_WEIGHT * self.capacity as f64;
-        let candidates: Vec<RouteCandidate> = self
-            .prefill
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.core.is_live())
-            .map(|(i, m)| {
-                let mut load = m.load_signal() as f64;
-                if slack_weighted {
-                    load += pressure_tokens * m.slack_pressure(now, default_deadline);
-                }
-                RouteCandidate {
-                    index: i,
-                    load: load / m.core.gpu.perf_scale,
-                    cached_match: m.cached_match(spec),
-                }
-            })
-            .collect();
-        pick_routed(self.router, &candidates, &mut self.route_cursor, n)
+        // Disjoint borrows: candidates are rebuilt into the reusable
+        // buffer from the prefill pool (routing runs per arrival).
+        let candidates = &mut self.scratch_route;
+        candidates.clear();
+        candidates.extend(
+            self.prefill
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.core.is_live())
+                .map(|(i, m)| {
+                    let mut load = m.load_signal() as f64;
+                    if slack_weighted {
+                        load += pressure_tokens * m.slack_pressure(now, default_deadline);
+                    }
+                    RouteCandidate {
+                        index: i,
+                        load: load / m.core.gpu.perf_scale,
+                        cached_match: m.cached_match(spec),
+                    }
+                }),
+        );
+        pick_routed(self.router, candidates, &mut self.route_cursor, n)
             .expect("at least one live prefill instance")
     }
 
@@ -1535,22 +1572,34 @@ impl<'s> Run<'s> {
         if let QueueOrder::LeastSlackFirst { aging_cap } = queue_order {
             Self::rank_pending_by_slack(&mut member.pending, now, aging_cap, default_deadline);
         }
+        // Probe each pending handoff through the member's admission
+        // index: every probe is one binary search returning exactly the
+        // Eq. 2–4 peak a fresh clone-and-sort would (`M*` is invariant to
+        // how equal-`remaining` entries tie-break — the later of two tied
+        // positions always dominates — so the index's insertion position
+        // is as good as any sort's). An accepted candidate folds into the
+        // index at that same position, so the batch is never re-sorted.
         while let Some(front) = member.pending.front() {
-            let mut entries: Vec<BatchEntry> =
-                member.running.iter().map(Job::batch_entry).collect();
-            entries.push(front.batch_entry());
-            if FutureMemoryEstimator::peak_memory(&entries) > capacity {
+            let candidate = front.batch_entry();
+            if member.admit_index.peak_with(candidate, member.index_steps) > capacity {
                 break;
             }
             let job = member.pending.pop_front().expect("peeked");
             member.pending_reserved -= job.final_footprint();
+            member.running_kv += job.kv_tokens();
+            member.admit_index.admit(candidate, member.index_steps);
+            member.index_steps = 0;
             member.running.push(job);
         }
         if member.running.is_empty() {
             return;
         }
         let batch = member.running.len() as u64;
-        let kv_tokens: u64 = member.running.iter().map(Job::kv_tokens).sum();
+        debug_assert_eq!(
+            member.running_kv,
+            member.running.iter().map(Job::kv_tokens).sum::<u64>()
+        );
+        let kv_tokens = member.running_kv;
         member.busy = true;
         let duration = member
             .core
@@ -1562,7 +1611,8 @@ impl<'s> Run<'s> {
     fn on_decode_done(&mut self, now: SimTime, j: usize) {
         self.decode[j].busy = false;
         let instance = self.decode[j].instance;
-        let mut finished = Vec::new();
+        let mut finished = std::mem::take(&mut self.scratch_finished);
+        finished.clear();
         {
             let member = &mut self.decode[j];
             // One coalesced decode event per batch tick (every running job
@@ -1578,22 +1628,40 @@ impl<'s> Run<'s> {
                     },
                 );
             }
+            // Every running job grew by one KV token this step; finished
+            // jobs then take their (post-step) residency with them.
+            member.running_kv += member.running.len() as u64;
             let mut k = 0;
             while k < member.running.len() {
                 let job = &mut member.running[k];
                 job.generated += 1;
                 job.timing.record_token(now);
                 if job.generated >= job.spec.true_output_len {
-                    finished.push(member.running.remove(k));
+                    let job = member.running.remove(k);
+                    member.running_kv -= job.kv_tokens();
+                    finished.push(job);
                 } else {
                     k += 1;
                 }
             }
             member.completed += finished.len();
+            if finished.is_empty() {
+                // Membership unchanged: the admission index stays valid,
+                // one synchronized step further along.
+                member.index_steps += 1;
+            } else {
+                // Jobs finishing this step are exactly the index entries
+                // whose remaining length hits zero at `index_steps + 1` —
+                // the tail of the Eq. 2 order. Retiring them in place
+                // keeps the index exact without re-sorting the batch.
+                let retired = member.admit_index.retire_due(member.index_steps + 1);
+                debug_assert_eq!(retired, finished.len());
+                member.index_steps = 0;
+            }
         }
         if let Some(s) = self.sink.as_deref_mut() {
             let member = &self.decode[j];
-            let kv_tokens: u64 = member.running.iter().map(Job::kv_tokens).sum();
+            let kv_tokens = member.running_kv;
             s.gauge(
                 now,
                 instance,
@@ -1607,7 +1675,7 @@ impl<'s> Run<'s> {
                 kv_tokens as f64 / self.capacity as f64,
             );
         }
-        for job in finished {
+        for job in finished.drain(..) {
             if let Some(planning) = self.planning.as_mut() {
                 let ttft = job.timing.ttft().expect("completed with tokens");
                 planning.decode.planner.on_request_finished(
@@ -1619,6 +1687,7 @@ impl<'s> Run<'s> {
             }
             self.finish_job(now, instance, job);
         }
+        self.scratch_finished = finished;
         self.try_start_decode(j, now);
         self.maybe_stop_decode(j, now);
     }

@@ -81,7 +81,7 @@ use pf_metrics::{GoodputReport, SimDuration, SimTime, StepSeries};
 use pf_obs::{Pool, TraceSink};
 use pf_workload::RequestSpec;
 
-use crate::cluster::{pick_engine, RouterPolicy};
+use crate::cluster::{pick_engine, RouteCandidate, RouterPolicy};
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
@@ -267,6 +267,9 @@ struct Run {
     /// Rotating tie-break cursor of the router (see
     /// [`crate::fleet::pick_rotating_min`]).
     route_cursor: usize,
+    /// Reusable per-arrival candidate buffer of the affinity router (see
+    /// [`pick_engine`]).
+    route_scratch: Vec<RouteCandidate>,
     next_adjust: SimTime,
     interval: SimDuration,
     warmup: SimDuration,
@@ -309,6 +312,7 @@ impl Run {
             router,
             slots,
             route_cursor: 0,
+            route_scratch: Vec::new(),
             next_adjust: SimTime::ZERO + interval,
             interval,
             warmup,
@@ -400,25 +404,26 @@ impl Run {
             spec,
             &mut self.route_cursor,
             n,
+            &mut self.route_scratch,
         )
     }
 
     /// Feeds newly finished requests of member `i` to the planner.
     fn harvest_outcomes(&mut self, i: usize) {
-        let member = &mut self.members[i];
+        // Disjoint borrows: the member is read, the planner is fed. This
+        // runs after every member tick, so it must not allocate.
+        let Run {
+            members, planner, ..
+        } = self;
+        let member = &mut members[i];
         let now = member.engine.now();
         let outcomes = member.engine.outcomes();
-        let fresh: Vec<(u32, Option<SimDuration>, SimDuration)> = outcomes[member.seen_outcomes..]
-            .iter()
-            .map(|o| (o.output_len, o.timing.ttft(), o.timing.avg_tpot()))
-            .collect();
-        member.seen_outcomes = outcomes.len();
-        for (output_len, ttft, avg_tpot) in fresh {
-            if let Some(ttft) = ttft {
-                self.planner
-                    .on_request_finished(now, output_len, ttft, avg_tpot);
+        for o in &outcomes[member.seen_outcomes..] {
+            if let Some(ttft) = o.timing.ttft() {
+                planner.on_request_finished(now, o.output_len, ttft, o.timing.avg_tpot());
             }
         }
+        member.seen_outcomes = outcomes.len();
     }
 
     /// Runs one planning round at `self.next_adjust` and applies the

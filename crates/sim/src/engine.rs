@@ -54,6 +54,7 @@
 //! at least one queued request carrying its own), so deadline-less runs
 //! pay nothing per tick.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -70,6 +71,7 @@ use crate::error::SimError;
 use crate::fleet;
 use crate::perf::PerfModel;
 use crate::report::{RequestOutcome, SimReport};
+use crate::slab::Slab;
 
 /// How many queued requests are exposed to the scheduler per planning call.
 /// The plan loop repeats while the scheduler admits the whole visible
@@ -84,7 +86,9 @@ const PREFIX_SENTINEL: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct Pending {
-    spec: RequestSpec,
+    /// Handle into the engine's spec slab — queue rotations and slack
+    /// re-sorts move this `u32`, not the full [`RequestSpec`].
+    spec: u32,
     generated: u32,
     timing: RequestTiming,
     evictions: u32,
@@ -95,7 +99,8 @@ struct Pending {
 
 #[derive(Debug)]
 struct Live {
-    spec: RequestSpec,
+    /// Handle into the engine's spec slab.
+    spec: u32,
     generated: u32,
     timing: RequestTiming,
     evictions: u32,
@@ -248,9 +253,35 @@ pub(crate) struct Engine {
     arrivals: Arrivals,
     queue: VecDeque<Pending>,
     running: Vec<Live>,
+    /// Backing store for every ingested request's spec; `Pending`/`Live`
+    /// entries carry slab handles.
+    specs: Slab<RequestSpec>,
     /// Simulated prefix cache (disabled unless configured). Its occupancy
     /// is mirrored into `kv` under [`PREFIX_SENTINEL`].
     prefix: Option<PrefixCache>,
+
+    /// Slack-ranking cache: set whenever the queue gains an entry whose
+    /// rank is not known to respect the current order (arrival at the
+    /// back, preemption at the front). Pops and purges preserve order and
+    /// leave it clear.
+    queue_order_dirty: bool,
+    /// Earliest future instant at which a queued entry crosses the aging
+    /// cap and changes rank group — the only time-driven reorder. While
+    /// `now` is before this and the order is clean, the ranked queue is
+    /// reused as-is.
+    next_aging_at: Option<SimTime>,
+    /// Bumped on every queue mutation; keys the slack-pressure cache.
+    queue_epoch: u64,
+    /// `(now_micros, queue_epoch) → pressure` memo for the router probes,
+    /// which ask every candidate instance per routed request.
+    pressure_cache: Cell<(u64, u64, f64)>,
+
+    // Reusable per-tick buffers: the steady-state loop builds scheduler
+    // views and estimator batches in place instead of allocating.
+    scratch_running: Vec<RunningRequest>,
+    scratch_queue: Vec<QueuedRequest>,
+    scratch_entries: Vec<BatchEntry>,
+    scratch_ids: Vec<u64>,
 
     decode_steps: u64,
     prefill_steps: u64,
@@ -314,7 +345,16 @@ impl Engine {
             arrivals,
             queue: VecDeque::new(),
             running: Vec::new(),
+            specs: Slab::new(),
             prefix,
+            queue_order_dirty: false,
+            next_aging_at: None,
+            queue_epoch: 0,
+            pressure_cache: Cell::new((u64::MAX, u64::MAX, 0.0)),
+            scratch_running: Vec::new(),
+            scratch_queue: Vec::new(),
+            scratch_entries: Vec::new(),
+            scratch_ids: Vec::new(),
             output_len_sum,
             output_len_count,
             decode_steps: 0,
@@ -453,7 +493,7 @@ impl Engine {
         let queued_tokens: f64 = self
             .queue
             .iter()
-            .map(|p| f64::from(p.spec.input_len) + f64::from(p.generated) + mean_output)
+            .map(|p| f64::from(self.specs[p.spec].input_len) + f64::from(p.generated) + mean_output)
             .chain(
                 // Routed but not yet ingested arrivals count too.
                 self.arrivals
@@ -610,13 +650,14 @@ impl Engine {
     /// overlap in tokens, refreshing the entry's recency and counting
     /// lookup/hit statistics.
     fn prefix_lookup(&mut self, pending: &Pending) -> u64 {
+        let spec = &self.specs[pending.spec];
         let Some(cache) = self.prefix.as_mut() else {
             return 0;
         };
-        let Some(id) = pending.spec.prefix_id else {
+        let Some(id) = spec.prefix_id else {
             return 0;
         };
-        cache.lookup(id.raw(), u64::from(pending.spec.prefix_len))
+        cache.lookup(id.raw(), u64::from(spec.prefix_len))
     }
 
     /// Retains a finished request's conversation KV in the prefix cache
@@ -657,6 +698,7 @@ impl Engine {
                     request: spec.id.raw(),
                 },
             );
+            let spec = self.specs.insert(spec);
             self.queue.push_back(Pending {
                 spec,
                 generated: 0,
@@ -664,14 +706,19 @@ impl Engine {
                 evictions: 0,
                 swapped: false,
             });
+            self.queue_order_dirty = true;
+            self.queue_epoch += 1;
         }
         self.purge_timed_out(sink);
     }
 
     /// Pops the queue front, keeping the pending-deadline count exact.
+    /// Removing the front preserves the ranked order, so only the epoch
+    /// advances.
     fn pop_queue_front(&mut self) -> Option<Pending> {
         let pending = self.queue.pop_front()?;
-        if pending.spec.deadline.is_some() {
+        self.queue_epoch += 1;
+        if self.specs[pending.spec].deadline.is_some() {
             self.queued_deadlines -= 1;
         }
         Some(pending)
@@ -699,11 +746,13 @@ impl Engine {
         let slack_aware = self.config.queue_order.is_slack_aware();
         let perf = self.perf;
         let prefix = &self.prefix;
+        let specs = &self.specs;
         let instance = self.instance;
-        let mut expired = 0usize;
         let mut expired_own_deadline = 0usize;
+        let mut removed: Vec<u32> = Vec::new();
         self.queue.retain(|p| {
-            let Some(deadline) = p.spec.deadline.or(default_deadline) else {
+            let spec = &specs[p.spec];
+            let Some(deadline) = spec.deadline.or(default_deadline) else {
                 return true;
             };
             let waited = now.saturating_since(p.timing.arrival());
@@ -714,11 +763,11 @@ impl Engine {
             // far later than its raw length suggests). Swap restores are
             // transfer-bound, not compute-bound; never early-drop those.
             let min_feasible = if slack_aware && !p.swapped {
-                let tokens = u64::from(p.spec.input_len) + u64::from(p.generated);
-                let cached = match (prefix, p.spec.prefix_id) {
+                let tokens = u64::from(spec.input_len) + u64::from(p.generated);
+                let cached = match (prefix, spec.prefix_id) {
                     (Some(cache), Some(id)) => cache
                         .peek(id.raw())
-                        .map_or(0, |c| c.min(u64::from(p.spec.prefix_len))),
+                        .map_or(0, |c| c.min(u64::from(spec.prefix_len))),
                     _ => 0,
                 };
                 perf.prefill_step(tokens.saturating_sub(cached).max(1))
@@ -726,8 +775,8 @@ impl Engine {
                 SimDuration::ZERO
             };
             if waited + min_feasible >= deadline {
-                expired += 1;
-                if p.spec.deadline.is_some() {
+                removed.push(p.spec);
+                if spec.deadline.is_some() {
                     expired_own_deadline += 1;
                 }
                 // Past the deadline outright = guillotine timeout; still
@@ -738,13 +787,13 @@ impl Engine {
                         TraceEvent::TimedOut {
                             at: now,
                             instance,
-                            request: p.spec.id.raw(),
+                            request: spec.id.raw(),
                         }
                     } else {
                         TraceEvent::SlackDropped {
                             at: now,
                             instance,
-                            request: p.spec.id.raw(),
+                            request: spec.id.raw(),
                         }
                     },
                 );
@@ -753,6 +802,14 @@ impl Engine {
                 true
             }
         });
+        let expired = removed.len();
+        if expired > 0 {
+            // Removals keep the surviving order intact — epoch only.
+            self.queue_epoch += 1;
+        }
+        for idx in removed {
+            self.specs.remove(idx);
+        }
         self.timed_out += expired;
         self.queued_deadlines -= expired_own_deadline;
         // A cancelled request still frees its closed-loop client: the
@@ -768,12 +825,27 @@ impl Engine {
     /// entries oldest-first, then ascending remaining slack, then
     /// deadline-less entries oldest-first. The sort is stable, so equal
     /// keys keep arrival order and the reorder is deterministic.
+    ///
+    /// The sort itself runs only when it can change anything. A ranked
+    /// queue stays ranked as time passes: within the slack group every
+    /// key shifts by the same elapsed time (saturating at zero, which
+    /// collapses neighbours into ties a stable sort leaves in place), and
+    /// the other groups order by time-invariant arrival. The only inputs
+    /// that can disturb the order are queue mutations that insert at a
+    /// rank-unknown position (`queue_order_dirty`) and an entry crossing
+    /// the aging cap into the starvation group (`next_aging_at`). Short of
+    /// those, a full stable re-sort is the identity and is skipped.
     fn rank_queue_by_slack(&mut self, aging_cap: SimDuration) {
         if self.queue.len() < 2 {
             return;
         }
         let now = self.now;
+        let aging_due = self.next_aging_at.is_some_and(|at| now >= at);
+        if !self.queue_order_dirty && !aging_due {
+            return;
+        }
         let default_deadline = self.config.request_deadline;
+        let specs = &self.specs;
         self.queue.make_contiguous().sort_by_key(|p| {
             let arrival = p.timing.arrival();
             if p.generated > 0 || p.swapped {
@@ -782,10 +854,21 @@ impl Engine {
             fleet::slack_rank_key(
                 now,
                 arrival,
-                p.spec.deadline.or(default_deadline),
+                specs[p.spec].deadline.or(default_deadline),
                 aging_cap,
             )
         });
+        self.queue_order_dirty = false;
+        // Next time-driven reorder: the earliest not-yet-aged entry that
+        // can still change group (preempted entries always rank ahead of
+        // the aged group and never migrate).
+        self.next_aging_at = self
+            .queue
+            .iter()
+            .filter(|p| !(p.generated > 0 || p.swapped))
+            .map(|p| p.timing.arrival() + aging_cap)
+            .filter(|&ages_at| ages_at > now)
+            .min();
     }
 
     /// Router-facing urgency signal: the sum over queued requests with an
@@ -799,14 +882,25 @@ impl Engine {
         if default_deadline.is_none() && self.queued_deadlines == 0 {
             return 0.0;
         }
+        // Routers probe every candidate instance per request; between
+        // probes neither the clock nor the queue of an idle candidate
+        // moves, so the sum is memoized on `(now, queue_epoch)`.
+        let key = (self.now.as_micros(), self.queue_epoch);
+        let (at, epoch, cached) = self.pressure_cache.get();
+        if (at, epoch) == key {
+            return cached;
+        }
         let now = self.now;
-        self.queue
+        let pressure = self
+            .queue
             .iter()
             .filter_map(|p| {
-                let deadline = p.spec.deadline.or(default_deadline)?;
+                let deadline = self.specs[p.spec].deadline.or(default_deadline)?;
                 Some(fleet::slack_urgency(now, p.timing.arrival(), deadline))
             })
-            .sum()
+            .sum();
+        self.pressure_cache.set((key.0, key.1, pressure));
+        pressure
     }
 
     fn memory_state(&self) -> MemoryState {
@@ -816,19 +910,27 @@ impl Engine {
         }
     }
 
-    fn running_views(&self) -> Vec<RunningRequest> {
-        self.running
-            .iter()
-            .map(|l| RunningRequest {
-                id: l.spec.id.raw(),
-                input_len: l.spec.input_len,
+    /// Rebuilds `scratch_running` with the scheduler's view of the
+    /// running batch.
+    fn fill_running_views(&mut self) {
+        self.scratch_running.clear();
+        for l in &self.running {
+            let spec = &self.specs[l.spec];
+            debug_assert!(
+                spec.true_output_len >= l.generated,
+                "request {} generated past its true output length",
+                spec.id.raw()
+            );
+            self.scratch_running.push(RunningRequest {
+                id: spec.id.raw(),
+                input_len: spec.input_len,
                 generated: l.generated,
-                max_new_tokens: l.spec.max_new_tokens,
+                max_new_tokens: spec.max_new_tokens,
                 oracle_remaining: self
                     .needs_oracle
-                    .then(|| l.spec.true_output_len - l.generated),
-            })
-            .collect()
+                    .then(|| spec.true_output_len.saturating_sub(l.generated)),
+            });
+        }
     }
 
     /// Admits queue-front requests per the scheduler's plan. In
@@ -845,30 +947,38 @@ impl Engine {
         if let QueueOrder::LeastSlackFirst { aging_cap } = self.config.queue_order {
             self.rank_queue_by_slack(aging_cap);
         }
+        // Handle discipline: every slab slot is owned by exactly one queue
+        // or batch entry.
+        debug_assert_eq!(self.specs.len(), self.queue.len() + self.running.len());
         let mut admitted_total = 0usize;
         loop {
             let window = PLAN_WINDOW.min(self.queue.len());
             if window == 0 {
                 break;
             }
-            let queue_views: Vec<QueuedRequest> = self
-                .queue
-                .iter()
-                .take(window)
-                .map(|p| QueuedRequest {
-                    id: p.spec.id.raw(),
-                    input_len: p.spec.input_len,
+            self.scratch_queue.clear();
+            for p in self.queue.iter().take(window) {
+                let spec = &self.specs[p.spec];
+                debug_assert!(
+                    spec.true_output_len >= p.generated,
+                    "request {} generated past its true output length",
+                    spec.id.raw()
+                );
+                self.scratch_queue.push(QueuedRequest {
+                    id: spec.id.raw(),
+                    input_len: spec.input_len,
                     generated: p.generated,
-                    max_new_tokens: p.spec.max_new_tokens,
+                    max_new_tokens: spec.max_new_tokens,
                     oracle_remaining: self
                         .needs_oracle
-                        .then(|| p.spec.true_output_len - p.generated),
-                })
-                .collect();
-            let running_views = self.running_views();
+                        .then(|| spec.true_output_len.saturating_sub(p.generated)),
+                });
+            }
+            self.fill_running_views();
+            let memory = self.memory_state();
             let plan = self
                 .scheduler
-                .plan_admission(&running_views, &queue_views, &self.memory_state())
+                .plan_admission(&self.scratch_running, &self.scratch_queue, &memory)
                 .min(window);
             if plan == 0 {
                 // Schedulers gate admission on used memory, which counts
@@ -886,11 +996,11 @@ impl Engine {
             let mut admitted_now = 0usize;
             for _ in 0..plan {
                 let pending = self.queue.front().expect("plan within queue bounds");
+                let spec = &self.specs[pending.spec];
                 // Pre-pay the prompt plus the first output token's slot.
-                let needed = u64::from(pending.spec.input_len) + u64::from(pending.generated) + 1;
-                let reserve_total =
-                    u64::from(pending.spec.input_len) + u64::from(pending.spec.max_new_tokens);
-                let req = pending.spec.id.raw();
+                let needed = u64::from(spec.input_len) + u64::from(pending.generated) + 1;
+                let reserve_total = u64::from(spec.input_len) + u64::from(spec.max_new_tokens);
+                let req = spec.id.raw();
                 if self.kv.allocate(req, needed, reserve_total).is_err() {
                     // Reclaim cached prefixes before refusing admission:
                     // request KV outranks speculative cache entries.
@@ -910,13 +1020,13 @@ impl Engine {
                     self.prefix_lookup(&pending)
                 };
                 let prefill_tokens =
-                    u64::from(pending.spec.input_len) + u64::from(pending.generated);
+                    u64::from(self.specs[pending.spec].input_len) + u64::from(pending.generated);
                 fleet::emit(
                     sink,
                     TraceEvent::Admitted {
                         at: self.now,
                         instance: self.instance,
-                        request: pending.spec.id.raw(),
+                        request: req,
                     },
                 );
                 fleet::emit(
@@ -924,7 +1034,7 @@ impl Engine {
                     TraceEvent::PrefillStart {
                         at: self.now,
                         instance: self.instance,
-                        request: pending.spec.id.raw(),
+                        request: req,
                     },
                 );
                 self.running.push(Live {
@@ -969,7 +1079,7 @@ impl Engine {
         let mut prompt_tokens = 0u64;
         let mut swapped_tokens = 0u64;
         for live in &self.running[start..] {
-            let tokens = u64::from(live.spec.input_len) + u64::from(live.generated);
+            let tokens = u64::from(self.specs[live.spec].input_len) + u64::from(live.generated);
             if live.swapped_in {
                 swapped_tokens += tokens;
             } else {
@@ -994,7 +1104,7 @@ impl Engine {
             live.generated += 1;
             let first_ever = live.timing.ttft().is_none();
             live.timing.record_token(self.now);
-            let request = live.spec.id.raw();
+            let request = self.specs[live.spec].id.raw();
             fleet::emit(
                 sink,
                 TraceEvent::PrefillEnd {
@@ -1013,7 +1123,7 @@ impl Engine {
                     },
                 );
             }
-            if self.running[i].generated >= self.running[i].spec.true_output_len {
+            if self.running[i].generated >= self.specs[self.running[i].spec].true_output_len {
                 let live = self.running.remove(i);
                 self.finish(live, sink);
             } else {
@@ -1047,19 +1157,19 @@ impl Engine {
         // prefixes first, then evict the most recently admitted request
         // while short (recompute preemption).
         loop {
-            let decoding_ids: Vec<u64> = self
-                .running
-                .iter()
-                .filter(|l| l.prefill_remaining == 0 && !l.first_token_pending)
-                .map(|l| l.spec.id.raw())
-                .collect();
-            if decoding_ids.is_empty() {
+            self.scratch_ids.clear();
+            for l in &self.running {
+                if l.prefill_remaining == 0 && !l.first_token_pending {
+                    self.scratch_ids.push(self.specs[l.spec].id.raw());
+                }
+            }
+            if self.scratch_ids.is_empty() {
                 break;
             }
             let at = self.now;
             let shortfall = self
                 .kv
-                .extension_shortfall(&decoding_ids)
+                .extension_shortfall(&self.scratch_ids)
                 .map_err(|error| SimError::KvCache { error, at })?;
             if shortfall == 0 {
                 break;
@@ -1085,7 +1195,7 @@ impl Engine {
                 emitters += 1;
                 if !live.first_token_pending {
                     self.kv
-                        .extend(live.spec.id.raw(), 1)
+                        .extend(self.specs[live.spec].id.raw(), 1)
                         .map_err(|error| SimError::KvCache { error, at })?;
                 }
             }
@@ -1128,7 +1238,7 @@ impl Engine {
                 live.generated += 1;
                 let first_ever = live.timing.ttft().is_none();
                 live.timing.record_token(self.now);
-                let request = live.spec.id.raw();
+                let request = self.specs[live.spec].id.raw();
                 // A chunked prefill that just drained emits its first
                 // (or post-preemption resumed) token on this step.
                 if was_pending {
@@ -1151,7 +1261,7 @@ impl Engine {
                         },
                     );
                 }
-                if self.running[i].generated >= self.running[i].spec.true_output_len {
+                if self.running[i].generated >= self.specs[self.running[i].spec].true_output_len {
                     let live = self.running.remove(i);
                     self.finish(live, sink);
                     continue;
@@ -1164,9 +1274,12 @@ impl Engine {
 
     fn evict_most_recent(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
         let live = self.running.pop().expect("eviction from non-empty batch");
-        let held = u64::from(live.spec.input_len) + u64::from(live.generated);
-        self.kv.release(live.spec.id.raw());
-        self.scheduler.on_eviction(live.spec.id.raw());
+        let spec = &self.specs[live.spec];
+        let held = u64::from(spec.input_len) + u64::from(live.generated);
+        let request = spec.id.raw();
+        let has_deadline = spec.deadline.is_some();
+        self.kv.release(request);
+        self.scheduler.on_eviction(request);
         self.evictions += 1;
         let swapped = match self.config.eviction {
             EvictionMode::Recompute => false,
@@ -1182,17 +1295,17 @@ impl Engine {
                 TraceEvent::Swapped {
                     at: self.now,
                     instance: self.instance,
-                    request: live.spec.id.raw(),
+                    request,
                 }
             } else {
                 TraceEvent::Preempted {
                     at: self.now,
                     instance: self.instance,
-                    request: live.spec.id.raw(),
+                    request,
                 }
             },
         );
-        if live.spec.deadline.is_some() {
+        if has_deadline {
             self.queued_deadlines += 1;
         }
         self.queue.push_front(Pending {
@@ -1202,9 +1315,14 @@ impl Engine {
             evictions: live.evictions + 1,
             swapped,
         });
+        // A preempted entry enters at the front (rank group 0) — rank
+        // unknown relative to other preempted work, so the order is dirty.
+        self.queue_order_dirty = true;
+        self.queue_epoch += 1;
     }
 
     fn finish(&mut self, live: Live, sink: &mut Option<&mut dyn TraceSink>) {
+        let spec = self.specs.remove(live.spec);
         if sink.is_some() {
             let sla_ok = self.config.sla.evaluate(&live.timing).is_satisfied();
             fleet::emit(
@@ -1212,44 +1330,54 @@ impl Engine {
                 TraceEvent::Finished {
                     at: self.now,
                     instance: self.instance,
-                    request: live.spec.id.raw(),
+                    request: spec.id.raw(),
                     sla_ok,
                 },
             );
         }
-        self.kv.release(live.spec.id.raw());
+        self.kv.release(spec.id.raw());
         // Retain the conversation KV as a cached prefix (the release above
         // freed the slots this re-charges under the cache sentinel).
-        self.cache_finished_prefix(&live.spec, live.generated);
+        self.cache_finished_prefix(&spec, live.generated);
         self.scheduler.on_request_finished(live.generated);
         self.output_len_sum += u64::from(live.generated);
         self.output_len_count += 1;
         self.arrivals.on_finish(self.now);
         self.outcomes.push(RequestOutcome {
-            id: live.spec.id.raw(),
-            input_len: live.spec.input_len,
+            id: spec.id.raw(),
+            input_len: spec.input_len,
             output_len: live.generated,
             timing: live.timing,
             evictions: live.evictions,
         });
     }
 
+    /// One running request's ground-truth future-memory entry. Requests
+    /// whose admission prefill is in flight already hold the pre-paid slot
+    /// for their first token.
+    fn true_entry(spec: &RequestSpec, l: &Live) -> BatchEntry {
+        debug_assert!(
+            spec.true_output_len >= l.generated,
+            "request {} generated past its true output length",
+            spec.id.raw()
+        );
+        let prepaid = u64::from(l.first_token_pending);
+        BatchEntry {
+            committed: u64::from(spec.input_len) + u64::from(l.generated) + prepaid,
+            remaining: u64::from(spec.true_output_len.saturating_sub(l.generated))
+                .saturating_sub(prepaid),
+        }
+    }
+
     /// True future required memory of the current batch: Eq. 2–4 evaluated
     /// with ground-truth remaining lengths. Reporting-only — schedulers
-    /// never see this.
+    /// never see this. This is the cold (router-probe) entry point; the
+    /// per-step metrics path reuses `scratch_entries` instead.
     fn true_future_required_frac(&self) -> f64 {
         let entries: Vec<BatchEntry> = self
             .running
             .iter()
-            .map(|l| {
-                // Requests whose admission prefill is in flight already hold
-                // the pre-paid slot for their first token.
-                let prepaid = u64::from(l.first_token_pending);
-                BatchEntry {
-                    committed: u64::from(l.spec.input_len) + u64::from(l.generated) + prepaid,
-                    remaining: u64::from(l.spec.true_output_len - l.generated) - prepaid,
-                }
-            })
+            .map(|l| Self::true_entry(&self.specs[l.spec], l))
             .collect();
         FutureMemoryEstimator::peak_memory(&entries) as f64 / self.capacity as f64
     }
@@ -1264,7 +1392,18 @@ impl Engine {
         self.consumed_weighted_sum += used_frac * secs;
         self.weighted_time += secs;
         self.peak_consumed_frac = self.peak_consumed_frac.max(used_frac);
-        let future_frac = self.true_future_required_frac();
+        // `true_future_required_frac` via the reusable entry buffer: this
+        // runs every step, so it must not allocate (M* is
+        // permutation-invariant — sorting the scratch in place computes
+        // the same value).
+        self.scratch_entries.clear();
+        for l in &self.running {
+            self.scratch_entries
+                .push(Self::true_entry(&self.specs[l.spec], l));
+        }
+        let future_frac = FutureMemoryEstimator::peak_memory_in_place(&mut self.scratch_entries)
+            as f64
+            / self.capacity as f64;
         self.future_required_sum += future_frac;
         self.future_required_samples += 1;
         if self.config.record_series {
@@ -1375,8 +1514,9 @@ impl Engine {
                 let Some(front) = self.queue.front() else {
                     break;
                 };
-                let cand_in = max_in.max(u64::from(front.spec.input_len));
-                let cand_cap = max_cap.max(u64::from(front.spec.max_new_tokens));
+                let front_spec = &self.specs[front.spec];
+                let cand_in = max_in.max(u64::from(front_spec.input_len));
+                let cand_cap = max_cap.max(u64::from(front_spec.max_new_tokens));
                 let worst = (batch.len() as u64 + 1) * (cand_in + cand_cap);
                 if worst <= self.capacity {
                     max_in = cand_in;
@@ -1394,7 +1534,7 @@ impl Engine {
             }
             if sink.is_some() {
                 for pending in &batch {
-                    let request = pending.spec.id.raw();
+                    let request = self.specs[pending.spec].id.raw();
                     fleet::emit(
                         sink,
                         TraceEvent::Admitted {
@@ -1424,7 +1564,7 @@ impl Engine {
                 let first_ever = pending.timing.ttft().is_none();
                 pending.timing.record_token(self.now);
                 if sink.is_some() {
-                    let request = pending.spec.id.raw();
+                    let request = self.specs[pending.spec].id.raw();
                     fleet::emit(
                         sink,
                         TraceEvent::PrefillEnd {
@@ -1448,7 +1588,14 @@ impl Engine {
             // Decode until the whole batch finishes (early finishers idle
             // inside the batch — padding waste).
             let mut step_idx = 1u64;
-            while batch.iter().any(|p| p.generated < p.spec.true_output_len) {
+            loop {
+                let specs = &self.specs;
+                if !batch
+                    .iter()
+                    .any(|p| p.generated < specs[p.spec].true_output_len)
+                {
+                    break;
+                }
                 if self.time_exceeded() {
                     break;
                 }
@@ -1458,9 +1605,10 @@ impl Engine {
                 self.now += duration;
                 self.decode_steps += 1;
                 if sink.is_some() {
+                    let specs = &self.specs;
                     let emitters = batch
                         .iter()
-                        .filter(|p| p.generated < p.spec.true_output_len)
+                        .filter(|p| p.generated < specs[p.spec].true_output_len)
                         .count() as u32;
                     fleet::emit(
                         sink,
@@ -1472,14 +1620,16 @@ impl Engine {
                     );
                 }
                 self.accumulate_static_metrics(b, max_in, max_cap, duration, sink);
+                let specs = &self.specs;
                 for pending in &mut batch {
-                    if pending.generated < pending.spec.true_output_len {
+                    if pending.generated < specs[pending.spec].true_output_len {
                         pending.generated += 1;
                         pending.timing.record_token(self.now);
                     }
                 }
             }
             for pending in batch {
+                let spec = self.specs.remove(pending.spec);
                 if sink.is_some() {
                     let sla_ok = self.config.sla.evaluate(&pending.timing).is_satisfied();
                     fleet::emit(
@@ -1487,7 +1637,7 @@ impl Engine {
                         TraceEvent::Finished {
                             at: self.now,
                             instance,
-                            request: pending.spec.id.raw(),
+                            request: spec.id.raw(),
                             sla_ok,
                         },
                     );
@@ -1495,8 +1645,8 @@ impl Engine {
                 self.scheduler.on_request_finished(pending.generated);
                 self.arrivals.on_finish(self.now);
                 self.outcomes.push(RequestOutcome {
-                    id: pending.spec.id.raw(),
-                    input_len: pending.spec.input_len,
+                    id: spec.id.raw(),
+                    input_len: spec.input_len,
                     output_len: pending.generated,
                     timing: pending.timing,
                     evictions: 0,

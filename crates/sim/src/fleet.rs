@@ -392,8 +392,10 @@ pub fn shrink_pool<T: FleetMember>(members: &mut [T], target: usize, now: SimTim
         }
     }
     let mut drained = Vec::new();
+    // Draining a victim is the only live-count change in this loop, so
+    // the count carries across iterations instead of being recounted.
+    let mut live_count = members.iter().filter(|m| m.core().is_live()).count();
     while excess > 0 {
-        let live_count = members.iter().filter(|m| m.core().is_live()).count();
         if live_count <= 1 {
             break; // never leave the router without a target
         }
@@ -401,6 +403,7 @@ pub fn shrink_pool<T: FleetMember>(members: &mut [T], target: usize, now: SimTim
             break;
         };
         members[victim].core_mut().state = MemberState::Draining;
+        live_count -= 1;
         drained.push(victim);
         excess -= 1;
     }

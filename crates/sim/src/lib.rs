@@ -51,6 +51,7 @@ mod model;
 mod perf;
 mod report;
 mod simulation;
+mod slab;
 
 pub use config::{
     BatchingMode, EvictionMode, KvLayout, PrefillMode, PrefixCacheConfig, QueueOrder, SimConfig,

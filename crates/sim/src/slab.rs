@@ -1,0 +1,193 @@
+//! Dense slab storage for per-request state.
+//!
+//! The engines move request entries between queues, running batches and
+//! event heaps constantly; carrying the full [`pf_workload::RequestSpec`]
+//! through every `VecDeque` rotation and sort made each of those moves a
+//! multi-cacheline memcpy. A [`Slab`] keeps the payload in one dense,
+//! stable-index arena so the hot collections shuffle bare `u32` handles:
+//! inserts reuse freed slots via an intrusive free list, and indices stay
+//! valid until their entry is removed (entries never move).
+//!
+//! This is deliberately minimal — no iteration, no generation counters.
+//! The engines are the only users and their handle discipline is strict:
+//! every handle is owned by exactly one queue/batch entry, and the slot is
+//! removed exactly when that entry retires. Indexing a vacant slot is a
+//! logic error and panics.
+
+use std::ops::{Index, IndexMut};
+
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Slot<T> {
+    Occupied(T),
+    /// Vacant slot holding the next free index (`NIL` terminates).
+    Vacant(u32),
+}
+
+/// A dense arena with stable `u32` handles and O(1) insert/remove.
+#[derive(Debug)]
+pub(crate) struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if self.free_head == NIL {
+            let idx = u32::try_from(self.slots.len()).expect("slab index fits u32");
+            assert!(idx != NIL, "slab full");
+            self.slots.push(Slot::Occupied(value));
+            idx
+        } else {
+            let idx = self.free_head;
+            match std::mem::replace(&mut self.slots[idx as usize], Slot::Occupied(value)) {
+                Slot::Vacant(next) => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list pointed at an occupied slot"),
+            }
+            idx
+        }
+    }
+
+    /// Removes and returns the entry at `idx`, freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is vacant or out of bounds (a handle-discipline
+    /// bug, never a recoverable condition).
+    pub(crate) fn remove(&mut self, idx: u32) -> T {
+        match std::mem::replace(&mut self.slots[idx as usize], Slot::Vacant(self.free_head)) {
+            Slot::Occupied(value) => {
+                self.free_head = idx;
+                self.len -= 1;
+                value
+            }
+            Slot::Vacant(_) => panic!("slab slot {idx} removed twice"),
+        }
+    }
+}
+
+impl<T> Index<u32> for Slab<T> {
+    type Output = T;
+
+    fn index(&self, idx: u32) -> &T {
+        match &self.slots[idx as usize] {
+            Slot::Occupied(value) => value,
+            Slot::Vacant(_) => panic!("slab slot {idx} is vacant"),
+        }
+    }
+}
+
+impl<T> IndexMut<u32> for Slab<T> {
+    fn index_mut(&mut self, idx: u32) -> &mut T {
+        match &mut self.slots[idx as usize] {
+            Slot::Occupied(value) => value,
+            Slot::Vacant(_) => panic!("slab slot {idx} is vacant"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut slab = Slab::new();
+        assert!(slab.is_empty());
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab[a], "a");
+        assert_eq!(slab[b], "b");
+        assert_eq!(slab.remove(a), "a");
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab[b], "b");
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        slab.remove(a);
+        // LIFO free list: the most recently freed slot comes back first,
+        // and no new backing slots are grown.
+        assert_eq!(slab.insert(4), a);
+        assert_eq!(slab.insert(5), b);
+        assert_eq!(slab.insert(6), c + 1);
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab[c], 3);
+    }
+
+    #[test]
+    fn mutation_through_handle() {
+        let mut slab = Slab::new();
+        let idx = slab.insert(vec![1]);
+        slab[idx].push(2);
+        assert_eq!(slab.remove(idx), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "removed twice")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let idx = slab.insert(());
+        slab.remove(idx);
+        slab.remove(idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "is vacant")]
+    fn index_vacant_panics() {
+        let mut slab = Slab::new();
+        let idx = slab.insert(7);
+        slab.remove(idx);
+        let _ = slab[idx];
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_handles_stable() {
+        let mut slab = Slab::new();
+        let mut handles: Vec<(u32, usize)> = (0..64).map(|v| (slab.insert(v), v)).collect();
+        // Retire every third entry, then insert a second wave.
+        let mut kept = Vec::new();
+        for (i, (h, v)) in handles.drain(..).enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(slab.remove(h), v);
+            } else {
+                kept.push((h, v));
+            }
+        }
+        for v in 100..120 {
+            kept.push((slab.insert(v), v));
+        }
+        for (h, v) in kept {
+            assert_eq!(slab[h], v);
+        }
+    }
+}
