@@ -20,6 +20,7 @@ use pf_bench::Cli;
 use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SimTime, Table};
 use pf_obs::{CountingSink, TraceSink};
+use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
 use pf_sim::disagg::{DisaggCluster, DisaggConfig};
 use pf_sim::elastic::ElasticCluster;
 use pf_sim::{GpuSpec, ModelSpec, SimConfig, Simulation};
@@ -117,6 +118,32 @@ fn run_scenarios(cli: &Cli) -> Vec<Measurement> {
                 .run_traced(sink)
                 .expect("coloc run");
             assert_eq!(report.completed, n);
+        }));
+    }
+
+    // KvOverlap-routed colocated cluster: block-hash chains, the global
+    // event-driven index, and softmax scoring all sit on the routing hot
+    // path, so regressions in router scoring cost land in this gate.
+    {
+        let n = cli.size(1_600, 200);
+        let spec = datasets::SharedSyspromptSpec::default();
+        let (requests, arrivals) =
+            datasets::shared_sysprompt_chat_timed(n, 4, &spec, 8.0, 1.0, 2.0);
+        let n = requests.len();
+        let mut config = base_config(30_000);
+        config.prefix_cache = Some(pf_sim::PrefixCacheConfig::with_budget_frac(0.4).blocks(64));
+        out.push(measure("coloc-kv", n, |sink| {
+            let report = ClusterSimulation::new(
+                config.clone(),
+                3,
+                RouterPolicy::KvOverlap {
+                    overlap_weight: 1.0,
+                    temperature: 0.2,
+                },
+            )
+            .run_traced(requests.clone(), arrivals.clone(), sink)
+            .expect("kv-routed run");
+            assert_eq!(report.completed(), n);
         }));
     }
 

@@ -24,8 +24,8 @@ use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
 use pf_sim::disagg::{DisaggCluster, DisaggConfig};
 use pf_sim::elastic::ElasticCluster;
 use pf_sim::{
-    EvictionMode, GpuSpec, ModelSpec, PrefillMode, QueueOrder, RequestOutcome, SimConfig,
-    Simulation,
+    EvictionMode, GpuSpec, ModelSpec, PrefillMode, QueueOrder, RequestOutcome, RouterConfig,
+    SimConfig, Simulation,
 };
 use pf_workload::rng::seeded;
 use pf_workload::{datasets, PoissonArrivals};
@@ -217,6 +217,38 @@ fn fingerprints() -> Vec<(String, u64)> {
         pin("cluster-least-load".into(), h);
     }
 
+    // KV-overlap softmax routing over the block-granular store: chained
+    // block hashing, delayed event propagation into the global index,
+    // and the temperature-scaled cost-logit draw all consume determinism
+    // budget, so the complete routed stream is pinned here.
+    {
+        let spec = datasets::SharedSyspromptSpec::default();
+        let (requests, arrivals) =
+            datasets::shared_sysprompt_chat_timed(300, 61, &spec, 3.0, 2.0, 3.0);
+        let report = ClusterSimulation::new(
+            base(61, 20_000)
+                .prefix_cache_blocks(0.4, 64)
+                .router(RouterConfig {
+                    kv_event_delay: SimDuration::from_millis(250),
+                    ..RouterConfig::default()
+                })
+                .build(),
+            3,
+            RouterPolicy::KvOverlap {
+                overlap_weight: 1.0,
+                temperature: 0.25,
+            },
+        )
+        .run(requests, arrivals)
+        .expect("kv-softmax cluster run");
+        let mut h = Fnv::new();
+        for (routed, r) in report.routed_per_instance.iter().zip(&report.instances) {
+            h.word(*routed as u64);
+            hash_sim_report(&mut h, r);
+        }
+        pin("cluster-kv-softmax".into(), h);
+    }
+
     // Disaggregated 2p+2d, plain and slack-ordered.
     for (label, order, seed) in [
         ("disagg-fifo", QueueOrder::Fifo, 41u64),
@@ -246,6 +278,34 @@ fn fingerprints() -> Vec<(String, u64)> {
         h.f64(report.transfers.total_wait_secs);
         hash_outcomes(&mut h, &report.outcomes);
         pin(label.into(), h);
+    }
+
+    // Disaggregated pools under KV-overlap routing: the decode pool
+    // consults the exact delayed index, the prefill pool the approximate
+    // TTL index, and both picks replay from the router's own stream.
+    {
+        let spec = datasets::SharedSyspromptSpec::default();
+        let (requests, arrivals) =
+            datasets::shared_sysprompt_chat_timed(300, 62, &spec, 3.0, 2.0, 3.0);
+        let config = DisaggConfig::new(base(62, 12_000).prefix_cache_blocks(0.4, 64).build())
+            .router(RouterPolicy::KvOverlap {
+                overlap_weight: 1.0,
+                temperature: 0.2,
+            });
+        let report = DisaggCluster::new(config, 2, 2)
+            .run(requests, arrivals)
+            .expect("disagg kv run");
+        let mut h = Fnv::new();
+        hash_goodput(&mut h, &report.goodput);
+        h.word(report.makespan.as_micros());
+        h.word(report.unserved as u64);
+        h.word(report.timed_out as u64);
+        h.word(report.transfers.transfers as u64);
+        h.word(report.transfers.total_bytes);
+        h.f64(report.transfers.total_link_secs);
+        h.f64(report.transfers.total_wait_secs);
+        hash_outcomes(&mut h, &report.outcomes);
+        pin("disagg-kv-overlap".into(), h);
     }
 
     // Elastic autoscaling fleet: spawn/drain decisions ride on engine

@@ -1,0 +1,802 @@
+//! Block-granular prefix caching and the event-driven global KV index.
+//!
+//! [`PrefixCache`](crate::PrefixCache) stores one monolithic entry per
+//! conversation id, so a router can only ask "does instance *i* hold
+//! prefix *p*?". Real KV-aware routers (NVIDIA Dynamo's KV-cache routing
+//! being the reference design) work at *block* granularity instead:
+//!
+//! * prompts are split into fixed-size token blocks and each block is
+//!   identified by a **chained hash** — [`block_hash`] of the parent
+//!   block's hash and the block's token content — so a block's identity
+//!   pins the entire prefix leading up to it;
+//! * engines keep a [`BlockPrefixCache`]: the same token-budget LRU
+//!   charging as the monolithic cache, but eviction removes block
+//!   *suffixes* (leaf blocks first), so a partially evicted prefix still
+//!   serves shorter matches;
+//! * every store/evict publishes a [`KvEvent`], and a global
+//!   [`KvIndexer`] is maintained **purely from those events** — the
+//!   router never inspects engine caches directly. A configurable
+//!   propagation delay makes stale-index divergence (the router believes
+//!   blocks exist that were already evicted) a measurable phenomenon;
+//! * engines that do not emit events are covered by an
+//!   [`ApproxKvIndexer`], which optimistically records the blocks of
+//!   every request it routed and expires them on a TTL.
+//!
+//! All token counts are in KV token slots, as everywhere in this crate.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::prefix::PrefixCacheStats;
+
+/// Chain seed: the hash of the empty prefix (the parent of block 0).
+pub const KV_ROOT_HASH: u64 = 0x9A3C_51B2_77D4_E021;
+
+/// Chained block hash: mixes the parent block's hash with a 64-bit digest
+/// of this block's token content (SplitMix64-style finalizer — good
+/// avalanche, cheap, stable across platforms).
+///
+/// Because the parent hash feeds the mix, equal content words at the same
+/// depth only collide when their *entire* leading prefixes match — the
+/// property that lets a flat hash set answer prefix-overlap queries.
+#[must_use]
+pub fn block_hash(parent: u64, content: u64) -> u64 {
+    let mut z = parent
+        .rotate_left(17)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(content | 1)
+        ^ content;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A KV-cache lifecycle record an engine publishes for the global index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum KvEvent {
+    /// A block entered the engine's prefix store.
+    Stored {
+        /// Chained hash of the stored block.
+        block: u64,
+        /// Chained hash of its parent (`KV_ROOT_HASH` for block 0).
+        parent: u64,
+        /// KV token slots the block occupies.
+        tokens: u64,
+    },
+    /// A block was evicted from the engine's prefix store.
+    Removed {
+        /// Chained hash of the removed block.
+        block: u64,
+    },
+}
+
+/// One stored block of a [`BlockPrefixCache`].
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry {
+    /// Chained hash of the parent block (`KV_ROOT_HASH` for block 0).
+    parent: u64,
+    /// KV token slots charged for this block.
+    tokens: u64,
+    /// Logical timestamp of the last touch (insert or matched lookup).
+    last_used: u64,
+    /// Number of stored blocks whose parent is this block. Only blocks
+    /// with zero children (chain leaves) are eviction candidates, which
+    /// keeps the store prefix-closed: a stored block's whole leading
+    /// prefix is always stored too.
+    children: u32,
+}
+
+/// Block-granular prefix store: a token-budget LRU over chained-hash
+/// blocks that evicts *suffixes first*.
+///
+/// The store is **prefix-closed** by construction —
+/// [`insert_chain`](BlockPrefixCache::insert_chain)
+/// inserts a chain front to back and eviction only removes leaves — so a
+/// leading-run match against it is exactly the set of prompt tokens whose
+/// KV an engine could reuse. Every mutation is buffered as a [`KvEvent`]
+/// for the publisher to [`drain_events`](BlockPrefixCache::drain_events).
+///
+/// Occupancy is meant to be charged against the engine's real KV pool by
+/// the caller, exactly like [`PrefixCache`](crate::PrefixCache): the
+/// caller reads [`used_tokens`](BlockPrefixCache::used_tokens) and calls
+/// [`evict_down_to`](BlockPrefixCache::evict_down_to) when the pool
+/// cannot hold the charge.
+#[derive(Debug)]
+pub struct BlockPrefixCache {
+    block_tokens: u64,
+    budget_tokens: u64,
+    used_tokens: u64,
+    clock: u64,
+    entries: HashMap<u64, BlockEntry>,
+    stats: PrefixCacheStats,
+    events: Vec<KvEvent>,
+}
+
+impl BlockPrefixCache {
+    /// Creates an empty store holding at most `budget_tokens` across
+    /// blocks of `block_tokens` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    #[must_use]
+    pub fn new(budget_tokens: u64, block_tokens: u32) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        BlockPrefixCache {
+            block_tokens: u64::from(block_tokens),
+            budget_tokens,
+            used_tokens: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: PrefixCacheStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Tokens per block.
+    #[must_use]
+    pub fn block_tokens(&self) -> u64 {
+        self.block_tokens
+    }
+
+    /// Maximum tokens the store may hold.
+    #[must_use]
+    pub fn budget_tokens(&self) -> u64 {
+        self.budget_tokens
+    }
+
+    /// Tokens currently held (always ≤ the budget).
+    #[must_use]
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Number of stored blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot (shared shape with the monolithic cache).
+    #[must_use]
+    pub fn stats(&self) -> PrefixCacheStats {
+        self.stats
+    }
+
+    /// Whether the block with chained hash `block` is stored.
+    #[must_use]
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    fn touch(&mut self, block: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(&block) {
+            e.last_used = clock;
+        }
+    }
+
+    /// Matched tokens of the longest stored leading run of the chain
+    /// described by `contents` (one content word per block, in prompt
+    /// order), without recording a lookup or refreshing recency — the
+    /// router's side-effect-free probe.
+    #[must_use]
+    pub fn peek_run(&self, contents: impl IntoIterator<Item = u64>) -> u64 {
+        let mut hash = KV_ROOT_HASH;
+        let mut matched = 0;
+        for content in contents {
+            hash = block_hash(hash, content);
+            if !self.entries.contains_key(&hash) {
+                break;
+            }
+            matched += self.block_tokens;
+        }
+        matched
+    }
+
+    /// Consumes a hit: matched tokens of the longest stored leading run,
+    /// refreshing the recency of every matched block (front to back, so
+    /// the run's deepest block ends up most recent) and recording the
+    /// lookup in [`stats`](BlockPrefixCache::stats).
+    pub fn lookup_run(&mut self, contents: impl IntoIterator<Item = u64>) -> u64 {
+        self.stats.lookups += 1;
+        let mut hash = KV_ROOT_HASH;
+        let mut matched = 0;
+        for content in contents {
+            hash = block_hash(hash, content);
+            if !self.entries.contains_key(&hash) {
+                break;
+            }
+            self.touch(hash);
+            matched += self.block_tokens;
+        }
+        if matched > 0 {
+            self.stats.hits += 1;
+            self.stats.hit_tokens += matched;
+        }
+        matched
+    }
+
+    /// Stores the chain described by `contents`, charging one block of
+    /// tokens per new link and publishing a [`KvEvent::Stored`] for each.
+    /// Already-stored links only have their recency refreshed. Returns
+    /// the newly stored tokens.
+    ///
+    /// When the budget fills, older *leaves* are evicted to make room;
+    /// blocks of the chain being inserted are never evicted (each link
+    /// protects its parent via the child count, and the tip is protected
+    /// explicitly). If no room can be freed the chain is cut short —
+    /// storing a prefix of the conversation rather than thrashing.
+    pub fn insert_chain(&mut self, contents: impl IntoIterator<Item = u64>) -> u64 {
+        let mut parent = KV_ROOT_HASH;
+        let mut stored = 0;
+        for content in contents {
+            let hash = block_hash(parent, content);
+            if self.entries.contains_key(&hash) {
+                self.touch(hash);
+            } else {
+                if self.block_tokens > self.budget_tokens {
+                    break;
+                }
+                if self.used_tokens + self.block_tokens > self.budget_tokens {
+                    self.evict_protected(self.budget_tokens - self.block_tokens, parent);
+                    if self.used_tokens + self.block_tokens > self.budget_tokens {
+                        break;
+                    }
+                }
+                self.clock += 1;
+                self.entries.insert(
+                    hash,
+                    BlockEntry {
+                        parent,
+                        tokens: self.block_tokens,
+                        last_used: self.clock,
+                        children: 0,
+                    },
+                );
+                if let Some(p) = self.entries.get_mut(&parent) {
+                    p.children += 1;
+                }
+                self.used_tokens += self.block_tokens;
+                self.stats.insertions += 1;
+                self.events.push(KvEvent::Stored {
+                    block: hash,
+                    parent,
+                    tokens: self.block_tokens,
+                });
+                stored += self.block_tokens;
+            }
+            parent = hash;
+        }
+        stored
+    }
+
+    /// Evicts least-recently-used leaf blocks until occupancy is at most
+    /// `target_tokens` or no evictable leaf remains. Returns freed tokens.
+    ///
+    /// Only leaves (blocks with no stored children) are candidates, so
+    /// eviction trims chains from the back: the surviving store still
+    /// serves every shorter prefix of a partially evicted conversation.
+    pub fn evict_down_to(&mut self, target_tokens: u64) -> u64 {
+        self.evict_protected(target_tokens, KV_ROOT_HASH)
+    }
+
+    /// Eviction core: `protect` (and, transitively, its ancestors, which
+    /// have children) is never chosen. `KV_ROOT_HASH` protects nothing.
+    fn evict_protected(&mut self, target_tokens: u64, protect: u64) -> u64 {
+        let mut freed = 0;
+        while self.used_tokens > target_tokens {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(hash, e)| e.children == 0 && **hash != protect)
+                .min_by_key(|(hash, e)| (e.last_used, **hash))
+                .map(|(hash, _)| *hash);
+            let Some(victim) = victim else { break };
+            let entry = self.entries.remove(&victim).expect("victim exists");
+            if let Some(p) = self.entries.get_mut(&entry.parent) {
+                p.children -= 1;
+            }
+            self.used_tokens -= entry.tokens;
+            freed += entry.tokens;
+            self.stats.evictions += 1;
+            self.stats.evicted_tokens += entry.tokens;
+            self.events.push(KvEvent::Removed { block: victim });
+        }
+        freed
+    }
+
+    /// Moves all buffered events into `out`, preserving publish order.
+    pub fn drain_events(&mut self, out: &mut Vec<KvEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// Number of buffered, not-yet-drained events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drops every block (publishing removal events) and resets counters
+    /// except the statistics.
+    pub fn clear(&mut self) {
+        self.evict_down_to(0);
+    }
+}
+
+/// The exact global KV index: per-instance block sets maintained **purely
+/// from the [`KvEvent`] stream** engines publish.
+///
+/// A propagation delay (microseconds of simulated time) models the
+/// event-bus lag of a real deployment: an event published at `t` becomes
+/// visible to overlap queries at `t + delay`. With zero delay the index
+/// mirrors engine state exactly at every query; with a positive delay the
+/// router can both miss fresh blocks and believe in evicted ones — the
+/// stale-divergence the staleness sweeps measure.
+#[derive(Debug, Default)]
+pub struct KvIndexer {
+    delay_micros: u64,
+    /// Events not yet applied, in publish order: `(visible_at, instance,
+    /// event)`. Publish timestamps must be non-decreasing per instance.
+    pending: VecDeque<(u64, u32, KvEvent)>,
+    /// Per-instance stored-block sets (block hash → tokens).
+    instances: Vec<HashMap<u64, u64>>,
+}
+
+impl KvIndexer {
+    /// Creates an index with the given event-propagation delay in
+    /// microseconds of simulated time (zero = instantaneous).
+    #[must_use]
+    pub fn new(delay_micros: u64) -> Self {
+        KvIndexer {
+            delay_micros,
+            pending: VecDeque::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// The configured propagation delay in microseconds.
+    #[must_use]
+    pub fn delay_micros(&self) -> u64 {
+        self.delay_micros
+    }
+
+    fn slot(&mut self, instance: u32) -> &mut HashMap<u64, u64> {
+        let i = instance as usize;
+        if i >= self.instances.len() {
+            self.instances.resize_with(i + 1, HashMap::new);
+        }
+        &mut self.instances[i]
+    }
+
+    fn apply(&mut self, instance: u32, event: KvEvent) {
+        let set = self.slot(instance);
+        match event {
+            KvEvent::Stored { block, tokens, .. } => {
+                set.insert(block, tokens);
+            }
+            KvEvent::Removed { block } => {
+                set.remove(&block);
+            }
+        }
+    }
+
+    /// Ingests an event published by `instance` at simulated time
+    /// `now_micros`. With zero delay it is applied immediately; otherwise
+    /// it queues until [`advance`](KvIndexer::advance) passes
+    /// `now_micros + delay`.
+    pub fn publish(&mut self, instance: u32, event: KvEvent, now_micros: u64) {
+        if self.delay_micros == 0 {
+            self.apply(instance, event);
+        } else {
+            self.pending.push_back((
+                now_micros.saturating_add(self.delay_micros),
+                instance,
+                event,
+            ));
+        }
+    }
+
+    /// Applies every queued event that became visible by `now_micros`.
+    pub fn advance(&mut self, now_micros: u64) {
+        while let Some(&(visible_at, instance, event)) = self.pending.front() {
+            if visible_at > now_micros {
+                break;
+            }
+            self.pending.pop_front();
+            self.apply(instance, event);
+        }
+    }
+
+    /// Tokens of the longest leading run of `chain` (pre-computed chained
+    /// hashes, in prompt order) the index believes `instance` holds.
+    #[must_use]
+    pub fn overlap(&self, instance: u32, chain: &[u64]) -> u64 {
+        let Some(set) = self.instances.get(instance as usize) else {
+            return 0;
+        };
+        let mut tokens = 0;
+        for hash in chain {
+            match set.get(hash) {
+                Some(t) => tokens += t,
+                None => break,
+            }
+        }
+        tokens
+    }
+
+    /// Number of blocks the index currently attributes to `instance`.
+    #[must_use]
+    pub fn blocks(&self, instance: u32) -> usize {
+        self.instances
+            .get(instance as usize)
+            .map_or(0, HashMap::len)
+    }
+
+    /// Events queued behind the propagation delay.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Approximate KV index for engines that publish no events (e.g. the
+/// disaggregated prefill pool, whose members run the monolithic
+/// [`PrefixCache`](crate::PrefixCache)).
+///
+/// The router [`observe`](ApproxKvIndexer::observe)s the block chain of
+/// every request *it* routed and assumes those blocks live on the chosen
+/// instance until a TTL expires — optimistic bookkeeping in place of
+/// ground truth, the same trade real routers make for engines without
+/// event support. It can claim blocks an engine already evicted (until
+/// the TTL lapses) but never blocks no routed request would have stored.
+#[derive(Debug)]
+pub struct ApproxKvIndexer {
+    ttl_micros: u64,
+    /// Per-instance block hash → expiry time in simulated microseconds.
+    instances: Vec<HashMap<u64, u64>>,
+}
+
+impl ApproxKvIndexer {
+    /// Creates an approximate index whose observations expire
+    /// `ttl_micros` simulated microseconds after the last touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_micros` is zero.
+    #[must_use]
+    pub fn new(ttl_micros: u64) -> Self {
+        assert!(ttl_micros > 0, "TTL must be positive");
+        ApproxKvIndexer {
+            ttl_micros,
+            instances: Vec::new(),
+        }
+    }
+
+    /// The configured TTL in microseconds.
+    #[must_use]
+    pub fn ttl_micros(&self) -> u64 {
+        self.ttl_micros
+    }
+
+    /// Records that a request whose prompt hashes to `chain` was routed
+    /// to `instance` at `now_micros`: every block of the chain is assumed
+    /// stored there until the TTL lapses (re-observation refreshes it).
+    pub fn observe(&mut self, instance: u32, chain: &[u64], now_micros: u64) {
+        let i = instance as usize;
+        if i >= self.instances.len() {
+            self.instances.resize_with(i + 1, HashMap::new);
+        }
+        let expiry = now_micros.saturating_add(self.ttl_micros);
+        for &hash in chain {
+            let slot = self.instances[i].entry(hash).or_insert(0);
+            *slot = (*slot).max(expiry);
+        }
+    }
+
+    /// Blocks of the longest leading run of `chain` believed live on
+    /// `instance` at `now_micros`.
+    #[must_use]
+    pub fn overlap_blocks(&self, instance: u32, chain: &[u64], now_micros: u64) -> u64 {
+        let Some(set) = self.instances.get(instance as usize) else {
+            return 0;
+        };
+        let mut blocks = 0;
+        for hash in chain {
+            match set.get(hash) {
+                Some(&expiry) if expiry > now_micros => blocks += 1,
+                _ => break,
+            }
+        }
+        blocks
+    }
+
+    /// Drops expired observations (bounds memory on long runs).
+    pub fn compact(&mut self, now_micros: u64) {
+        for set in &mut self.instances {
+            set.retain(|_, expiry| *expiry > now_micros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(contents: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(contents.len());
+        let mut h = KV_ROOT_HASH;
+        for &c in contents {
+            h = block_hash(h, c);
+            out.push(h);
+        }
+        out
+    }
+
+    #[test]
+    fn chained_hash_is_deterministic_and_prefix_stable() {
+        let a = chain(&[1, 2, 3]);
+        let b = chain(&[1, 2, 3, 4]);
+        assert_eq!(a, chain(&[1, 2, 3]));
+        // Extending a prefix leaves the leading hashes untouched.
+        assert_eq!(a[..], b[..3]);
+        // Different content diverges and stays diverged.
+        let c = chain(&[1, 9, 3]);
+        assert_ne!(a[1], c[1]);
+        assert_ne!(a[2], c[2]);
+    }
+
+    #[test]
+    fn store_matches_runs_and_counts_partial_hits() {
+        let mut store = BlockPrefixCache::new(1_000, 10);
+        assert_eq!(store.insert_chain([1, 2, 3]), 30);
+        assert_eq!(store.used_tokens(), 30);
+        assert_eq!(store.peek_run([1, 2, 3]), 30);
+        assert_eq!(store.peek_run([1, 2]), 20);
+        assert_eq!(store.peek_run([1, 2, 9]), 20);
+        assert_eq!(store.peek_run([9, 2, 3]), 0);
+        assert_eq!(store.lookup_run([1, 2, 9, 9]), 20);
+        let stats = store.stats();
+        assert_eq!((stats.lookups, stats.hits, stats.hit_tokens), (1, 1, 20));
+    }
+
+    #[test]
+    fn shared_leading_blocks_are_stored_once() {
+        let mut store = BlockPrefixCache::new(1_000, 10);
+        store.insert_chain([7, 7, 1]);
+        let stored = store.insert_chain([7, 7, 2]);
+        // Only the diverging third block is new.
+        assert_eq!(stored, 10);
+        assert_eq!(store.used_tokens(), 40);
+    }
+
+    #[test]
+    fn eviction_removes_suffixes_first() {
+        let mut store = BlockPrefixCache::new(40, 10);
+        store.insert_chain([1, 2, 3, 4]);
+        store.evict_down_to(20);
+        // The chain survives as its leading half.
+        assert_eq!(store.peek_run([1, 2, 3, 4]), 20);
+        assert_eq!(store.used_tokens(), 20);
+    }
+
+    #[test]
+    fn insert_evicts_lru_leaves_to_make_room() {
+        let mut store = BlockPrefixCache::new(30, 10);
+        store.insert_chain([1, 2]);
+        store.insert_chain([8]);
+        // Touch the [1, 2] chain so [8] is the LRU leaf.
+        assert_eq!(store.lookup_run([1, 2]), 20);
+        store.insert_chain([9]);
+        assert_eq!(store.peek_run([8]), 0, "LRU leaf should have been evicted");
+        assert_eq!(store.peek_run([1, 2]), 20);
+        assert_eq!(store.peek_run([9]), 10);
+        assert_eq!(store.used_tokens(), 30);
+    }
+
+    #[test]
+    fn over_budget_chain_is_cut_short_not_thrashed() {
+        let mut store = BlockPrefixCache::new(30, 10);
+        let stored = store.insert_chain([1, 2, 3, 4, 5]);
+        assert_eq!(stored, 30);
+        assert_eq!(store.peek_run([1, 2, 3, 4, 5]), 30);
+        assert_eq!(store.used_tokens(), 30);
+    }
+
+    #[test]
+    fn events_mirror_mutations() {
+        let mut store = BlockPrefixCache::new(40, 10);
+        store.insert_chain([1, 2]);
+        store.evict_down_to(10);
+        let mut events = Vec::new();
+        store.drain_events(&mut events);
+        let hashes = chain(&[1, 2]);
+        assert_eq!(
+            events,
+            vec![
+                KvEvent::Stored {
+                    block: hashes[0],
+                    parent: KV_ROOT_HASH,
+                    tokens: 10
+                },
+                KvEvent::Stored {
+                    block: hashes[1],
+                    parent: hashes[0],
+                    tokens: 10
+                },
+                KvEvent::Removed { block: hashes[1] },
+            ]
+        );
+        assert_eq!(store.pending_events(), 0);
+    }
+
+    #[test]
+    fn indexer_tracks_events_and_delay() {
+        let mut idx = KvIndexer::new(1_000);
+        let hashes = chain(&[1, 2]);
+        idx.publish(
+            0,
+            KvEvent::Stored {
+                block: hashes[0],
+                parent: KV_ROOT_HASH,
+                tokens: 10,
+            },
+            0,
+        );
+        idx.publish(
+            0,
+            KvEvent::Stored {
+                block: hashes[1],
+                parent: hashes[0],
+                tokens: 10,
+            },
+            500,
+        );
+        idx.advance(999);
+        assert_eq!(idx.overlap(0, &hashes), 0, "events still propagating");
+        idx.advance(1_000);
+        assert_eq!(idx.overlap(0, &hashes), 10);
+        idx.advance(1_500);
+        assert_eq!(idx.overlap(0, &hashes), 20);
+        idx.publish(0, KvEvent::Removed { block: hashes[1] }, 2_000);
+        idx.advance(3_000);
+        assert_eq!(idx.overlap(0, &hashes), 10);
+        assert_eq!(idx.blocks(0), 1);
+        assert_eq!(idx.overlap(1, &hashes), 0);
+    }
+
+    #[test]
+    fn approx_indexer_expires_on_ttl() {
+        let mut idx = ApproxKvIndexer::new(1_000);
+        let hashes = chain(&[1, 2, 3]);
+        idx.observe(2, &hashes, 0);
+        assert_eq!(idx.overlap_blocks(2, &hashes, 999), 3);
+        assert_eq!(idx.overlap_blocks(2, &hashes, 1_000), 0);
+        // Re-observation refreshes the leading blocks only.
+        idx.observe(2, &hashes[..1], 500);
+        assert_eq!(idx.overlap_blocks(2, &hashes, 1_200), 1);
+        idx.compact(2_000);
+        assert_eq!(idx.overlap_blocks(2, &hashes, 0), 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Chained hashing is deterministic and prefix-extension
+            /// leaves leading hashes bit-identical.
+            #[test]
+            fn chain_prefix_extension_identity(
+                base in proptest::collection::vec(0u64..1_000, 0..40),
+                ext in proptest::collection::vec(0u64..1_000, 0..40),
+            ) {
+                let mut full = base.clone();
+                full.extend_from_slice(&ext);
+                let a = chain(&base);
+                let b = chain(&full);
+                prop_assert_eq!(&a[..], &b[..base.len()]);
+                prop_assert_eq!(&a, &chain(&base));
+            }
+
+            /// The exact indexer conserves stored-minus-removed under
+            /// arbitrary interleavings of valid store/evict streams from
+            /// several instances.
+            #[test]
+            fn indexer_conserves_stored_minus_removed(
+                ops in proptest::collection::vec(
+                    (0u32..3, 0u64..12, 0u8..2), 0..120),
+                delayed in 0u8..2,
+            ) {
+                let mut idx = KvIndexer::new(u64::from(delayed) * 700);
+                let mut shadow: Vec<std::collections::HashMap<u64, u64>> =
+                    vec![Default::default(); 3];
+                // Per-instance stores generate *valid* event streams
+                // (no remove of a never-stored block), which the op
+                // sequence interleaves across instances.
+                let mut stores: Vec<BlockPrefixCache> =
+                    (0..3).map(|_| BlockPrefixCache::new(40, 10)).collect();
+                let mut events = Vec::new();
+                for (t, (inst, content, evict)) in ops.into_iter().enumerate() {
+                    let now = t as u64 * 100;
+                    let store = &mut stores[inst as usize];
+                    if evict == 1 {
+                        let target = store.used_tokens() / 2;
+                        store.evict_down_to(target);
+                    } else {
+                        store.insert_chain([content, content ^ 7]);
+                    }
+                    events.clear();
+                    store.drain_events(&mut events);
+                    for &ev in &events {
+                        idx.publish(inst, ev, now);
+                        match ev {
+                            KvEvent::Stored { block, tokens, .. } => {
+                                shadow[inst as usize].insert(block, tokens);
+                            }
+                            KvEvent::Removed { block } => {
+                                shadow[inst as usize].remove(&block);
+                            }
+                        }
+                    }
+                }
+                idx.advance(u64::MAX);
+                for inst in 0..3u32 {
+                    prop_assert_eq!(
+                        idx.blocks(inst), shadow[inst as usize].len(),
+                        "instance {} diverged from ground truth", inst
+                    );
+                    for (&block, &tokens) in &shadow[inst as usize] {
+                        prop_assert_eq!(idx.overlap(inst, &[block]), tokens);
+                    }
+                }
+            }
+
+            /// The approximate indexer is optimistic but never invents:
+            /// it must not report a block the exact indexer (fed by a
+            /// store that never evicts) would not have stored.
+            #[test]
+            fn approx_never_reports_never_stored_blocks(
+                routes in proptest::collection::vec(
+                    (0u32..3, proptest::collection::vec(0u64..6, 1..6)), 1..40),
+                probe in proptest::collection::vec(0u64..6, 1..6),
+            ) {
+                let mut approx = ApproxKvIndexer::new(10_000);
+                let mut exact = KvIndexer::new(0);
+                let mut stores: Vec<BlockPrefixCache> =
+                    (0..3).map(|_| BlockPrefixCache::new(u64::MAX, 10)).collect();
+                let mut events = Vec::new();
+                for (t, (inst, contents)) in routes.iter().enumerate() {
+                    let now = t as u64 * 100;
+                    let hashes = chain(contents);
+                    approx.observe(*inst, &hashes, now);
+                    stores[*inst as usize].insert_chain(contents.iter().copied());
+                    events.clear();
+                    stores[*inst as usize].drain_events(&mut events);
+                    for &ev in &events {
+                        exact.publish(*inst, ev, now);
+                    }
+                }
+                let probe_hashes = chain(&probe);
+                for inst in 0..3u32 {
+                    for now in [0u64, 5_000, 20_000] {
+                        let approx_tokens =
+                            approx.overlap_blocks(inst, &probe_hashes, now) * 10;
+                        prop_assert!(
+                            approx_tokens <= exact.overlap(inst, &probe_hashes),
+                            "approx claims {} tokens on instance {} but only {} were ever stored",
+                            approx_tokens, inst, exact.overlap(inst, &probe_hashes)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //!
 //! The crate also provides [`PrefixCache`], a per-instance LRU over shared
 //! prompt prefixes (system prompts, multi-turn conversations) used by
-//! KV-aware routers to simulate prefix-cache hits.
+//! KV-aware routers to simulate prefix-cache hits, plus its block-granular
+//! successor: chained [`block_hash`]es, the suffix-evicting
+//! [`BlockPrefixCache`], and the event-driven [`KvIndexer`] /
+//! [`ApproxKvIndexer`] pair that global KV-aware routers consult (see the
+//! [`block`](crate::block_hash) module docs).
 //!
 //! All sizes are in **KV token slots**: one slot stores the key/value
 //! vectors of one token across all layers. Requests are identified by opaque
@@ -37,11 +41,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod block;
 mod contiguous;
 mod paged;
 mod prefix;
 mod token_pool;
 
+pub use block::{block_hash, ApproxKvIndexer, BlockPrefixCache, KvEvent, KvIndexer, KV_ROOT_HASH};
 pub use contiguous::ContiguousPool;
 pub use paged::PagedPool;
 pub use prefix::{PrefixCache, PrefixCacheStats};

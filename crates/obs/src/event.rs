@@ -235,6 +235,26 @@ pub enum TraceEvent {
         /// The decode instance it became.
         to_instance: u32,
     },
+    /// The instance's block-granular prefix store persisted a KV block
+    /// (chained block hash). Routers replaying the event stream can
+    /// reconstruct exactly which blocks each instance holds.
+    KvStored {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Chained block hash of the stored block.
+        block: u64,
+    },
+    /// The instance's block-granular prefix store evicted a KV block.
+    KvRemoved {
+        /// Event time.
+        at: SimTime,
+        /// Emitting instance.
+        instance: u32,
+        /// Chained block hash of the removed block.
+        block: u64,
+    },
 }
 
 impl TraceEvent {
@@ -256,7 +276,9 @@ impl TraceEvent {
             | TraceEvent::Finished { at, .. }
             | TraceEvent::ScaleUp { at, .. }
             | TraceEvent::ScaleDown { at, .. }
-            | TraceEvent::Repurposed { at, .. } => at,
+            | TraceEvent::Repurposed { at, .. }
+            | TraceEvent::KvStored { at, .. }
+            | TraceEvent::KvRemoved { at, .. } => at,
         }
     }
 
@@ -278,7 +300,9 @@ impl TraceEvent {
             TraceEvent::DecodeStep { .. }
             | TraceEvent::ScaleUp { .. }
             | TraceEvent::ScaleDown { .. }
-            | TraceEvent::Repurposed { .. } => None,
+            | TraceEvent::Repurposed { .. }
+            | TraceEvent::KvStored { .. }
+            | TraceEvent::KvRemoved { .. } => None,
         }
     }
 
@@ -297,7 +321,9 @@ impl TraceEvent {
             | TraceEvent::KvTransferStart { instance, .. }
             | TraceEvent::KvTransferEnd { instance, .. }
             | TraceEvent::TimedOut { instance, .. }
-            | TraceEvent::Finished { instance, .. } => Some(instance),
+            | TraceEvent::Finished { instance, .. }
+            | TraceEvent::KvStored { instance, .. }
+            | TraceEvent::KvRemoved { instance, .. } => Some(instance),
             TraceEvent::ScaleUp { .. } | TraceEvent::ScaleDown { .. } => None,
             TraceEvent::Repurposed { from_instance, .. } => Some(from_instance),
         }
@@ -322,6 +348,8 @@ impl TraceEvent {
             TraceEvent::ScaleUp { .. } => "scale-up",
             TraceEvent::ScaleDown { .. } => "scale-down",
             TraceEvent::Repurposed { .. } => "repurposed",
+            TraceEvent::KvStored { .. } => "kv-stored",
+            TraceEvent::KvRemoved { .. } => "kv-removed",
         }
     }
 }

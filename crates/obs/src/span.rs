@@ -194,7 +194,9 @@ pub fn reconstruct(events: &[TraceEvent]) -> Vec<RequestSpans> {
             TraceEvent::DecodeStep { .. }
             | TraceEvent::ScaleUp { .. }
             | TraceEvent::ScaleDown { .. }
-            | TraceEvent::Repurposed { .. } => continue,
+            | TraceEvent::Repurposed { .. }
+            | TraceEvent::KvStored { .. }
+            | TraceEvent::KvRemoved { .. } => continue,
         };
         let (request, instance) = match (ev.request(), ev.instance()) {
             (Some(r), Some(i)) => (r, i),

@@ -24,7 +24,14 @@
 //!   least-estimated-load below a match threshold. Requires instances
 //!   configured with a prefix cache
 //!   ([`crate::SimConfigBuilder::prefix_cache`]) and workloads carrying
-//!   prefix structure ([`pf_workload::datasets::multi_turn_chat`]).
+//!   prefix structure ([`pf_workload::datasets::multi_turn_chat`]);
+//! * [`RouterPolicy::KvOverlap`] — block-granular overlap scoring against
+//!   a *global event-fed KV index* ([`pf_kvcache::KvIndexer`]): engines
+//!   publish block stored/removed events (subject to a configurable
+//!   propagation delay), and the router trades estimated load against the
+//!   indexed overlap through a cost logit with optional softmax
+//!   temperature. Requires a block-granular prefix store
+//!   ([`crate::SimConfigBuilder::prefix_cache_blocks`]).
 //!
 //! All load-based policies break exact ties with a deterministic rotating
 //! cursor rather than by lowest index — equal-load instances (the steady
@@ -56,12 +63,16 @@
 use std::collections::VecDeque;
 
 use pf_metrics::{SimDuration, SimTime};
+use pf_obs::TraceSink;
 use pf_workload::RequestSpec;
 
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
-pub(crate) use crate::fleet::{pick_rotating_min, pick_routed, RouteCandidate};
+pub(crate) use crate::fleet::{
+    pick_cost_logit, pick_rotating_min, pick_routed, RouteCandidate, RouteRng, RouterConfig,
+    ROUTE_RNG_STREAM,
+};
 use crate::report::SimReport;
 
 /// Smallest cached overlap (tokens) for which [`RouterPolicy::PrefixAffinity`]
@@ -74,7 +85,11 @@ pub use crate::fleet::PREFIX_MATCH_MIN_TOKENS;
 pub use crate::fleet::SLACK_PRESSURE_WEIGHT;
 
 /// Request-forwarding policy of the cluster front end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Eq`/`Hash` are implemented manually (bitwise on the float fields of
+/// [`RouterPolicy::KvOverlap`]); don't construct policies with `NaN`
+/// weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RouterPolicy {
     /// Cycle through instances regardless of load.
     RoundRobin,
@@ -98,6 +113,52 @@ pub enum RouterPolicy {
         /// `false` breaks them with the rotating cursor only.
         load_tiebreak: bool,
     },
+    /// Block-granular overlap-scored routing over a *global* KV index
+    /// (NVIDIA Dynamo-style): each live instance is scored with the cost
+    /// logit
+    ///
+    /// ```text
+    /// cost = (load_estimate + slack_weight * pressure) / perf_scale
+    ///        - overlap_weight * overlap_tokens / prompt_tokens
+    /// ```
+    ///
+    /// where `overlap_tokens` is the request's longest chained-block run
+    /// held by the instance *according to the event-fed
+    /// [`pf_kvcache::KvIndexer`]* (stale by the configured
+    /// [`crate::fleet::RouterConfig::kv_event_delay`], unlike
+    /// [`RouterPolicy::PrefixAffinity`]'s omniscient peek). With
+    /// `temperature <= 0` the lowest cost wins deterministically and no
+    /// randomness is consumed — `overlap_weight` 0 then replays
+    /// [`RouterPolicy::LeastEstimatedLoad`] bit-for-bit on deadline-free
+    /// runs; a positive temperature samples instance `i` with probability
+    /// proportional to `exp(-cost_i / temperature)` from a dedicated
+    /// deterministic stream.
+    KvOverlap {
+        /// Reward (in the load signal's token units) for a full-prompt
+        /// overlap; partial overlaps scale linearly.
+        overlap_weight: f64,
+        /// Softmax temperature; `<= 0` degrades to argmin.
+        temperature: f64,
+    },
+}
+
+impl Eq for RouterPolicy {}
+
+impl std::hash::Hash for RouterPolicy {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            RouterPolicy::PrefixAffinity { load_tiebreak } => load_tiebreak.hash(state),
+            RouterPolicy::KvOverlap {
+                overlap_weight,
+                temperature,
+            } => {
+                overlap_weight.to_bits().hash(state);
+                temperature.to_bits().hash(state);
+            }
+            _ => {}
+        }
+    }
 }
 
 impl RouterPolicy {
@@ -120,6 +181,7 @@ impl RouterPolicy {
             RouterPolicy::LeastUsedMemory => "least-used-memory",
             RouterPolicy::LeastEstimatedLoad => "least-estimated-load",
             RouterPolicy::PrefixAffinity { .. } => "prefix-affinity",
+            RouterPolicy::KvOverlap { .. } => "kv-overlap",
         }
     }
 
@@ -127,18 +189,53 @@ impl RouterPolicy {
         self,
         engines: &[Engine],
         spec: &RequestSpec,
+        router: RouterConfig,
         cursor: &mut usize,
         scratch: &mut Vec<RouteCandidate>,
+        kv: Option<&mut KvRouteCtx<'_>>,
     ) -> usize {
         pick_engine(
             self,
+            router,
             engines.iter().enumerate().map(|(i, e)| (i, e, 1.0)),
             spec,
             cursor,
             engines.len(),
             scratch,
+            kv,
         )
         .expect("cluster has at least one instance")
+    }
+}
+
+/// Borrowed state [`RouterPolicy::KvOverlap`] routes against: the global
+/// event-fed index, the dedicated softmax stream, and a reusable buffer
+/// for the request's chained block hashes. Candidate index `i` is looked
+/// up in the indexer as instance `i as u32` — drivers publish engine
+/// events under the same index they route over.
+pub(crate) struct KvRouteCtx<'a> {
+    pub(crate) indexer: &'a pf_kvcache::KvIndexer,
+    pub(crate) rng: &'a mut RouteRng,
+    /// Block size of the fleet's prefix stores; 0 when no block store is
+    /// configured (every overlap is then 0).
+    pub(crate) block_tokens: u32,
+    pub(crate) chain: &'a mut Vec<u64>,
+}
+
+impl<'a> KvRouteCtx<'a> {
+    /// Fills `chain` with the request's chained block hashes (system
+    /// prompt, then conversation prefix, then prompt tail — exactly what
+    /// a block store could hold for it).
+    fn rehash(&mut self, spec: &RequestSpec) {
+        self.chain.clear();
+        if self.block_tokens == 0 {
+            return;
+        }
+        let mut parent = pf_kvcache::KV_ROOT_HASH;
+        for content in spec.matchable_blocks(self.block_tokens) {
+            parent = pf_kvcache::block_hash(parent, content);
+            self.chain.push(parent);
+        }
     }
 }
 
@@ -155,13 +252,16 @@ impl RouterPolicy {
 /// pay for it. `scratch` is the caller-owned candidate buffer
 /// [`RouterPolicy::PrefixAffinity`] materializes into — routing runs per
 /// arrival, so the buffer is reused rather than reallocated.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pick_engine<'a, I>(
     policy: RouterPolicy,
+    router: RouterConfig,
     candidates: I,
     spec: &RequestSpec,
     cursor: &mut usize,
     n: usize,
     scratch: &mut Vec<RouteCandidate>,
+    kv: Option<&mut KvRouteCtx<'_>>,
 ) -> Option<usize>
 where
     I: Iterator<Item = (usize, &'a Engine, f64)>,
@@ -195,10 +295,55 @@ where
                 // load it divides by the GPU's speed — a fast member
                 // drains its urgent queue proportionally faster
                 // (matching the disagg router's treatment).
-                load: (e.load_estimate() + SLACK_PRESSURE_WEIGHT * e.queue_slack_pressure()) / s,
+                load: (e.load_estimate() + router.slack_pressure_weight * e.queue_slack_pressure())
+                    / s,
                 cached_match: e.cached_prefix_tokens(spec),
             }));
-            pick_routed(policy, scratch, cursor, n)
+            pick_routed(policy, scratch, router.prefix_match_min_tokens, cursor, n)
+        }
+        RouterPolicy::KvOverlap {
+            overlap_weight,
+            temperature,
+        } => {
+            scratch.clear();
+            let prompt = f64::from(spec.input_len.max(1));
+            match kv {
+                Some(ctx) => {
+                    ctx.rehash(spec);
+                    scratch.extend(candidates.map(|(i, e, s)| RouteCandidate {
+                        index: i,
+                        load: (e.load_estimate()
+                            + router.slack_pressure_weight * e.queue_slack_pressure())
+                            / s,
+                        // The *index's* view of the instance, not the
+                        // instance's own cache: routing only sees blocks
+                        // whose stored events have propagated.
+                        cached_match: ctx.indexer.overlap(i as u32, ctx.chain),
+                    }));
+                    pick_cost_logit(
+                        scratch,
+                        |c| c.load - overlap_weight * (c.cached_match as f64 / prompt),
+                        temperature,
+                        cursor,
+                        n,
+                        ctx.rng,
+                    )
+                }
+                // No index available (a driver that does not publish KV
+                // events): every overlap is 0, so route by pure load.
+                None => pick_rotating_min(
+                    candidates.map(|(i, e, s)| {
+                        (
+                            i,
+                            (e.load_estimate()
+                                + router.slack_pressure_weight * e.queue_slack_pressure())
+                                / s,
+                        )
+                    }),
+                    cursor,
+                    n,
+                ),
+            }
         }
     }
 }
@@ -259,6 +404,29 @@ impl ClusterSimulation {
         requests: Vec<RequestSpec>,
         arrival_times: Vec<SimTime>,
     ) -> Result<ClusterReport, SimError> {
+        self.run_traced(requests, arrival_times, None)
+    }
+
+    /// [`ClusterSimulation::run`] with an optional [`TraceSink`] receiving
+    /// every per-instance lifecycle event (instances are numbered in
+    /// construction order). With `None` this is exactly `run` — the traced
+    /// path adds no work when no sink is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any request cannot fit an instance or an
+    /// instance stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != arrival_times.len()` or the times are
+    /// not sorted.
+    pub fn run_traced(
+        self,
+        requests: Vec<RequestSpec>,
+        arrival_times: Vec<SimTime>,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Result<ClusterReport, SimError> {
         assert_eq!(
             requests.len(),
             arrival_times.len(),
@@ -269,11 +437,37 @@ impl ClusterSimulation {
             "arrival times must be sorted"
         );
         let n_instances = self.configs.len();
+        // Routing-layer state, captured before the configs move into the
+        // engines. The global KV index and its softmax stream only feed
+        // the KvOverlap policy; other policies never touch them.
+        let router_cfg = self.configs[0].router;
+        let block_tokens = self.configs[0]
+            .prefix_cache
+            .and_then(|p| p.block_tokens)
+            .unwrap_or(0);
+        let kv_routing = matches!(self.policy, RouterPolicy::KvOverlap { .. });
+        let mut indexer = pf_kvcache::KvIndexer::new(router_cfg.kv_event_delay.as_micros());
+        let mut route_rng = RouteRng::new(pf_workload::rng::derive_seed(
+            self.configs[0].seed,
+            ROUTE_RNG_STREAM,
+        ));
+        let mut chain_scratch: Vec<u64> = Vec::new();
+        let mut kv_event_buf: Vec<(SimTime, pf_kvcache::KvEvent)> = Vec::new();
         let mut engines: Vec<Engine> = self
             .configs
             .into_iter()
-            .map(|config| Engine::new(config, Arrivals::offline(Vec::new())))
+            .enumerate()
+            .map(|(i, config)| {
+                let mut engine = Engine::new(config, Arrivals::offline(Vec::new()));
+                engine.set_instance(i as u32);
+                engine
+            })
             .collect();
+        if kv_routing {
+            for engine in &mut engines {
+                engine.enable_kv_event_log();
+            }
+        }
         for engine in &engines {
             engine.validate()?;
             for spec in &requests {
@@ -304,16 +498,41 @@ impl ClusterSimulation {
             if let Some(&(at, _)) = stream.front() {
                 if engines[i_min].now() >= at {
                     let (at, spec) = stream.pop_front().expect("peeked");
-                    let target = self
-                        .policy
-                        .pick(&engines, &spec, &mut cursor, &mut route_scratch);
+                    if kv_routing {
+                        // The index's view of "now" is the routing-time
+                        // reference clock: stored events older than the
+                        // propagation delay become visible here.
+                        indexer.advance(engines[i_min].now().as_micros());
+                    }
+                    let mut kv_ctx = KvRouteCtx {
+                        indexer: &indexer,
+                        rng: &mut route_rng,
+                        block_tokens,
+                        chain: &mut chain_scratch,
+                    };
+                    let target = self.policy.pick(
+                        &engines,
+                        &spec,
+                        router_cfg,
+                        &mut cursor,
+                        &mut route_scratch,
+                        Some(&mut kv_ctx),
+                    );
                     let arrival = at.max(engines[target].now());
                     engines[target].inject(arrival, spec);
                     routed[target] += 1;
                     continue;
                 }
             }
-            match engines[i_min].tick()? {
+            let tick = engines[i_min].tick_traced(&mut sink)?;
+            if kv_routing {
+                kv_event_buf.clear();
+                engines[i_min].drain_kv_events(&mut kv_event_buf);
+                for &(at, ev) in &kv_event_buf {
+                    indexer.publish(i_min as u32, ev, at.as_micros());
+                }
+            }
+            match tick {
                 Tick::Worked => {}
                 Tick::Sleep(t) => engines[i_min].advance_to(t),
                 Tick::Blocked => unreachable!("engines only queue injected work"),
@@ -325,9 +544,12 @@ impl ClusterSimulation {
                         continue;
                     }
                     // No more arrivals: finish the remaining engines.
-                    let all_done = engines
-                        .iter_mut()
-                        .all(|e| matches!(e.tick(), Ok(Tick::Drained) | Ok(Tick::HorizonReached)));
+                    let all_done = engines.iter_mut().all(|e| {
+                        matches!(
+                            e.tick_traced(&mut sink),
+                            Ok(Tick::Drained) | Ok(Tick::HorizonReached)
+                        )
+                    });
                     if all_done {
                         break;
                     }

@@ -145,6 +145,16 @@ pub struct PrefixCacheConfig {
     /// Largest fraction of KV capacity the prefix cache may occupy, in
     /// `(0, 1]`.
     pub budget_frac: f64,
+    /// `Some(block_tokens)` switches the store from whole-prefix-id
+    /// entries to fixed-size chained-hash KV blocks
+    /// ([`pf_kvcache::BlockPrefixCache`]): matches are block runs (cross
+    /// conversation via shared system prompts), eviction is
+    /// suffix-granular, and the engine emits
+    /// [`pf_kvcache::KvEvent`]s consumable by a global
+    /// [`pf_kvcache::KvIndexer`]. `None` (default) keeps the legacy
+    /// whole-prefix LRU and replays bit-identically to earlier versions.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub block_tokens: Option<u32>,
 }
 
 impl PrefixCacheConfig {
@@ -158,7 +168,22 @@ impl PrefixCacheConfig {
             budget_frac > 0.0 && budget_frac <= 1.0,
             "prefix-cache budget fraction {budget_frac} outside (0, 1]"
         );
-        PrefixCacheConfig { budget_frac }
+        PrefixCacheConfig {
+            budget_frac,
+            block_tokens: None,
+        }
+    }
+
+    /// Switches the store to block granularity with `block_tokens`-token
+    /// blocks (see [`PrefixCacheConfig::block_tokens`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn blocks(mut self, block_tokens: u32) -> Self {
+        assert!(block_tokens > 0, "KV block size must be positive");
+        self.block_tokens = Some(block_tokens);
+        self
     }
 
     /// Cache budget in tokens for a pool of `capacity_tokens`.
@@ -171,7 +196,10 @@ impl Default for PrefixCacheConfig {
     /// A fifth of KV capacity — roughly what chat deployments reserve for
     /// system prompts and hot sessions.
     fn default() -> Self {
-        PrefixCacheConfig { budget_frac: 0.2 }
+        PrefixCacheConfig {
+            budget_frac: 0.2,
+            block_tokens: None,
+        }
     }
 }
 
@@ -226,6 +254,10 @@ pub struct SimConfig {
     /// [`QueueOrder::Fifo`]; see [`QueueOrder::LeastSlackFirst`] for
     /// deadline-aware scheduling).
     pub queue_order: QueueOrder,
+    /// Routing-layer tunables (prefix-affinity threshold, slack-pressure
+    /// weight, KV-index staleness). Defaults reproduce the historical
+    /// constants bit-for-bit.
+    pub router: crate::fleet::RouterConfig,
 }
 
 impl SimConfig {
@@ -251,6 +283,7 @@ impl SimConfig {
                 prefix_cache: None,
                 request_deadline: None,
                 queue_order: QueueOrder::Fifo,
+                router: crate::fleet::RouterConfig::default(),
             },
         }
     }
@@ -390,6 +423,22 @@ impl SimConfigBuilder {
     /// Sets the admission queue discipline (see [`QueueOrder`]).
     pub fn queue_order(mut self, order: QueueOrder) -> Self {
         self.config.queue_order = order;
+        self
+    }
+
+    /// Enables a *block-granular* prefix store with `budget_frac` of
+    /// capacity and `block_tokens`-token chained-hash blocks (see
+    /// [`PrefixCacheConfig::block_tokens`]).
+    pub fn prefix_cache_blocks(mut self, budget_frac: f64, block_tokens: u32) -> Self {
+        self.config.prefix_cache =
+            Some(PrefixCacheConfig::with_budget_frac(budget_frac).blocks(block_tokens));
+        self
+    }
+
+    /// Overrides the routing-layer tunables (see
+    /// [`crate::fleet::RouterConfig`]).
+    pub fn router(mut self, router: crate::fleet::RouterConfig) -> Self {
+        self.config.router = router;
         self
     }
 

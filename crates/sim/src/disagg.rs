@@ -113,7 +113,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision, StepLatency};
 use pf_core::{AdmissionIndex, BatchEntry};
-use pf_kvcache::{PrefixCache, PrefixCacheStats};
+use pf_kvcache::{block_hash, ApproxKvIndexer, PrefixCache, PrefixCacheStats, KV_ROOT_HASH};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
 use pf_obs::{GaugeKind, Pool, TraceEvent, TraceSink};
 use pf_workload::RequestSpec;
@@ -122,8 +122,9 @@ use crate::cluster::RouterPolicy;
 use crate::config::{PrefixCacheConfig, QueueOrder, SimConfig};
 use crate::error::SimError;
 use crate::fleet::{
-    self, pick_rotating_min, pick_routed, slot_gpu, FleetMember, GpuType, MemberCore, MemberState,
-    RouteCandidate, ScalingEvent, SLACK_PRESSURE_WEIGHT,
+    self, pick_cost_logit, pick_rotating_min, pick_routed, slot_gpu, FleetMember, GpuType,
+    MemberCore, MemberState, RouteCandidate, RouteRng, RouterConfig, ScalingEvent,
+    ROUTE_RNG_STREAM,
 };
 use crate::perf::PerfModel;
 use crate::report::RequestOutcome;
@@ -826,6 +827,21 @@ struct Run<'s> {
     /// Rotating tie-break cursors of the two pools' routing decisions.
     route_cursor: usize,
     decode_cursor: usize,
+    /// Routing tunables (copied out of the base config at start).
+    router_cfg: RouterConfig,
+    /// Approximate (TTL) KV index for [`RouterPolicy::KvOverlap`]: the
+    /// router *observes* each chain it routes instead of consuming member
+    /// events (prefill members keep whole-prefix caches and emit no
+    /// removals), so entries expire rather than being invalidated.
+    approx_index: ApproxKvIndexer,
+    /// Dedicated softmax stream (never the workload's generators).
+    route_rng: RouteRng,
+    /// Reusable chained-hash buffer of the routed request.
+    chain_scratch: Vec<u64>,
+    /// Block size used for chain hashing/observation (falls back to 64
+    /// when the base config has no block store — the index is router-side
+    /// bookkeeping only).
+    block_tokens: u32,
 
     prefill: Vec<PrefillMember>,
     decode: Vec<DecodeMember>,
@@ -929,6 +945,20 @@ impl<'s> Run<'s> {
             queued_deadlines: 0,
             route_cursor: 0,
             decode_cursor: 0,
+            router_cfg: config.base.router,
+            approx_index: ApproxKvIndexer::new(
+                config.base.router.approx_index_ttl.as_micros().max(1),
+            ),
+            route_rng: RouteRng::new(pf_workload::rng::derive_seed(
+                config.base.seed,
+                ROUTE_RNG_STREAM,
+            )),
+            chain_scratch: Vec::new(),
+            block_tokens: config
+                .base
+                .prefix_cache
+                .and_then(|p| p.block_tokens)
+                .unwrap_or(64),
             prefill: Vec::new(),
             decode: Vec::new(),
             prefill_scaling: Vec::new(),
@@ -1081,16 +1111,70 @@ impl<'s> Run<'s> {
     /// policy, delegating to the fleet kernel's shared routing dispatch
     /// ([`pick_routed`]) — the pool's load signal is queued plus held
     /// prompt tokens, divided by the member's GPU speed. Under
-    /// [`RouterPolicy::PrefixAffinity`] with deadlines in play, each
-    /// candidate's load also carries its queue's remaining-slack pressure
-    /// (weighted by [`SLACK_PRESSURE_WEIGHT`] of capacity), so urgent
-    /// queues attract less new traffic.
+    /// [`RouterPolicy::PrefixAffinity`] or [`RouterPolicy::KvOverlap`]
+    /// with deadlines in play, each candidate's load also carries its
+    /// queue's remaining-slack pressure (weighted by
+    /// [`RouterConfig::slack_pressure_weight`] of capacity), so urgent
+    /// queues attract less new traffic. KvOverlap scores candidates
+    /// against the pool's approximate TTL index (see
+    /// [`Run::approx_index`]) and records the chosen chain afterwards.
     fn route_prefill(&mut self, now: SimTime, spec: &RequestSpec) -> usize {
         let n = self.prefill.len();
-        let slack_weighted = matches!(self.router, RouterPolicy::PrefixAffinity { .. })
-            && (self.default_deadline.is_some() || self.queued_deadlines > 0);
+        let slack_weighted = matches!(
+            self.router,
+            RouterPolicy::PrefixAffinity { .. } | RouterPolicy::KvOverlap { .. }
+        ) && (self.default_deadline.is_some() || self.queued_deadlines > 0);
         let default_deadline = self.default_deadline;
-        let pressure_tokens = SLACK_PRESSURE_WEIGHT * self.capacity as f64;
+        let pressure_tokens = self.router_cfg.slack_pressure_weight * self.capacity as f64;
+        if let RouterPolicy::KvOverlap {
+            overlap_weight,
+            temperature,
+        } = self.router
+        {
+            self.chain_scratch.clear();
+            let mut parent = KV_ROOT_HASH;
+            for content in spec.matchable_blocks(self.block_tokens) {
+                parent = block_hash(parent, content);
+                self.chain_scratch.push(parent);
+            }
+            let chain = &self.chain_scratch;
+            let approx = &self.approx_index;
+            let block_tokens = u64::from(self.block_tokens);
+            let now_us = now.as_micros();
+            let candidates = &mut self.scratch_route;
+            candidates.clear();
+            candidates.extend(
+                self.prefill
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.core.is_live())
+                    .map(|(i, m)| {
+                        let mut load = m.load_signal() as f64;
+                        if slack_weighted {
+                            load += pressure_tokens * m.slack_pressure(now, default_deadline);
+                        }
+                        RouteCandidate {
+                            index: i,
+                            load: load / m.core.gpu.perf_scale,
+                            cached_match: approx.overlap_blocks(i as u32, chain, now_us)
+                                * block_tokens,
+                        }
+                    }),
+            );
+            let prompt = f64::from(spec.input_len.max(1));
+            let target = pick_cost_logit(
+                candidates,
+                |c| c.load - overlap_weight * (c.cached_match as f64 / prompt),
+                temperature,
+                &mut self.route_cursor,
+                n,
+                &mut self.route_rng,
+            )
+            .expect("at least one live prefill instance");
+            self.approx_index
+                .observe(target as u32, &self.chain_scratch, now_us);
+            return target;
+        }
         // Disjoint borrows: candidates are rebuilt into the reusable
         // buffer from the prefill pool (routing runs per arrival).
         let candidates = &mut self.scratch_route;
@@ -1112,8 +1196,14 @@ impl<'s> Run<'s> {
                     }
                 }),
         );
-        pick_routed(self.router, candidates, &mut self.route_cursor, n)
-            .expect("at least one live prefill instance")
+        pick_routed(
+            self.router,
+            candidates,
+            self.router_cfg.prefix_match_min_tokens,
+            &mut self.route_cursor,
+            n,
+        )
+        .expect("at least one live prefill instance")
     }
 
     fn on_arrival(&mut self, now: SimTime, spec: RequestSpec) {

@@ -81,11 +81,14 @@ use pf_metrics::{GoodputReport, SimDuration, SimTime, StepSeries};
 use pf_obs::{Pool, TraceSink};
 use pf_workload::RequestSpec;
 
-use crate::cluster::{pick_engine, RouteCandidate, RouterPolicy};
+use crate::cluster::{pick_engine, KvRouteCtx, RouteCandidate, RouterPolicy};
 use crate::config::SimConfig;
 use crate::engine::{Arrivals, Engine, Tick};
 use crate::error::SimError;
-use crate::fleet::{self, slot_gpu, FleetMember, GpuType, MemberCore, MemberState};
+use crate::fleet::{
+    self, slot_gpu, FleetMember, GpuType, MemberCore, MemberState, RouteRng, RouterConfig,
+    ROUTE_RNG_STREAM,
+};
 use crate::perf::PerfModel;
 use crate::report::SimReport;
 
@@ -270,6 +273,23 @@ struct Run {
     /// Reusable per-arrival candidate buffer of the affinity router (see
     /// [`pick_engine`]).
     route_scratch: Vec<RouteCandidate>,
+    /// Routing tunables (copied out of `base` once at start).
+    router_cfg: RouterConfig,
+    /// Whether the policy is [`RouterPolicy::KvOverlap`] — only then do
+    /// members publish KV events into the global index.
+    kv_routing: bool,
+    /// Global event-fed KV index; members publish under their *member
+    /// index* (stable — members are stopped, never removed), the same
+    /// index space [`Run::route_target`] scores over.
+    kv_indexer: pf_kvcache::KvIndexer,
+    /// Dedicated softmax stream (never the workload's generators).
+    route_rng: RouteRng,
+    /// Reusable chained-hash buffer of the routed request.
+    chain_scratch: Vec<u64>,
+    /// Reusable per-tick event drain buffer.
+    kv_event_buf: Vec<(SimTime, pf_kvcache::KvEvent)>,
+    /// Block size of the members' prefix stores (0 = no block store).
+    block_tokens: u32,
     next_adjust: SimTime,
     interval: SimDuration,
     warmup: SimDuration,
@@ -304,6 +324,11 @@ impl Run {
         }
         let interval = planner.interval();
         let warmup = planner.warmup();
+        let router_cfg = base.router;
+        let kv_routing = matches!(router, RouterPolicy::KvOverlap { .. });
+        let kv_indexer = pf_kvcache::KvIndexer::new(router_cfg.kv_event_delay.as_micros());
+        let route_rng = RouteRng::new(pf_workload::rng::derive_seed(base.seed, ROUTE_RNG_STREAM));
+        let block_tokens = base.prefix_cache.and_then(|p| p.block_tokens).unwrap_or(0);
         let mut run = Run {
             base,
             planner,
@@ -313,6 +338,13 @@ impl Run {
             slots,
             route_cursor: 0,
             route_scratch: Vec::new(),
+            router_cfg,
+            kv_routing,
+            kv_indexer,
+            route_rng,
+            chain_scratch: Vec::new(),
+            kv_event_buf: Vec::new(),
+            block_tokens,
             next_adjust: SimTime::ZERO + interval,
             interval,
             warmup,
@@ -353,6 +385,9 @@ impl Run {
         let mut engine = Engine::new(config, Arrivals::offline(Vec::new()));
         engine.set_instance(instance);
         engine.advance_to(now);
+        if self.kv_routing {
+            engine.enable_kv_event_log();
+        }
         self.members.push(Member {
             engine,
             core: MemberCore::spawn(now, warmup, gpu),
@@ -392,19 +427,45 @@ impl Run {
     /// tie-breaking would herd every cold-start request onto member 0).
     /// Load signals divide by each member's `perf_scale`, so mixed fleets
     /// weight traffic toward their faster GPUs.
-    fn route_target(&mut self, spec: &RequestSpec) -> Option<usize> {
-        let n = self.members.len();
+    fn route_target(&mut self, now: SimTime, spec: &RequestSpec) -> Option<usize> {
+        let Run {
+            members,
+            router,
+            route_cursor,
+            route_scratch,
+            router_cfg,
+            kv_routing,
+            kv_indexer,
+            route_rng,
+            chain_scratch,
+            block_tokens,
+            ..
+        } = self;
+        if *kv_routing {
+            // Stored events older than the propagation delay become
+            // visible at the routing-time reference clock.
+            kv_indexer.advance(now.as_micros());
+        }
+        let n = members.len();
+        let mut kv_ctx = KvRouteCtx {
+            indexer: kv_indexer,
+            rng: route_rng,
+            block_tokens: *block_tokens,
+            chain: chain_scratch,
+        };
         pick_engine(
-            self.router,
-            self.members
+            *router,
+            *router_cfg,
+            members
                 .iter()
                 .enumerate()
                 .filter(|(_, m)| m.core.is_live())
                 .map(|(i, m)| (i, &m.engine, m.core.gpu.perf_scale)),
             spec,
-            &mut self.route_cursor,
+            route_cursor,
             n,
-            &mut self.route_scratch,
+            route_scratch,
+            Some(&mut kv_ctx),
         )
     }
 
@@ -519,7 +580,7 @@ impl Run {
             if let Some(&(at, _)) = stream.front() {
                 if front >= at {
                     let (at, spec) = stream.pop_front().expect("peeked");
-                    let Some(target) = self.route_target(&spec) else {
+                    let Some(target) = self.route_target(front, &spec) else {
                         // No live instance (all draining under horizon
                         // pressure): the request goes unserved.
                         dropped += 1;
@@ -532,7 +593,17 @@ impl Run {
                     continue;
                 }
             }
-            match self.members[i_min].engine.tick_traced(sink)? {
+            let tick = self.members[i_min].engine.tick_traced(sink)?;
+            if self.kv_routing {
+                self.kv_event_buf.clear();
+                self.members[i_min]
+                    .engine
+                    .drain_kv_events(&mut self.kv_event_buf);
+                for &(at, ev) in &self.kv_event_buf {
+                    self.kv_indexer.publish(i_min as u32, ev, at.as_micros());
+                }
+            }
+            match tick {
                 Tick::Worked => self.harvest_outcomes(i_min),
                 Tick::Sleep(t) => {
                     // Do not overshoot the next global event: the planner

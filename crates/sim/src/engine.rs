@@ -61,7 +61,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use pf_core::{
     BatchEntry, FutureMemoryEstimator, MemoryState, QueuedRequest, RunningRequest, Scheduler,
 };
-use pf_kvcache::{KvCacheManager, PrefixCache};
+use pf_kvcache::{BlockPrefixCache, KvCacheManager, KvEvent, PrefixCache, PrefixCacheStats};
 use pf_metrics::{GoodputReport, RequestTiming, SimDuration, SimTime, StepSeries};
 use pf_obs::{GaugeKind, TraceEvent, TraceSink};
 use pf_workload::{ClosedLoopClients, RequestSpec};
@@ -237,6 +237,74 @@ impl Arrivals {
     }
 }
 
+/// The engine's prefix-reuse store: the legacy whole-prefix-id LRU, or —
+/// when [`crate::PrefixCacheConfig::block_tokens`] is set — the
+/// block-granular chained-hash store, whose matches are block *runs*
+/// (crossing conversations via shared system prompts), whose eviction is
+/// suffix-granular, and which emits [`KvEvent`]s for the global router
+/// index. Both charge their occupancy against the same KV pool under
+/// [`PREFIX_SENTINEL`].
+#[derive(Debug)]
+enum PrefixStore {
+    Whole(PrefixCache),
+    Blocks(BlockPrefixCache),
+}
+
+impl PrefixStore {
+    fn used_tokens(&self) -> u64 {
+        match self {
+            PrefixStore::Whole(cache) => cache.used_tokens(),
+            PrefixStore::Blocks(store) => store.used_tokens(),
+        }
+    }
+
+    fn evict_down_to(&mut self, target_tokens: u64) -> u64 {
+        match self {
+            PrefixStore::Whole(cache) => cache.evict_down_to(target_tokens),
+            PrefixStore::Blocks(store) => store.evict_down_to(target_tokens),
+        }
+    }
+
+    fn stats(&self) -> PrefixCacheStats {
+        match self {
+            PrefixStore::Whole(cache) => cache.stats(),
+            PrefixStore::Blocks(store) => store.stats(),
+        }
+    }
+
+    /// Cached overlap a request would enjoy right now, *without* touching
+    /// recency or statistics — the router's probe and the slack purge's
+    /// feasibility estimate.
+    fn peek_match(&self, spec: &RequestSpec) -> u64 {
+        match self {
+            PrefixStore::Whole(cache) => match spec.prefix_id {
+                Some(id) => cache
+                    .peek(id.raw())
+                    .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
+                None => 0,
+            },
+            PrefixStore::Blocks(store) => {
+                store.peek_run(spec.matchable_blocks(store.block_tokens() as u32))
+            }
+        }
+    }
+
+    /// Consumes an admission-time hit: the cached overlap in tokens,
+    /// refreshing recency and counting lookup/hit statistics.
+    fn lookup_match(&mut self, spec: &RequestSpec) -> u64 {
+        match self {
+            PrefixStore::Whole(cache) => match spec.prefix_id {
+                Some(id) => cache.lookup(id.raw(), u64::from(spec.prefix_len)),
+                None => 0,
+            },
+            PrefixStore::Blocks(store) => {
+                let block_tokens = store.block_tokens() as u32;
+                store.lookup_run(spec.matchable_blocks(block_tokens))
+            }
+        }
+    }
+}
+
 /// The serving engine. Construct via [`crate::Simulation`].
 pub(crate) struct Engine {
     perf: PerfModel,
@@ -256,9 +324,18 @@ pub(crate) struct Engine {
     /// Backing store for every ingested request's spec; `Pending`/`Live`
     /// entries carry slab handles.
     specs: Slab<RequestSpec>,
-    /// Simulated prefix cache (disabled unless configured). Its occupancy
+    /// Simulated prefix store (disabled unless configured). Its occupancy
     /// is mirrored into `kv` under [`PREFIX_SENTINEL`].
-    prefix: Option<PrefixCache>,
+    prefix: Option<PrefixStore>,
+    /// `(time, event)` log of block store/evict events, appended by the
+    /// per-tick flush and drained by cluster drivers into the global
+    /// [`pf_kvcache::KvIndexer`]. Only populated after
+    /// [`Engine::enable_kv_event_log`] — a standalone run has no consumer
+    /// and must not accumulate an unbounded log.
+    kv_events: Vec<(SimTime, KvEvent)>,
+    log_kv_events: bool,
+    /// Reusable drain buffer for the per-tick event flush.
+    scratch_kv_events: Vec<KvEvent>,
 
     /// Slack-ranking cache: set whenever the queue gains an entry whose
     /// rank is not known to respect the current order (arrival at the
@@ -330,9 +407,15 @@ impl Engine {
         // history, mirroring a service whose statistics are already warm.
         let output_len_sum: u64 = config.history_warmup.iter().map(|&l| u64::from(l)).sum();
         let output_len_count = config.history_warmup.len() as u64;
-        let prefix = config
-            .prefix_cache
-            .map(|spec| PrefixCache::new(spec.budget_tokens(capacity)));
+        let prefix = config.prefix_cache.map(|spec| {
+            let budget = spec.budget_tokens(capacity);
+            match spec.block_tokens {
+                Some(block_tokens) => {
+                    PrefixStore::Blocks(BlockPrefixCache::new(budget, block_tokens))
+                }
+                None => PrefixStore::Whole(PrefixCache::new(budget)),
+            }
+        });
         Engine {
             perf,
             capacity,
@@ -347,6 +430,9 @@ impl Engine {
             running: Vec::new(),
             specs: Slab::new(),
             prefix,
+            kv_events: Vec::new(),
+            log_kv_events: false,
+            scratch_kv_events: Vec::new(),
             queue_order_dirty: false,
             next_aging_at: None,
             queue_epoch: 0,
@@ -408,19 +494,23 @@ impl Engine {
     }
 
     /// Executes at most one engine action (admission-plus-prefill or one
-    /// decode step). This is the co-simulation entry point used by
-    /// [`crate::cluster`] to interleave several engines on one global
-    /// clock.
-    pub(crate) fn tick(&mut self) -> Result<Tick, SimError> {
-        self.tick_traced(&mut None)
-    }
-
-    /// [`Engine::tick`] with an optional trace sink (see
-    /// [`Engine::run_traced`] for the zero-cost contract).
+    /// decode step) with an optional trace sink (see [`Engine::run_traced`]
+    /// for the zero-cost contract). This is the co-simulation entry point
+    /// used by [`crate::cluster`], [`crate::elastic`] and [`crate::disagg`]
+    /// to interleave several engines on one global clock. Any KV-block
+    /// events the tick produced are flushed afterwards — to the sink as
+    /// [`TraceEvent::KvStored`]/[`TraceEvent::KvRemoved`], and to the
+    /// driver-facing log when enabled.
     pub(crate) fn tick_traced(
         &mut self,
         sink: &mut Option<&mut dyn TraceSink>,
     ) -> Result<Tick, SimError> {
+        let tick = self.tick_inner(sink)?;
+        self.flush_kv_events(sink);
+        Ok(tick)
+    }
+
+    fn tick_inner(&mut self, sink: &mut Option<&mut dyn TraceSink>) -> Result<Tick, SimError> {
         self.ingest_arrivals(sink);
         if self.time_exceeded() {
             return Ok(Tick::HorizonReached);
@@ -460,6 +550,55 @@ impl Engine {
     /// assign one id per spawned member).
     pub(crate) fn set_instance(&mut self, instance: u32) {
         self.instance = instance;
+    }
+
+    /// Starts accumulating the `(time, event)` KV-block event log for a
+    /// cluster driver to drain (see [`Engine::drain_kv_events`]). Off by
+    /// default so standalone runs never grow an unconsumed log.
+    pub(crate) fn enable_kv_event_log(&mut self) {
+        self.log_kv_events = true;
+    }
+
+    /// Moves the accumulated KV-block events (in emission order, stamped
+    /// with the engine clock at flush time) into `out`.
+    pub(crate) fn drain_kv_events(&mut self, out: &mut Vec<(SimTime, KvEvent)>) {
+        out.append(&mut self.kv_events);
+    }
+
+    /// Drains the block store's pending events, mirroring each to the
+    /// trace sink and — when enabled — the driver-facing log. No-op for
+    /// the whole-prefix store.
+    fn flush_kv_events(&mut self, sink: &mut Option<&mut dyn TraceSink>) {
+        let Some(PrefixStore::Blocks(store)) = self.prefix.as_mut() else {
+            return;
+        };
+        if store.pending_events() == 0 {
+            return;
+        }
+        self.scratch_kv_events.clear();
+        store.drain_events(&mut self.scratch_kv_events);
+        let at = self.now;
+        let instance = self.instance;
+        for &ev in &self.scratch_kv_events {
+            fleet::emit(
+                sink,
+                match ev {
+                    KvEvent::Stored { block, .. } => TraceEvent::KvStored {
+                        at,
+                        instance,
+                        block,
+                    },
+                    KvEvent::Removed { block } => TraceEvent::KvRemoved {
+                        at,
+                        instance,
+                        block,
+                    },
+                },
+            );
+            if self.log_kv_events {
+                self.kv_events.push((at, ev));
+            }
+        }
     }
 
     /// Injects an externally routed request arriving at `at`.
@@ -562,12 +701,9 @@ impl Engine {
     /// (only the instance that actually serves the request refreshes the
     /// entry).
     pub(crate) fn cached_prefix_tokens(&self, spec: &RequestSpec) -> u64 {
-        match (&self.prefix, spec.prefix_id) {
-            (Some(cache), Some(id)) => cache
-                .peek(id.raw())
-                .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
-            _ => 0,
-        }
+        self.prefix
+            .as_ref()
+            .map_or(0, |store| store.peek_match(spec))
     }
 
     /// Re-charges the pool's sentinel allocation to the cache's current
@@ -651,29 +787,48 @@ impl Engine {
     /// lookup/hit statistics.
     fn prefix_lookup(&mut self, pending: &Pending) -> u64 {
         let spec = &self.specs[pending.spec];
-        let Some(cache) = self.prefix.as_mut() else {
-            return 0;
-        };
-        let Some(id) = spec.prefix_id else {
-            return 0;
-        };
-        cache.lookup(id.raw(), u64::from(spec.prefix_len))
+        match self.prefix.as_mut() {
+            Some(store) => store.lookup_match(spec),
+            None => 0,
+        }
     }
 
-    /// Retains a finished request's conversation KV in the prefix cache
-    /// under its declared prefix id, so the session's next turn can skip
-    /// re-prefilling it.
+    /// Retains a finished request's conversation KV in the prefix store —
+    /// under its declared prefix id (whole-prefix store) or as a chain of
+    /// fixed-size blocks (block store) — so the session's next turn can
+    /// skip re-prefilling it.
     fn cache_finished_prefix(&mut self, spec: &RequestSpec, generated: u32) {
-        let Some(cache) = self.prefix.as_mut() else {
+        let available = self.kv.available_tokens();
+        let Some(store) = self.prefix.as_mut() else {
             return;
         };
-        let Some(id) = spec.prefix_id else {
-            return;
-        };
-        let conversation = u64::from(spec.input_len) + u64::from(generated);
-        let before = cache.used_tokens();
-        cache.insert(id.raw(), conversation);
-        if cache.used_tokens() != before {
+        let before = store.used_tokens();
+        match store {
+            PrefixStore::Whole(cache) => {
+                let Some(id) = spec.prefix_id else {
+                    return;
+                };
+                let conversation = u64::from(spec.input_len) + u64::from(generated);
+                // A conversation the pool cannot charge even after
+                // evicting every other entry would thrash: the insert
+                // flushes the LRU, then `sync_prefix_charge` evicts the
+                // new entry itself. Skip it — the cache keeps its
+                // still-useful entries instead.
+                if conversation > available + before {
+                    return;
+                }
+                cache.insert(id.raw(), conversation);
+            }
+            PrefixStore::Blocks(store) => {
+                if spec.prefix_id.is_none() && spec.system_prompt_id.is_none() {
+                    return;
+                }
+                let block_tokens = store.block_tokens() as u32;
+                store.insert_chain(spec.storable_blocks(block_tokens, generated));
+            }
+        }
+        let changed = store.used_tokens() != before;
+        if changed {
             self.sync_prefix_charge();
         }
     }
@@ -764,12 +919,7 @@ impl Engine {
             // transfer-bound, not compute-bound; never early-drop those.
             let min_feasible = if slack_aware && !p.swapped {
                 let tokens = u64::from(spec.input_len) + u64::from(p.generated);
-                let cached = match (prefix, spec.prefix_id) {
-                    (Some(cache), Some(id)) => cache
-                        .peek(id.raw())
-                        .map_or(0, |c| c.min(u64::from(spec.prefix_len))),
-                    _ => 0,
-                };
+                let cached = prefix.as_ref().map_or(0, |store| store.peek_match(spec));
                 perf.prefill_step(tokens.saturating_sub(cached).max(1))
             } else {
                 SimDuration::ZERO
@@ -1206,7 +1356,7 @@ impl Engine {
         let kv_tokens = self
             .kv
             .logical_tokens()
-            .saturating_sub(self.prefix.as_ref().map_or(0, PrefixCache::used_tokens));
+            .saturating_sub(self.prefix.as_ref().map_or(0, PrefixStore::used_tokens));
         let duration = if chunk_tokens > 0 {
             self.perf.mixed_step(chunk_tokens, emitters, kv_tokens)
         } else {
@@ -1473,9 +1623,9 @@ impl Engine {
             prefix_stats: self
                 .prefix
                 .as_ref()
-                .map(PrefixCache::stats)
+                .map(PrefixStore::stats)
                 .unwrap_or_default(),
-            prefix_cached_tokens: self.prefix.as_ref().map_or(0, PrefixCache::used_tokens),
+            prefix_cached_tokens: self.prefix.as_ref().map_or(0, PrefixStore::used_tokens),
             kv_used_tokens_end,
             outcomes: self.outcomes,
         }
@@ -1687,6 +1837,92 @@ impl Engine {
             s.gauge(self.now, self.instance, GaugeKind::KvOccupancy, used_frac);
             s.gauge(self.now, self.instance, GaugeKind::BatchSize, batch as f64);
             s.gauge(self.now, self.instance, GaugeKind::SlackPressure, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefixCacheConfig;
+    use crate::{GpuSpec, ModelSpec};
+    use pf_core::SchedulerConfig;
+
+    fn prefix_engine(capacity: u64, budget_frac: f64) -> Engine {
+        let mut config = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .scheduler(SchedulerConfig::past_future())
+            .capacity_override(capacity)
+            .record_series(false)
+            .seed(7)
+            .build();
+        config.prefix_cache = Some(PrefixCacheConfig::with_budget_frac(budget_frac));
+        Engine::new(config, Arrivals::offline(Vec::new()))
+    }
+
+    /// Regression: a finished conversation that fits the token budget but
+    /// exceeds what the pool can ever charge (free tokens plus the current
+    /// sentinel charge) must be skipped outright. The old path inserted
+    /// it, which flushed every other LRU entry during `sync_prefix_charge`
+    /// and then evicted the new entry itself — an empty cache for nothing.
+    #[test]
+    fn over_budget_conversation_skips_instead_of_flushing_cache() {
+        let mut engine = prefix_engine(10_000, 0.5); // budget 5_000 tokens
+        match engine.prefix.as_mut().expect("cache enabled") {
+            PrefixStore::Whole(cache) => cache.insert(1, 500),
+            PrefixStore::Blocks(_) => unreachable!("whole-prefix store expected"),
+        }
+        engine.sync_prefix_charge();
+        // Live work crowds the pool: 9_000 of 10_000 tokens held, leaving
+        // 500 free beyond the 500-token sentinel charge.
+        engine.kv.allocate(7, 9_000, 9_000).expect("blocker fits");
+        assert_eq!(engine.kv.available_tokens(), 500);
+
+        // conversation = 3_000 + 1_000 = 4_000: under the 5_000 budget but
+        // over the 1_000 the pool could ever charge (500 free + 500 cached).
+        let spec = RequestSpec::new(99u64, 3_000, 1_000, 1_000).with_prefix(2u64, 0);
+        engine.cache_finished_prefix(&spec, 1_000);
+
+        let store = engine.prefix.as_ref().unwrap();
+        assert_eq!(store.used_tokens(), 500, "warm entry survives untouched");
+        match store {
+            PrefixStore::Whole(cache) => {
+                assert_eq!(cache.peek(1), Some(500));
+                assert_eq!(cache.peek(2), None, "unchargeable conversation skipped");
+            }
+            PrefixStore::Blocks(_) => unreachable!(),
+        }
+        assert_eq!(
+            engine.kv.available_tokens(),
+            500,
+            "sentinel charge unchanged"
+        );
+    }
+
+    /// A conversation the pool *can* charge after evicting colder entries
+    /// still lands in the cache — the skip is strictly for unchargeable
+    /// conversations, not a general admission tightening.
+    #[test]
+    fn chargeable_conversation_still_caches_after_evicting_lru() {
+        let mut engine = prefix_engine(10_000, 0.5);
+        match engine.prefix.as_mut().expect("cache enabled") {
+            PrefixStore::Whole(cache) => cache.insert(1, 500),
+            PrefixStore::Blocks(_) => unreachable!("whole-prefix store expected"),
+        }
+        engine.sync_prefix_charge();
+        engine.kv.allocate(7, 6_000, 6_000).expect("blocker fits");
+        // 3_500 free + 500 cached = 4_000 chargeable; a 4_000-token
+        // conversation fits exactly once the cold entry is evicted.
+        let spec = RequestSpec::new(99u64, 3_000, 1_000, 1_000).with_prefix(2u64, 0);
+        engine.cache_finished_prefix(&spec, 1_000);
+
+        let store = engine.prefix.as_ref().unwrap();
+        assert_eq!(store.used_tokens(), 4_000);
+        match store {
+            PrefixStore::Whole(cache) => {
+                assert_eq!(cache.peek(2), Some(4_000), "new conversation cached");
+                assert_eq!(cache.peek(1), None, "cold entry gave way");
+            }
+            PrefixStore::Blocks(_) => unreachable!(),
         }
     }
 }

@@ -483,6 +483,112 @@ pub(crate) fn slack_urgency(
 /// the pre-slack behavior.
 pub const SLACK_PRESSURE_WEIGHT: f64 = 0.05;
 
+/// Tunables of the routing layer shared by every fleet driver (coloc
+/// cluster, elastic fleet, disagg pools). The defaults reproduce the
+/// historical hard-coded constants bit-for-bit, so a config that never
+/// touches this struct replays exactly as before the fields existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(default))]
+pub struct RouterConfig {
+    /// Smallest cached overlap (tokens) for which
+    /// [`crate::cluster::RouterPolicy::PrefixAffinity`] prefers the
+    /// matching instance over the least-loaded one. Defaults to
+    /// [`PREFIX_MATCH_MIN_TOKENS`].
+    pub prefix_match_min_tokens: u64,
+    /// Weight of the queue's deadline-slack pressure in the affinity and
+    /// overlap load signals. Defaults to [`SLACK_PRESSURE_WEIGHT`].
+    pub slack_pressure_weight: f64,
+    /// Propagation delay between an engine persisting/evicting a KV block
+    /// and the global [`pf_kvcache::KvIndexer`] reflecting it. Zero (the
+    /// default) models an ideal in-process index; raise it to study how
+    /// stale overlap scores degrade
+    /// [`crate::cluster::RouterPolicy::KvOverlap`] routing.
+    pub kv_event_delay: pf_metrics::SimDuration,
+    /// Time-to-live for the approximate (TTL) indexer used where engines
+    /// do not emit removal events (the disagg prefill pool). Entries
+    /// observed at `t` stop matching after `t + ttl`.
+    pub approx_index_ttl: pf_metrics::SimDuration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            prefix_match_min_tokens: PREFIX_MATCH_MIN_TOKENS,
+            slack_pressure_weight: SLACK_PRESSURE_WEIGHT,
+            kv_event_delay: pf_metrics::SimDuration::ZERO,
+            approx_index_ttl: pf_metrics::SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Deterministic uniform stream for softmax routing draws (SplitMix64).
+///
+/// The routing layer cannot share the workload generators' `StdRng`
+/// streams (consuming from them would perturb arrivals), and `pf-sim`
+/// deliberately keeps its own randomness dependency-free: SplitMix64 is
+/// stable across platforms and cheap, and one `u64` of state replays
+/// bit-for-bit from the config seed.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteRng(u64);
+
+/// `derive_seed` stream index of the router's softmax draws — distinct
+/// from every workload stream so adding KV-overlap routing never perturbs
+/// arrivals or lengths.
+pub(crate) const ROUTE_RNG_STREAM: u64 = 0x524F_5554; // "ROUT"
+
+impl RouteRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next uniform draw in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Selects among `candidates` by the given cost function: `temperature <=
+/// 0` degrades to the deterministic [`pick_rotating_min`] argmin (and
+/// consumes **no** randomness, so a zero-temperature run replays
+/// bit-identically to the argmin policies); a positive temperature samples
+/// candidate `c` with probability `exp(-(cost(c) - min_cost) /
+/// temperature)` (normalized), using exactly one uniform draw and walking
+/// the cumulative weights in candidate order. The cursor is only touched
+/// on the argmin path.
+pub(crate) fn pick_cost_logit(
+    candidates: &[RouteCandidate],
+    cost: impl Fn(&RouteCandidate) -> f64,
+    temperature: f64,
+    cursor: &mut usize,
+    n: usize,
+    rng: &mut RouteRng,
+) -> Option<usize> {
+    if temperature <= 0.0 {
+        return pick_rotating_min(candidates.iter().map(|c| (c.index, cost(c))), cursor, n);
+    }
+    let min = candidates.iter().map(&cost).fold(f64::INFINITY, f64::min);
+    let weight = |c: &RouteCandidate| (-(cost(c) - min) / temperature).exp();
+    let total: f64 = candidates.iter().map(&weight).sum();
+    let last = candidates.last()?.index;
+    let mut draw = rng.next_f64() * total;
+    for c in candidates {
+        let w = weight(c);
+        if draw < w {
+            return Some(c.index);
+        }
+        draw -= w;
+    }
+    // Floating-point remainder after the walk: charge it to the last
+    // candidate so the draw always lands.
+    Some(last)
+}
+
 /// Index minimizing `key` among `candidates`, breaking *exact* key ties by
 /// the first candidate at or after `*cursor` (mod `n`), then advancing the
 /// cursor just past the winner. The rotation spreads equal-load picks
@@ -529,12 +635,16 @@ pub(crate) struct RouteCandidate {
 /// the elastic fleet and the disagg pools:
 /// [`crate::cluster::RouterPolicy::RoundRobin`] rotates,
 /// [`crate::cluster::RouterPolicy::PrefixAffinity`] takes the longest
-/// cached match at or above [`PREFIX_MATCH_MIN_TOKENS`] (ties by load or
-/// rotation), and everything else routes by the candidate's load — all
-/// exact ties broken by the rotating cursor. `n` is the full fleet size.
+/// cached match at or above `min_match` (ties by load or rotation), and
+/// everything else — including
+/// [`crate::cluster::RouterPolicy::KvOverlap`], whose overlap-discounted
+/// cost the caller folds into `load` before dispatching here with its own
+/// temperature handling — routes by the candidate's load, all exact ties
+/// broken by the rotating cursor. `n` is the full fleet size.
 pub(crate) fn pick_routed(
     policy: crate::cluster::RouterPolicy,
     candidates: &[RouteCandidate],
+    min_match: u64,
     cursor: &mut usize,
     n: usize,
 ) -> Option<usize> {
@@ -546,12 +656,13 @@ pub(crate) fn pick_routed(
         }
         RouterPolicy::LeastOutstanding
         | RouterPolicy::LeastUsedMemory
-        | RouterPolicy::LeastEstimatedLoad => {
+        | RouterPolicy::LeastEstimatedLoad
+        | RouterPolicy::KvOverlap { .. } => {
             pick_rotating_min(candidates.iter().map(by_load), cursor, n)
         }
         RouterPolicy::PrefixAffinity { load_tiebreak } => {
             let best_match = candidates.iter().map(|c| c.cached_match).max().unwrap_or(0);
-            if best_match >= PREFIX_MATCH_MIN_TOKENS {
+            if best_match >= min_match {
                 let matched = candidates.iter().filter(|c| c.cached_match == best_match);
                 if load_tiebreak {
                     pick_rotating_min(matched.map(by_load), cursor, n)

@@ -58,7 +58,7 @@ pub use config::{
     SimConfigBuilder,
 };
 pub use error::SimError;
-pub use fleet::GpuType;
+pub use fleet::{GpuType, RouterConfig};
 pub use hardware::GpuSpec;
 pub use model::ModelSpec;
 pub use perf::{PerfModel, PerfTuning};

@@ -1,0 +1,282 @@
+//! Behavioral tests for block-granular KV routing
+//! ([`RouterPolicy::KvOverlap`]) and the named router configuration:
+//!
+//! * `KvOverlap { overlap_weight: 0, temperature: 0 }` on deadline-free
+//!   traffic is bit-identical to `LeastEstimatedLoad` — the overlap term
+//!   vanishes and the zero-temperature pick consumes no randomness;
+//! * an explicitly spelled-out default [`RouterConfig`] replays
+//!   bit-identically against an untouched config (the promoted constants
+//!   kept their values);
+//! * overlap-scored routing reuses a tenant's shared system prompt
+//!   across sessions — the cross-session sharing whole-prefix affinity
+//!   cannot express — and beats both load-blind routing and whole-prefix
+//!   affinity on that traffic;
+//! * softmax routing (temperature > 0) replays bit-identically across
+//!   the colocated cluster, the elastic fleet and the disagg pools;
+//! * index staleness (the event-propagation delay) degrades reuse
+//!   monotonically toward load-blind routing;
+//! * block stores surface `kv-stored` lifecycle events to a trace sink.
+
+use pf_autoscale::AutoscaleConfig;
+use pf_core::SchedulerConfig;
+use pf_metrics::SimDuration;
+use pf_obs::{RecordingSink, TraceEvent};
+use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig};
+use pf_sim::elastic::ElasticCluster;
+use pf_sim::{GpuSpec, ModelSpec, RouterConfig, SimConfig};
+use pf_workload::datasets;
+
+const BLOCK_TOKENS: u32 = 64;
+
+fn base_config(capacity: u64) -> SimConfig {
+    SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .scheduler(SchedulerConfig::past_future())
+        .capacity_override(capacity)
+        .record_series(false)
+        .seed(7)
+        .build()
+}
+
+/// Block-granular prefix store: the configuration KvOverlap routing is
+/// built for.
+fn block_config(capacity: u64) -> SimConfig {
+    let mut config = base_config(capacity);
+    config.prefix_cache =
+        Some(pf_sim::PrefixCacheConfig::with_budget_frac(0.4).blocks(BLOCK_TOKENS));
+    config
+}
+
+/// Whole-prefix store at the same budget, for affinity comparisons.
+fn whole_config(capacity: u64) -> SimConfig {
+    let mut config = base_config(capacity);
+    config.prefix_cache = Some(pf_sim::PrefixCacheConfig::with_budget_frac(0.4));
+    config
+}
+
+fn shared_sysprompt_traffic(
+    n: usize,
+    seed: u64,
+) -> (Vec<pf_workload::RequestSpec>, Vec<pf_metrics::SimTime>) {
+    let spec = datasets::SharedSyspromptSpec::default();
+    datasets::shared_sysprompt_chat_timed(n, seed, &spec, 2.0, 2.0, 3.0)
+}
+
+#[test]
+fn zero_weight_zero_temperature_degrades_to_least_estimated_load() {
+    // With no overlap term and an argmin pick, KvOverlap must reproduce
+    // LeastEstimatedLoad decision-for-decision: same cost key, zero
+    // random draws, same rotating tie-break cursor.
+    let spec = datasets::MultiTurnSpec::default();
+    let (requests, arrivals) = datasets::multi_turn_chat_timed(200, 31, &spec, 3.0, 2.0, 3.0);
+    let run = |policy| {
+        ClusterSimulation::new(block_config(30_000), 3, policy)
+            .run(requests.clone(), arrivals.clone())
+            .expect("cluster run")
+    };
+    let degraded = run(RouterPolicy::KvOverlap {
+        overlap_weight: 0.0,
+        temperature: 0.0,
+    });
+    let blind = run(RouterPolicy::LeastEstimatedLoad);
+    assert_eq!(degraded.routed_per_instance, blind.routed_per_instance);
+    assert_eq!(degraded.makespan(), blind.makespan());
+    assert_eq!(degraded.satisfied(), blind.satisfied());
+    assert_eq!(degraded.prefix_stats(), blind.prefix_stats());
+}
+
+#[test]
+fn explicit_default_router_config_replays_bit_identically() {
+    // The promoted constants kept their historical values…
+    let defaults = RouterConfig::default();
+    assert_eq!(defaults.prefix_match_min_tokens, 32);
+    assert!((defaults.slack_pressure_weight - 0.05).abs() < f64::EPSILON);
+    assert_eq!(defaults.kv_event_delay, SimDuration::ZERO);
+
+    // …and spelling them out produces the exact run an untouched config
+    // produces.
+    let spec = datasets::MultiTurnSpec::default();
+    let (requests, arrivals) = datasets::multi_turn_chat_timed(160, 29, &spec, 2.0, 2.0, 3.0);
+    let affinity = RouterPolicy::PrefixAffinity {
+        load_tiebreak: true,
+    };
+    let run = |config: SimConfig| {
+        ClusterSimulation::new(config, 3, affinity)
+            .run(requests.clone(), arrivals.clone())
+            .expect("cluster run")
+    };
+    let implicit = run(whole_config(30_000));
+    let mut explicit_cfg = whole_config(30_000);
+    explicit_cfg.router = RouterConfig {
+        prefix_match_min_tokens: 32,
+        slack_pressure_weight: 0.05,
+        ..RouterConfig::default()
+    };
+    let explicit = run(explicit_cfg);
+    assert_eq!(implicit.routed_per_instance, explicit.routed_per_instance);
+    assert_eq!(implicit.makespan(), explicit.makespan());
+    assert_eq!(implicit.prefix_stats(), explicit.prefix_stats());
+}
+
+#[test]
+fn overlap_routing_reuses_shared_system_prompts_across_sessions() {
+    let (requests, arrivals) = shared_sysprompt_traffic(240, 37);
+    let n = requests.len();
+    let run = |policy| {
+        ClusterSimulation::new(block_config(40_000), 3, policy)
+            .run(requests.clone(), arrivals.clone())
+            .expect("cluster run")
+    };
+    let overlap = run(RouterPolicy::KvOverlap {
+        overlap_weight: 1.0,
+        temperature: 0.0,
+    });
+    let blind = run(RouterPolicy::LeastEstimatedLoad);
+    assert_eq!(overlap.completed(), n);
+    let o = overlap.prefix_stats();
+    let b = blind.prefix_stats();
+    assert!(o.hits > 0, "overlap routing must produce block hits");
+    assert!(
+        o.hit_tokens > b.hit_tokens,
+        "overlap routing must reuse more prefill than load-blind routing ({} vs {})",
+        o.hit_tokens,
+        b.hit_tokens
+    );
+}
+
+#[test]
+fn block_overlap_beats_whole_prefix_affinity_on_shared_sysprompts() {
+    // Whole-prefix affinity sees nothing reusable on a session's first
+    // turn — the tenant's 512-token system prompt is another session's
+    // prefix. Block-granular overlap routing reuses it, so at the same
+    // cache budget it must save strictly more prefill work.
+    let (requests, arrivals) = shared_sysprompt_traffic(240, 41);
+    let overlap = ClusterSimulation::new(
+        block_config(40_000),
+        3,
+        RouterPolicy::KvOverlap {
+            overlap_weight: 1.0,
+            temperature: 0.0,
+        },
+    )
+    .run(requests.clone(), arrivals.clone())
+    .expect("block-overlap run");
+    let affinity = ClusterSimulation::new(
+        whole_config(40_000),
+        3,
+        RouterPolicy::PrefixAffinity {
+            load_tiebreak: true,
+        },
+    )
+    .run(requests, arrivals)
+    .expect("whole-affinity run");
+    assert!(
+        overlap.prefix_stats().hit_tokens > affinity.prefix_stats().hit_tokens,
+        "block overlap must out-reuse whole-prefix affinity ({} vs {})",
+        overlap.prefix_stats().hit_tokens,
+        affinity.prefix_stats().hit_tokens
+    );
+}
+
+#[test]
+fn softmax_routing_replays_bit_identically() {
+    // Nonzero temperature draws from the router's own deterministic
+    // stream; with a propagation delay in play the whole pipeline —
+    // event publication, delayed visibility, softmax sampling — must
+    // still replay exactly.
+    let (requests, arrivals) = shared_sysprompt_traffic(200, 43);
+    let overlap = RouterPolicy::KvOverlap {
+        overlap_weight: 0.8,
+        temperature: 0.35,
+    };
+    let config = || {
+        let mut c = block_config(30_000);
+        c.router.kv_event_delay = SimDuration::from_millis(250);
+        c
+    };
+
+    let run_cluster = || {
+        ClusterSimulation::new(config(), 3, overlap)
+            .run(requests.clone(), arrivals.clone())
+            .expect("cluster run")
+    };
+    let a = run_cluster();
+    let b = run_cluster();
+    assert!(a.prefix_stats().hits > 0);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+
+    let run_elastic = || {
+        let autoscale = AutoscaleConfig::bounded(3, 3)
+            .interval(SimDuration::from_secs(1_000))
+            .warmup(SimDuration::from_secs(5));
+        ElasticCluster::new(config(), autoscale, 3)
+            .router(overlap)
+            .run(requests.clone(), arrivals.clone())
+            .expect("elastic run")
+    };
+    let a = run_elastic();
+    let b = run_elastic();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+
+    let run_disagg = || {
+        DisaggCluster::new(DisaggConfig::new(config()).router(overlap), 2, 2)
+            .run(requests.clone(), arrivals.clone())
+            .expect("disagg run")
+    };
+    let a = run_disagg();
+    let b = run_disagg();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn index_staleness_degrades_reuse() {
+    // A delay far longer than the run leaves the global index empty:
+    // every overlap score reads zero and routing collapses to the load
+    // term, losing the affinity that concentrates a tenant's blocks.
+    let (requests, arrivals) = shared_sysprompt_traffic(240, 47);
+    let run = |delay| {
+        let mut config = block_config(40_000);
+        config.router.kv_event_delay = delay;
+        ClusterSimulation::new(
+            config,
+            3,
+            RouterPolicy::KvOverlap {
+                overlap_weight: 1.0,
+                temperature: 0.0,
+            },
+        )
+        .run(requests.clone(), arrivals.clone())
+        .expect("cluster run")
+    };
+    let fresh = run(SimDuration::ZERO);
+    let stale = run(SimDuration::from_secs(100_000));
+    assert!(
+        fresh.prefix_stats().hit_tokens > stale.prefix_stats().hit_tokens,
+        "a fresh index must out-reuse a never-propagated one ({} vs {})",
+        fresh.prefix_stats().hit_tokens,
+        stale.prefix_stats().hit_tokens
+    );
+}
+
+#[test]
+fn block_store_emits_kv_lifecycle_trace_events() {
+    let (requests, arrivals) = shared_sysprompt_traffic(120, 53);
+    let autoscale = AutoscaleConfig::bounded(2, 2)
+        .interval(SimDuration::from_secs(1_000))
+        .warmup(SimDuration::from_secs(5));
+    let mut sink = RecordingSink::new();
+    let report = ElasticCluster::new(block_config(20_000), autoscale, 2)
+        .router(RouterPolicy::KvOverlap {
+            overlap_weight: 1.0,
+            temperature: 0.0,
+        })
+        .run_traced(requests, arrivals, Some(&mut sink))
+        .expect("traced elastic run");
+    assert!(report.completed() > 0);
+    let stored = sink
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::KvStored { .. }))
+        .count();
+    assert!(stored > 0, "block stores must surface kv-stored events");
+}

@@ -465,6 +465,221 @@ pub fn multi_turn_chat_timed(
     (requests, arrivals)
 }
 
+/// Parameters of the [`shared_sysprompt_chat`] tenant-traffic builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSyspromptSpec {
+    /// Distinct tenants; each owns one shared system prompt and sessions
+    /// are assigned to tenants uniformly at random.
+    pub tenants: usize,
+    /// Tokens of every tenant's system prompt. This leading span is
+    /// *identical across all sessions of the tenant* — the cross-session
+    /// reuse whole-prefix caching cannot express — so it should dominate
+    /// the first-turn prompt for the effect to matter.
+    pub system_prompt_len: u32,
+    /// Turn shape of the sessions (its `system_prompt_len` is replaced by
+    /// the tenant prompt above).
+    pub chat: MultiTurnSpec,
+}
+
+impl Default for SharedSyspromptSpec {
+    fn default() -> Self {
+        SharedSyspromptSpec {
+            tenants: 4,
+            system_prompt_len: 512,
+            chat: MultiTurnSpec {
+                // Shorter sessions than plain multi-turn chat: every
+                // session *start* pays the (long) system prompt, which is
+                // exactly the traffic block-granular sharing targets.
+                continue_prob: 0.55,
+                ..MultiTurnSpec::default()
+            },
+        }
+    }
+}
+
+/// Multi-tenant chat where sessions of one tenant share a long system
+/// prompt: the cross-session variant of [`multi_turn_chat`].
+///
+/// Every session carries its own [`crate::PrefixId`] (turn *k + 1*
+/// repeats the conversation of turn *k*, as in [`multi_turn_chat`]), and
+/// additionally declares its tenant's `system_prompt_id` over the first
+/// [`SharedSyspromptSpec::system_prompt_len`] prompt tokens. Whole-prefix
+/// caching sees nothing reusable on a session's first turn; block-granular
+/// caching reuses the tenant's system-prompt blocks stored by *other*
+/// sessions ([`crate::RequestSpec::matchable_blocks`]).
+///
+/// Sessions are interleaved round-robin across
+/// [`MultiTurnSpec::concurrent_sessions`] slots, as in [`multi_turn_chat`].
+pub fn shared_sysprompt_chat(n: usize, seed: u64, spec: &SharedSyspromptSpec) -> Vec<RequestSpec> {
+    assert!(spec.tenants > 0, "need at least one tenant");
+    let chat = &spec.chat;
+    assert!(
+        chat.concurrent_sessions > 0,
+        "need at least one concurrent session"
+    );
+    assert!(
+        (0.0..1.0).contains(&chat.continue_prob),
+        "continue probability {} outside [0, 1)",
+        chat.continue_prob
+    );
+    let base = derive_seed(seed, 112);
+    let mut user_rng = seeded(derive_seed(base, 0));
+    let mut out_rng = seeded(derive_seed(base, 1));
+    let mut cont_rng = seeded(derive_seed(base, 2));
+    let mut tenant_rng = seeded(derive_seed(base, 3));
+    struct Slot {
+        session: u64,
+        tenant: u64,
+        conversation: u32,
+    }
+    let mut slots: Vec<Option<Slot>> = (0..chat.concurrent_sessions).map(|_| None).collect();
+    let mut next_session = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let slot = &mut slots[i % chat.concurrent_sessions];
+        let (session, tenant, prefix_len) = match slot {
+            Some(s) => (s.session, s.tenant, s.conversation),
+            None => {
+                let session = next_session;
+                next_session += 1;
+                let tenant = tenant_rng.gen_range(0..spec.tenants as u64);
+                *slot = Some(Slot {
+                    session,
+                    tenant,
+                    conversation: 0,
+                });
+                (session, tenant, 0)
+            }
+        };
+        let fresh = if prefix_len == 0 {
+            spec.system_prompt_len + chat.user_turn.sample(&mut user_rng)
+        } else {
+            chat.user_turn.sample(&mut user_rng)
+        };
+        let input_len = prefix_len + fresh;
+        let output_len = chat
+            .assistant_turn
+            .sample(&mut out_rng)
+            .clamp(1, chat.max_new_tokens);
+        out.push(
+            RequestSpec::new(i as u64, input_len, output_len, chat.max_new_tokens)
+                .with_prefix(session, prefix_len)
+                .with_system_prompt(tenant, spec.system_prompt_len),
+        );
+        let conversation = input_len + output_len;
+        let continues = cont_rng.gen_bool(chat.continue_prob)
+            && conversation + chat.user_turn.max_len() + chat.max_new_tokens <= chat.max_context;
+        *slot = continues.then_some(Slot {
+            session,
+            tenant,
+            conversation,
+        });
+    }
+    out
+}
+
+/// Session-timed variant of [`shared_sysprompt_chat`]: sessions arrive
+/// Poisson at `sessions_per_sec` and follow-up turns wait one think gap,
+/// exactly as in [`multi_turn_chat_timed`]. Returns
+/// `(requests, arrival_times)` sorted by arrival, ids dense in arrival
+/// order.
+///
+/// # Panics
+///
+/// Panics on the same invalid rates/think parameters as
+/// [`multi_turn_chat_timed`], or if `spec.tenants` is zero.
+pub fn shared_sysprompt_chat_timed(
+    n: usize,
+    seed: u64,
+    spec: &SharedSyspromptSpec,
+    sessions_per_sec: f64,
+    think_floor_secs: f64,
+    think_mean_secs: f64,
+) -> (Vec<RequestSpec>, Vec<pf_metrics::SimTime>) {
+    assert!(spec.tenants > 0, "need at least one tenant");
+    assert!(
+        sessions_per_sec.is_finite() && sessions_per_sec > 0.0,
+        "invalid session rate {sessions_per_sec}"
+    );
+    assert!(
+        think_floor_secs >= 0.0 && think_mean_secs >= 0.0,
+        "negative think time"
+    );
+    let chat = &spec.chat;
+    assert!(
+        (0.0..1.0).contains(&chat.continue_prob),
+        "continue probability {} outside [0, 1)",
+        chat.continue_prob
+    );
+    let base = derive_seed(seed, 113);
+    let mut start_rng = seeded(derive_seed(base, 0));
+    let mut user_rng = seeded(derive_seed(base, 1));
+    let mut out_rng = seeded(derive_seed(base, 2));
+    let mut cont_rng = seeded(derive_seed(base, 3));
+    let mut think_rng = seeded(derive_seed(base, 4));
+    let mut tenant_rng = seeded(derive_seed(base, 5));
+    // (arrival_us, session, turn, input_len, output_len, prefix_len, tenant)
+    #[allow(clippy::type_complexity)]
+    let mut turns: Vec<(u64, u64, u32, u32, u32, u32, u64)> = Vec::with_capacity(2 * n);
+    let mut session_start = 0.0f64;
+    let mut session = 0u64;
+    while turns.len() < n {
+        let u: f64 = start_rng.gen();
+        session_start += -(1.0 - u).ln() / sessions_per_sec;
+        let tenant = tenant_rng.gen_range(0..spec.tenants as u64);
+        let mut at = session_start;
+        let mut conversation = 0u32;
+        let mut turn = 0u32;
+        loop {
+            let fresh = if conversation == 0 {
+                spec.system_prompt_len + chat.user_turn.sample(&mut user_rng)
+            } else {
+                chat.user_turn.sample(&mut user_rng)
+            };
+            let input_len = conversation + fresh;
+            let output_len = chat
+                .assistant_turn
+                .sample(&mut out_rng)
+                .clamp(1, chat.max_new_tokens);
+            turns.push((
+                (at * 1e6) as u64,
+                session,
+                turn,
+                input_len,
+                output_len,
+                conversation,
+                tenant,
+            ));
+            conversation = input_len + output_len;
+            let continues = cont_rng.gen_bool(chat.continue_prob)
+                && conversation + chat.user_turn.max_len() + chat.max_new_tokens
+                    <= chat.max_context;
+            if !continues {
+                break;
+            }
+            let u: f64 = think_rng.gen();
+            at += think_floor_secs - (1.0 - u).ln() * think_mean_secs;
+            turn += 1;
+        }
+        session += 1;
+    }
+    turns.sort_unstable_by_key(|&(at, session, turn, ..)| (at, session, turn));
+    turns.truncate(n);
+    let mut requests = Vec::with_capacity(n);
+    let mut arrivals = Vec::with_capacity(n);
+    for (i, (at_us, session, _, input_len, output_len, prefix_len, tenant)) in
+        turns.into_iter().enumerate()
+    {
+        requests.push(
+            RequestSpec::new(i as u64, input_len, output_len, chat.max_new_tokens)
+                .with_prefix(session, prefix_len)
+                .with_system_prompt(tenant, spec.system_prompt_len),
+        );
+        arrivals.push(pf_metrics::SimTime::from_micros(at_us));
+    }
+    (requests, arrivals)
+}
+
 /// TextVQA-like multimodal workload for Qwen-VL-Chat (256 vision tokens per
 /// image).
 pub fn textvqa_qwen_vl(n: usize, seed: u64) -> Vec<RequestSpec> {
@@ -767,6 +982,62 @@ mod tests {
         }
         assert_eq!(
             multi_turn_chat_timed(500, 3, &spec, 2.0, floor, 6.0).0,
+            reqs
+        );
+    }
+
+    #[test]
+    fn shared_sysprompt_chat_shares_tenant_prompts() {
+        let spec = SharedSyspromptSpec::default();
+        let reqs = shared_sysprompt_chat(400, 5, &spec);
+        assert_eq!(reqs.len(), 400);
+        let mut tenants = std::collections::HashSet::new();
+        let mut session_tenant: std::collections::HashMap<u64, u64> = Default::default();
+        for r in &reqs {
+            let tenant = r.system_prompt_id.expect("every request has a tenant");
+            assert!(tenant < spec.tenants as u64);
+            assert_eq!(r.system_prompt_len, spec.system_prompt_len);
+            assert!(r.system_prompt_len <= r.input_len);
+            tenants.insert(tenant);
+            // A session never switches tenants mid-conversation.
+            let session = r.prefix_id.expect("sessions everywhere").raw();
+            assert_eq!(*session_tenant.entry(session).or_insert(tenant), tenant);
+        }
+        assert!(tenants.len() > 1, "sessions spread over several tenants");
+        // Cross-session sharing is real: two first-turn requests of the
+        // same tenant produce identical matchable block chains.
+        let firsts: Vec<&RequestSpec> = reqs
+            .iter()
+            .filter(|r| r.prefix_len == 0 && r.system_prompt_id == Some(0))
+            .take(2)
+            .collect();
+        assert_eq!(firsts.len(), 2, "tenant 0 starts at least two sessions");
+        let a: Vec<u64> = firsts[0].matchable_blocks(64).collect();
+        let b: Vec<u64> = firsts[1].matchable_blocks(64).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u32, spec.system_prompt_len / 64);
+        // Determinism.
+        assert_eq!(shared_sysprompt_chat(400, 5, &spec), reqs);
+    }
+
+    #[test]
+    fn shared_sysprompt_chat_timed_keeps_causality_and_tenancy() {
+        let spec = SharedSyspromptSpec::default();
+        let (reqs, times) = shared_sysprompt_chat_timed(400, 7, &spec, 4.0, 2.0, 3.0);
+        assert_eq!(reqs.len(), 400);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted arrivals");
+        let mut last_turn: std::collections::HashMap<u64, u32> = Default::default();
+        for r in &reqs {
+            let session = r.prefix_id.expect("sessions everywhere").raw();
+            match last_turn.get(&session) {
+                None => assert_eq!(r.prefix_len, 0),
+                Some(&conversation) => assert_eq!(r.prefix_len, conversation),
+            }
+            last_turn.insert(session, r.input_len + r.true_output_len);
+            assert!(r.system_prompt_id.is_some());
+        }
+        assert_eq!(
+            shared_sysprompt_chat_timed(400, 7, &spec, 4.0, 2.0, 3.0).0,
             reqs
         );
     }
