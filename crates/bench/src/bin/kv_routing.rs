@@ -41,7 +41,7 @@ use pf_metrics::{Align, SimDuration, SimTime, SlaSpec, Table};
 use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
 use pf_sim::disagg::{DisaggCluster, DisaggConfig};
 use pf_sim::elastic::ElasticCluster;
-use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_sim::{DisaggKvIndex, GpuSpec, ModelSpec, SimConfig};
 use pf_workload::{datasets, LengthSampler, RequestSpec};
 
 const CAPACITY: u64 = 48_000;
@@ -168,6 +168,13 @@ fn run_job(job: &Job, requests: Vec<RequestSpec>, arrivals: Vec<SimTime>) -> Row
             }
         }
         Mode::Disagg => {
+            // The block-store rows publish real KV events from the prefill
+            // pool into the exact global index, so KvOverlap sees true
+            // per-member block residency instead of a TTL approximation.
+            let mut config = config;
+            if job.store == "blocks" {
+                config.router.disagg_kv_index = DisaggKvIndex::Exact;
+            }
             let report = DisaggCluster::new(DisaggConfig::new(config).router(job.router), 2, 2)
                 .run(requests, arrivals)
                 .expect("disagg run");
@@ -326,18 +333,17 @@ fn main() {
         let affinity = find(&rows, mode, AFFINITY, "blocks");
         let kv = find(&rows, mode, KV_OVERLAP, "blocks");
         assert_eq!(kv.completed, load.completed, "{}", mode.label());
-        // The exact global index must match direct store probes; the
-        // disagg pool runs the *approximate* TTL index (members emit no
-        // removals), which only has to beat cache-blind routing.
-        if mode == Mode::Coloc {
-            assert!(
-                kv.ttft_attainment >= affinity.ttft_attainment,
-                "{}: overlap TTFT attainment {:.3} below prefix-affinity {:.3}",
-                mode.label(),
-                kv.ttft_attainment,
-                affinity.ttft_attainment
-            );
-        }
+        // The exact global index must match direct store probes — in the
+        // colocated fleet and, now that the prefill pool publishes real
+        // KV stored/removed events into an exact index, in the
+        // disaggregated one too.
+        assert!(
+            kv.ttft_attainment >= affinity.ttft_attainment,
+            "{}: overlap TTFT attainment {:.3} below prefix-affinity {:.3}",
+            mode.label(),
+            kv.ttft_attainment,
+            affinity.ttft_attainment
+        );
         assert!(
             kv.ttft_attainment >= load.ttft_attainment,
             "{}: overlap TTFT attainment {:.3} below least-estimated-load {:.3}",

@@ -1,0 +1,246 @@
+//! Extension: layer-wise streaming KV transfer versus the atomic
+//! prefill→decode handoff, swept across shared-link bandwidths.
+//!
+//! Both modes serve the same prefill-heavy stream (long prompts, terse
+//! answers — the regime disaggregation targets) through a 1-prefill +
+//! 1-decode split joined by one honest serialized wire (a single
+//! transfer slot, so neither mode ever overcommits the link). The atomic
+//! path parks each request's whole KV footprint on the prefill engine
+//! until the full post-hoc transfer drains; the streamed path ships each
+//! layer's KV as the producing pass emits it, so the hold releases at
+//! roughly the pass end plus a small tail and the prefill engine's
+//! memory turns over link-latency sooner.
+//!
+//! Under a tight TTFT budget that backpressure relief is the whole
+//! story: the table sweeps the link from comfortable to starved and
+//! reports TTFT-SLA attainment for both modes at matched GPU-seconds.
+//! The run asserts the tentpole claim — streamed attainment strictly
+//! beats atomic at every width, the margin grows as the link narrows,
+//! and the streamed run replays bit-identically.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin kv_streaming [-- --quick]
+//! ```
+
+use pf_bench::{default_threads, run_parallel, Cli};
+use pf_metrics::{Align, SimDuration, SimTime, SlaSpec, Table};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig, KvTransferSpec};
+use pf_sim::{GpuSpec, ModelSpec, SimConfig};
+use pf_workload::{datasets, LengthSampler, RequestSpec};
+
+/// Link widths swept, widest first. 8 GB/s comfortably clears the
+/// stream's aggregate KV demand (~4.3 GB/s); 5 GB/s barely does, so the
+/// atomic path's post-hoc serialization compounds into queueing.
+const LINK_GBPS: [f64; 4] = [8.0, 7.0, 6.0, 5.0];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Atomic,
+    Streamed,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Atomic => "atomic",
+            Mode::Streamed => "streamed",
+        }
+    }
+}
+
+#[derive(Clone)]
+struct RowData {
+    gbps: f64,
+    mode: Mode,
+    completed: usize,
+    ttft_attainment: f64,
+    tail_secs: f64,
+    link_secs: f64,
+    wait_secs: f64,
+    total_bytes: u64,
+    transfers: usize,
+    gpu_seconds: f64,
+    makespan_s: f64,
+}
+
+/// Long prompts, terse answers, arriving every 250 ms: steady pressure
+/// that keeps the prefill pass busy without drowning either pool.
+fn workload(n: usize) -> (Vec<RequestSpec>, Vec<SimTime>) {
+    let input = LengthSampler::uniform(1024, 3072);
+    let output = LengthSampler::uniform(8, 48);
+    let requests = datasets::from_samplers(n, 5, &input, &output, 64);
+    let arrivals = (0..n)
+        .map(|i| SimTime::from_millis(250 * i as u64))
+        .collect();
+    (requests, arrivals)
+}
+
+fn run_mode(gbps: f64, mode: Mode, requests: Vec<RequestSpec>, arrivals: Vec<SimTime>) -> RowData {
+    let transfer = KvTransferSpec::new(gbps, SimDuration::from_micros(200), 1);
+    let transfer = match mode {
+        Mode::Atomic => transfer,
+        Mode::Streamed => transfer.streamed(),
+    };
+    let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+        .capacity_override(4_500)
+        .sla(SlaSpec::new(
+            SimDuration::from_millis(1_500),
+            SimDuration::from_millis(1_500),
+        ))
+        .record_series(false)
+        .seed(5)
+        .build();
+    let report = DisaggCluster::new(DisaggConfig::new(base).transfer(transfer), 1, 1)
+        .run(requests, arrivals)
+        .expect("disagg run");
+    RowData {
+        gbps,
+        mode,
+        completed: report.completed(),
+        ttft_attainment: report.ttft_attainment(),
+        tail_secs: report.transfers.total_tail_secs,
+        link_secs: report.transfers.total_link_secs,
+        wait_secs: report.transfers.total_wait_secs,
+        total_bytes: report.transfers.total_bytes,
+        transfers: report.transfers.transfers,
+        gpu_seconds: report.gpu_seconds(),
+        makespan_s: report.makespan.as_secs_f64(),
+    }
+}
+
+fn find(rows: &[RowData], gbps: f64, mode: Mode) -> &RowData {
+    rows.iter()
+        .find(|r| r.gbps == gbps && r.mode == mode)
+        .unwrap_or_else(|| panic!("missing row {gbps} GB/s {}", mode.label()))
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.size(240, 160);
+    let (requests, arrivals) = workload(n);
+
+    let jobs: Vec<Box<dyn FnOnce() -> RowData + Send>> = LINK_GBPS
+        .iter()
+        .flat_map(|&gbps| {
+            [Mode::Atomic, Mode::Streamed]
+                .into_iter()
+                .map(move |mode| (gbps, mode))
+        })
+        .map(|(gbps, mode)| {
+            let requests = requests.clone();
+            let arrivals = arrivals.clone();
+            Box::new(move || run_mode(gbps, mode, requests, arrivals))
+                as Box<dyn FnOnce() -> RowData + Send>
+        })
+        .collect();
+    let rows = run_parallel(jobs, default_threads());
+
+    let mut table = Table::new([
+        "link GB/s",
+        "mode",
+        "completed",
+        "TTFT-ok %",
+        "tail s",
+        "wire s",
+        "wait s",
+        "GPU-seconds",
+        "makespan s",
+    ])
+    .with_aligns(&[
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for row in &rows {
+        table.row([
+            format!("{:.0}", row.gbps),
+            row.mode.label().to_string(),
+            row.completed.to_string(),
+            format!("{:.1}", row.ttft_attainment * 100.0),
+            format!("{:.1}", row.tail_secs),
+            format!("{:.1}", row.link_secs),
+            format!("{:.1}", row.wait_secs),
+            format!("{:.0}", row.gpu_seconds),
+            format!("{:.0}", row.makespan_s),
+        ]);
+    }
+    cli.emit(
+        "kv_streaming",
+        "Layer-streamed vs atomic KV transfer across shared-link bandwidths \
+         (prefill-heavy, 1p+1d, 1.5 s TTFT budget)",
+        &table,
+    );
+
+    // Tentpole claims: streamed strictly beats atomic at every width, at
+    // matched GPU cost and identical payloads, and the margin grows as
+    // the link narrows.
+    let mut margins = Vec::new();
+    for &gbps in &LINK_GBPS {
+        let atomic = find(&rows, gbps, Mode::Atomic);
+        let streamed = find(&rows, gbps, Mode::Streamed);
+        assert_eq!(streamed.completed, atomic.completed, "{gbps} GB/s");
+        assert_eq!(streamed.total_bytes, atomic.total_bytes, "{gbps} GB/s");
+        assert_eq!(streamed.transfers, atomic.transfers, "{gbps} GB/s");
+        assert!(
+            streamed.ttft_attainment > atomic.ttft_attainment,
+            "{gbps} GB/s: streamed attainment {:.3} did not beat atomic {:.3}",
+            streamed.ttft_attainment,
+            atomic.ttft_attainment
+        );
+        assert!(
+            streamed.gpu_seconds <= atomic.gpu_seconds * 1.02,
+            "{gbps} GB/s: streamed spent {:.0} GPU-s vs {:.0} — not a matched comparison",
+            streamed.gpu_seconds,
+            atomic.gpu_seconds
+        );
+        // Streaming hides the wire behind the pass: most of each
+        // transfer lands while prefill still runs (the tail fraction
+        // grows as the link starves but stays under half the wire), and
+        // the fluid link never queues a stream behind a slot.
+        assert!(
+            streamed.tail_secs < 0.5 * atomic.link_secs,
+            "{gbps} GB/s: tail {:.3}s vs atomic wire {:.3}s",
+            streamed.tail_secs,
+            atomic.link_secs
+        );
+        assert_eq!(streamed.wait_secs, 0.0, "{gbps} GB/s: streams queued");
+        margins.push(streamed.ttft_attainment - atomic.ttft_attainment);
+    }
+    assert!(
+        margins.last().expect("sweep") > margins.first().expect("sweep"),
+        "margin did not grow as the link narrowed: {margins:?}"
+    );
+
+    // Deterministic replay at the narrowest link.
+    let narrowest = *LINK_GBPS.last().expect("sweep");
+    let first = find(&rows, narrowest, Mode::Streamed);
+    let replay = run_mode(narrowest, Mode::Streamed, requests, arrivals);
+    assert_eq!(
+        replay.makespan_s, first.makespan_s,
+        "non-deterministic makespan"
+    );
+    assert_eq!(
+        replay.ttft_attainment, first.ttft_attainment,
+        "non-deterministic attainment"
+    );
+    assert_eq!(replay.tail_secs, first.tail_secs, "non-deterministic tail");
+
+    let widest = find(&rows, LINK_GBPS[0], Mode::Streamed);
+    let widest_atomic = find(&rows, LINK_GBPS[0], Mode::Atomic);
+    println!(
+        "[ok] kv-streaming: TTFT-SLA {:.1}% vs atomic {:.1}% at {:.0} GB/s, \
+         margin {:.1}pp -> {:.1}pp as the link narrows to {:.0} GB/s; replay deterministic",
+        widest.ttft_attainment * 100.0,
+        widest_atomic.ttft_attainment * 100.0,
+        LINK_GBPS[0],
+        margins[0] * 100.0,
+        margins.last().expect("sweep") * 100.0,
+        narrowest,
+    );
+}

@@ -161,6 +161,25 @@ fn run_scenarios(cli: &Cli) -> Vec<Measurement> {
         }));
     }
 
+    // Layer-streamed disagg transfers: the fluid link scheduler's
+    // breakpoint sync and wake/advance loop join the event-loop hot path,
+    // so a regression there (say, a rescan of every stream per event)
+    // lands in this gate rather than only in the behavior suite.
+    {
+        let n = cli.size(800, 120);
+        let requests = datasets::sharegpt(n, 2);
+        let arrivals = steady_arrivals(n, 20);
+        let transfer = pf_sim::disagg::KvTransferSpec::pcie4().streamed();
+        let config = DisaggConfig::new(base_config(30_000)).transfer(transfer);
+        out.push(measure("disagg-stream", n, |sink| {
+            let report = DisaggCluster::new(config.clone(), 2, 2)
+                .run_traced(requests.clone(), arrivals.clone(), sink)
+                .expect("disagg stream run");
+            assert_eq!(report.completed(), n);
+            assert_eq!(report.transfers.streamed, report.transfers.transfers);
+        }));
+    }
+
     // Elastic fleet with autoscaling decisions in the loop.
     {
         let n = cli.size(800, 120);

@@ -21,7 +21,7 @@ use pf_autoscale::{AutoscaleConfig, PredictorKind};
 use pf_core::SchedulerConfig;
 use pf_metrics::{GoodputReport, SimDuration, SimTime, Summary};
 use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
-use pf_sim::disagg::{DisaggCluster, DisaggConfig};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig, KvTransferSpec};
 use pf_sim::elastic::ElasticCluster;
 use pf_sim::{
     EvictionMode, GpuSpec, ModelSpec, PrefillMode, QueueOrder, RequestOutcome, RouterConfig,
@@ -306,6 +306,35 @@ fn fingerprints() -> Vec<(String, u64)> {
         h.f64(report.transfers.total_wait_secs);
         hash_outcomes(&mut h, &report.outcomes);
         pin("disagg-kv-overlap".into(), h);
+    }
+
+    // Layer-streamed disaggregated transfers over a narrow shared link:
+    // the fluid fair-share scheduler, chunk eligibility clock, and the
+    // stream-done handoff all feed the outcome stream, and the streamed
+    // counters join the fingerprint.
+    {
+        let n = 300;
+        let requests = datasets::sharegpt(n, 63);
+        let arrivals: Vec<SimTime> = (0..n)
+            .map(|i| SimTime::from_millis(15 * i as u64))
+            .collect();
+        let transfer = KvTransferSpec::new(10.0, SimDuration::from_micros(200), 2).streamed();
+        let config = DisaggConfig::new(base(63, 12_000).build()).transfer(transfer);
+        let report = DisaggCluster::new(config, 2, 2)
+            .run(requests, arrivals)
+            .expect("disagg stream run");
+        let mut h = Fnv::new();
+        hash_goodput(&mut h, &report.goodput);
+        h.word(report.makespan.as_micros());
+        h.word(report.unserved as u64);
+        h.word(report.timed_out as u64);
+        h.word(report.transfers.transfers as u64);
+        h.word(report.transfers.streamed as u64);
+        h.word(report.transfers.total_bytes);
+        h.f64(report.transfers.total_link_secs);
+        h.f64(report.transfers.total_tail_secs);
+        hash_outcomes(&mut h, &report.outcomes);
+        pin("disagg-stream".into(), h);
     }
 
     // Elastic autoscaling fleet: spawn/drain decisions ride on engine

@@ -45,6 +45,10 @@ pub enum GaugeKind {
     BatchSize,
     /// Deadline urgency of the queue (Σ `1 / (1 + slack_secs)`).
     SlackPressure,
+    /// Running-mean utilization of the shared KV-transfer link (streamed
+    /// disagg runs; emitted with the pseudo-instance `u32::MAX` — the
+    /// link belongs to the cluster, not to a member).
+    LinkUtilization,
 }
 
 impl GaugeKind {
@@ -55,6 +59,7 @@ impl GaugeKind {
             GaugeKind::KvOccupancy => "kv_occupancy",
             GaugeKind::BatchSize => "batch_size",
             GaugeKind::SlackPressure => "slack_pressure",
+            GaugeKind::LinkUtilization => "link_utilization",
         }
     }
 }

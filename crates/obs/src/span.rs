@@ -240,15 +240,24 @@ fn fold_markers(request: u64, markers: &[(SimTime, Marker, u32)]) -> RequestSpan
             Marker::Admitted | Marker::PrefillStart => Phase::Prefill,
             // After prefill the request is decoding — unless the next
             // thing that happens is a KV handoff, in which case the gap
-            // is the wait for a free link slot.
-            Marker::PrefillEnd | Marker::FirstToken => {
-                if next_marker == Marker::KvTransferStart {
-                    Phase::Stalled
+            // is the wait for a free link slot; under layer streaming the
+            // transfer started *during* prefill, so a transfer end right
+            // after the first token is the tail chunks still in flight.
+            Marker::PrefillEnd | Marker::FirstToken => match next_marker {
+                Marker::KvTransferStart => Phase::Stalled,
+                Marker::KvTransferEnd => Phase::KvTransfer,
+                _ => Phase::Decode,
+            },
+            // A streamed transfer starts mid-pass: until the prefill
+            // finishes, the request is still (also) prefilling — the
+            // KvTransfer phase covers only the post-prefill tail.
+            Marker::KvTransferStart => {
+                if matches!(next_marker, Marker::PrefillEnd | Marker::FirstToken) {
+                    Phase::Prefill
                 } else {
-                    Phase::Decode
+                    Phase::KvTransfer
                 }
             }
-            Marker::KvTransferStart => Phase::KvTransfer,
             Marker::KvTransferEnd => Phase::Decode,
             // A terminal marker before the last one (duplicate terminals
             // never happen from the engines); label defensively.

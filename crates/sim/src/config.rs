@@ -442,6 +442,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the KV index backing KvOverlap routing over a
+    /// disaggregated prefill pool (see [`crate::DisaggKvIndex`]).
+    pub fn disagg_kv_index(mut self, index: crate::fleet::DisaggKvIndex) -> Self {
+        self.config.router.disagg_kv_index = index;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SimConfig {
         self.config

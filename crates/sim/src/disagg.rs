@@ -51,6 +51,27 @@
 //! completes, so a saturated link backpressures prompt admission exactly
 //! as it would in a real deployment.
 //!
+//! # Layer-wise streaming
+//!
+//! [`TransferMode::LayerStreamed`] replaces the post-hoc atomic blob with
+//! a chunked pipeline: while a prefill pass runs, each of the model's
+//! `num_layers` KV chunks becomes eligible for transfer as the pass
+//! proportionally produces it, so the transfer overlaps the *remaining
+//! prefill compute* and only the tail chunks (bounded by link bandwidth
+//! versus prefill rate) land after the pass ends. The link itself turns
+//! from `max_inflight` fixed slots into a shared fluid resource:
+//! concurrent streams split `link_gbps` by weighted max-min fair share
+//! ([`crate::link::LinkScheduler`]), with slack-aware weights (the
+//! shared [`crate::fleet`] slack grouping) so urgent transfers draw up
+//! to twice the bandwidth, and `per_hop_overhead` charged **once per
+//! stream** — not per chunk, which would make thin links quadratically
+//! pessimistic in the layer count. TTFT is stamped at prefill end in
+//! both modes; streaming wins by *backpressure*: the source instance
+//! frees its held KV as soon as the short tail lands instead of a full
+//! transfer later, so a saturated prefill pool admits new prompts
+//! sooner, and the first decode step starts earlier (an MTPOT term).
+//! `docs/disagg.md` covers the model and its tuning knobs.
+//!
 //! # Elastic variant and cross-pool repurposing
 //!
 //! [`ElasticDisaggCluster`] runs both pools on the [`crate::fleet`]
@@ -113,7 +134,10 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use pf_autoscale::{AutoscaleConfig, AutoscalePlanner, PoolRole, ScalingDecision, StepLatency};
 use pf_core::{AdmissionIndex, BatchEntry};
-use pf_kvcache::{block_hash, ApproxKvIndexer, PrefixCache, PrefixCacheStats, KV_ROOT_HASH};
+use pf_kvcache::{
+    block_hash, ApproxKvIndexer, BlockPrefixCache, KvEvent, KvIndexer, PrefixCache,
+    PrefixCacheStats, KV_ROOT_HASH,
+};
 use pf_metrics::{GoodputReport, RequestTiming, SeriesGroup, SimDuration, SimTime, SlaSpec};
 use pf_obs::{GaugeKind, Pool, TraceEvent, TraceSink};
 use pf_workload::RequestSpec;
@@ -122,10 +146,11 @@ use crate::cluster::RouterPolicy;
 use crate::config::{PrefixCacheConfig, QueueOrder, SimConfig};
 use crate::error::SimError;
 use crate::fleet::{
-    self, pick_cost_logit, pick_rotating_min, pick_routed, slot_gpu, FleetMember, GpuType,
-    MemberCore, MemberState, RouteCandidate, RouteRng, RouterConfig, ScalingEvent,
+    self, pick_cost_logit, pick_rotating_min, pick_routed, slot_gpu, DisaggKvIndex, FleetMember,
+    GpuType, MemberCore, MemberState, RouteCandidate, RouteRng, RouterConfig, ScalingEvent,
     ROUTE_RNG_STREAM,
 };
+use crate::link::{LinkScheduler, StreamDone, StreamSpec};
 use crate::perf::PerfModel;
 use crate::report::RequestOutcome;
 
@@ -139,8 +164,31 @@ pub struct KvTransferSpec {
     /// Fixed per-transfer overhead (connection setup, descriptor hops).
     pub per_hop_overhead: SimDuration,
     /// Maximum simultaneously in-flight transfers; excess handoffs queue
-    /// FIFO for a slot.
+    /// FIFO for a slot. Atomic mode only — the streamed link is a shared
+    /// fluid resource with no slot bound.
     pub max_inflight: usize,
+    /// How transfers use the link (default [`TransferMode::Atomic`],
+    /// bit-identical to the historical behavior).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub mode: TransferMode,
+    /// Layer chunks per streamed transfer; `0` (the default) resolves to
+    /// the model's layer count. Ignored in atomic mode.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub num_layers: u32,
+}
+
+/// How the prefill→decode KV handoff uses the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TransferMode {
+    /// One atomic blob after prefill completes, over
+    /// [`KvTransferSpec::max_inflight`] fixed slots (the default).
+    #[default]
+    Atomic,
+    /// Layer-chunked streaming over the shared fair-share link: chunks
+    /// become eligible as the prefill pass produces them, overlapping the
+    /// transfer with the remaining compute (see the module docs).
+    LayerStreamed,
 }
 
 impl KvTransferSpec {
@@ -160,7 +208,22 @@ impl KvTransferSpec {
             link_gbps,
             per_hop_overhead,
             max_inflight,
+            mode: TransferMode::Atomic,
+            num_layers: 0,
         }
+    }
+
+    /// Switches to layer-streamed transfers (see [`TransferMode`]).
+    pub fn streamed(mut self) -> Self {
+        self.mode = TransferMode::LayerStreamed;
+        self
+    }
+
+    /// Overrides the layer-chunk count of streamed transfers (`0` = the
+    /// model's layer count).
+    pub fn layers(mut self, num_layers: u32) -> Self {
+        self.num_layers = num_layers;
+        self
     }
 
     /// NVLink-class interconnect (≈200 GB/s, 50 µs overhead, 8 slots).
@@ -553,6 +616,9 @@ struct Job {
     /// Prompt tokens served from the prefill instance's prefix cache
     /// (assigned when the job enters a prefill batch; shrinks the pass).
     cached_prefix: u64,
+    /// Link stream carrying this job's KV (layer-streamed mode only;
+    /// assigned when its prefill pass starts).
+    stream: Option<usize>,
 }
 
 impl Job {
@@ -562,6 +628,7 @@ impl Job {
             timing: RequestTiming::new(arrived),
             generated: 0,
             cached_prefix: 0,
+            stream: None,
         }
     }
 
@@ -599,6 +666,94 @@ impl Job {
     }
 }
 
+/// The prefill pool's prefix-reuse store: the legacy whole-prefix-id LRU
+/// or — under [`DisaggKvIndex::Exact`] — the block-granular chained-hash
+/// store, whose [`KvEvent`]s the run publishes into the exact router
+/// index (mirroring the colocated engine's store selection).
+#[derive(Debug)]
+enum PrefillStore {
+    Whole(PrefixCache),
+    Blocks(BlockPrefixCache),
+}
+
+impl PrefillStore {
+    fn used_tokens(&self) -> u64 {
+        match self {
+            PrefillStore::Whole(cache) => cache.used_tokens(),
+            PrefillStore::Blocks(store) => store.used_tokens(),
+        }
+    }
+
+    fn evict_down_to(&mut self, target_tokens: u64) {
+        match self {
+            PrefillStore::Whole(cache) => {
+                cache.evict_down_to(target_tokens);
+            }
+            PrefillStore::Blocks(store) => {
+                store.evict_down_to(target_tokens);
+            }
+        }
+    }
+
+    fn stats(&self) -> PrefixCacheStats {
+        match self {
+            PrefillStore::Whole(cache) => cache.stats(),
+            PrefillStore::Blocks(store) => store.stats(),
+        }
+    }
+
+    /// Cached overlap a request would enjoy right now, *without* touching
+    /// recency or statistics (router probe, slack-purge feasibility).
+    fn peek_match(&self, spec: &RequestSpec) -> u64 {
+        match self {
+            PrefillStore::Whole(cache) => match spec.prefix_id {
+                Some(id) => cache
+                    .peek(id.raw())
+                    .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
+                None => 0,
+            },
+            PrefillStore::Blocks(store) => {
+                store.peek_run(spec.matchable_blocks(store.block_tokens() as u32))
+            }
+        }
+    }
+
+    /// Consumes an admission-time hit: the cached overlap in tokens,
+    /// refreshing recency and counting lookup/hit statistics.
+    fn lookup_match(&mut self, spec: &RequestSpec) -> u64 {
+        match self {
+            PrefillStore::Whole(cache) => match spec.prefix_id {
+                Some(id) => cache.lookup(id.raw(), u64::from(spec.prefix_len)),
+                None => 0,
+            },
+            PrefillStore::Blocks(store) => {
+                let block_tokens = store.block_tokens() as u32;
+                store.lookup_run(spec.matchable_blocks(block_tokens))
+            }
+        }
+    }
+}
+
+/// Run-side state of one layer-streamed transfer (a parallel array to the
+/// link scheduler's stream ids).
+#[derive(Debug)]
+struct StreamSlot {
+    /// Source prefill member (pool index).
+    from: usize,
+    /// KV tokens held on the source until the stream completes.
+    tokens: u64,
+    /// Stream payload in bytes.
+    bytes: u64,
+    /// First-chunk eligibility instant (µs) — the traced transfer start.
+    start_us: u64,
+    /// When the producing prefill pass ends (µs); transfer time beyond
+    /// this is the un-hidden tail.
+    produce_end_us: u64,
+    /// The job, parked here by its prefill completion until the stream
+    /// lands.
+    job: Option<Job>,
+}
+
 #[derive(Debug)]
 struct PrefillMember {
     core: MemberCore,
@@ -614,10 +769,10 @@ struct PrefillMember {
     /// KV tokens resident: the in-flight batch plus completed prefills
     /// whose transfer has not finished yet.
     held_tokens: u64,
-    /// Instance-local prefix cache (None when disabled). Its occupancy
+    /// Instance-local prefix store (None when disabled). Its occupancy
     /// shares the instance's KV capacity with `held_tokens` and is
     /// reclaimed first when a batch needs the room.
-    prefix: Option<PrefixCache>,
+    prefix: Option<PrefillStore>,
     busy: bool,
     completed: usize,
     /// Claimed by a decode scale-up: flips into the decode pool (after
@@ -650,6 +805,9 @@ struct DecodeMember {
     running_kv: u64,
     busy: bool,
     completed: usize,
+    /// Claimed by a prefill scale-up: flips into the prefill pool (after
+    /// the repurpose delay) the moment its drain completes.
+    repurpose_claimed: bool,
 }
 
 impl PrefillMember {
@@ -659,7 +817,7 @@ impl PrefillMember {
 
     /// Prefix-cache occupancy in tokens (0 when disabled).
     fn prefix_used(&self) -> u64 {
-        self.prefix.as_ref().map_or(0, PrefixCache::used_tokens)
+        self.prefix.as_ref().map_or(0, PrefillStore::used_tokens)
     }
 
     /// Deadline-slack pressure of this instance's prompt queue: the sum
@@ -679,12 +837,9 @@ impl PrefillMember {
     /// Cached overlap this instance would serve `spec` from, without
     /// touching the cache (router probe).
     fn cached_match(&self, spec: &RequestSpec) -> u64 {
-        match (&self.prefix, spec.prefix_id) {
-            (Some(cache), Some(id)) => cache
-                .peek(id.raw())
-                .map_or(0, |cached| cached.min(u64::from(spec.prefix_len))),
-            _ => 0,
-        }
+        self.prefix
+            .as_ref()
+            .map_or(0, |store| store.peek_match(spec))
     }
 }
 
@@ -747,6 +902,13 @@ enum Ev {
     Ready { pool: PoolKind, member: usize },
     /// An autoscale planning round (elastic runs only).
     Plan,
+    /// The shared streamed link reaches its next projected completion
+    /// (dropped unprocessed when `generation` is stale — a stream joined
+    /// or drained since, rescheduling the wake).
+    LinkWake { generation: u64 },
+    /// A layer-streamed KV transfer fully lands (tail chunks plus the
+    /// per-stream overhead).
+    StreamDone { id: usize },
 }
 
 /// Heap entry: earliest `(at, seq)` first; `seq` makes ties deterministic.
@@ -790,15 +952,29 @@ struct Planning {
     next_plan: SimTime,
 }
 
+/// Direction of a cross-pool repurposing flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepurposeDirection {
+    /// A drained prefill member flipped into the decode pool.
+    PrefillToDecode,
+    /// A drained decode member flipped into the prefill pool.
+    DecodeToPrefill,
+}
+
 /// One cross-pool repurposing flip, for reports and property tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RepurposeEvent {
-    /// When the drained prefill member flipped (its prefill life ends and
-    /// its decode life begins at exactly this instant).
+    /// When the drained member flipped (its old-pool life ends and its
+    /// new-pool life begins at exactly this instant).
     pub at: SimTime,
-    /// Index into [`DisaggReport::prefill`]'s instances.
+    /// Which way the member flipped.
+    pub direction: RepurposeDirection,
+    /// Index into [`DisaggReport::prefill`]'s instances: the drained
+    /// member for [`RepurposeDirection::PrefillToDecode`], the freshly
+    /// spawned one for [`RepurposeDirection::DecodeToPrefill`].
     pub prefill_member: usize,
-    /// Index into [`DisaggReport::decode`]'s instances.
+    /// Index into [`DisaggReport::decode`]'s instances (the counterpart
+    /// of `prefill_member`, per the direction).
     pub decode_member: usize,
 }
 
@@ -852,8 +1028,23 @@ struct Run<'s> {
 
     heap: BinaryHeap<Scheduled>,
     seq: u64,
-    /// Free times of the `max_inflight` transfer slots, in microseconds.
+    /// Free times of the `max_inflight` transfer slots, in microseconds
+    /// (atomic mode; unused when `link` is set).
     link_free: BinaryHeap<Reverse<u64>>,
+    /// Shared-link fluid scheduler (`Some` iff the transfer mode is
+    /// [`TransferMode::LayerStreamed`]).
+    link: Option<LinkScheduler>,
+    /// Per-stream run state, indexed by link stream id.
+    stream_slots: Vec<StreamSlot>,
+    /// Reusable completion buffer of [`Run::on_link_wake`].
+    stream_done_buf: Vec<StreamDone>,
+    /// Layer chunks per stream (the spec override or the model's count).
+    num_layers: u32,
+    /// Exact event-driven KV router index (`Some` iff
+    /// [`RouterConfig::disagg_kv_index`] selects [`DisaggKvIndex::Exact`]).
+    exact_index: Option<KvIndexer>,
+    /// Reusable KV-event drain buffer of [`Run::flush_kv_events`].
+    kv_event_scratch: Vec<KvEvent>,
 
     remaining: usize,
     timed_out: usize,
@@ -970,6 +1161,27 @@ impl<'s> Run<'s> {
             link_free: (0..config.transfer.max_inflight)
                 .map(|_| Reverse(0))
                 .collect(),
+            link: match config.transfer.mode {
+                TransferMode::Atomic => None,
+                TransferMode::LayerStreamed => Some(LinkScheduler::new(
+                    config.transfer.link_gbps,
+                    config.transfer.per_hop_overhead.as_micros(),
+                )),
+            },
+            stream_slots: Vec::new(),
+            stream_done_buf: Vec::new(),
+            num_layers: if config.transfer.num_layers > 0 {
+                config.transfer.num_layers
+            } else {
+                config.base.model.n_layers
+            },
+            exact_index: match config.base.router.disagg_kv_index {
+                DisaggKvIndex::Approx => None,
+                DisaggKvIndex::Exact => Some(KvIndexer::new(
+                    config.base.router.kv_event_delay.as_micros(),
+                )),
+            },
+            kv_event_scratch: Vec::new(),
             remaining: requests.len(),
             timed_out: 0,
             outcomes: Vec::with_capacity(requests.len()),
@@ -1024,9 +1236,14 @@ impl<'s> Run<'s> {
             queued_tokens: 0,
             batch: Vec::new(),
             held_tokens: 0,
-            prefix: self
-                .prefix_cache
-                .map(|spec| PrefixCache::new(spec.budget_tokens(self.capacity))),
+            prefix: self.prefix_cache.map(|spec| {
+                let budget = spec.budget_tokens(self.capacity);
+                if self.exact_index.is_some() {
+                    PrefillStore::Blocks(BlockPrefixCache::new(budget, self.block_tokens))
+                } else {
+                    PrefillStore::Whole(PrefixCache::new(budget))
+                }
+            }),
             busy: false,
             completed: 0,
             repurpose_claimed: false,
@@ -1057,6 +1274,7 @@ impl<'s> Run<'s> {
             running_kv: 0,
             busy: false,
             completed: 0,
+            repurpose_claimed: false,
         });
         if !warmup.is_zero() {
             let member = self.decode.len() - 1;
@@ -1102,6 +1320,8 @@ impl<'s> Run<'s> {
                 Ev::DecodeDone(j) => self.on_decode_done(now, j),
                 Ev::Ready { pool, member } => self.on_ready(now, pool, member),
                 Ev::Plan => self.on_plan(now),
+                Ev::LinkWake { generation } => self.on_link_wake(now, generation),
+                Ev::StreamDone { id } => self.on_stream_done(now, id),
             }
         }
         Ok(self.finish())
@@ -1137,10 +1357,14 @@ impl<'s> Run<'s> {
                 parent = block_hash(parent, content);
                 self.chain_scratch.push(parent);
             }
+            let now_us = now.as_micros();
+            if let Some(index) = self.exact_index.as_mut() {
+                index.advance(now_us);
+            }
             let chain = &self.chain_scratch;
+            let exact = self.exact_index.as_ref();
             let approx = &self.approx_index;
             let block_tokens = u64::from(self.block_tokens);
-            let now_us = now.as_micros();
             let candidates = &mut self.scratch_route;
             candidates.clear();
             candidates.extend(
@@ -1156,8 +1380,12 @@ impl<'s> Run<'s> {
                         RouteCandidate {
                             index: i,
                             load: load / m.core.gpu.perf_scale,
-                            cached_match: approx.overlap_blocks(i as u32, chain, now_us)
-                                * block_tokens,
+                            cached_match: match exact {
+                                Some(index) => index.overlap(i as u32, chain),
+                                None => {
+                                    approx.overlap_blocks(i as u32, chain, now_us) * block_tokens
+                                }
+                            },
                         }
                     }),
             );
@@ -1171,8 +1399,10 @@ impl<'s> Run<'s> {
                 &mut self.route_rng,
             )
             .expect("at least one live prefill instance");
-            self.approx_index
-                .observe(target as u32, &self.chain_scratch, now_us);
+            if self.exact_index.is_none() {
+                self.approx_index
+                    .observe(target as u32, &self.chain_scratch, now_us);
+            }
             return target;
         }
         // Disjoint borrows: candidates are rebuilt into the reusable
@@ -1262,12 +1492,9 @@ impl<'s> Run<'s> {
             let waited = now.saturating_since(job.timing.arrival());
             let min_feasible = if slack_aware {
                 let prompt = u64::from(job.spec.input_len);
-                let cached = match (prefix, job.spec.prefix_id) {
-                    (Some(cache), Some(id)) => cache
-                        .peek(id.raw())
-                        .map_or(0, |c| c.min(u64::from(job.spec.prefix_len))),
-                    _ => 0,
-                };
+                let cached = prefix
+                    .as_ref()
+                    .map_or(0, |store| store.peek_match(&job.spec));
                 gpu.scale_step(perf.prefill_step(prompt.saturating_sub(cached).max(1)))
             } else {
                 SimDuration::ZERO
@@ -1415,8 +1642,8 @@ impl<'s> Run<'s> {
             // Consume the prefix hit: the pass skips the cached tokens
             // (at least the final prompt position is always computed;
             // the reclaim above may have shrunk the probed match).
-            if let (Some(cache), Some(id)) = (member.prefix.as_mut(), job.spec.prefix_id) {
-                job.cached_prefix = cache.lookup(id.raw(), u64::from(job.spec.prefix_len));
+            if let Some(store) = member.prefix.as_mut() {
+                job.cached_prefix = store.lookup_match(&job.spec);
             }
             member.queued_tokens -= prompt;
             member.held_tokens += tokens;
@@ -1441,6 +1668,7 @@ impl<'s> Run<'s> {
             member.batch.push(job);
         }
         self.queued_deadlines -= batched_own_deadlines;
+        self.flush_kv_events(i, now);
         let member = &mut self.prefill[i];
         if member.batch.is_empty() {
             return;
@@ -1450,22 +1678,110 @@ impl<'s> Run<'s> {
             .core
             .gpu
             .scale_step(perf.prefill_step(batch_computed_tokens));
+        // The pass completion is scheduled before any stream events so
+        // that, at equal timestamps, `PrefillDone` always pops first: a
+        // stream's last chunk turns eligible exactly at the pass end, so
+        // its `StreamDone` can never land before the job is parked.
         self.schedule(now + duration, Ev::PrefillDone(i));
+        if self.link.is_some() {
+            self.start_streams(i, now, duration);
+        }
+    }
+
+    /// Opens one link stream per multi-token job in member `i`'s freshly
+    /// started pass: chunk `l` of `num_layers` becomes eligible as the
+    /// pass proportionally produces layer `l`, so the transfer overlaps
+    /// the remaining prefill compute.
+    fn start_streams(&mut self, i: usize, now: SimTime, duration: SimDuration) {
+        let now_us = now.as_micros();
+        let end_us = now_us + duration.as_micros();
+        let chunks = self.num_layers.max(1);
+        let first_at = now_us + (end_us - now_us).div_ceil(u64::from(chunks));
+        let aging_cap = match self.queue_order {
+            QueueOrder::LeastSlackFirst { aging_cap } => aging_cap,
+            _ => SimDuration::from_secs(30),
+        };
+        let default_deadline = self.default_deadline;
+        let kv_bytes = self.kv_bytes_per_token;
+        let instance = self.prefill[i].instance;
+        for idx in 0..self.prefill[i].batch.len() {
+            let job = &self.prefill[i].batch[idx];
+            if job.generated + 1 >= job.spec.true_output_len {
+                continue; // Finishes at prefill; never crosses the link.
+            }
+            let tokens = job.prefill_tokens();
+            let bytes = tokens * kv_bytes;
+            let weight = fleet::slack_share_weight(
+                now,
+                job.timing.arrival(),
+                job.spec.deadline.or(default_deadline),
+                aging_cap,
+            );
+            let request = job.spec.id.raw();
+            let link = self
+                .link
+                .as_mut()
+                .expect("start_streams runs in streamed mode only");
+            let id = link.start_stream(
+                now_us,
+                StreamSpec {
+                    bytes,
+                    produce_start_us: now_us,
+                    produce_end_us: end_us,
+                    chunks,
+                    weight,
+                },
+            );
+            debug_assert_eq!(id, self.stream_slots.len());
+            self.stream_slots.push(StreamSlot {
+                from: i,
+                tokens,
+                bytes,
+                start_us: first_at,
+                produce_end_us: end_us,
+                job: None,
+            });
+            self.prefill[i].batch[idx].stream = Some(id);
+            // Future-stamped at the first chunk's eligibility, mirroring
+            // the atomic path's slot-granted start stamp.
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::KvTransferStart {
+                    at: SimTime::from_micros(first_at),
+                    instance,
+                    request,
+                },
+            );
+        }
+        self.schedule_link_wake(now);
+        self.emit_link_utilization(now);
     }
 
     /// Retains a prefilled prompt's KV in the instance's prefix cache:
     /// the session's next turn routed here skips recomputing it. Keeps
     /// the instance invariant `held + cache ≤ capacity`.
     fn cache_prefill_prefix(member: &mut PrefillMember, capacity: u64, job: &Job) {
-        let Some(cache) = member.prefix.as_mut() else {
+        let held = member.held_tokens;
+        let Some(store) = member.prefix.as_mut() else {
             return;
         };
-        let Some(id) = job.spec.prefix_id else {
-            return;
-        };
-        cache.insert(id.raw(), u64::from(job.spec.input_len) + 1);
-        if member.held_tokens + cache.used_tokens() > capacity {
-            cache.evict_down_to(capacity.saturating_sub(member.held_tokens));
+        match store {
+            PrefillStore::Whole(cache) => {
+                let Some(id) = job.spec.prefix_id else {
+                    return;
+                };
+                cache.insert(id.raw(), u64::from(job.spec.input_len) + 1);
+            }
+            PrefillStore::Blocks(blocks) => {
+                if job.spec.prefix_id.is_none() && job.spec.system_prompt_id.is_none() {
+                    return;
+                }
+                let block_tokens = blocks.block_tokens() as u32;
+                blocks.insert_chain(job.spec.storable_blocks(block_tokens, job.generated));
+            }
+        }
+        if held + store.used_tokens() > capacity {
+            store.evict_down_to(capacity.saturating_sub(held));
         }
     }
 
@@ -1509,10 +1825,15 @@ impl<'s> Run<'s> {
                 // over.
                 self.prefill[i].held_tokens -= job.prefill_tokens();
                 self.finish_job(now, instance, job);
+            } else if let Some(stream) = job.stream {
+                // Layer-streamed: the transfer has been in flight since
+                // the pass started; park the job for its `StreamDone`.
+                self.stream_slots[stream].job = Some(job);
             } else {
                 self.push_transfer(now, i, job);
             }
         }
+        self.flush_kv_events(i, now);
         if let Some(s) = self.sink.as_deref_mut() {
             let member = &self.prefill[i];
             s.gauge(
@@ -1573,6 +1894,142 @@ impl<'s> Run<'s> {
         self.prefill[from].held_tokens -= tokens;
         self.try_start_prefill(from, now);
         self.maybe_stop_prefill(from, now);
+        self.handoff_to_decode(now, job);
+    }
+
+    /// Schedules a wake at the link's next projected completion, tagged
+    /// with the current generation; a join in the meantime bumps the
+    /// generation, so the stale wake is dropped unprocessed and a fresh
+    /// projection replaces it.
+    fn schedule_link_wake(&mut self, now: SimTime) {
+        let Some(link) = self.link.as_ref() else {
+            return;
+        };
+        let Some(at_us) = link.next_event_us() else {
+            return;
+        };
+        let generation = link.generation();
+        self.schedule(
+            SimTime::from_micros(at_us.max(now.as_micros())),
+            Ev::LinkWake { generation },
+        );
+    }
+
+    fn on_link_wake(&mut self, now: SimTime, generation: u64) {
+        let Some(link) = self.link.as_mut() else {
+            return;
+        };
+        if generation != link.generation() {
+            return; // Superseded by a join since this wake was scheduled.
+        }
+        let mut completions = std::mem::take(&mut self.stream_done_buf);
+        completions.clear();
+        link.advance(now.as_micros(), &mut completions);
+        for done in completions.drain(..) {
+            self.schedule(
+                SimTime::from_micros(done.done_us.max(now.as_micros())),
+                Ev::StreamDone { id: done.id },
+            );
+        }
+        self.stream_done_buf = completions;
+        self.schedule_link_wake(now);
+    }
+
+    /// A layer-streamed transfer fully lands: the source releases the
+    /// held KV, the stats charge the wire time plus one *per-stream*
+    /// overhead, and the job hands off to the decode pool exactly like an
+    /// atomic transfer end.
+    fn on_stream_done(&mut self, now: SimTime, id: usize) {
+        let slot = &mut self.stream_slots[id];
+        let from = slot.from;
+        let tokens = slot.tokens;
+        let bytes = slot.bytes;
+        let start_us = slot.start_us;
+        let produce_end_us = slot.produce_end_us;
+        let job = slot
+            .job
+            .take()
+            .expect("a stream completes only after its prefill pass parked the job");
+        let wire_secs = bytes as f64 / (self.transfer.link_gbps * 1e9);
+        self.stats.transfers += 1;
+        self.stats.streamed += 1;
+        self.stats.total_bytes += bytes;
+        self.stats.total_link_secs += wire_secs + self.transfer.per_hop_overhead.as_secs_f64();
+        self.stats.total_tail_secs += now.as_micros().saturating_sub(produce_end_us) as f64 / 1e6;
+        if self.record {
+            self.transfer_intervals
+                .push((SimTime::from_micros(start_us), now));
+        }
+        self.prefill[from].held_tokens -= tokens;
+        self.try_start_prefill(from, now);
+        self.maybe_stop_prefill(from, now);
+        self.emit_link_utilization(now);
+        self.handoff_to_decode(now, job);
+    }
+
+    /// Emits the shared-link utilization gauge (streamed mode only).
+    /// The link is a pool-wide resource, so the gauge carries the
+    /// pseudo-instance `u32::MAX` rather than any member's id.
+    fn emit_link_utilization(&mut self, now: SimTime) {
+        let Some(link) = self.link.as_ref() else {
+            return;
+        };
+        let utilization = link.utilization();
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.gauge(now, u32::MAX, GaugeKind::LinkUtilization, utilization);
+        }
+    }
+
+    /// Drains member `i`'s block-store KV events (exact-index mode only):
+    /// each is mirrored to the trace sink and published into the exact
+    /// router index. No-op for whole-prefix stores.
+    fn flush_kv_events(&mut self, i: usize, now: SimTime) {
+        let Run {
+            prefill,
+            kv_event_scratch,
+            exact_index,
+            sink,
+            ..
+        } = self;
+        let member = &mut prefill[i];
+        let Some(PrefillStore::Blocks(store)) = member.prefix.as_mut() else {
+            return;
+        };
+        if store.pending_events() == 0 {
+            return;
+        }
+        kv_event_scratch.clear();
+        store.drain_events(kv_event_scratch);
+        let instance = member.instance;
+        for &ev in kv_event_scratch.iter() {
+            fleet::emit(
+                sink,
+                match ev {
+                    KvEvent::Stored { block, .. } => TraceEvent::KvStored {
+                        at: now,
+                        instance,
+                        block,
+                    },
+                    KvEvent::Removed { block } => TraceEvent::KvRemoved {
+                        at: now,
+                        instance,
+                        block,
+                    },
+                },
+            );
+        }
+        if let Some(index) = exact_index.as_mut() {
+            let now_us = now.as_micros();
+            for &ev in kv_event_scratch.iter() {
+                index.publish(i as u32, ev, now_us);
+            }
+        }
+    }
+
+    /// Routes a landed KV handoff onto the decode pool — shared by the
+    /// atomic and streamed paths, so both modes admit to decode through
+    /// byte-identical logic.
+    fn handoff_to_decode(&mut self, now: SimTime, job: Job) {
         if let Some(planning) = self.planning.as_mut() {
             planning
                 .decode
@@ -1803,6 +2260,16 @@ impl<'s> Run<'s> {
             .count()
     }
 
+    /// Pending reverse claims: draining decode members the prefill pool
+    /// owns but which have not flipped yet (the mirror of
+    /// [`Run::claimed_repurposes`]).
+    fn claimed_decode_repurposes(&self) -> usize {
+        self.decode
+            .iter()
+            .filter(|m| m.repurpose_claimed && m.core.stopped_at.is_none())
+            .count()
+    }
+
     fn maybe_stop_prefill(&mut self, i: usize, now: SimTime) {
         let member = &mut self.prefill[i];
         if !(member.core.state == MemberState::Draining
@@ -1816,6 +2283,12 @@ impl<'s> Run<'s> {
         let gpu = member.core.gpu;
         let claimed = std::mem::take(&mut member.repurpose_claimed);
         member.core.stop(now);
+        // A stopping member's cached blocks vanish with it: publish the
+        // removals so the exact router index stops crediting the ghost.
+        if let Some(store) = self.prefill[i].prefix.as_mut() {
+            store.evict_down_to(0);
+        }
+        self.flush_kv_events(i, now);
         if claimed {
             // The flip: the member leaves the prefill ledger and re-spawns
             // in the decode pool at the same instant, with its KV pool
@@ -1840,6 +2313,7 @@ impl<'s> Run<'s> {
             );
             self.repurposes.push(RepurposeEvent {
                 at: now,
+                direction: RepurposeDirection::PrefillToDecode,
                 prefill_member: i,
                 decode_member,
             });
@@ -1849,14 +2323,43 @@ impl<'s> Run<'s> {
 
     fn maybe_stop_decode(&mut self, j: usize, now: SimTime) {
         let member = &mut self.decode[j];
-        if member.core.state == MemberState::Draining
+        if !(member.core.state == MemberState::Draining
             && !member.busy
             && member.running.is_empty()
-            && member.pending.is_empty()
+            && member.pending.is_empty())
         {
-            member.core.stop(now);
-            self.record_fleet(now);
+            return;
         }
+        let gpu = member.core.gpu;
+        let claimed = std::mem::take(&mut member.repurpose_claimed);
+        member.core.stop(now);
+        if claimed {
+            // The reverse flip: a drained decode member re-spawns in the
+            // prefill pool after the short repurpose delay — the mirror of
+            // the prefill→decode flip in [`Run::maybe_stop_prefill`], so
+            // pools rebalance through both phases of a diurnal day.
+            let delay = self
+                .repurpose_delay
+                .expect("claims only exist with repurposing enabled");
+            let from_instance = self.decode[j].instance;
+            let prefill_member = self.prefill.len();
+            self.spawn_prefill(now, delay, gpu);
+            fleet::emit(
+                &mut self.sink,
+                TraceEvent::Repurposed {
+                    at: now,
+                    from_instance,
+                    to_instance: self.prefill[prefill_member].instance,
+                },
+            );
+            self.repurposes.push(RepurposeEvent {
+                at: now,
+                direction: RepurposeDirection::DecodeToPrefill,
+                prefill_member,
+                decode_member: j,
+            });
+        }
+        self.record_fleet(now);
     }
 
     fn finish_job(&mut self, now: SimTime, instance: u32, job: Job) {
@@ -1918,11 +2421,12 @@ impl<'s> Run<'s> {
             PoolKind::Prefill => fleet::pool_counts(&self.prefill),
             PoolKind::Decode => fleet::pool_counts(&self.decode),
         };
-        if pool == PoolKind::Decode {
-            // Claimed-but-not-flipped repurposes are decode capacity
-            // already ordered.
-            warming += self.claimed_repurposes();
-        }
+        // Claimed-but-not-flipped repurposes are capacity the pool has
+        // already ordered (in either direction).
+        warming += match pool {
+            PoolKind::Decode => self.claimed_repurposes(),
+            PoolKind::Prefill => self.claimed_decode_repurposes(),
+        };
         let effective = live + warming;
         if effective == 0 {
             return Vec::new();
@@ -1986,15 +2490,19 @@ impl<'s> Run<'s> {
             PoolKind::Prefill => fleet::pool_counts(&self.prefill),
             PoolKind::Decode => fleet::pool_counts(&self.decode),
         };
-        if pool == PoolKind::Decode {
-            warming += self.claimed_repurposes();
-        }
+        warming += match pool {
+            PoolKind::Decode => self.claimed_repurposes(),
+            PoolKind::Prefill => self.claimed_decode_repurposes(),
+        };
         let effective = live + warming;
         match decision {
             ScalingDecision::ScaleUp { target } if target > effective => {
                 let mut need = target - effective;
-                if pool == PoolKind::Decode && self.repurpose_delay.is_some() {
-                    need -= self.claim_repurposes(need);
+                if self.repurpose_delay.is_some() {
+                    need -= match pool {
+                        PoolKind::Decode => self.claim_repurposes(need),
+                        PoolKind::Prefill => self.claim_decode_repurposes(need),
+                    };
                 }
                 for _ in 0..need {
                     match pool {
@@ -2018,29 +2526,48 @@ impl<'s> Run<'s> {
             }
             ScalingDecision::ScaleDown { target } if target < effective => {
                 let mut excess = effective - target;
-                if pool == PoolKind::Decode {
-                    // Un-claim pending repurposes first: they have not
-                    // started costing the decode pool anything yet.
-                    for i in (0..self.prefill.len()).rev() {
-                        if excess == 0 {
-                            break;
+                // Un-claim pending repurposes first: they have not
+                // started costing this pool anything yet.
+                match pool {
+                    PoolKind::Decode => {
+                        for i in (0..self.prefill.len()).rev() {
+                            if excess == 0 {
+                                break;
+                            }
+                            if self.prefill[i].repurpose_claimed
+                                && self.prefill[i].core.stopped_at.is_none()
+                            {
+                                self.prefill[i].repurpose_claimed = false;
+                                excess -= 1;
+                            }
                         }
-                        if self.prefill[i].repurpose_claimed
-                            && self.prefill[i].core.stopped_at.is_none()
-                        {
-                            self.prefill[i].repurpose_claimed = false;
-                            excess -= 1;
+                    }
+                    PoolKind::Prefill => {
+                        for j in (0..self.decode.len()).rev() {
+                            if excess == 0 {
+                                break;
+                            }
+                            if self.decode[j].repurpose_claimed
+                                && self.decode[j].core.stopped_at.is_none()
+                            {
+                                self.decode[j].repurpose_claimed = false;
+                                excess -= 1;
+                            }
                         }
                     }
                 }
                 if excess == 0 {
                     return Vec::new();
                 }
+                // Claims reduced `excess` above; re-express the target
+                // over the pool's actual members only.
                 match pool {
-                    PoolKind::Prefill => fleet::shrink_pool(&mut self.prefill, target, now),
+                    PoolKind::Prefill => {
+                        let (p_live, p_warming) = fleet::pool_counts(&self.prefill);
+                        let member_target = (p_live + p_warming).saturating_sub(excess);
+                        fleet::shrink_pool(&mut self.prefill, member_target, now)
+                    }
                     PoolKind::Decode => {
-                        // Claims reduced `excess` above; re-express the
-                        // target over actual decode members only.
                         let (d_live, d_warming) = fleet::pool_counts(&self.decode);
                         let member_target = (d_live + d_warming).saturating_sub(excess);
                         fleet::shrink_pool(&mut self.decode, member_target, now)
@@ -2066,6 +2593,25 @@ impl<'s> Run<'s> {
         let claimed = candidates.len().min(need);
         for &(_, i) in candidates.iter().take(claimed) {
             self.prefill[i].repurpose_claimed = true;
+        }
+        claimed
+    }
+
+    /// Claims up to `need` draining, unclaimed decode members for the
+    /// prefill pool (least-loaded first: they flip soonest). Returns how
+    /// many were claimed.
+    fn claim_decode_repurposes(&mut self, need: usize) -> usize {
+        let mut candidates: Vec<(u64, usize)> = self
+            .decode
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.core.state == MemberState::Draining && !m.repurpose_claimed)
+            .map(|(j, m)| (m.load_signal(), j))
+            .collect();
+        candidates.sort_unstable();
+        let claimed = candidates.len().min(need);
+        for &(_, j) in candidates.iter().take(claimed) {
+            self.decode[j].repurpose_claimed = true;
         }
         claimed
     }
@@ -2138,9 +2684,18 @@ pub struct TransferStats {
     /// Total pure link time (bandwidth + overhead), in seconds.
     pub total_link_secs: f64,
     /// Total time handoffs waited for one of the bounded in-flight slots.
+    /// Always zero under [`TransferMode::LayerStreamed`] — the shared
+    /// link admits every stream immediately at a proportional rate.
     pub total_wait_secs: f64,
     /// Longest single wait for a slot.
     pub max_wait_secs: f64,
+    /// Transfers carried by layer streaming (a subset of `transfers`).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub streamed: usize,
+    /// Total streamed transfer time landing *after* the producing prefill
+    /// pass ended (the un-hidden tail), in seconds. Zero in atomic mode.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub total_tail_secs: f64,
 }
 
 impl TransferStats {

@@ -473,6 +473,49 @@ pub(crate) fn slack_urgency(
     1.0 / (1.0 + (deadline - waited).as_secs_f64())
 }
 
+/// Fair-share weight of one KV stream on the shared transfer link,
+/// grouped exactly like [`slack_rank_key`]: streams aged past the cap
+/// weigh 2.0 (the starvation bound dominates), deadlined streams weigh
+/// `1 + 1/(1 + slack_secs)` (up to 2.0 as slack vanishes), deadline-free
+/// streams weigh 1.0. Weights are bounded in `[1, 2]`, so no stream is
+/// ever starved of link bandwidth — urgency at most doubles a share.
+pub(crate) fn slack_share_weight(
+    now: SimTime,
+    arrival: SimTime,
+    deadline: Option<pf_metrics::SimDuration>,
+    aging_cap: pf_metrics::SimDuration,
+) -> f64 {
+    let waited = now.saturating_since(arrival);
+    if waited >= aging_cap {
+        return 2.0;
+    }
+    match deadline {
+        Some(deadline) => 1.0 + 1.0 / (1.0 + (deadline - waited).as_secs_f64()),
+        None => 1.0,
+    }
+}
+
+/// Which KV index backs [`crate::cluster::RouterPolicy::KvOverlap`]
+/// routing over the disagg prefill pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DisaggKvIndex {
+    /// The approximate TTL index fed by router-side observations (the
+    /// default, bit-identical to the historical behavior): members emit
+    /// no events, entries expire after
+    /// [`RouterConfig::approx_index_ttl`].
+    #[default]
+    Approx,
+    /// An exact event-driven index: prefill members run block-granular
+    /// prefix stores and publish [`pf_kvcache::KvEvent`]s into a
+    /// [`pf_kvcache::KvIndexer`] (delayed by
+    /// [`RouterConfig::kv_event_delay`]), so overlap scores reflect real
+    /// cache contents including evictions. Requires a
+    /// [`crate::PrefixCacheConfig`] on the base config; its
+    /// `block_tokens` sets the store granularity (default 64).
+    Exact,
+}
+
 /// Weight of the queue's deadline-slack pressure in
 /// [`crate::cluster::RouterPolicy::PrefixAffinity`]'s load signal: each
 /// unit of pressure (one queued request at zero remaining slack) counts
@@ -509,6 +552,10 @@ pub struct RouterConfig {
     /// do not emit removal events (the disagg prefill pool). Entries
     /// observed at `t` stop matching after `t + ttl`.
     pub approx_index_ttl: pf_metrics::SimDuration,
+    /// Which KV index backs KvOverlap routing over the disagg prefill
+    /// pool (ignored by the colocated drivers, which always run the
+    /// exact indexer). Defaults to [`DisaggKvIndex::Approx`].
+    pub disagg_kv_index: DisaggKvIndex,
 }
 
 impl Default for RouterConfig {
@@ -518,6 +565,7 @@ impl Default for RouterConfig {
             slack_pressure_weight: SLACK_PRESSURE_WEIGHT,
             kv_event_delay: pf_metrics::SimDuration::ZERO,
             approx_index_ttl: pf_metrics::SimDuration::from_secs(60),
+            disagg_kv_index: DisaggKvIndex::default(),
         }
     }
 }

@@ -47,6 +47,7 @@ mod engine;
 mod error;
 pub mod fleet;
 mod hardware;
+pub mod link;
 mod model;
 mod perf;
 mod report;
@@ -58,7 +59,7 @@ pub use config::{
     SimConfigBuilder,
 };
 pub use error::SimError;
-pub use fleet::{GpuType, RouterConfig};
+pub use fleet::{DisaggKvIndex, GpuType, RouterConfig};
 pub use hardware::GpuSpec;
 pub use model::ModelSpec;
 pub use perf::{PerfModel, PerfTuning};

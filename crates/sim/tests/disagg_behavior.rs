@@ -2,10 +2,11 @@
 //! flow through both pools, the bounded transfer link, drain correctness,
 //! per-pool scaling independence and full-run determinism.
 
-use pf_autoscale::{AutoscaleConfig, PredictorKind};
-use pf_metrics::{SimDuration, SimTime};
+use pf_autoscale::{AutoscaleConfig, PolicyConfig, PredictorKind};
+use pf_metrics::{SimDuration, SimTime, SlaSpec};
 use pf_sim::disagg::{
     DisaggCluster, DisaggConfig, DisaggReport, ElasticDisaggCluster, KvTransferSpec, PrefillOrder,
+    RepurposeDirection,
 };
 use pf_sim::{GpuSpec, GpuType, ModelSpec, SimConfig};
 use pf_workload::{datasets, rng::seeded, LengthSampler, RateProfile, RequestSpec};
@@ -505,4 +506,189 @@ fn least_slack_first_reduces_disagg_timeouts_on_mixed_deadlines() {
     );
     assert_eq!(lsf.completed() + lsf.timed_out, n);
     assert_eq!(lsf.unserved, 0);
+}
+
+#[test]
+fn atomic_transfer_charges_overhead_once() {
+    // Regression pin for the per-stream overhead fix: the atomic
+    // closed-form latency is bandwidth plus exactly one hop overhead,
+    // independent of how many layers the model has (atomic mode never
+    // chunks).
+    let spec = KvTransferSpec::new(25.0, SimDuration::from_micros(200), 4);
+    assert_eq!(
+        spec.latency(25_000_000_000),
+        SimDuration::from_secs(1) + SimDuration::from_micros(200)
+    );
+    assert_eq!(
+        KvTransferSpec::pcie4().latency(1_000_000),
+        KvTransferSpec::pcie4().layers(64).latency(1_000_000),
+        "layer count must not leak into the atomic latency"
+    );
+}
+
+#[test]
+fn streamed_transfers_hide_the_link_behind_prefill() {
+    // Same prefill-heavy traffic over the same honest serialized wire
+    // (one transfer slot, so the link is never overcommitted), atomic vs
+    // layer-streamed: streaming overlaps the wire time with the producing
+    // pass, so the KV hold releases at roughly the pass end instead of
+    // pass end plus the full wire time — and under a tight TTFT budget
+    // that backpressure relief shows up directly in SLA attainment.
+    let n = 240;
+    let requests = prefill_heavy_requests(n, 5);
+    let arrivals = steady_arrivals(n, 250);
+    let sla = SlaSpec::new(
+        SimDuration::from_millis(1_500),
+        SimDuration::from_millis(1_500),
+    );
+    let link = KvTransferSpec::new(7.0, SimDuration::from_micros(200), 1);
+    let run = |transfer: KvTransferSpec| {
+        let base = SimConfig::builder(ModelSpec::llama2_7b(), GpuSpec::a100_80g())
+            .capacity_override(4_500)
+            .sla(sla)
+            .record_series(false)
+            .seed(5)
+            .build();
+        DisaggCluster::new(DisaggConfig::new(base).transfer(transfer), 1, 1)
+            .run(requests.clone(), arrivals.clone())
+            .expect("disagg run")
+    };
+    let atomic = run(link);
+    let streamed = run(link.streamed());
+    assert_eq!(atomic.transfers.streamed, 0);
+    assert_eq!(streamed.transfers.streamed, streamed.transfers.transfers);
+    // Identical payloads cross the link in both modes.
+    assert_eq!(streamed.transfers.total_bytes, atomic.transfers.total_bytes);
+    assert_eq!(streamed.transfers.transfers, atomic.transfers.transfers);
+    // The streamed tail (transfer time left after prefill ends) is a
+    // small fraction of the wire time the atomic path serializes.
+    assert!(
+        streamed.transfers.total_tail_secs < 0.1 * atomic.transfers.total_link_secs,
+        "tail {:.3}s vs atomic link {:.3}s",
+        streamed.transfers.total_tail_secs,
+        atomic.transfers.total_link_secs
+    );
+    // The shared link has no slot queue: streams start immediately.
+    assert_eq!(streamed.transfers.total_wait_secs, 0.0);
+    // The payoff: hiding the wire behind the pass frees prefill KV sooner,
+    // so TTFT attainment strictly improves at no extra GPU cost.
+    assert!(
+        streamed.ttft_attainment() > atomic.ttft_attainment() + 0.1,
+        "streamed attainment {:.3} vs atomic {:.3}",
+        streamed.ttft_attainment(),
+        atomic.ttft_attainment()
+    );
+    assert!(
+        streamed.gpu_seconds() <= atomic.gpu_seconds(),
+        "streamed burned more GPU: {:.1}s vs {:.1}s",
+        streamed.gpu_seconds(),
+        atomic.gpu_seconds()
+    );
+}
+
+#[test]
+fn streamed_run_is_deterministic() {
+    let n = 120;
+    let requests = prefill_heavy_requests(n, 11);
+    let arrivals = steady_arrivals(n, 50);
+    let run = || {
+        let transfer = KvTransferSpec::new(5.0, SimDuration::from_micros(500), 4).streamed();
+        DisaggCluster::new(
+            DisaggConfig::new(base_config(12_000)).transfer(transfer),
+            2,
+            2,
+        )
+        .run(requests.clone(), arrivals.clone())
+        .expect("disagg run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.transfers, b.transfers);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.goodput, b.goodput);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.timing, y.timing);
+    }
+}
+
+#[test]
+fn reverse_repurposing_rebalances_a_diurnal_day() {
+    // Decode-heavy morning, prefill-heavy afternoon with a thin trickle
+    // of long decodes: the afternoon's prefill scale-up must claim the
+    // decode pool's draining members and flip them back — the mirror of
+    // the prefill→decode flip — instead of paying full warmups while
+    // drained decode GPUs idle out. The trickle keeps drained members
+    // busy long enough to survive into the next plan round (the claim
+    // window a real diurnal shift always has).
+    let n_morning = 360;
+    let n_wave1 = 300;
+    let n_wave2 = 450;
+    let n_trickle = 40;
+    let long_decode = {
+        let input = LengthSampler::uniform(32, 128);
+        let output = LengthSampler::uniform(1536, 3072);
+        datasets::from_samplers(n_trickle, 23, &input, &output, 3072)
+    };
+    let mut pairs: Vec<(RequestSpec, SimTime)> = Vec::new();
+    for (i, r) in decode_heavy_requests(n_morning, 21).into_iter().enumerate() {
+        pairs.push((r, SimTime::from_micros(100_000 * i as u64)));
+    }
+    let start = 100_000 * n_morning as u64;
+    for (i, r) in prefill_heavy_requests(n_wave1 + n_wave2, 22)
+        .into_iter()
+        .enumerate()
+    {
+        let at = if i < n_wave1 {
+            start + 100_000 * (i as u64 + 1)
+        } else {
+            start + 100_000 * n_wave1 as u64 + 50_000 * ((i - n_wave1) as u64 + 1)
+        };
+        pairs.push((r, SimTime::from_micros(at)));
+    }
+    for (i, r) in long_decode.into_iter().enumerate() {
+        pairs.push((
+            r,
+            SimTime::from_micros(start + 1_000 + 1_500_000 * i as u64),
+        ));
+    }
+    pairs.sort_by_key(|&(_, at)| at);
+    let (mut requests, arrivals): (Vec<RequestSpec>, Vec<SimTime>) = pairs.into_iter().unzip();
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.id = (i as u64).into();
+    }
+    let pool = |max: usize, patience: u32| {
+        let mut policy = PolicyConfig::bounded(1, max);
+        policy.scale_down_patience = patience;
+        AutoscaleConfig::bounded(1, max)
+            .interval(SimDuration::from_secs(10))
+            .warmup(SimDuration::from_secs(20))
+            .predictor(PredictorKind::holt())
+            .initial_lengths(512.0, 64.0)
+            .policy(policy)
+    };
+    let config = DisaggConfig::new(base_config(9_000)).repurpose(SimDuration::from_secs(2));
+    let report = ElasticDisaggCluster::new(config, pool(6, 3), pool(4, 1), 1, 2)
+        .run(requests, arrivals)
+        .expect("diurnal run");
+    assert_eq!(report.unserved, 0);
+    let reverse: Vec<_> = report
+        .repurposes
+        .iter()
+        .filter(|e| e.direction == RepurposeDirection::DecodeToPrefill)
+        .collect();
+    assert!(
+        !reverse.is_empty(),
+        "the afternoon phase shift never flipped a decode member back"
+    );
+    for event in reverse {
+        let prefill = &report.prefill.instances[event.prefill_member];
+        let decode = &report.decode.instances[event.decode_member];
+        // Same conservation rules as the forward direction: the decode
+        // life ends exactly where the prefill life begins, on one GPU.
+        assert_eq!(decode.stopped_at, event.at);
+        assert_eq!(prefill.spawned_at, event.at);
+        assert_eq!(prefill.gpu, decode.gpu);
+        assert!(decode.spawned_at < event.at);
+    }
 }

@@ -6,7 +6,7 @@
 use pf_autoscale::{AutoscaleConfig, PolicyConfig, PredictorKind};
 use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SimTime};
-use pf_sim::disagg::{DisaggConfig, DisaggReport, ElasticDisaggCluster};
+use pf_sim::disagg::{DisaggConfig, DisaggReport, ElasticDisaggCluster, RepurposeDirection};
 use pf_sim::fleet::{
     pool_counts, provisioned_count, shrink_pool, FleetMember, GpuType, MemberCore, MemberState,
 };
@@ -233,19 +233,23 @@ fn repurpose_flip_is_atomic_in_the_cost_ledger() {
         for event in &report.repurposes {
             let prefill = &report.prefill.instances[event.prefill_member];
             let decode = &report.decode.instances[event.decode_member];
-            // Conservation: the prefill life ends exactly where the decode
-            // life begins — the GPU is charged once, with no gap and no
-            // overlap, so cost-weighted seconds are conserved across the
-            // flip.
-            assert_eq!(prefill.stopped_at, event.at, "seed {seed}: flip gap");
-            assert_eq!(decode.spawned_at, event.at, "seed {seed}: flip overlap");
+            // Conservation: the old-pool life ends exactly where the
+            // new-pool life begins — the GPU is charged once, with no gap
+            // and no overlap, so cost-weighted seconds are conserved
+            // across the flip (in either direction).
+            let (old, new) = match event.direction {
+                RepurposeDirection::PrefillToDecode => (prefill, decode),
+                RepurposeDirection::DecodeToPrefill => (decode, prefill),
+            };
+            assert_eq!(old.stopped_at, event.at, "seed {seed}: flip gap");
+            assert_eq!(new.spawned_at, event.at, "seed {seed}: flip overlap");
             // The GPU itself (and its price) travels with the flip.
             assert_eq!(prefill.gpu, decode.gpu, "seed {seed}: GPU type changed");
-            // Never both roles at once: the prefill role is over before
-            // the decode role starts, and the instance had fully drained
-            // (it routed work only while live in exactly one pool).
-            assert!(prefill.spawned_at < event.at);
-            assert!(decode.stopped_at >= event.at);
+            // Never both roles at once: the old role is over before the
+            // new role starts, and the instance had fully drained (it
+            // routed work only while live in exactly one pool).
+            assert!(old.spawned_at < event.at);
+            assert!(new.stopped_at >= event.at);
         }
         // The ledger sums exactly what the instance lifetimes say.
         let recompute: f64 = report
