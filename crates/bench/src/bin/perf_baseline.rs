@@ -13,9 +13,8 @@
 //! any healthy machine's throughput so the gate only trips on real
 //! regressions (an accidentally quadratic scheduler loop), not CI noise.
 
-use std::time::Instant;
-
 use pf_autoscale::{AutoscaleConfig, PredictorKind};
+use pf_bench::timing::best_wall_secs;
 use pf_bench::Cli;
 use pf_core::SchedulerConfig;
 use pf_metrics::{SimDuration, SimTime, Table};
@@ -81,21 +80,13 @@ fn measure(
     completed: usize,
     run: impl Fn(Option<&mut dyn TraceSink>),
 ) -> Measurement {
-    let mut wall_nosink_s = f64::INFINITY;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        run(None);
-        wall_nosink_s = wall_nosink_s.min(start.elapsed().as_secs_f64());
-    }
-    let mut wall_sink_s = f64::INFINITY;
+    let wall_nosink_s = best_wall_secs(REPS, || run(None));
     let mut events = 0;
-    for _ in 0..REPS {
+    let wall_sink_s = best_wall_secs(REPS, || {
         let mut sink = CountingSink::new();
-        let start = Instant::now();
         run(Some(&mut sink));
-        wall_sink_s = wall_sink_s.min(start.elapsed().as_secs_f64());
         events = sink.events;
-    }
+    });
     Measurement {
         name,
         completed,

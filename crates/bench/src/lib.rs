@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod sweep;
+pub mod timing;
 
 pub use cli::Cli;
 

@@ -21,7 +21,7 @@ use pf_autoscale::{AutoscaleConfig, PredictorKind};
 use pf_core::SchedulerConfig;
 use pf_metrics::{GoodputReport, SimDuration, SimTime, Summary};
 use pf_sim::cluster::{ClusterSimulation, RouterPolicy};
-use pf_sim::disagg::{DisaggCluster, DisaggConfig, KvTransferSpec};
+use pf_sim::disagg::{DisaggCluster, DisaggConfig, KvTransferSpec, TransferMode};
 use pf_sim::elastic::ElasticCluster;
 use pf_sim::{
     EvictionMode, GpuSpec, ModelSpec, PrefillMode, QueueOrder, RequestOutcome, RouterConfig,
@@ -365,6 +365,57 @@ fn fingerprints() -> Vec<(String, u64)> {
         }
         pin("elastic-holt".into(), h);
     }
+
+    // Every remaining router-policy variant gets its own pinned scenario
+    // (the pf-lint X1 rule enforces that no `RouterPolicy`,
+    // `TransferMode`, or `QueueOrder` variant ships un-goldened). The
+    // multi-turn workload repeats session prefixes so `PrefixAffinity`
+    // routing has real overlap to chase, and the queue order is the
+    // spelled-out form of `QueueOrder::least_slack()`.
+    for (label, policy) in [
+        ("cluster-round-robin", RouterPolicy::RoundRobin),
+        ("cluster-least-outstanding", RouterPolicy::LeastOutstanding),
+        ("cluster-least-used-memory", RouterPolicy::LeastUsedMemory),
+        (
+            "cluster-prefix-affinity",
+            RouterPolicy::PrefixAffinity {
+                load_tiebreak: true,
+            },
+        ),
+    ] {
+        let requests = datasets::multi_turn_chat(300, 71);
+        let arrivals = PoissonArrivals::new(50.0).assign(&mut seeded(71), 300);
+        let report = ClusterSimulation::new(
+            base(71, 6_000)
+                .prefix_cache(0.2)
+                .queue_order(QueueOrder::LeastSlackFirst {
+                    aging_cap: SimDuration::from_secs(30),
+                })
+                .build(),
+            3,
+            policy,
+        )
+        .run(requests, arrivals)
+        .expect("router-policy run");
+        let mut h = Fnv::new();
+        for (routed, r) in report.routed_per_instance.iter().zip(&report.instances) {
+            h.word(*routed as u64);
+            hash_sim_report(&mut h, r);
+        }
+        pin(label.into(), h);
+    }
+
+    // Both transfer modes are exercised by the disagg scenarios above
+    // (`disagg-fifo`/`disagg-slack`/`disagg-kv-overlap` ride the default
+    // atomic NVLink spec, `disagg-stream` the layer-streamed one); spell
+    // the variants out so the golden-coverage rule can see them pinned.
+    assert_eq!(KvTransferSpec::nvlink().mode, TransferMode::Atomic);
+    assert_eq!(
+        KvTransferSpec::new(10.0, SimDuration::from_micros(200), 2)
+            .streamed()
+            .mode,
+        TransferMode::LayerStreamed
+    );
 
     out
 }

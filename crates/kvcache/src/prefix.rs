@@ -27,7 +27,7 @@
 //! assert_eq!(cache.stats().lookups, 2);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]
 struct PrefixEntry {
@@ -91,7 +91,10 @@ pub struct PrefixCache {
     budget_tokens: u64,
     used_tokens: u64,
     clock: u64,
-    entries: HashMap<u64, PrefixEntry>,
+    /// Cached prefixes by id. A `BTreeMap` so the eviction victim scan
+    /// iterates in a fixed order — victim choice feeds eviction counters
+    /// that replayed reports must reproduce bit-identically.
+    entries: BTreeMap<u64, PrefixEntry>,
     stats: PrefixCacheStats,
 }
 
@@ -102,7 +105,7 @@ impl PrefixCache {
             budget_tokens,
             used_tokens: 0,
             clock: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stats: PrefixCacheStats::default(),
         }
     }

@@ -1,0 +1,205 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! Format (one entry per line, tab-separated):
+//!
+//! ```text
+//! <rule>\t<path>\t<trimmed source line>\t<justification>
+//! ```
+//!
+//! Blank lines and lines starting with `#` are comments. A finding is
+//! baselined when its `(rule, path, trimmed line)` triple matches an
+//! entry — line *numbers* are deliberately not part of the key, so
+//! unrelated edits above a grandfathered site don't invalidate it, while
+//! any edit to the offending line itself surfaces the finding again.
+//!
+//! Every entry must carry a non-empty justification; an entry without one
+//! becomes a `B1` finding against the baseline file itself. Entries that
+//! no longer match anything are reported as stale so the file shrinks
+//! over time instead of rotting.
+
+use crate::rules::Finding;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id this entry grandfathers.
+    pub rule: String,
+    /// Workspace-relative path of the finding.
+    pub path: String,
+    /// Trimmed source line of the finding (the match key).
+    pub snippet: String,
+    /// Why this finding is acceptable.
+    pub justification: String,
+    /// 1-based line in the baseline file (for B1/stale reporting).
+    pub file_line: u32,
+}
+
+/// Parses a baseline file. Malformed lines are hard errors: a baseline
+/// that silently drops entries would un-grandfather findings at random.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let file_line = idx as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (Some(rule), Some(path), Some(snippet)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {file_line}: expected `rule<TAB>path<TAB>snippet<TAB>justification`"
+            ));
+        };
+        let justification = parts.next().unwrap_or("").trim().to_string();
+        entries.push(BaselineEntry {
+            rule: rule.trim().to_string(),
+            path: path.trim().to_string(),
+            snippet: snippet.trim().to_string(),
+            justification,
+            file_line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Serialises findings as baseline entries (for `--write-baseline`).
+/// Justifications are emitted as `TODO` so a freshly written baseline
+/// immediately fails B1 until a human fills in the reasons.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# pf-lint baseline: grandfathered findings.\n\
+         # Format: rule<TAB>path<TAB>trimmed source line<TAB>justification\n\
+         # Every entry needs a real justification; `TODO` fails the B1 rule.\n",
+    );
+    for f in findings {
+        out.push_str(&format!("{}\t{}\t{}\tTODO\n", f.rule, f.path, f.snippet));
+    }
+    out
+}
+
+/// The outcome of filtering findings through the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineResult {
+    /// Findings not covered by any entry — these fail the build.
+    pub remaining: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Entries that matched no finding (stale; reported as warnings).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Applies the baseline: removes covered findings, adds `B1` findings for
+/// unjustified entries, and collects stale entries.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[BaselineEntry],
+    baseline_path: &str,
+) -> BaselineResult {
+    let mut result = BaselineResult::default();
+    let mut entry_used = vec![false; entries.len()];
+    for finding in findings {
+        let hit = entries.iter().position(|e| {
+            e.rule == finding.rule && e.path == finding.path && e.snippet == finding.snippet
+        });
+        match hit {
+            Some(idx) => {
+                entry_used[idx] = true;
+                result.baselined += 1;
+            }
+            None => result.remaining.push(finding),
+        }
+    }
+    for (entry, used) in entries.iter().zip(&entry_used) {
+        if !used {
+            result.stale.push(entry.clone());
+        }
+        let unjustified = entry.justification.is_empty() || entry.justification == "TODO";
+        if unjustified {
+            result.remaining.push(Finding {
+                rule: "B1",
+                path: baseline_path.to_string(),
+                line: entry.file_line,
+                message: format!(
+                    "baseline entry for {} at `{}` has no justification — grandfathering \
+                     a finding requires writing down why it is safe",
+                    entry.rule, entry.path
+                ),
+                snippet: format!("{}\t{}\t{}", entry.rule, entry.path, entry.snippet),
+            });
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_match_by_snippet_not_line() {
+        let text =
+            "# comment\n\nD1\tcrates/sim/src/x.rs\tuse std::collections::HashMap;\tlookups only\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        // Same snippet on a *different* line still matches.
+        let result = apply(
+            vec![finding(
+                "D1",
+                "crates/sim/src/x.rs",
+                99,
+                "use std::collections::HashMap;",
+            )],
+            &entries,
+            "lint-baseline.tsv",
+        );
+        assert!(result.remaining.is_empty());
+        assert_eq!(result.baselined, 1);
+        assert!(result.stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_findings_remain_and_unmatched_entries_go_stale() {
+        let entries = parse("D1\ta.rs\told line\twhy\n").unwrap();
+        let result = apply(
+            vec![finding("D1", "a.rs", 1, "new line")],
+            &entries,
+            "b.tsv",
+        );
+        assert_eq!(result.remaining.len(), 1);
+        assert_eq!(result.stale.len(), 1);
+    }
+
+    #[test]
+    fn unjustified_entry_is_b1() {
+        let entries = parse("D1\ta.rs\tline\tTODO\nD2\tb.rs\tline\t\n").unwrap();
+        let result = apply(Vec::new(), &entries, "lint-baseline.tsv");
+        let b1: Vec<_> = result.remaining.iter().filter(|f| f.rule == "B1").collect();
+        assert_eq!(b1.len(), 2);
+        assert_eq!(b1[0].path, "lint-baseline.tsv");
+        assert_eq!(b1[0].line, 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(parse("just one field\n").is_err());
+    }
+
+    #[test]
+    fn render_then_parse() {
+        let rendered = render(&[finding("D1", "a.rs", 3, "let m = HashMap::new();")]);
+        let entries = parse(&rendered).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].justification, "TODO");
+    }
+}

@@ -1,0 +1,515 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The container this workspace builds in has no crate-registry access, so
+//! `syn`/`proc-macro2` are unavailable; the linter instead tokenizes source
+//! text itself. The lexer is *total*: any byte sequence lexes into a token
+//! stream whose spans exactly partition the input (malformed constructs —
+//! unterminated strings or comments — are tolerated by consuming to end of
+//! input). Rules only need token *identity* plus spans and line numbers, so
+//! the lexer is deliberately simpler than a compiler front end:
+//!
+//! * line (`//`) and block (`/* */`) comments, with proper nesting;
+//! * string, byte-string, raw-string (`r"…"`, `r#"…"#`, any hash count,
+//!   `br…` variants), char and byte-char literals, with escapes;
+//! * raw identifiers (`r#type`);
+//! * lifetime-vs-char disambiguation (`'a` vs `'a'`);
+//! * numbers (including `_` separators, float exponents and suffixes);
+//! * multi-character operators matched longest-first.
+//!
+//! Comments and strings are distinct tokens, so rules that scan identifier
+//! tokens can never false-positive on a `HashMap` mentioned in a doc
+//! comment or a string literal — the property that makes token-level
+//! linting strictly better than `grep`.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// A `//` comment, up to (not including) the terminating newline.
+    LineComment,
+    /// A `/* … */` comment, nesting tracked.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string or byte-string literal (`"…"`, `b"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// A numeric literal (`42`, `0xFF`, `1.5e-3`, `42_000u64`).
+    Number,
+    /// An operator or delimiter, multi-character ops as one token.
+    Punct,
+    /// A character the lexer has no rule for (stray non-ASCII, `\0`, …).
+    Unknown,
+}
+
+/// One token: classification plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+/// Multi-character operators, longest first so the match is maximal.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.peek_at(0)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    /// Consumes a `//` comment up to (not including) the newline.
+    fn line_comment(&mut self) -> TokenKind {
+        self.bump_while(|c| c != '\n');
+        TokenKind::LineComment
+    }
+
+    /// Consumes a `/* … */` comment with nesting; unterminated comments
+    /// run to end of input.
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            if self.starts_with("/*") {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.starts_with("*/") {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else if self.bump().is_none() {
+                break;
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Consumes a `"…"`-style literal (opening quote already peeked);
+    /// handles `\"` and `\\`; unterminated strings run to end of input.
+    fn quoted(&mut self, quote: char) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    self.bump(); // the escaped char (possibly the quote)
+                }
+                Some(c) if c == quote => break,
+                Some(_) => {}
+            }
+        }
+        if quote == '"' {
+            TokenKind::Str
+        } else {
+            TokenKind::Char
+        }
+    }
+
+    /// Consumes a raw string starting at the current `r` (prefix bytes up
+    /// to and including `r` NOT yet consumed; `extra` counts already-known
+    /// prefix chars to skip, e.g. 1 for the `b` of `br"…"`).
+    ///
+    /// Returns `None` (consuming nothing) if what follows is not actually
+    /// a raw string opener.
+    fn try_raw_string(&mut self, extra: usize) -> Option<TokenKind> {
+        // Count hashes after the `r`.
+        let mut n = 0usize;
+        while self.peek_at(extra + 1 + n) == Some('#') {
+            n += 1;
+        }
+        if self.peek_at(extra + 1 + n) != Some('"') {
+            return None;
+        }
+        for _ in 0..extra + 1 + n {
+            self.bump(); // prefix, `r`, hashes
+        }
+        self.bump(); // opening quote
+                     // Scan for `"` followed by n hashes.
+        'scan: loop {
+            match self.bump() {
+                None => break 'scan,
+                Some('"') => {
+                    let mut ok = true;
+                    for k in 0..n {
+                        if self.peek_at(k) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..n {
+                            self.bump();
+                        }
+                        break 'scan;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        Some(TokenKind::RawStr)
+    }
+
+    /// Consumes a numeric literal. Permissive: digits/alphanumerics with
+    /// `_` separators, one fractional part, and a signed exponent.
+    fn number(&mut self) -> TokenKind {
+        self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        // Fractional part: only when a digit follows the dot, so `0..10`
+        // and `1.max(2)` keep their dot as punctuation.
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+        // Signed exponent: `1.5e-3` / `2E+8` (unsigned exponents were
+        // already consumed as alphanumerics).
+        if self.src[..self.pos].ends_with(['e', 'E'])
+            && matches!(self.peek(), Some('+') | Some('-'))
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+        TokenKind::Number
+    }
+
+    /// Lifetime, loop label, or char literal, starting at `'`.
+    fn tick(&mut self) -> TokenKind {
+        let c1 = self.peek_at(1);
+        let c2 = self.peek_at(2);
+        match (c1, c2) {
+            (Some('\\'), _) => self.quoted('\''),
+            // `'x'` for any single char — including ones that could start
+            // an identifier (`'a'`).
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokenKind::Char
+            }
+            // `'ident` with no closing quote: lifetime or loop label.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(); // '
+                self.bump_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+            // `'<non-ident>` without a closing quote (or trailing `'` at
+            // EOF): consume until the quote closes or input ends.
+            (Some(_), _) => self.quoted('\''),
+            (None, _) => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek().expect("next_kind called at end of input");
+        if c.is_whitespace() {
+            self.bump_while(char::is_whitespace);
+            return TokenKind::Whitespace;
+        }
+        if self.starts_with("//") {
+            return self.line_comment();
+        }
+        if self.starts_with("/*") {
+            return self.block_comment();
+        }
+        match c {
+            '"' => return self.quoted('"'),
+            '\'' => return self.tick(),
+            'r' => {
+                if let Some(kind) = self.try_raw_string(0) {
+                    return kind;
+                }
+                // `r#ident` raw identifier.
+                if self.peek_at(1) == Some('#') && self.peek_at(2).is_some_and(is_ident_start) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.bump_while(is_ident_continue);
+                    return TokenKind::Ident;
+                }
+            }
+            'b' => {
+                match self.peek_at(1) {
+                    Some('"') => {
+                        self.bump(); // b
+                        return self.quoted('"');
+                    }
+                    Some('\'') => {
+                        self.bump(); // b
+                        return self.quoted('\'');
+                    }
+                    Some('r') => {
+                        if let Some(kind) = self.try_raw_string(1) {
+                            return kind;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        if is_ident_start(c) {
+            self.bump_while(is_ident_continue);
+            return TokenKind::Ident;
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        for op in MULTI_PUNCT {
+            if self.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return TokenKind::Punct;
+            }
+        }
+        self.bump();
+        if c.is_ascii() && !c.is_ascii_control() {
+            TokenKind::Punct
+        } else {
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// Lexes `src` into a token stream whose spans exactly partition
+/// `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while lx.pos < src.len() {
+        let start = lx.pos;
+        let line = lx.line;
+        let kind = lx.next_kind();
+        debug_assert!(lx.pos > start, "lexer must make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: lx.pos,
+            line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| src[t.start..t.end].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn spans_partition_simple_input() {
+        let src = "fn main() { let x = 1; }";
+        let tokens = lex(src);
+        assert_eq!(tokens[0].start, 0);
+        assert_eq!(tokens.last().unwrap().end, src.len());
+        for pair in tokens.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("/* a /* b /* c */ */ */ x"),
+            vec![BlockComment, Ident]
+        );
+        // Unterminated: swallows the rest, still one token.
+        assert_eq!(kinds("/* a /* b */"), vec![BlockComment]);
+        // The comment body never leaks tokens.
+        assert_eq!(
+            kinds("/* \"unclosed string */ y"),
+            vec![BlockComment, Ident]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r####"r#"raw "quoted" body"# x"####),
+            vec![RawStr, Ident]
+        );
+        assert_eq!(kinds("r\"plain\" x"), vec![RawStr, Ident]);
+        // A `"#` inside an `r##` string does not terminate it.
+        assert_eq!(kinds("r##\"inner \"# still\"## x"), vec![RawStr, Ident]);
+        // Byte raw strings.
+        assert_eq!(kinds("br#\"bytes\"# x"), vec![RawStr, Ident]);
+        // Comment-looking content inside a raw string stays a string.
+        assert_eq!(kinds("r#\"// not a comment\"# x"), vec![RawStr, Ident]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_plain_r() {
+        use TokenKind::*;
+        assert_eq!(kinds("r#type"), vec![Ident]);
+        assert_eq!(texts("r#type x"), vec!["r#type", "x"]);
+        assert_eq!(kinds("rng"), vec![Ident]);
+        assert_eq!(kinds("r"), vec![Ident]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars_vs_labels() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a'"), vec![Char]);
+        assert_eq!(kinds("'static"), vec![Lifetime]);
+        assert_eq!(kinds("<'a>"), vec![Punct, Lifetime, Punct]);
+        assert_eq!(kinds("'\\n'"), vec![Char]);
+        assert_eq!(kinds("'\\''"), vec![Char]);
+        assert_eq!(kinds("b'x'"), vec![Char]);
+        assert_eq!(kinds("'outer: loop"), vec![Lifetime, Punct, Ident]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a \" b" x"#), vec![Str, Ident]);
+        assert_eq!(kinds(r#""a \\" x"#), vec![Str, Ident]);
+        assert_eq!(kinds("b\"bytes\" x"), vec![Str, Ident]);
+        // Unterminated string swallows the rest.
+        assert_eq!(kinds("\"open x"), vec![Str]);
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 0xFF 1_000u64 1.5e-3 2E+8 1.0f64"),
+            vec![Number; 6]
+        );
+        // Range and method-call dots stay punctuation.
+        assert_eq!(kinds("0..10"), vec![Number, Punct, Number]);
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![Number, Punct, Ident, Punct, Number, Punct]
+        );
+    }
+
+    #[test]
+    fn multi_char_punct_longest_match() {
+        assert_eq!(texts("a <<= b"), vec!["a", "<<=", "b"]);
+        assert_eq!(texts("0..=9"), vec!["0", "..=", "9"]);
+        assert_eq!(texts("a == b != c"), vec!["a", "==", "b", "!=", "c"]);
+        assert_eq!(
+            texts("x :: y -> z => w"),
+            vec!["x", "::", "y", "->", "z", "=>", "w"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\r\nc /* x\ny */ d\ne";
+        let lines: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (src[t.start..t.end].to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 3),
+                ("/* x\ny */".into(), 3),
+                ("d".into(), 4),
+                ("e".into(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_excludes_newline() {
+        let src = "x // tail\ny";
+        let tokens = lex(src);
+        let comment = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(&src[comment.start..comment.end], "// tail");
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Ident, TokenKind::LineComment, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(lex("").is_empty());
+        let tokens = lex("  \n\t ");
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::Whitespace);
+    }
+}

@@ -1,0 +1,25 @@
+//! `pf-lint`: the workspace determinism linter.
+//!
+//! Offline and dependency-free by design — it must run in the
+//! registry-less container before anything else builds. The pipeline:
+//!
+//! 1. [`lexer`] — a hand-rolled, total Rust lexer (any input lexes;
+//!    spans partition the input) so rules see comments and strings as
+//!    distinct tokens instead of grepping raw text.
+//! 2. [`source`] — per-file derived structure: significant-token stream,
+//!    `#[cfg(test)]` module masking, inline suppressions.
+//! 3. [`rules`] — the determinism catalog (D1–D4, X1, S1) plus
+//!    suppression filtering.
+//! 4. [`baseline`] — grandfathered findings with mandatory
+//!    justifications (B1).
+//! 5. [`selftest`] — embedded known-bad fixtures proving every rule
+//!    still fires.
+//!
+//! See `docs/static-analysis.md` for the workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+pub mod source;
+pub mod workspace;

@@ -1,0 +1,307 @@
+//! The `pf-lint` command-line interface.
+//!
+//! ```text
+//! pf-lint --workspace [--root <dir>] [--baseline <file>] [--format=text|json]
+//! pf-lint --self-test
+//! pf-lint --write-baseline
+//! pf-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (or baselined/suppressed only), 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pf_lint::baseline;
+use pf_lint::rules::{run_rules, Finding, LintOutcome, RULES};
+use pf_lint::source::SourceFile;
+use pf_lint::workspace;
+
+const DEFAULT_BASELINE: &str = "lint-baseline.tsv";
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    self_test: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "pf-lint: workspace determinism linter\n\n\
+         USAGE:\n\
+         \x20   pf-lint --workspace [OPTIONS]   lint every .rs file in the workspace\n\
+         \x20   pf-lint --self-test             run the rule catalog against embedded fixtures\n\
+         \x20   pf-lint --write-baseline        emit a baseline covering all current findings\n\
+         \x20   pf-lint --list-rules            print the rule catalog\n\n\
+         OPTIONS:\n\
+         \x20   --root <dir>        workspace root (default: ascend from cwd to [workspace])\n\
+         \x20   --baseline <file>   baseline file (default: <root>/lint-baseline.tsv)\n\
+         \x20   --format=text|json  output format (default: text)\n\n\
+         RULES:\n",
+    );
+    for rule in RULES {
+        s.push_str(&format!("    {}  {}\n", rule.id, rule.summary));
+    }
+    s
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: false,
+        self_test: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut saw_mode = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--workspace" => saw_mode = true,
+            "--self-test" => {
+                opts.self_test = true;
+                saw_mode = true;
+            }
+            "--write-baseline" => {
+                opts.write_baseline = true;
+                saw_mode = true;
+            }
+            "--list-rules" => {
+                opts.list_rules = true;
+                saw_mode = true;
+            }
+            "--format=text" => opts.json = false,
+            "--format=json" => opts.json = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => opts.json = false,
+                    Some("json") => opts.json = true,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                }
+            }
+            "--root" => {
+                i += 1;
+                let v = args.get(i).ok_or("--root expects a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                i += 1;
+                let v = args.get(i).ok_or("--baseline expects a file")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    if !saw_mode {
+        return Err(format!("no mode given\n\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn load_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let paths = workspace::collect_rs_files(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        files.push(SourceFile::new(workspace::rel_path(root, &path), text));
+    }
+    Ok(files)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_finding(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        json_escape(f.rule),
+        json_escape(&f.path),
+        f.line,
+        json_escape(&f.message),
+        json_escape(&f.snippet)
+    )
+}
+
+fn render_json(
+    remaining: &[Finding],
+    outcome: &LintOutcome,
+    baselined: usize,
+    stale: &[baseline::BaselineEntry],
+) -> String {
+    let findings: Vec<String> = remaining.iter().map(json_finding).collect();
+    let stale: Vec<String> = stale
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"baseline_line\":{}}}",
+                json_escape(&e.rule),
+                json_escape(&e.path),
+                e.file_line
+            )
+        })
+        .collect();
+    let unused: Vec<String> = outcome
+        .unused_suppressions
+        .iter()
+        .map(|(path, line, rules)| {
+            format!(
+                "{{\"path\":\"{}\",\"line\":{},\"rules\":\"{}\"}}",
+                json_escape(path),
+                line,
+                json_escape(rules)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"findings\":[{}],\"counts\":{{\"findings\":{},\"baselined\":{},\"suppressed\":{}}},\
+         \"stale_baseline\":[{}],\"unused_suppressions\":[{}]}}\n",
+        findings.join(","),
+        remaining.len(),
+        baselined,
+        outcome.suppressed,
+        stale.join(","),
+        unused.join(",")
+    )
+}
+
+fn render_text(
+    remaining: &[Finding],
+    outcome: &LintOutcome,
+    baselined: usize,
+    stale: &[baseline::BaselineEntry],
+) -> String {
+    let mut out = String::new();
+    for f in remaining {
+        out.push_str(&format!(
+            "{}: {}:{}: {}\n    {}\n",
+            f.rule, f.path, f.line, f.message, f.snippet
+        ));
+    }
+    for e in stale {
+        out.push_str(&format!(
+            "warning: stale baseline entry ({} at `{}`, baseline line {}) — matches nothing; remove it\n",
+            e.rule, e.path, e.file_line
+        ));
+    }
+    for (path, line, rules) in &outcome.unused_suppressions {
+        out.push_str(&format!(
+            "warning: unused suppression allow({rules}) at {path}:{line} — suppresses nothing; remove it\n"
+        ));
+    }
+    out.push_str(&format!(
+        "pf-lint: {} finding(s), {} baselined, {} suppressed\n",
+        remaining.len(),
+        baselined,
+        outcome.suppressed
+    ));
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        print!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.self_test {
+        return match pf_lint::selftest::run() {
+            Ok(report) => {
+                for line in report {
+                    println!("ok: {line}");
+                }
+                println!("pf-lint --self-test: all rules fire");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(failures) => {
+                for line in failures {
+                    eprintln!("FAIL: {line}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = match &opts.root {
+        Some(root) => root.clone(),
+        None => workspace::find_root(&cwd)
+            .ok_or("no [workspace] Cargo.toml found above the current directory")?,
+    };
+    let files = load_files(&root).map_err(|e| format!("reading workspace: {e}"))?;
+    let outcome = run_rules(&files);
+
+    if opts.write_baseline {
+        let path = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+        std::fs::write(&path, baseline::render(&outcome.findings))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "pf-lint: wrote {} entries to {} (justifications are TODO — fill them in)",
+            outcome.findings.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+    let entries = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+    let rel_baseline = workspace::rel_path(&root, &baseline_path);
+    let result = baseline::apply(outcome.findings.clone(), &entries, &rel_baseline);
+
+    let rendered = if opts.json {
+        render_json(&result.remaining, &outcome, result.baselined, &result.stale)
+    } else {
+        render_text(&result.remaining, &outcome, result.baselined, &result.stale)
+    };
+    print!("{rendered}");
+
+    Ok(if result.remaining.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

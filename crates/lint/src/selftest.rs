@@ -1,0 +1,166 @@
+//! `pf-lint --self-test`: runs the rule catalog against embedded
+//! known-bad fixtures and asserts that **every** rule fires, plus a
+//! known-good fixture asserting zero findings. This guards the linter
+//! itself: a refactor that silently disables a rule fails CI even if the
+//! real tree happens to be clean.
+
+use crate::rules::{run_rules, RULES, X1_GOLDEN_FILE};
+use crate::source::SourceFile;
+
+/// One known-bad fixture: `src` at `path` must trigger `rule`.
+struct Fixture {
+    rule: &'static str,
+    path: &'static str,
+    src: &'static str,
+}
+
+const BAD_FIXTURES: &[Fixture] = &[
+    Fixture {
+        rule: "D1",
+        path: "crates/sim/src/bad_d1.rs",
+        src: "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); for (k, _) in &m {} }\n",
+    },
+    Fixture {
+        rule: "D2",
+        path: "crates/workload/src/bad_d2.rs",
+        src: "fn f() { let t = std::time::Instant::now(); let _ = t; }\n",
+    },
+    Fixture {
+        rule: "D3",
+        path: "crates/workload/src/bad_d3.rs",
+        src: "fn f() { let rng = StdRng::from_entropy(); }\n",
+    },
+    Fixture {
+        rule: "D4",
+        path: "crates/sim/src/bad_d4.rs",
+        src: "fn f(mut v: Vec<u32>) { debug_assert!(v.pop().is_some()); }\n",
+    },
+    Fixture {
+        rule: "S1",
+        path: "crates/sim/src/bad_s1.rs",
+        src: "use std::collections::HashMap; // pf-lint: allow(D1)\n",
+    },
+    Fixture {
+        rule: "B1",
+        path: "", // B1 comes from the baseline, not a source file
+        src: "",
+    },
+    Fixture {
+        rule: "X1",
+        path: "crates/sim/src/bad_x1.rs",
+        src: "pub enum RouterPolicy {\n    RoundRobin,\n    UnpinnedPolicy,\n}\n",
+    },
+];
+
+/// A fixture that must produce **zero** findings: exercises test-mask
+/// exemption, justified suppression, comment/string immunity, and the
+/// seeded-RNG happy path all at once.
+const GOOD_FIXTURE: (&str, &str) = (
+    "crates/sim/src/good.rs",
+    "//! Mentions HashMap and Instant::now in docs only.\n\
+     const DOC: &str = \"thread_rng\";\n\
+     // pf-lint: allow(D1): key-addressed lookups only; iteration never observed\n\
+     use std::collections::HashMap;\n\
+     fn f() { let rng = StdRng::seed_from_u64(42); }\n\
+     #[cfg(test)]\n\
+     mod tests {\n\
+         use std::collections::HashSet;\n\
+         fn g(mut v: Vec<u32>) { debug_assert!(v.pop().is_some()); }\n\
+     }\n",
+);
+
+/// A minimal golden-suite stand-in for the X1 fixture: pins `RoundRobin`
+/// but not `UnpinnedPolicy`.
+const X1_GOLDEN_FIXTURE: &str = "fn f() { let p = RouterPolicy::RoundRobin; let _ = p; }\n";
+
+/// Runs the self-test. Returns the per-check report lines; `Err` if any
+/// check failed.
+pub fn run() -> Result<Vec<String>, Vec<String>> {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+
+    for fixture in BAD_FIXTURES {
+        let fired = match fixture.rule {
+            "B1" => {
+                // B1 lives in the baseline layer: an entry with a TODO
+                // justification must surface as a finding.
+                let entries = crate::baseline::parse("D1\tcrates/sim/src/x.rs\tline\tTODO\n")
+                    .expect("well-formed");
+                let result = crate::baseline::apply(Vec::new(), &entries, "lint-baseline.tsv");
+                result.remaining.iter().any(|f| f.rule == "B1")
+            }
+            "X1" => {
+                let files = vec![
+                    SourceFile::new(fixture.path, fixture.src),
+                    SourceFile::new(X1_GOLDEN_FILE, X1_GOLDEN_FIXTURE),
+                ];
+                let outcome = run_rules(&files);
+                outcome.findings.iter().any(|f| f.rule == "X1")
+                    && !outcome
+                        .findings
+                        .iter()
+                        .any(|f| f.rule == "X1" && f.message.contains("RoundRobin"))
+            }
+            rule => {
+                let files = vec![SourceFile::new(fixture.path, fixture.src)];
+                run_rules(&files).findings.iter().any(|f| f.rule == rule)
+            }
+        };
+        if fired {
+            report.push(format!("rule {}: fires on known-bad fixture", fixture.rule));
+        } else {
+            failures.push(format!(
+                "rule {} did NOT fire on its known-bad fixture",
+                fixture.rule
+            ));
+        }
+    }
+
+    // Catalog coverage: every rule in RULES has a known-bad fixture.
+    for rule in RULES {
+        if !BAD_FIXTURES.iter().any(|f| f.rule == rule.id) {
+            failures.push(format!("rule {} has no known-bad fixture", rule.id));
+        }
+    }
+
+    // Known-good fixture: zero findings, and the justified suppression is
+    // counted as used.
+    let good = SourceFile::new(GOOD_FIXTURE.0, GOOD_FIXTURE.1);
+    let outcome = run_rules(&[good]);
+    if outcome.findings.is_empty() {
+        report.push("known-good fixture: zero findings".to_string());
+    } else {
+        for f in &outcome.findings {
+            failures.push(format!(
+                "known-good fixture raised {} at line {}: {}",
+                f.rule, f.line, f.message
+            ));
+        }
+    }
+    if outcome.suppressed == 1 && outcome.unused_suppressions.is_empty() {
+        report.push("known-good fixture: suppression exercised and counted used".to_string());
+    } else {
+        failures.push(format!(
+            "known-good fixture suppression accounting wrong: suppressed={}, unused={}",
+            outcome.suppressed,
+            outcome.unused_suppressions.len()
+        ));
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn self_test_passes() {
+        match super::run() {
+            Ok(report) => assert!(!report.is_empty()),
+            Err(failures) => panic!("self-test failed:\n{}", failures.join("\n")),
+        }
+    }
+}

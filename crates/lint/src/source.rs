@@ -1,0 +1,346 @@
+//! A lexed source file plus the derived structure rules need: line
+//! lookup, the significant-token stream, `#[cfg(test)]` module masking,
+//! and inline `// pf-lint: allow(...)` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One inline suppression comment.
+///
+/// Syntax: `// pf-lint: allow(D1): justification text`, or
+/// `// pf-lint: allow(D1, D2): …` for several rules at once. A suppression
+/// on a line of its own applies to the next line; a trailing suppression
+/// applies to its own line. The justification (after the second colon) is
+/// mandatory — an empty one turns the suppression into an `S1` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule ids this comment suppresses (e.g. `["D1"]`).
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    pub comment_line: u32,
+    /// 1-based line the suppression applies to.
+    pub applies_line: u32,
+    /// Whether a non-empty justification was given.
+    pub justified: bool,
+}
+
+/// A source file, lexed, with the derived views rules operate on.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Complete token stream (spans partition `text`).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant tokens (no whitespace, no
+    /// comments) — the stream adjacency rules match against.
+    pub sig: Vec<usize>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)] mod … { … }` bodies.
+    test_mask: Vec<(usize, usize)>,
+    /// Parsed inline suppressions.
+    suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and computes all derived views.
+    pub fn new(rel_path: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let tokens = lex(&text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = SourceFile {
+            rel_path: rel_path.into(),
+            text,
+            tokens,
+            sig,
+            line_starts,
+            test_mask: Vec::new(),
+            suppressions: Vec::new(),
+        };
+        file.test_mask = file.compute_test_mask();
+        file.suppressions = file.compute_suppressions();
+        file
+    }
+
+    /// The source text of a token.
+    pub fn slice(&self, t: &Token) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// The trimmed text of a 1-based line (empty for out-of-range lines).
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = line as usize - 1;
+        let Some(&start) = self.line_starts.get(idx) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end].trim_end_matches(['\n', '\r']).trim()
+    }
+
+    /// Whether a byte offset falls inside a `#[cfg(test)] mod` body.
+    pub fn in_test_mask(&self, offset: usize) -> bool {
+        self.test_mask
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// Parsed suppressions, in file order.
+    pub fn suppressions(&self) -> &[Suppression] {
+        &self.suppressions
+    }
+
+    /// Whether `rule` is suppressed on `line` (regardless of
+    /// justification — unjustified suppressions still suppress, but emit
+    /// an `S1` finding so the tree cannot be clean without the reason).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.applies_line == line && s.rules.iter().any(|r| r == rule))
+    }
+
+    /// The significant token at sig-index `i`, if in range.
+    pub fn sig_token(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&idx| &self.tokens[idx])
+    }
+
+    /// The source text of the significant token at sig-index `i`.
+    pub fn sig_text(&self, i: usize) -> Option<&str> {
+        self.sig_token(i).map(|t| self.slice(t))
+    }
+
+    /// Byte ranges of `#[cfg(test)] mod name { … }` bodies, so rules can
+    /// exempt test-only code without a parser. The scan is token-based:
+    /// attributes and module braces are matched over significant tokens,
+    /// so strings and comments cannot confuse the depth counting.
+    fn compute_test_mask(&self) -> Vec<(usize, usize)> {
+        let mut mask = Vec::new();
+        let n = self.sig.len();
+        let mut i = 0;
+        while i < n {
+            // Match `# [ cfg ( test ) ]`.
+            let is_cfg_test = self.sig_text(i) == Some("#")
+                && self.sig_text(i + 1) == Some("[")
+                && self.sig_text(i + 2) == Some("cfg")
+                && self.sig_text(i + 3) == Some("(")
+                && self.sig_text(i + 4) == Some("test")
+                && self.sig_text(i + 5) == Some(")")
+                && self.sig_text(i + 6) == Some("]");
+            if !is_cfg_test {
+                i += 1;
+                continue;
+            }
+            let attr_start = self.sig_token(i).expect("matched above").start;
+            let mut j = i + 7;
+            // Skip any further attributes between the cfg and the item.
+            while self.sig_text(j) == Some("#") && self.sig_text(j + 1) == Some("[") {
+                let mut depth = 0usize;
+                j += 1;
+                while let Some(text) = self.sig_text(j) {
+                    match text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if self.sig_text(j) != Some("mod") {
+                i += 1;
+                continue;
+            }
+            // `mod name { … }` — find the body's matching close brace.
+            j += 2; // skip `mod` and the name
+            if self.sig_text(j) != Some("{") {
+                i += 1; // `mod name;` — out-of-line test module, no body here
+                continue;
+            }
+            let mut depth = 0usize;
+            let mut end = None;
+            while let Some(text) = self.sig_text(j) {
+                match text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(self.sig_token(j).expect("in range").end);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            match end {
+                Some(end) => {
+                    mask.push((attr_start, end));
+                    i = j + 1;
+                }
+                None => break, // unbalanced braces: stop masking, not lint
+            }
+        }
+        mask
+    }
+
+    /// Parses `// pf-lint: allow(<rules>)[: justification]` comments.
+    fn compute_suppressions(&self) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for t in &self.tokens {
+            if t.kind != TokenKind::LineComment {
+                continue;
+            }
+            let body = self.slice(t).trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("pf-lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = rest[close + 1..].trim();
+            let justified = tail
+                .strip_prefix(':')
+                .map(str::trim)
+                .is_some_and(|j| !j.is_empty());
+            // Trailing comment suppresses its own line; a comment alone on
+            // its line suppresses the next line.
+            let has_code_before = self
+                .tokens
+                .iter()
+                .take_while(|o| o.start < t.start)
+                .any(|o| {
+                    o.line == t.line
+                        && !matches!(
+                            o.kind,
+                            TokenKind::Whitespace
+                                | TokenKind::LineComment
+                                | TokenKind::BlockComment
+                        )
+                });
+            let applies_line = if has_code_before { t.line } else { t.line + 1 };
+            out.push(Suppression {
+                rules,
+                comment_line: t.line,
+                applies_line,
+                justified,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_text_trims_and_handles_crlf() {
+        let f = SourceFile::new("x.rs", "first\r\n  second  \nthird");
+        assert_eq!(f.line_text(1), "first");
+        assert_eq!(f.line_text(2), "second");
+        assert_eq!(f.line_text(3), "third");
+        assert_eq!(f.line_text(4), "");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashMap;\n\
+    fn helper() { let _m: HashMap<u32, u32> = HashMap::new(); }\n\
+}\n\
+fn also_live() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let in_tests = src.find("HashMap").unwrap();
+        let live = src.find("live").unwrap();
+        let after = src.find("also_live").unwrap();
+        assert!(f.in_test_mask(in_tests));
+        assert!(!f.in_test_mask(live));
+        assert!(!f.in_test_mask(after));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_tricky_strings() {
+        let src = "\
+#[cfg(test)]\n\
+#[allow(dead_code)]\n\
+mod tests {\n\
+    const S: &str = \"}\"; // a brace in a string must not end the mask\n\
+    fn f() { thread_rng(); }\n\
+}\n\
+fn live() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.in_test_mask(src.find("thread_rng").unwrap()));
+        assert!(!f.in_test_mask(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_test_on_fn_is_not_masked() {
+        let src = "#[cfg(test)]\nfn helper() { thread_rng(); }\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.in_test_mask(src.find("thread_rng").unwrap()));
+    }
+
+    #[test]
+    fn suppression_parsing_same_line_and_next_line() {
+        let src = "\
+let a = 1; // pf-lint: allow(D1): lookups only, order never observed\n\
+// pf-lint: allow(D2, D3): shim timing code\n\
+let b = 2;\n\
+let c = 3; // pf-lint: allow(D4)\n";
+        let f = SourceFile::new("x.rs", src);
+        let s = f.suppressions();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].rules, vec!["D1"]);
+        assert_eq!(s[0].applies_line, 1);
+        assert!(s[0].justified);
+        assert_eq!(s[1].rules, vec!["D2", "D3"]);
+        assert_eq!(
+            s[1].applies_line, 3,
+            "standalone comment covers the next line"
+        );
+        assert!(s[1].justified);
+        assert_eq!(s[2].rules, vec!["D4"]);
+        assert_eq!(s[2].applies_line, 4);
+        assert!(!s[2].justified, "no justification given");
+        assert!(f.suppressed("D1", 1));
+        assert!(!f.suppressed("D1", 2));
+        assert!(f.suppressed("D3", 3));
+        assert!(f.suppressed("D4", 4));
+    }
+}

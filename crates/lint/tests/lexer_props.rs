@@ -1,0 +1,284 @@
+//! Property tests for the pf-lint lexer.
+//!
+//! The lexer is the linter's foundation: if spans don't partition the
+//! input, or comments/strings leak into the identifier stream, every
+//! rule built on top is wrong. Three properties pin the contract:
+//!
+//! 1. **Partition** — on arbitrary fragment soup (including malformed
+//!    constructs), token spans tile the input exactly: no gaps, no
+//!    overlaps, no empty tokens.
+//! 2. **No leak** — hazard words placed inside comments, strings, raw
+//!    strings, and char literals never surface as identifier tokens.
+//! 3. **CRLF/LF equivalence** — the same logical source lexes to the
+//!    same token kinds, texts (modulo `\r`), and line numbers under both
+//!    line endings.
+
+use pf_lint::lexer::{lex, TokenKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragment palette for the partition property — deliberately includes
+/// malformed constructs (unterminated strings/comments, stray quotes,
+/// lone `r#`) because the lexer must be total.
+const SOUP: &[&str] = &[
+    "fn",
+    "ident_one",
+    "r#type",
+    "HashMap",
+    "'a",
+    "'x'",
+    "'\\n'",
+    "\"string with spaces\"",
+    "\"esc \\\" aped\"",
+    "r\"raw\"",
+    "r#\"raw # hash\"#",
+    "r##\"nested \"# inside\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "// line comment",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "/* unterminated",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "0",
+    "42",
+    "3.14",
+    "1e10",
+    "1.5e-3",
+    "0xFF",
+    "0b1010",
+    "1_000_000",
+    "..",
+    "..=",
+    "::",
+    "->",
+    "=>",
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "#",
+    "!",
+    "?",
+    "@",
+    "$",
+    "\\",
+    "'",
+    "\"",
+    "r#",
+    "λ_unicode",
+    "🦀",
+    " ",
+    "\t",
+    "\n",
+    "\r\n",
+];
+
+/// Fragments with the single significant token kind each must lex to.
+/// Every one embeds a hazard word that must NOT surface as an `Ident`.
+const CLASSIFIED: &[(&str, TokenKind)] = &[
+    ("// HashMap in a line comment", TokenKind::LineComment),
+    ("/* Instant::now() in a block */", TokenKind::BlockComment),
+    (
+        "/* nested /* thread_rng */ layer */",
+        TokenKind::BlockComment,
+    ),
+    ("\"thread_rng in a string\"", TokenKind::Str),
+    ("\"escaped \\\" HashSet quote\"", TokenKind::Str),
+    ("r\"rand::random raw\"", TokenKind::RawStr),
+    ("r#\"SystemTime \" with quote\"#", TokenKind::RawStr),
+    ("br#\"HashMap raw bytes\"#", TokenKind::RawStr),
+    ("safe_ident", TokenKind::Ident),
+    ("12345", TokenKind::Number),
+];
+
+const HAZARDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "now",
+    "thread_rng",
+    "rand",
+    "random",
+    "SystemTime",
+];
+
+/// Fragments safe for the CRLF property: well-formed, no embedded
+/// newlines, no constructs that would swallow a following line break.
+const LINE_SAFE: &[&str] = &[
+    "fn f() {}",
+    "let x = 42;",
+    "// trailing comment",
+    "/* block */ ident",
+    "let s = \"str\";",
+    "let r = r#\"raw\"#;",
+    "match x { _ => () }",
+    "a..=b; c::d(); e->0",
+    "#[derive(Debug)]",
+    "",
+    "    indented();",
+];
+
+fn soup_strategy() -> impl Strategy<Value = String> {
+    vec(0usize..SOUP.len(), 1..60)
+        .prop_map(|idxs| idxs.into_iter().map(|i| SOUP[i]).collect::<String>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn spans_partition_arbitrary_soup(src in soup_strategy()) {
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap or overlap before token at byte {}", t.start);
+            prop_assert!(t.start < t.end, "empty token at byte {}", t.start);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens do not cover the whole input");
+        // Line numbers are monotone and start at 1.
+        let mut line = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= line, "line numbers went backwards");
+            line = t.line;
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_never_leak(idxs in vec(0usize..CLASSIFIED.len(), 1..40)) {
+        // Join with newlines so line comments terminate where intended.
+        let src = idxs
+            .iter()
+            .map(|&i| CLASSIFIED[i].0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let tokens = lex(&src);
+        // No hazard word ever surfaces as an identifier…
+        for t in &tokens {
+            if t.kind == TokenKind::Ident {
+                let text = &src[t.start..t.end];
+                prop_assert!(
+                    !HAZARDS.contains(&text),
+                    "hazard `{}` leaked out of a comment/string as an Ident",
+                    text
+                );
+            }
+        }
+        // …and each fragment lexes to exactly its expected token kind.
+        let kinds: Vec<TokenKind> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect();
+        let expected: Vec<TokenKind> = idxs.iter().map(|&i| CLASSIFIED[i].1).collect();
+        prop_assert_eq!(kinds, expected);
+    }
+
+    #[test]
+    fn crlf_and_lf_lex_identically(idxs in vec(0usize..LINE_SAFE.len(), 1..30)) {
+        let lines: Vec<&str> = idxs.iter().map(|&i| LINE_SAFE[i]).collect();
+        let lf = lines.join("\n");
+        let crlf = lines.join("\r\n");
+        let toks_lf = lex(&lf);
+        let toks_crlf = lex(&crlf);
+        let project = |src: &str, toks: &[pf_lint::lexer::Token]| -> Vec<(TokenKind, String, u32)> {
+            toks.iter()
+                .map(|t| (t.kind, src[t.start..t.end].replace('\r', ""), t.line))
+                .collect()
+        };
+        prop_assert_eq!(project(&lf, &toks_lf), project(&crlf, &toks_crlf));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic edge-case tests (nested comments, raw-string edges).
+// ---------------------------------------------------------------------
+
+fn kinds_and_texts(src: &str) -> Vec<(TokenKind, &str)> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind != TokenKind::Whitespace)
+        .map(|t| (t.kind, &src[t.start..t.end]))
+        .collect()
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let src = "/* a /* b /* c */ b */ a */ after";
+    assert_eq!(
+        kinds_and_texts(src),
+        vec![
+            (TokenKind::BlockComment, "/* a /* b /* c */ b */ a */"),
+            (TokenKind::Ident, "after"),
+        ]
+    );
+}
+
+#[test]
+fn unterminated_nested_comment_consumes_to_eof() {
+    let src = "/* open /* inner */ still open HashMap";
+    assert_eq!(kinds_and_texts(src), vec![(TokenKind::BlockComment, src)]);
+}
+
+#[test]
+fn raw_string_hash_edges() {
+    assert_eq!(
+        kinds_and_texts("r#\"\"#"),
+        vec![(TokenKind::RawStr, "r#\"\"#")]
+    );
+    assert_eq!(
+        kinds_and_texts("r##\"a\"# b\"##"),
+        vec![(TokenKind::RawStr, "r##\"a\"# b\"##")]
+    );
+    // A raw string closed with too few hashes keeps going.
+    assert_eq!(
+        kinds_and_texts("r##\"x\"# y\"## z"),
+        vec![
+            (TokenKind::RawStr, "r##\"x\"# y\"##"),
+            (TokenKind::Ident, "z")
+        ]
+    );
+    // `r` followed by a non-string is a plain identifier.
+    assert_eq!(
+        kinds_and_texts("r + 1"),
+        vec![
+            (TokenKind::Ident, "r"),
+            (TokenKind::Punct, "+"),
+            (TokenKind::Number, "1"),
+        ]
+    );
+    // Raw identifiers are idents, not raw strings.
+    assert_eq!(
+        kinds_and_texts("r#type"),
+        vec![(TokenKind::Ident, "r#type")]
+    );
+}
+
+#[test]
+fn unterminated_raw_string_consumes_to_eof() {
+    let src = "r#\"never closed\nthread_rng()";
+    assert_eq!(kinds_and_texts(src), vec![(TokenKind::RawStr, src)]);
+}
+
+#[test]
+fn byte_raw_strings() {
+    assert_eq!(
+        kinds_and_texts("br#\"bytes\"# b\"plain\""),
+        vec![
+            (TokenKind::RawStr, "br#\"bytes\"#"),
+            (TokenKind::Str, "b\"plain\"")
+        ]
+    );
+}
